@@ -1,0 +1,71 @@
+// Section VII-G case study: department detection on an EMAIL-EU-like
+// communication graph. Edge-based clustering vs 8-clique higher-order
+// clustering (F1 against the planted departments), plus the motif
+// search speed of CSCE vs the backtracking baseline — the paper reports
+// 0.398 -> 0.515 F1 and 11.57s -> 0.39s.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/f1.h"
+#include "analysis/motif_clustering.h"
+#include "baselines/backtracking.h"
+#include "gen/datasets.h"
+#include "graph/graph_builder.h"
+#include "plan/symmetry.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace csce;
+  std::vector<uint32_t> departments;
+  Graph email = datasets::EmailEu(&departments);
+  const uint32_t kClique = 8;
+
+  ClusteringResult edges;
+  Status st = EdgeClustering(email, 7, &edges);
+  CSCE_CHECK(st.ok());
+  PairScores edge_scores = PairCountingF1(edges.assignment, departments);
+
+  ClusteringResult motifs;
+  st = HigherOrderClustering(email, kClique, 7, /*max_instances=*/5'000'000,
+                             &motifs);
+  CSCE_CHECK(st.ok());
+  PairScores motif_scores = PairCountingF1(motifs.assignment, departments);
+
+  std::printf("Case study analogue: EMAIL-EU department clustering\n\n");
+  std::printf("%-22s %8s %10s\n", "method", "F1", "motif(s)");
+  std::printf("%-22s %8.3f %10s\n", "edge-based", edge_scores.f1, "-");
+  std::printf("%-22s %8.3f %10.3f\n", "8-clique (CSCE)", motif_scores.f1,
+              motifs.motif_seconds);
+
+  // Motif-search speed: the same canonical 8-clique enumeration with
+  // the backtracking baseline.
+  GraphBuilder cb(false);
+  cb.AddVertices(kClique, kNoLabel);
+  for (VertexId a = 0; a < kClique; ++a) {
+    for (VertexId b = a + 1; b < kClique; ++b) cb.AddEdge(a, b);
+  }
+  Graph clique;
+  CSCE_CHECK(cb.Build(&clique).ok());
+  SymmetryInfo symmetry = ComputeSymmetryBreaking(clique);
+  BacktrackingMatcher bt(&email);
+  BaselineOptions options;
+  options.time_limit_seconds = 120;
+  WallTimer timer;
+  BaselineResult r;
+  CSCE_CHECK(
+      bt.MatchWithRestrictions(clique, options, symmetry.restrictions, &r)
+          .ok());
+  double baseline_seconds = timer.Seconds();
+  std::printf("\n8-clique instances: %llu (canonical)\n",
+              static_cast<unsigned long long>(r.embeddings));
+  std::printf("motif search: CSCE %.3fs vs backtracking %.3fs (%.1fx)%s\n",
+              motifs.motif_seconds, baseline_seconds,
+              motifs.motif_seconds > 0
+                  ? baseline_seconds / motifs.motif_seconds
+                  : 0.0,
+              r.timed_out ? " [baseline timed out]" : "");
+  std::printf("\npaper reference (real EMAIL-EU): F1 0.398 -> 0.515, motif "
+              "search 11.57s -> 0.39s\n");
+  return 0;
+}

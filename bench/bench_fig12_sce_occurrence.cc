@@ -1,0 +1,95 @@
+// Fig. 12: SCE occurrence — the share of pattern vertices whose
+// candidates are independent of at least one earlier vertex under the
+// final plan, and the share attributable to clustering, per variant and
+// pattern size (Patent-like graph).
+
+#include <cstdio>
+#include <vector>
+
+#include "ccsr/ccsr.h"
+#include "gen/datasets.h"
+#include "gen/pattern_gen.h"
+#include "plan/planner.h"
+
+int main() {
+  using namespace csce;
+  std::printf("Fig. 12 analogue: SCE occurrence by pattern size "
+              "(Patent-like graph, %% of pattern vertices)\n\n");
+
+  Graph patent = datasets::Patent(20);
+  Ccsr gc = Ccsr::Build(patent);
+  Planner planner(&gc);
+  // Vertex-induced SCE exists only where the "(x,y)*-clusters" between
+  // a non-adjacent pattern pair are empty (Algorithm 2 line 8). With
+  // only 20 labels every label pair occurs in the data, so the effect
+  // is measured on the 200-label variant, where label pairs are sparse.
+  Graph patent200 = datasets::Patent(200);
+  Ccsr gc200 = Ccsr::Build(patent200);
+  Planner planner200(&gc200);
+
+  std::printf("%-8s | %10s %12s | %10s | %12s %12s\n", "size", "E sce%",
+              "E cluster%", "H sce%", "V@200 dns%", "V@200 sps%");
+  for (uint32_t size : {8u, 16u, 32u, 64u, 128u, 200u}) {
+    double sums[4] = {0, 0, 0, 0};
+    double v_sparse = 0;
+    const int kPatterns = 5;
+    int sampled = 0;
+    for (int i = 0; i < kPatterns; ++i) {
+      Rng rng(size * 91 + i);
+      Graph pattern;
+      if (!SamplePattern(patent, size, PatternDensity::kDense, rng, &pattern)
+               .ok()) {
+        continue;
+      }
+      ++sampled;
+      for (auto variant :
+           {MatchVariant::kEdgeInduced, MatchVariant::kHomomorphic}) {
+        Plan plan;
+        Status st = planner.MakePlan(pattern, variant, PlanOptions{}, &plan);
+        CSCE_CHECK(st.ok());
+        double pct = 100.0 * plan.sce.sce_vertices /
+                     plan.sce.pattern_vertices;
+        if (variant == MatchVariant::kEdgeInduced) {
+          sums[0] += pct;
+          sums[1] += 100.0 * plan.sce.cluster_attributed /
+                     plan.sce.pattern_vertices;
+        } else {
+          sums[2] += pct;
+        }
+      }
+      // Vertex-induced, on the label-rich graph (dense and sparse
+      // patterns).
+      for (bool sparse_pattern : {false, true}) {
+        Graph vp;
+        Rng rng2(size * 97 + i + (sparse_pattern ? 1000 : 0));
+        if (!SamplePattern(patent200, size,
+                           sparse_pattern ? PatternDensity::kSparse
+                                          : PatternDensity::kDense,
+                           rng2, &vp)
+                 .ok()) {
+          continue;
+        }
+        Plan plan;
+        Status st = planner200.MakePlan(vp, MatchVariant::kVertexInduced,
+                                        PlanOptions{}, &plan);
+        CSCE_CHECK(st.ok());
+        double pct =
+            100.0 * plan.sce.sce_vertices / plan.sce.pattern_vertices;
+        if (sparse_pattern) {
+          v_sparse += pct;
+        } else {
+          sums[3] += pct;
+        }
+      }
+    }
+    if (sampled == 0) continue;
+    std::printf("%-8u | %9.1f%% %11.1f%% | %9.1f%% | %11.1f%% %11.1f%%\n",
+                size, sums[0] / sampled, sums[1] / sampled,
+                sums[2] / sampled, sums[3] / sampled, v_sparse / sampled);
+  }
+  std::printf("\nExpected shape (Finding 12): roughly half the vertices "
+              "show SCE for E/H; vertex-induced SCE is small and entirely "
+              "cluster-driven; the cluster share shrinks as patterns "
+              "grow.\n");
+  return 0;
+}

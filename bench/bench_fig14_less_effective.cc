@@ -1,0 +1,106 @@
+// Fig. 14: less effective scenarios — (a) symmetry breaking's benefit
+// on small patterns vs its plan-cost explosion on larger ones (DIP,
+// edge-induced); (b) throughput vs pattern density.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "gen/datasets.h"
+#include "graph/graph_builder.h"
+#include "plan/symmetry.h"
+
+int main() {
+  using namespace csce;
+  using bench::AlgoOutcome;
+  using bench::Runners;
+
+  Graph dip = datasets::Dip();
+  Runners runners(&dip);
+  const MatchVariant kV = MatchVariant::kEdgeInduced;
+
+  // Symmetric patterns are where symmetry breaking can help — and
+  // where enumerating the automorphism group explodes (|Aut(K_n)|=n!).
+  std::printf("Fig. 14(a) analogue: symmetry breaking on DIP with "
+              "homogeneous symmetric patterns (edge-induced, limit "
+              "%.1fs)\n\n",
+              bench::TimeLimit());
+  std::printf("%-12s %10s %12s %12s %12s %14s\n", "pattern", "|Aut|",
+              "CSCE(s)", "GraphPi(s)", "BT-FSP(s)", "sym plan(s)");
+  struct Symmetric {
+    const char* name;
+    Graph pattern;
+  };
+  auto clique = [](uint32_t n) {
+    GraphBuilder b(false);
+    b.AddVertices(n, kNoLabel);
+    for (VertexId a = 0; a < n; ++a) {
+      for (VertexId c = a + 1; c < n; ++c) b.AddEdge(a, c);
+    }
+    Graph g;
+    CSCE_CHECK(b.Build(&g).ok());
+    return g;
+  };
+  auto cycle = [](uint32_t n) {
+    GraphBuilder b(false);
+    b.AddVertices(n, kNoLabel);
+    for (VertexId v = 0; v < n; ++v) b.AddEdge(v, (v + 1) % n);
+    Graph g;
+    CSCE_CHECK(b.Build(&g).ok());
+    return g;
+  };
+  std::vector<Symmetric> symmetric;
+  symmetric.push_back({"cycle-4", cycle(4)});
+  symmetric.push_back({"cycle-5", cycle(5)});
+  symmetric.push_back({"clique-3", clique(3)});
+  symmetric.push_back({"clique-4", clique(4)});
+  symmetric.push_back({"clique-5", clique(5)});
+  symmetric.push_back({"clique-8", clique(8)});
+  symmetric.push_back({"clique-9", clique(9)});
+  symmetric.push_back({"clique-10", clique(10)});
+  for (const Symmetric& s : symmetric) {
+    SymmetryInfo info = ComputeSymmetryBreaking(s.pattern);
+    std::printf("%-12s %10llu %12.4f %12.4f %12.4f %14.4f\n", s.name,
+                static_cast<unsigned long long>(info.automorphism_count),
+                runners.Csce(s.pattern, kV).total_seconds,
+                runners.GraphPi(s.pattern, kV).total_seconds,
+                runners.BtFsp(s.pattern, kV).total_seconds,
+                info.generation_seconds);
+  }
+  std::printf("\nExpected shape (Finding 2): the symmetry plan cost "
+              "explodes beyond ~8 unlabeled vertices while its benefit "
+              "stays marginal.\n");
+
+  std::printf("\nFig. 14(b) analogue: throughput vs pattern density on DIP "
+              "(edge-induced)\n\n");
+  std::printf("%-6s %-8s %16s %16s\n", "size", "density", "CSCE emb/s",
+              "BT-FSP emb/s");
+  for (uint32_t size : {8u, 12u, 16u, 20u}) {
+    for (auto density : {PatternDensity::kSparse, PatternDensity::kDense}) {
+      std::vector<Graph> patterns;
+      Status st = SamplePatterns(dip, size, density,
+                                 bench::PatternsPerConfig(), size * 11 + 1,
+                                 &patterns);
+      if (!st.ok()) continue;
+      double csce_time = 0;
+      double bt_time = 0;
+      uint64_t csce_emb = 0;
+      uint64_t bt_emb = 0;
+      for (const Graph& p : patterns) {
+        AlgoOutcome c = runners.Csce(p, kV);
+        AlgoOutcome b = runners.BtFsp(p, kV);
+        csce_time += c.total_seconds;
+        csce_emb += c.embeddings;
+        bt_time += b.total_seconds;
+        bt_emb += b.embeddings;
+      }
+      std::printf("%-6u %-8s %16.0f %16.0f\n", size,
+                  density == PatternDensity::kDense ? "dense" : "sparse",
+                  csce_time > 0 ? csce_emb / csce_time : 0.0,
+                  bt_time > 0 ? bt_emb / bt_time : 0.0);
+    }
+  }
+  std::printf("\nExpected shape: throughput drops on denser patterns for "
+              "every method, CSCE stays ahead.\n");
+  return 0;
+}

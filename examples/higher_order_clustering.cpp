@@ -1,0 +1,62 @@
+// Higher-order graph clustering (the paper's Section VII-G case study):
+// cluster an EMAIL-EU-like communication network into departments,
+// comparing plain edge-based label propagation against propagation on a
+// graph whose edges are weighted by k-clique co-membership — the
+// weights come from CSCE's clique enumeration.
+//
+//   ./higher_order_clustering [clique_size]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "csce/csce.h"
+
+using namespace csce;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  uint32_t clique_size = 8;
+  if (argc > 1) clique_size = static_cast<uint32_t>(std::atoi(argv[1]));
+
+  std::vector<uint32_t> departments;
+  Graph email = datasets::EmailEu(&departments);
+  std::printf("%s\n%s\n\n", StatsHeader().c_str(),
+              FormatStatsRow("EMAIL-EU-like", ComputeStats(email)).c_str());
+
+  ClusteringResult edge_result;
+  if (Status st = EdgeClustering(email, /*seed=*/7, &edge_result); !st.ok()) {
+    std::fprintf(stderr, "edge clustering failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  PairScores edge_scores = PairCountingF1(edge_result.assignment, departments);
+
+  ClusteringResult motif_result;
+  if (Status st = HigherOrderClustering(email, clique_size, /*seed=*/7,
+                                        /*max_instances=*/5'000'000,
+                                        &motif_result);
+      !st.ok()) {
+    std::fprintf(stderr, "higher-order clustering failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  PairScores motif_scores =
+      PairCountingF1(motif_result.assignment, departments);
+
+  std::printf("%-22s %8s %8s %8s %10s %12s\n", "method", "prec", "recall",
+              "F1", "clusters", "motif time");
+  std::printf("%-22s %8.3f %8.3f %8.3f %10u %12s\n", "edge-based",
+              edge_scores.precision, edge_scores.recall, edge_scores.f1,
+              edge_result.num_clusters, "-");
+  char motif_name[32];
+  std::snprintf(motif_name, sizeof(motif_name), "%u-clique weighted",
+                clique_size);
+  std::printf("%-22s %8.3f %8.3f %8.3f %10u %11.3fs\n", motif_name,
+              motif_scores.precision, motif_scores.recall, motif_scores.f1,
+              motif_result.num_clusters, motif_result.motif_seconds);
+  std::printf("\n%llu %u-clique instances found in %.3fs\n",
+              static_cast<unsigned long long>(motif_result.motif_instances),
+              clique_size, motif_result.motif_seconds);
+  std::printf("paper reference (real EMAIL-EU): edge F1 0.398 -> 8-clique "
+              "F1 0.515, motif search 11.57s -> 0.39s with CSCE\n");
+  return 0;
+}

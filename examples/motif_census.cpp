@@ -1,0 +1,80 @@
+// Motif census: count every connected 4-vertex graphlet (path, star,
+// cycle, tailed triangle, diamond, clique) in a PPI network — the
+// "higher-order organization" workload of Benson et al. that motivates
+// the paper. Each motif is enumerated once per instance using symmetry
+// restrictions, then reported with its per-instance count.
+//
+//   ./motif_census
+
+#include <cstdio>
+
+#include "csce/csce.h"
+
+using namespace csce;  // NOLINT: example brevity
+
+namespace {
+
+Graph MakeGraphlet(std::initializer_list<std::pair<int, int>> edges) {
+  GraphBuilder b(/*directed=*/false);
+  b.AddVertices(4, kNoLabel);
+  for (auto [x, y] : edges) b.AddEdge(x, y);
+  Graph g;
+  Status st = b.Build(&g);
+  CSCE_CHECK(st.ok());
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  Graph ppi = datasets::Yeast();
+  std::printf("%s\n%s\n\n", StatsHeader().c_str(),
+              FormatStatsRow("Yeast-like PPI", ComputeStats(ppi)).c_str());
+
+  // Yeast is labeled; a census counts structure only, so strip labels.
+  GraphBuilder unlabeled(/*directed=*/false);
+  unlabeled.AddVertices(ppi.NumVertices(), kNoLabel);
+  ppi.ForEachEdge(
+      [&unlabeled](const Edge& e) { unlabeled.AddEdge(e.src, e.dst); });
+  Graph g;
+  CSCE_CHECK(unlabeled.Build(&g).ok());
+
+  struct Motif {
+    const char* name;
+    Graph pattern;
+  };
+  Motif motifs[] = {
+      {"path-4", MakeGraphlet({{0, 1}, {1, 2}, {2, 3}})},
+      {"star-4", MakeGraphlet({{0, 1}, {0, 2}, {0, 3}})},
+      {"cycle-4", MakeGraphlet({{0, 1}, {1, 2}, {2, 3}, {3, 0}})},
+      {"tailed-tri", MakeGraphlet({{0, 1}, {1, 2}, {2, 0}, {0, 3}})},
+      {"diamond", MakeGraphlet({{0, 1}, {1, 2}, {2, 0}, {0, 3}, {1, 3}})},
+      {"clique-4", MakeGraphlet({{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3},
+                                 {2, 3}})},
+  };
+
+  Ccsr index = Ccsr::Build(g);
+  CsceMatcher matcher(&index);
+  std::printf("%-12s %8s %16s %12s %14s\n", "motif", "|Aut|", "instances",
+              "time(ms)", "emb/instance");
+  for (Motif& m : motifs) {
+    SymmetryInfo symmetry = ComputeSymmetryBreaking(m.pattern);
+    MatchOptions options;
+    options.variant = MatchVariant::kEdgeInduced;
+    options.restrictions = symmetry.restrictions;  // one per instance
+    MatchResult result;
+    Status st = matcher.Match(m.pattern, options, &result);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", m.name, st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%-12s %8llu %16llu %12.2f %14llu\n", m.name,
+                static_cast<unsigned long long>(symmetry.automorphism_count),
+                static_cast<unsigned long long>(result.embeddings),
+                result.total_seconds * 1e3,
+                static_cast<unsigned long long>(symmetry.automorphism_count));
+  }
+  std::printf("\n(instances are automorphism classes; multiply by |Aut| "
+              "for raw embedding counts)\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Protein-complex search: the paper's motivating workload (Section I).
+// DPCMNE-style complexes are large subgraphs (8+ vertices); this
+// example samples complex-shaped patterns from a DIP-like
+// protein-protein interaction network and finds every occurrence,
+// comparing CSCE against the backtracking baseline.
+//
+//   ./protein_complexes [max_pattern_size]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "csce/csce.h"
+
+using namespace csce;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  uint32_t max_size = 16;
+  if (argc > 1) max_size = static_cast<uint32_t>(std::atoi(argv[1]));
+
+  Graph ppi = datasets::Dip();
+  GraphStats stats = ComputeStats(ppi);
+  std::printf("%s\n%s\n", StatsHeader().c_str(),
+              FormatStatsRow("DIP-like PPI", stats).c_str());
+
+  Ccsr index = Ccsr::Build(ppi);
+  CsceMatcher csce(&index);
+  BacktrackingMatcher baseline(&ppi);
+
+  std::printf("\n%8s %8s %14s %12s %12s %10s\n", "size", "edges",
+              "embeddings", "csce(s)", "baseline(s)", "speedup");
+  for (uint32_t size = 8; size <= max_size; size += 4) {
+    for (int variant_id = 0; variant_id < 2; ++variant_id) {
+      // Complex-shaped patterns: dense connected regions, the shape of
+      // MIPS/DPCMNE protein complexes.
+      Rng rng(size * 100 + variant_id);
+      Graph complex_pattern;
+      Status st = SampleDensePattern(ppi, size, /*min_avg_degree=*/3.0, rng,
+                                     &complex_pattern);
+      if (!st.ok()) {
+        std::fprintf(stderr, "sampling failed: %s\n", st.ToString().c_str());
+        continue;
+      }
+
+      MatchOptions options;
+      options.variant = MatchVariant::kEdgeInduced;
+      options.time_limit_seconds = 20;
+      MatchResult ours;
+      if (st = csce.Match(complex_pattern, options, &ours); !st.ok()) {
+        std::fprintf(stderr, "csce failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+
+      BaselineOptions bopts;
+      bopts.variant = MatchVariant::kEdgeInduced;
+      bopts.time_limit_seconds = 20;
+      BaselineResult theirs;
+      if (st = baseline.Match(complex_pattern, bopts, &theirs); !st.ok()) {
+        std::fprintf(stderr, "baseline failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+
+      std::printf("%8u %8llu %14llu %12.4f %12.4f %9.1fx%s\n", size,
+                  static_cast<unsigned long long>(complex_pattern.NumEdges()),
+                  static_cast<unsigned long long>(ours.embeddings),
+                  ours.total_seconds, theirs.total_seconds,
+                  ours.total_seconds > 0
+                      ? theirs.total_seconds / ours.total_seconds
+                      : 0.0,
+                  ours.timed_out || theirs.timed_out ? "  (timeout)" : "");
+      if (!ours.timed_out && !theirs.timed_out &&
+          ours.embeddings != theirs.embeddings) {
+        std::fprintf(stderr, "COUNT MISMATCH: %llu vs %llu\n",
+                     static_cast<unsigned long long>(ours.embeddings),
+                     static_cast<unsigned long long>(theirs.embeddings));
+        return 1;
+      }
+    }
+  }
+  return 0;
+}

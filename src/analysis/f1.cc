@@ -1,0 +1,36 @@
+#include "analysis/f1.h"
+
+#include "util/logging.h"
+
+namespace csce {
+
+PairScores PairCountingF1(const std::vector<uint32_t>& predicted,
+                          const std::vector<uint32_t>& truth) {
+  CSCE_CHECK(predicted.size() == truth.size());
+  const size_t n = predicted.size();
+  uint64_t tp = 0;
+  uint64_t fp = 0;
+  uint64_t fn = 0;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      bool same_pred = predicted[a] == predicted[b];
+      bool same_true = truth[a] == truth[b];
+      if (same_pred && same_true) {
+        ++tp;
+      } else if (same_pred) {
+        ++fp;
+      } else if (same_true) {
+        ++fn;
+      }
+    }
+  }
+  PairScores s;
+  if (tp + fp > 0) s.precision = static_cast<double>(tp) / (tp + fp);
+  if (tp + fn > 0) s.recall = static_cast<double>(tp) / (tp + fn);
+  if (s.precision + s.recall > 0) {
+    s.f1 = 2 * s.precision * s.recall / (s.precision + s.recall);
+  }
+  return s;
+}
+
+}  // namespace csce

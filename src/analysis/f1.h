@@ -1,0 +1,22 @@
+#ifndef CSCE_ANALYSIS_F1_H_
+#define CSCE_ANALYSIS_F1_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace csce {
+
+/// Pair-counting precision/recall/F1 of a clustering against ground
+/// truth: a vertex pair is positive when both vertices share a cluster.
+struct PairScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+PairScores PairCountingF1(const std::vector<uint32_t>& predicted,
+                          const std::vector<uint32_t>& truth);
+
+}  // namespace csce
+
+#endif  // CSCE_ANALYSIS_F1_H_

@@ -1,0 +1,61 @@
+#include "analysis/motif_adjacency.h"
+
+#include "ccsr/ccsr.h"
+#include "engine/matcher.h"
+#include "plan/symmetry.h"
+#include "util/timer.h"
+
+namespace csce {
+
+std::vector<std::vector<std::pair<VertexId, double>>>
+MotifAdjacency::ToAdjacency(uint32_t num_vertices) const {
+  std::vector<std::vector<std::pair<VertexId, double>>> adj(num_vertices);
+  for (const auto& [key, w] : weights_) {
+    VertexId a = static_cast<VertexId>(key >> 32);
+    VertexId b = static_cast<VertexId>(key & 0xFFFFFFFFu);
+    adj[a].emplace_back(b, w);
+    adj[b].emplace_back(a, w);
+  }
+  return adj;
+}
+
+Status BuildMotifAdjacency(const Graph& g, const Graph& motif,
+                           uint64_t max_instances, MotifAdjacency* out) {
+  if (g.directed() || motif.directed()) {
+    return Status::NotSupported(
+        "motif adjacency is defined for undirected graphs");
+  }
+  if (motif.NumVertices() < 2) {
+    return Status::InvalidArgument("motif needs at least 2 vertices");
+  }
+  *out = MotifAdjacency();
+  WallTimer timer;
+
+  Ccsr gc = Ccsr::Build(g);
+  CsceMatcher matcher(&gc);
+  MatchOptions options;
+  options.variant = MatchVariant::kEdgeInduced;
+  options.max_embeddings = max_instances;
+  // One embedding per automorphism class.
+  SymmetryInfo symmetry = ComputeSymmetryBreaking(motif);
+  options.restrictions = symmetry.restrictions;
+
+  const uint32_t k = motif.NumVertices();
+  MatchResult result;
+  CSCE_RETURN_IF_ERROR(matcher.MatchWithCallback(
+      motif, options,
+      [out, k](std::span<const VertexId> mapping) {
+        for (uint32_t a = 0; a < k; ++a) {
+          for (uint32_t b = a + 1; b < k; ++b) {
+            out->weights_[MotifAdjacency::Key(mapping[a], mapping[b])] += 1.0;
+          }
+        }
+        return true;
+      },
+      &result));
+  out->instances_ = result.embeddings;
+  out->build_seconds_ = timer.Seconds();
+  return Status::OK();
+}
+
+}  // namespace csce

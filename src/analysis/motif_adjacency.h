@@ -1,0 +1,56 @@
+#ifndef CSCE_ANALYSIS_MOTIF_ADJACENCY_H_
+#define CSCE_ANALYSIS_MOTIF_ADJACENCY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace csce {
+
+/// The motif co-occurrence ("motif adjacency") matrix of Benson et
+/// al., which the paper's introduction calls G_P: W(a, b) counts the
+/// motif instances containing both data vertices a and b. Each motif
+/// instance (automorphism class) is counted once — the enumeration uses
+/// CSCE with symmetry-breaking restrictions derived from the motif.
+class MotifAdjacency {
+ public:
+  double Weight(VertexId a, VertexId b) const {
+    auto it = weights_.find(Key(a, b));
+    return it == weights_.end() ? 0.0 : it->second;
+  }
+
+  /// Weighted adjacency lists over `num_vertices` vertices (symmetric).
+  std::vector<std::vector<std::pair<VertexId, double>>> ToAdjacency(
+      uint32_t num_vertices) const;
+
+  uint64_t instances() const { return instances_; }
+  double build_seconds() const { return build_seconds_; }
+  size_t NumWeightedPairs() const { return weights_.size(); }
+
+ private:
+  friend Status BuildMotifAdjacency(const Graph&, const Graph&, uint64_t,
+                                    MotifAdjacency*);
+
+  static uint64_t Key(VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  std::unordered_map<uint64_t, double> weights_;
+  uint64_t instances_ = 0;
+  double build_seconds_ = 0.0;
+};
+
+/// Builds the motif adjacency of `motif` instances in `g`
+/// (edge-induced). `max_instances` caps the enumeration (0 = all).
+/// The motif must be undirected and connected, like `g`.
+Status BuildMotifAdjacency(const Graph& g, const Graph& motif,
+                           uint64_t max_instances, MotifAdjacency* out);
+
+}  // namespace csce
+
+#endif  // CSCE_ANALYSIS_MOTIF_ADJACENCY_H_

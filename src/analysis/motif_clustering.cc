@@ -1,0 +1,124 @@
+#include "analysis/motif_clustering.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/motif_adjacency.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace csce {
+namespace {
+
+// Weighted label propagation: every vertex repeatedly adopts the label
+// with the largest incident weight until a fixed point (or the sweep
+// cap). Deterministic given the seed.
+std::vector<uint32_t> LabelPropagation(
+    uint32_t num_vertices,
+    const std::vector<std::vector<std::pair<VertexId, double>>>& adj,
+    uint64_t seed) {
+  std::vector<uint32_t> label(num_vertices);
+  for (uint32_t v = 0; v < num_vertices; ++v) label[v] = v;
+
+  Rng rng(seed);
+  std::vector<VertexId> visit_order(num_vertices);
+  for (uint32_t v = 0; v < num_vertices; ++v) visit_order[v] = v;
+  for (size_t i = num_vertices; i > 1; --i) {
+    std::swap(visit_order[i - 1], visit_order[rng.Uniform(i)]);
+  }
+
+  std::unordered_map<uint32_t, double> tally;
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    bool changed = false;
+    for (VertexId v : visit_order) {
+      if (adj[v].empty()) continue;
+      tally.clear();
+      for (const auto& [w, weight] : adj[v]) tally[label[w]] += weight;
+      uint32_t best_label = label[v];
+      double best_weight = -1.0;
+      for (const auto& [l, weight] : tally) {
+        if (weight > best_weight ||
+            (weight == best_weight && l < best_label)) {
+          best_label = l;
+          best_weight = weight;
+        }
+      }
+      if (best_label != label[v]) {
+        label[v] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Densify cluster ids.
+  std::unordered_map<uint32_t, uint32_t> remap;
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    auto [it, inserted] =
+        remap.emplace(label[v], static_cast<uint32_t>(remap.size()));
+    label[v] = it->second;
+  }
+  return label;
+}
+
+}  // namespace
+
+Status HigherOrderClustering(const Graph& g, uint32_t clique_size,
+                             uint64_t seed, uint64_t max_instances,
+                             ClusteringResult* out) {
+  if (g.directed()) {
+    return Status::NotSupported("clique motifs need an undirected graph");
+  }
+  if (clique_size < 2) {
+    return Status::InvalidArgument("clique size must be >= 2");
+  }
+  *out = ClusteringResult{};
+
+  // The k-clique pattern, unlabeled.
+  GraphBuilder builder(/*directed=*/false);
+  builder.AddVertices(clique_size, kNoLabel);
+  for (VertexId a = 0; a < clique_size; ++a) {
+    for (VertexId b = a + 1; b < clique_size; ++b) builder.AddEdge(a, b);
+  }
+  Graph clique;
+  CSCE_RETURN_IF_ERROR(builder.Build(&clique));
+
+  MotifAdjacency motif_adjacency;
+  CSCE_RETURN_IF_ERROR(
+      BuildMotifAdjacency(g, clique, max_instances, &motif_adjacency));
+  out->motif_instances = motif_adjacency.instances();
+  out->motif_seconds = motif_adjacency.build_seconds();
+
+  WallTimer cluster_timer;
+  auto adj = motif_adjacency.ToAdjacency(g.NumVertices());
+  out->assignment = LabelPropagation(g.NumVertices(), adj, seed);
+  out->num_clusters =
+      out->assignment.empty()
+          ? 0
+          : *std::max_element(out->assignment.begin(), out->assignment.end()) +
+                1;
+  out->cluster_seconds = cluster_timer.Seconds();
+  return Status::OK();
+}
+
+Status EdgeClustering(const Graph& g, uint64_t seed, ClusteringResult* out) {
+  *out = ClusteringResult{};
+  WallTimer cluster_timer;
+  std::vector<std::vector<std::pair<VertexId, double>>> adj(g.NumVertices());
+  g.ForEachEdge([&adj](const Edge& e) {
+    adj[e.src].emplace_back(e.dst, 1.0);
+    adj[e.dst].emplace_back(e.src, 1.0);
+  });
+  out->assignment = LabelPropagation(g.NumVertices(), adj, seed);
+  out->num_clusters =
+      out->assignment.empty()
+          ? 0
+          : *std::max_element(out->assignment.begin(), out->assignment.end()) +
+                1;
+  out->cluster_seconds = cluster_timer.Seconds();
+  return Status::OK();
+}
+
+}  // namespace csce

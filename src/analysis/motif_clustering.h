@@ -1,0 +1,37 @@
+#ifndef CSCE_ANALYSIS_MOTIF_CLUSTERING_H_
+#define CSCE_ANALYSIS_MOTIF_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace csce {
+
+/// Result of one clustering run (paper Section VII-G case study).
+struct ClusteringResult {
+  std::vector<uint32_t> assignment;  // vertex -> cluster id
+  uint32_t num_clusters = 0;
+  double motif_seconds = 0.0;    // time spent finding motif instances
+  double cluster_seconds = 0.0;  // label propagation time
+  uint64_t motif_instances = 0;  // k-cliques counted (0 for edge-based)
+};
+
+/// Higher-order graph clustering: weights every edge by the number of
+/// `clique_size`-clique embeddings (found with the CSCE engine) that
+/// contain both endpoints, then runs weighted label propagation. This
+/// is the G_P construction of Benson et al. applied with large motifs,
+/// which is exactly the workload the paper's case study accelerates.
+///
+/// `max_instances` caps the clique enumeration (0 = all).
+Status HigherOrderClustering(const Graph& g, uint32_t clique_size,
+                             uint64_t seed, uint64_t max_instances,
+                             ClusteringResult* out);
+
+/// Baseline: label propagation on raw (unit-weight) edges.
+Status EdgeClustering(const Graph& g, uint64_t seed, ClusteringResult* out);
+
+}  // namespace csce
+
+#endif  // CSCE_ANALYSIS_MOTIF_CLUSTERING_H_

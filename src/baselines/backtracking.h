@@ -1,0 +1,39 @@
+#ifndef CSCE_BASELINES_BACKTRACKING_H_
+#define CSCE_BASELINES_BACKTRACKING_H_
+
+#include <utility>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "graph/graph.h"
+
+namespace csce {
+
+/// The DAF/VEQ/GuP-family baseline: backtracking over the plain
+/// adjacency-list graph with label-and-degree filtering (LDF),
+/// neighborhood-label-frequency filtering (NLF), an RI (GCF) matching
+/// order without data statistics, and optional failing-set pruning
+/// (edge-induced only, like the originals). Supports all three SM
+/// variants.
+class BacktrackingMatcher {
+ public:
+  /// `data` must outlive the matcher.
+  explicit BacktrackingMatcher(const Graph* data) : data_(data) {}
+
+  Status Match(const Graph& pattern, const BaselineOptions& options,
+               BaselineResult* result) const;
+
+  /// As Match, additionally enforcing f(first) < f(second) symmetry
+  /// restrictions (used by the GraphPi-like configuration).
+  Status MatchWithRestrictions(
+      const Graph& pattern, const BaselineOptions& options,
+      const std::vector<std::pair<VertexId, VertexId>>& restrictions,
+      BaselineResult* result) const;
+
+ private:
+  const Graph* data_;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_BASELINES_BACKTRACKING_H_

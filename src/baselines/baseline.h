@@ -1,0 +1,40 @@
+#ifndef CSCE_BASELINES_BASELINE_H_
+#define CSCE_BASELINES_BASELINE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/variant.h"
+#include "util/status.h"
+
+namespace csce {
+
+/// Options shared by the reimplemented comparison algorithms. These
+/// matchers operate directly on the adjacency-list Graph (the "existing
+/// data structure" of the paper's Fig. 3), not on CCSR.
+struct BaselineOptions {
+  MatchVariant variant = MatchVariant::kEdgeInduced;
+  uint64_t max_embeddings = 0;       // 0 = find all
+  double time_limit_seconds = 0.0;   // 0 = no limit
+
+  /// Backtracking matcher: neighborhood-label-frequency filtering on
+  /// top of label-and-degree filtering.
+  bool use_nlf = true;
+  /// Backtracking matcher, edge-induced only: DAF/VEQ-style failing-set
+  /// pruning.
+  bool use_fsp = false;
+};
+
+struct BaselineResult {
+  uint64_t embeddings = 0;
+  bool timed_out = false;
+  bool limit_reached = false;
+  double plan_seconds = 0.0;       // ordering / filtering / relations
+  double enumerate_seconds = 0.0;
+  double total_seconds = 0.0;
+  uint64_t search_nodes = 0;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_BASELINES_BASELINE_H_

@@ -1,0 +1,11 @@
+#include "baselines/fsp.h"
+
+namespace csce {
+
+void FailingSet::CopyFrom(const FailingSet& other) {
+  full_ = other.full_;
+  bits_.Reset();
+  bits_.OrWith(other.bits_);
+}
+
+}  // namespace csce

@@ -1,0 +1,52 @@
+#ifndef CSCE_BASELINES_FSP_H_
+#define CSCE_BASELINES_FSP_H_
+
+#include <cstdint>
+
+#include "util/bitset.h"
+
+namespace csce {
+
+/// A failing set over matching-order positions (DAF's failing-set
+/// pruning, reimplemented for the baseline backtracking matcher). The
+/// distinguished "full" value marks subtrees that contained an
+/// embedding: it disables pruning in every ancestor.
+class FailingSet {
+ public:
+  explicit FailingSet(uint32_t n) : bits_(n) {}
+
+  void Clear() {
+    bits_.Reset();
+    full_ = false;
+  }
+
+  void MarkFull() { full_ = true; }
+  bool full() const { return full_; }
+
+  void Add(uint32_t pos) { bits_.Set(pos); }
+
+  void UnionWith(const FailingSet& other) {
+    if (other.full_) {
+      full_ = true;
+      return;
+    }
+    bits_.OrWith(other.bits_);
+  }
+
+  void CopyFrom(const FailingSet& other);
+
+  bool Contains(uint32_t pos) const { return full_ || bits_.Test(pos); }
+
+  /// The DAF pruning condition: a child subtree failed for reasons not
+  /// involving this position, so the remaining sibling candidates at
+  /// this position are doomed too.
+  bool AllowsPruneAt(uint32_t pos) const { return !full_ && !bits_.Test(pos); }
+
+ private:
+  DynamicBitset bits_;
+  bool full_ = false;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_BASELINES_FSP_H_

@@ -1,0 +1,35 @@
+#include "baselines/graphpi_like.h"
+
+#include "baselines/backtracking.h"
+#include "plan/symmetry.h"
+#include "util/timer.h"
+
+namespace csce {
+
+Status GraphPiLikeMatcher::Match(const Graph& pattern,
+                                 const BaselineOptions& options,
+                                 BaselineResult* result) const {
+  if (options.variant != MatchVariant::kEdgeInduced) {
+    return Status::NotSupported(
+        "symmetry-breaking enumeration is edge-induced only");
+  }
+  WallTimer total;
+  SymmetryInfo symmetry = ComputeSymmetryBreaking(pattern);
+
+  BaselineOptions inner = options;
+  inner.use_fsp = false;  // GraphPi relies on symmetry, not failing sets
+  if (inner.time_limit_seconds > 0) {
+    // The remaining budget after (possibly expensive) plan generation.
+    double left = inner.time_limit_seconds - symmetry.generation_seconds;
+    inner.time_limit_seconds = left > 0.001 ? left : 0.001;
+  }
+  BacktrackingMatcher bt(data_);
+  CSCE_RETURN_IF_ERROR(bt.MatchWithRestrictions(
+      pattern, inner, symmetry.restrictions, result));
+  result->embeddings *= symmetry.automorphism_count;
+  result->plan_seconds += symmetry.generation_seconds;
+  result->total_seconds = total.Seconds();
+  return Status::OK();
+}
+
+}  // namespace csce

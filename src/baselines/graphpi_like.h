@@ -1,0 +1,31 @@
+#ifndef CSCE_BASELINES_GRAPHPI_LIKE_H_
+#define CSCE_BASELINES_GRAPHPI_LIKE_H_
+
+#include "baselines/baseline.h"
+#include "graph/graph.h"
+
+namespace csce {
+
+/// The GraphPi/GraphZero-family baseline: symmetry-breaking
+/// enumeration. Plan generation enumerates the pattern's automorphism
+/// group and derives f(a) < f(b) restrictions; execution finds one
+/// canonical embedding per automorphism class and multiplies by the
+/// group size (the paper does the same when comparing counts).
+///
+/// The automorphism enumeration is the scalability cliff on large
+/// unlabeled patterns — the paper's Finding 2 — and it lands in
+/// `plan_seconds`. Edge-induced only, like the original.
+class GraphPiLikeMatcher {
+ public:
+  explicit GraphPiLikeMatcher(const Graph* data) : data_(data) {}
+
+  Status Match(const Graph& pattern, const BaselineOptions& options,
+               BaselineResult* result) const;
+
+ private:
+  const Graph* data_;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_BASELINES_GRAPHPI_LIKE_H_

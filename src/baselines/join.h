@@ -1,0 +1,31 @@
+#ifndef CSCE_BASELINES_JOIN_H_
+#define CSCE_BASELINES_JOIN_H_
+
+#include "baselines/baseline.h"
+#include "graph/graph.h"
+
+namespace csce {
+
+/// The RapidMatch/Graphflow-family baseline: a pipelined worst-case
+/// optimal join over per-query edge relations. For every pattern edge
+/// it materializes the relation of matching data arcs (hash-indexed,
+/// sorted adjacency) — the per-query analogue of CCSR clustering, paid
+/// on every task — then grows embeddings one vertex at a time by
+/// intersecting relation adjacency lists. No SCE, no candidate reuse.
+///
+/// Supports edge-induced and homomorphic matching (as the originals
+/// do); vertex-induced returns NotSupported.
+class JoinMatcher {
+ public:
+  explicit JoinMatcher(const Graph* data) : data_(data) {}
+
+  Status Match(const Graph& pattern, const BaselineOptions& options,
+               BaselineResult* result) const;
+
+ private:
+  const Graph* data_;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_BASELINES_JOIN_H_

@@ -1,0 +1,32 @@
+#ifndef CSCE_BASELINES_VF2_H_
+#define CSCE_BASELINES_VF2_H_
+
+#include "baselines/baseline.h"
+#include "graph/graph.h"
+
+namespace csce {
+
+/// The VF2/VF3-family baseline: state-space search with per-query data
+/// graph preprocessing (neighbor label-count tables, VF3's "index") and
+/// degree/label look-ahead feasibility rules. Supports the
+/// vertex-induced (VF3's native problem) and edge-induced variants on
+/// directed and undirected labeled graphs; homomorphic returns
+/// NotSupported, like the originals.
+///
+/// The preprocessing is what makes this family strong on small dense
+/// graphs and what fails to scale to graphs of millions of vertices
+/// (paper Finding 4 discussion).
+class Vf2Matcher {
+ public:
+  explicit Vf2Matcher(const Graph* data) : data_(data) {}
+
+  Status Match(const Graph& pattern, const BaselineOptions& options,
+               BaselineResult* result) const;
+
+ private:
+  const Graph* data_;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_BASELINES_VF2_H_

@@ -1,0 +1,389 @@
+#include "ccsr/ccsr.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "ccsr/cluster_cache.h"
+
+#include "util/logging.h"
+
+namespace csce {
+namespace {
+
+uint64_t LabelPairKey(Label a, Label b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// Builds the compressed one-direction CSR of a cluster from arcs sorted
+// by (src, dst).
+void BuildCompressedDirection(uint32_t num_vertices,
+                              std::span<const Edge> sorted_arcs,
+                              CompressedRowIndex* rows,
+                              std::vector<VertexId>* cols) {
+  std::vector<uint64_t> row(num_vertices + 1, 0);
+  cols->resize(sorted_arcs.size());
+  for (size_t i = 0; i < sorted_arcs.size(); ++i) {
+    ++row[sorted_arcs[i].src + 1];
+    (*cols)[i] = sorted_arcs[i].dst;
+  }
+  for (uint32_t v = 0; v < num_vertices; ++v) row[v + 1] += row[v];
+  *rows = CompressedRowIndex::Compress(row);
+}
+
+// Is the unordered pattern pair {a,b} fully connected, i.e. does no
+// negation constraint exist between them? For undirected patterns that
+// means the edge exists; for directed, both arc directions exist.
+bool FullyConnected(const Graph& pattern, VertexId a, VertexId b) {
+  if (!pattern.directed()) return pattern.HasEdge(a, b);
+  return pattern.HasEdge(a, b) && pattern.HasEdge(b, a);
+}
+
+}  // namespace
+
+Ccsr Ccsr::Build(const Graph& g) {
+  Ccsr out;
+  out.directed_ = g.directed();
+  out.num_edges_ = g.NumEdges();
+  out.vlabels_ = g.vertex_labels();
+
+  Label max_label = 0;
+  for (Label l : out.vlabels_) max_label = std::max(max_label, l);
+  out.vlabel_freq_.assign(out.vlabels_.empty() ? 0 : max_label + 1, 0);
+  for (Label l : out.vlabels_) ++out.vlabel_freq_[l];
+
+  out.out_degree_.resize(g.NumVertices());
+  if (g.directed()) out.in_degree_.resize(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out.out_degree_[v] = g.OutDegree(v);
+    if (g.directed()) out.in_degree_[v] = g.InDegree(v);
+  }
+
+  // Bucket arcs by cluster identifier. Each edge goes into exactly one
+  // cluster and is stored twice (both CSR directions / orientations).
+  std::unordered_map<ClusterId, std::vector<Edge>, ClusterIdHash> buckets;
+  g.ForEachEdge([&](const Edge& e) {
+    Label ls = g.VertexLabel(e.src);
+    Label ld = g.VertexLabel(e.dst);
+    if (g.directed()) {
+      buckets[ClusterId::Directed(ls, ld, e.elabel)].push_back(e);
+    } else {
+      auto& bucket = buckets[ClusterId::Undirected(ls, ld, e.elabel)];
+      bucket.push_back(e);
+      bucket.push_back(Edge{e.dst, e.src, e.elabel});
+    }
+  });
+
+  out.clusters_.reserve(buckets.size());
+  const uint32_t n = g.NumVertices();
+  for (auto& [id, arcs] : buckets) {
+    CompressedCluster cluster;
+    cluster.id = id;
+    cluster.num_edges = id.directed ? arcs.size() : arcs.size() / 2;
+    std::sort(arcs.begin(), arcs.end());
+    BuildCompressedDirection(n, arcs, &cluster.out_rows, &cluster.out_cols);
+    if (id.directed) {
+      // Incoming CSR: arcs keyed by destination.
+      std::vector<Edge> reversed(arcs.size());
+      for (size_t i = 0; i < arcs.size(); ++i) {
+        reversed[i] = Edge{arcs[i].dst, arcs[i].src, arcs[i].elabel};
+      }
+      std::sort(reversed.begin(), reversed.end());
+      BuildCompressedDirection(n, reversed, &cluster.in_rows,
+                               &cluster.in_cols);
+    }
+    out.clusters_.push_back(std::move(cluster));
+  }
+
+  // Deterministic cluster order (unordered_map iteration is not).
+  std::sort(out.clusters_.begin(), out.clusters_.end(),
+            [](const CompressedCluster& a, const CompressedCluster& b) {
+              return a.id < b.id;
+            });
+  out.RebuildIndexes();
+  return out;
+}
+
+void Ccsr::RebuildIndexes() {
+  index_.clear();
+  star_index_.clear();
+  for (size_t i = 0; i < clusters_.size(); ++i) {
+    const ClusterId& id = clusters_[i].id;
+    index_.emplace(id, i);
+    star_index_[LabelPairKey(id.src_label, id.dst_label)].push_back(i);
+  }
+}
+
+const CompressedCluster* Ccsr::Find(const ClusterId& id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &clusters_[it->second];
+}
+
+std::vector<const CompressedCluster*> Ccsr::StarClusters(Label a,
+                                                         Label b) const {
+  std::vector<const CompressedCluster*> out;
+  auto it = star_index_.find(LabelPairKey(a, b));
+  if (it == star_index_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t i : it->second) out.push_back(&clusters_[i]);
+  return out;
+}
+
+namespace {
+
+// Reconstructs a cluster's arc list from its compressed outgoing CSR.
+std::vector<Edge> ArcsOf(const CompressedCluster& c) {
+  std::vector<Edge> arcs;
+  arcs.reserve(c.out_cols.size());
+  c.out_rows.ForEachNonEmptyRow([&](uint64_t src, uint64_t begin,
+                                    uint64_t end) {
+    for (uint64_t k = begin; k < end; ++k) {
+      arcs.push_back(Edge{static_cast<VertexId>(src), c.out_cols[k],
+                          c.id.elabel});
+    }
+  });
+  return arcs;
+}
+
+// Rebuilds a cluster's compressed CSR(s) from a sorted arc list.
+void RebuildCluster(uint32_t num_vertices, std::vector<Edge> arcs,
+                    CompressedCluster* c) {
+  c->num_edges = c->id.directed ? arcs.size() : arcs.size() / 2;
+  BuildCompressedDirection(num_vertices, arcs, &c->out_rows, &c->out_cols);
+  if (c->id.directed) {
+    std::vector<Edge> reversed(arcs.size());
+    for (size_t i = 0; i < arcs.size(); ++i) {
+      reversed[i] = Edge{arcs[i].dst, arcs[i].src, arcs[i].elabel};
+    }
+    std::sort(reversed.begin(), reversed.end());
+    BuildCompressedDirection(num_vertices, reversed, &c->in_rows,
+                             &c->in_cols);
+  }
+}
+
+}  // namespace
+
+Status Ccsr::InsertEdges(const std::vector<Edge>& edges) {
+  // Group new arcs by cluster.
+  std::unordered_map<ClusterId, std::vector<Edge>, ClusterIdHash> delta;
+  for (const Edge& e : edges) {
+    if (e.src >= NumVertices() || e.dst >= NumVertices()) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (e.src == e.dst) return Status::InvalidArgument("self-loop");
+    Label ls = vlabels_[e.src];
+    Label ld = vlabels_[e.dst];
+    if (directed_) {
+      delta[ClusterId::Directed(ls, ld, e.elabel)].push_back(e);
+    } else {
+      auto& bucket = delta[ClusterId::Undirected(ls, ld, e.elabel)];
+      bucket.push_back(e);
+      bucket.push_back(Edge{e.dst, e.src, e.elabel});
+    }
+  }
+
+  bool structure_changed = false;
+  for (auto& [id, new_arcs] : delta) {
+    std::vector<Edge> arcs;
+    CompressedCluster* cluster = nullptr;
+    auto it = index_.find(id);
+    if (it != index_.end()) {
+      cluster = &clusters_[it->second];
+      arcs = ArcsOf(*cluster);
+    }
+    std::sort(new_arcs.begin(), new_arcs.end());
+    new_arcs.erase(std::unique(new_arcs.begin(), new_arcs.end()),
+                   new_arcs.end());
+    size_t before = arcs.size();
+    std::vector<Edge> merged;
+    merged.reserve(arcs.size() + new_arcs.size());
+    std::set_union(arcs.begin(), arcs.end(), new_arcs.begin(),
+                   new_arcs.end(), std::back_inserter(merged));
+    if (merged.size() == before) continue;  // all duplicates
+
+    // Degree + edge-count accounting for the genuinely new arcs.
+    std::vector<Edge> added;
+    std::set_difference(merged.begin(), merged.end(), arcs.begin(),
+                        arcs.end(), std::back_inserter(added));
+    for (const Edge& a : added) {
+      ++out_degree_[a.src];
+      if (directed_) ++in_degree_[a.dst];
+    }
+    num_edges_ += id.directed ? added.size() : added.size() / 2;
+
+    if (cluster == nullptr) {
+      clusters_.push_back(CompressedCluster{});
+      cluster = &clusters_.back();
+      cluster->id = id;
+      structure_changed = true;
+    }
+    RebuildCluster(NumVertices(), std::move(merged), cluster);
+  }
+  if (structure_changed) {
+    std::sort(clusters_.begin(), clusters_.end(),
+              [](const CompressedCluster& a, const CompressedCluster& b) {
+                return a.id < b.id;
+              });
+  }
+  RebuildIndexes();
+  return Status::OK();
+}
+
+Status Ccsr::RemoveEdges(const std::vector<Edge>& edges) {
+  std::unordered_map<ClusterId, std::vector<Edge>, ClusterIdHash> delta;
+  for (const Edge& e : edges) {
+    if (e.src >= NumVertices() || e.dst >= NumVertices()) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    Label ls = vlabels_[e.src];
+    Label ld = vlabels_[e.dst];
+    if (directed_) {
+      delta[ClusterId::Directed(ls, ld, e.elabel)].push_back(e);
+    } else {
+      auto& bucket = delta[ClusterId::Undirected(ls, ld, e.elabel)];
+      bucket.push_back(e);
+      bucket.push_back(Edge{e.dst, e.src, e.elabel});
+    }
+  }
+
+  // Validate first so a failed call leaves the index untouched.
+  for (auto& [id, gone_arcs] : delta) {
+    std::sort(gone_arcs.begin(), gone_arcs.end());
+    gone_arcs.erase(std::unique(gone_arcs.begin(), gone_arcs.end()),
+                    gone_arcs.end());
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+      return Status::NotFound("no cluster " + id.ToString());
+    }
+    std::vector<Edge> arcs = ArcsOf(clusters_[it->second]);
+    if (!std::includes(arcs.begin(), arcs.end(), gone_arcs.begin(),
+                       gone_arcs.end())) {
+      return Status::NotFound("edge not present in " + id.ToString());
+    }
+  }
+
+  bool structure_changed = false;
+  for (const auto& [id, gone_arcs] : delta) {
+    size_t slot = index_.at(id);
+    std::vector<Edge> arcs = ArcsOf(clusters_[slot]);
+    std::vector<Edge> remaining;
+    remaining.reserve(arcs.size() - gone_arcs.size());
+    std::set_difference(arcs.begin(), arcs.end(), gone_arcs.begin(),
+                        gone_arcs.end(), std::back_inserter(remaining));
+    for (const Edge& a : gone_arcs) {
+      --out_degree_[a.src];
+      if (directed_) --in_degree_[a.dst];
+    }
+    num_edges_ -= id.directed ? gone_arcs.size() : gone_arcs.size() / 2;
+    if (remaining.empty()) {
+      clusters_.erase(clusters_.begin() + static_cast<ptrdiff_t>(slot));
+      structure_changed = true;
+      RebuildIndexes();  // slots shifted; refresh before the next lookup
+    } else {
+      RebuildCluster(NumVertices(), std::move(remaining), &clusters_[slot]);
+    }
+  }
+  if (structure_changed) {
+    std::sort(clusters_.begin(), clusters_.end(),
+              [](const CompressedCluster& a, const CompressedCluster& b) {
+                return a.id < b.id;
+              });
+  }
+  RebuildIndexes();
+  return Status::OK();
+}
+
+size_t Ccsr::CompressedSizeBytes() const {
+  size_t total = vlabels_.size() * sizeof(Label);
+  for (const CompressedCluster& c : clusters_) total += c.SizeBytes();
+  return total;
+}
+
+const ClusterView* QueryClusters::Find(const ClusterId& id) const {
+  auto it = views_.find(id);
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+const std::vector<const ClusterView*>& QueryClusters::Star(Label a,
+                                                           Label b) const {
+  static const std::vector<const ClusterView*> kEmpty;
+  auto it = star_.find(LabelPairKey(a, b));
+  return it == star_.end() ? kEmpty : it->second;
+}
+
+size_t QueryClusters::DecompressedBytes() const {
+  size_t total = 0;
+  for (const auto& [id, view] : views_) total += view->SizeBytes();
+  return total;
+}
+
+std::shared_ptr<const ClusterView> DecompressCluster(
+    const CompressedCluster& cluster) {
+  CsrIndex fwd = CsrIndex::FromCompressed(cluster.out_rows, cluster.out_cols);
+  CsrIndex bwd;
+  if (cluster.id.directed) {
+    bwd = CsrIndex::FromCompressed(cluster.in_rows, cluster.in_cols);
+  }
+  return std::make_shared<const ClusterView>(cluster.id, cluster.num_edges,
+                                             std::move(fwd), std::move(bwd));
+}
+
+Status ReadClustersImpl(const Ccsr& gc, const Graph& pattern,
+                        MatchVariant variant, ClusterCache* cache,
+                        QueryClusters* out) {
+  if (pattern.directed() != gc.directed()) {
+    return Status::InvalidArgument(
+        "pattern and data graph directedness differ");
+  }
+  // Obtains the view of `cluster` (from the shared cache when given,
+  // decompressing locally otherwise) and registers it in the result.
+  auto ensure_view = [out, cache](const CompressedCluster& cluster) {
+    auto it = out->views_.find(cluster.id);
+    if (it != out->views_.end()) return it->second.get();
+    std::shared_ptr<const ClusterView> view =
+        cache != nullptr ? cache->Get(cluster.id)
+                         : DecompressCluster(cluster);
+    const ClusterView* ptr = view.get();
+    out->views_.emplace(cluster.id, std::move(view));
+    return ptr;
+  };
+
+  // Lines 2-11: clusters of edges isomorphic to pattern edges.
+  Status status = Status::OK();
+  pattern.ForEachEdge([&](const Edge& e) {
+    ClusterId id = ClusterId::ForPatternEdge(pattern, e);
+    const CompressedCluster* c = gc.Find(id);
+    if (c != nullptr) ensure_view(*c);
+    // Empty cluster: Find() later returns nullptr -> zero embeddings
+    // for the whole query; the engine short-circuits.
+  });
+
+  // Lines 12-18: negation clusters for vertex-induced matching. We load
+  // them for every pattern pair that is not fully connected (for
+  // directed patterns a single-direction edge still leaves the reverse
+  // direction to negate).
+  if (variant == MatchVariant::kVertexInduced) {
+    for (VertexId a = 0; a < pattern.NumVertices(); ++a) {
+      for (VertexId b = a + 1; b < pattern.NumVertices(); ++b) {
+        if (FullyConnected(pattern, a, b)) continue;
+        Label la = pattern.VertexLabel(a);
+        Label lb = pattern.VertexLabel(b);
+        uint64_t key = (static_cast<uint64_t>(std::min(la, lb)) << 32) |
+                       std::max(la, lb);
+        if (out->star_.count(key) > 0) continue;
+        std::vector<const ClusterView*>& views = out->star_[key];
+        for (const CompressedCluster* c : gc.StarClusters(la, lb)) {
+          views.push_back(ensure_view(*c));
+        }
+      }
+    }
+  }
+  return status;
+}
+
+Status ReadClusters(const Ccsr& gc, const Graph& pattern,
+                    MatchVariant variant, QueryClusters* out) {
+  return ReadClustersImpl(gc, pattern, variant, /*cache=*/nullptr, out);
+}
+
+}  // namespace csce

@@ -1,0 +1,187 @@
+#ifndef CSCE_CCSR_CCSR_H_
+#define CSCE_CCSR_CCSR_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ccsr/cluster_id.h"
+#include "ccsr/compressed_row.h"
+#include "ccsr/csr.h"
+#include "graph/graph.h"
+#include "graph/variant.h"
+#include "util/status.h"
+
+namespace csce {
+
+/// One edge-isomorphism cluster in compressed (at-rest) form. Directed
+/// clusters carry two CSRs — outgoing (src -> dst) and incoming
+/// (dst -> src) — so both neighbor directions are O(1)/O(log k) at query
+/// time; undirected clusters store each edge in both orientations in a
+/// single CSR (paper Section IV).
+struct CompressedCluster {
+  ClusterId id;
+  uint64_t num_edges = 0;  // cluster size == |I_C| of one CSR
+  CompressedRowIndex out_rows;
+  std::vector<VertexId> out_cols;
+  CompressedRowIndex in_rows;         // directed clusters only
+  std::vector<VertexId> in_cols;      // directed clusters only
+
+  size_t SizeBytes() const {
+    return out_rows.SizeBytes() + out_cols.size() * sizeof(VertexId) +
+           in_rows.SizeBytes() + in_cols.size() * sizeof(VertexId);
+  }
+};
+
+/// A decompressed, query-ready cluster.
+class ClusterView {
+ public:
+  ClusterView(ClusterId id, uint64_t num_edges, CsrIndex out, CsrIndex in)
+      : id_(id), num_edges_(num_edges), out_(std::move(out)),
+        in_(std::move(in)) {}
+
+  const ClusterId& id() const { return id_; }
+  uint64_t NumEdges() const { return num_edges_; }
+
+  /// Outgoing cluster-neighbors of v (undirected: all cluster-neighbors).
+  std::span<const VertexId> Out(VertexId v) const { return out_.Neighbors(v); }
+  /// Incoming cluster-neighbors of v (undirected: all cluster-neighbors).
+  std::span<const VertexId> In(VertexId v) const {
+    return id_.directed ? in_.Neighbors(v) : out_.Neighbors(v);
+  }
+
+  /// Arc a -> b present? (undirected: edge {a,b} present?)
+  bool HasArc(VertexId a, VertexId b) const { return out_.HasArc(a, b); }
+
+  /// Distinct arc sources (undirected: all cluster vertices), sorted.
+  std::vector<VertexId> Sources() const { return out_.NonEmptyVertices(); }
+  /// Distinct arc targets, sorted.
+  std::vector<VertexId> Targets() const {
+    return id_.directed ? in_.NonEmptyVertices() : out_.NonEmptyVertices();
+  }
+
+  size_t SizeBytes() const { return out_.SizeBytes() + in_.SizeBytes(); }
+
+ private:
+  ClusterId id_;
+  uint64_t num_edges_;
+  CsrIndex out_;
+  CsrIndex in_;  // empty for undirected clusters
+};
+
+/// G_C: the complete clustered-CSR representation of a data graph,
+/// built offline. Replaces the raw graph (the paper drops G after
+/// clustering), so it also carries the vertex labels.
+class Ccsr {
+ public:
+  Ccsr() = default;
+
+  /// Clusters all edges of `g` (offline stage, O(|E| log |E|)).
+  static Ccsr Build(const Graph& g);
+
+  bool directed() const { return directed_; }
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(vlabels_.size());
+  }
+  uint64_t NumEdges() const { return num_edges_; }
+  Label VertexLabel(VertexId v) const { return vlabels_[v]; }
+  const std::vector<Label>& vertex_labels() const { return vlabels_; }
+  uint32_t LabelFrequency(Label l) const {
+    return l < vlabel_freq_.size() ? vlabel_freq_[l] : 0;
+  }
+
+  /// Per-vertex degrees of the original graph, kept for candidate
+  /// degree filtering (for undirected graphs in == out == degree).
+  uint32_t OutDegree(VertexId v) const { return out_degree_[v]; }
+  uint32_t InDegree(VertexId v) const {
+    return directed_ ? in_degree_[v] : out_degree_[v];
+  }
+
+  size_t NumClusters() const { return clusters_.size(); }
+  const std::vector<CompressedCluster>& clusters() const { return clusters_; }
+
+  /// The cluster with this identifier, or nullptr (== empty cluster).
+  const CompressedCluster* Find(const ClusterId& id) const;
+
+  /// Size (edge count) of a cluster; 0 if the cluster is empty/absent.
+  /// Used by the planner's tie-breaking without decompressing anything.
+  uint64_t ClusterSize(const ClusterId& id) const {
+    const CompressedCluster* c = Find(id);
+    return c == nullptr ? 0 : c->num_edges;
+  }
+
+  /// The paper's "(x,y)*-clusters": every cluster connecting vertex
+  /// labels {a,b}, regardless of edge label or direction.
+  std::vector<const CompressedCluster*> StarClusters(Label a, Label b) const;
+
+  /// Total compressed footprint in bytes.
+  size_t CompressedSizeBytes() const;
+
+  /// Online maintenance: inserts edges into the index, rebuilding only
+  /// the affected clusters. Endpoints must be existing vertices; edge
+  /// direction follows the graph's. Idempotent: already-present edges
+  /// are ignored. Degrees and statistics are kept consistent.
+  Status InsertEdges(const std::vector<Edge>& edges);
+
+  /// Removes edges; every edge must be present (NotFound otherwise,
+  /// with the index unchanged). Emptied clusters are dropped.
+  Status RemoveEdges(const std::vector<Edge>& edges);
+
+ private:
+  friend Status LoadCcsrFromStream(std::istream&, Ccsr*);
+
+  void RebuildIndexes();
+
+  bool directed_ = false;
+  uint64_t num_edges_ = 0;
+  std::vector<Label> vlabels_;
+  std::vector<uint32_t> vlabel_freq_;
+  std::vector<uint32_t> out_degree_;
+  std::vector<uint32_t> in_degree_;  // empty for undirected graphs
+  std::vector<CompressedCluster> clusters_;
+  std::unordered_map<ClusterId, size_t, ClusterIdHash> index_;
+  // (min label, max label) -> cluster indices, for negation lookups.
+  std::unordered_map<uint64_t, std::vector<size_t>> star_index_;
+};
+
+class ClusterCache;
+
+/// G_C^*: the decompressed clusters one query needs (Algorithm 1).
+class QueryClusters {
+ public:
+  /// nullptr means the cluster is empty: no data edge can match.
+  const ClusterView* Find(const ClusterId& id) const;
+
+  /// Decompressed "(a,b)*-clusters" for negation checks (may be empty).
+  const std::vector<const ClusterView*>& Star(Label a, Label b) const;
+
+  size_t NumViews() const { return views_.size(); }
+  size_t DecompressedBytes() const;
+
+ private:
+  friend Status ReadClusters(const Ccsr&, const Graph&, MatchVariant,
+                             QueryClusters*);
+  friend class ClusterCache;
+  friend Status ReadClustersCached(ClusterCache&, const Graph&, MatchVariant,
+                                   QueryClusters*);
+  friend Status ReadClustersImpl(const Ccsr&, const Graph&, MatchVariant,
+                                 ClusterCache*, QueryClusters*);
+
+  // Views are shared so a cross-query ClusterCache can co-own them.
+  std::unordered_map<ClusterId, std::shared_ptr<const ClusterView>,
+                     ClusterIdHash>
+      views_;
+  std::unordered_map<uint64_t, std::vector<const ClusterView*>> star_;
+};
+
+/// Algorithm 1 (ReadCSR): selects and decompresses the clusters needed
+/// to match `pattern` under `variant`. For vertex-induced matching this
+/// additionally loads the negation clusters between not-fully-connected
+/// pattern vertex pairs. Requires pattern.directed() == gc.directed().
+Status ReadClusters(const Ccsr& gc, const Graph& pattern, MatchVariant variant,
+                    QueryClusters* out);
+
+}  // namespace csce
+
+#endif  // CSCE_CCSR_CCSR_H_

@@ -1,0 +1,244 @@
+#include "ccsr/ccsr_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace csce {
+namespace {
+
+constexpr uint32_t kMagic = 0x43435352;  // "CCSR"
+// Version 2 added per-vertex degree tables (candidate degree filter).
+constexpr uint32_t kVersion = 2;
+
+template <typename T>
+void WriteScalar(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadScalar(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+// Bytes left in the stream, or SIZE_MAX when not seekable. Used to
+// validate element counts before allocating, so corrupted files fail
+// with Status::Corruption instead of attempting huge allocations.
+size_t RemainingBytes(std::istream& in) {
+  std::streampos here = in.tellg();
+  if (here < 0) return SIZE_MAX;
+  in.seekg(0, std::ios::end);
+  std::streampos end = in.tellg();
+  in.seekg(here);
+  if (end < here) return 0;
+  return static_cast<size_t>(end - here);
+}
+
+// True if `count` elements of `element_size` bytes can still follow.
+bool CountPlausible(std::istream& in, uint64_t count, size_t element_size) {
+  size_t remaining = RemainingBytes(in);
+  if (remaining == SIZE_MAX) return count < (uint64_t{1} << 33);
+  return count <= remaining / element_size;
+}
+
+void WriteCompressedCsr(std::ostream& out, const CompressedRowIndex& rows,
+                        const std::vector<VertexId>& cols) {
+  WriteScalar<uint64_t>(out, rows.num_runs());
+  for (const RleRun& r : rows.runs()) {
+    WriteScalar<uint64_t>(out, r.value);
+    WriteScalar<uint32_t>(out, r.count);
+  }
+  WriteScalar<uint64_t>(out, rows.uncompressed_length());
+  WriteScalar<uint64_t>(out, cols.size());
+  if (!cols.empty()) {
+    out.write(reinterpret_cast<const char*>(cols.data()),
+              static_cast<std::streamsize>(cols.size() * sizeof(VertexId)));
+  }
+}
+
+Status ReadCompressedCsr(std::istream& in, uint32_t num_vertices,
+                         CompressedRowIndex* rows,
+                         std::vector<VertexId>* cols) {
+  uint64_t num_runs = 0;
+  if (!ReadScalar(in, &num_runs)) return Status::Corruption("truncated runs");
+  if (!CountPlausible(in, num_runs, sizeof(uint64_t) + sizeof(uint32_t))) {
+    return Status::Corruption("implausible run count");
+  }
+  rows->mutable_runs()->clear();
+  rows->mutable_runs()->reserve(num_runs);
+  uint64_t total_count = 0;
+  uint64_t previous_value = 0;
+  for (uint64_t i = 0; i < num_runs; ++i) {
+    uint64_t value = 0;
+    uint32_t count = 0;
+    if (!ReadScalar(in, &value) || !ReadScalar(in, &count)) {
+      return Status::Corruption("truncated run entry");
+    }
+    if (count == 0 || (i > 0 && value <= previous_value)) {
+      return Status::Corruption("non-monotone row index");
+    }
+    previous_value = value;
+    total_count += count;
+    rows->mutable_runs()->push_back(RleRun{value, count});
+  }
+  uint64_t uncompressed = 0;
+  uint64_t num_cols = 0;
+  if (!ReadScalar(in, &uncompressed) || !ReadScalar(in, &num_cols)) {
+    return Status::Corruption("truncated csr header");
+  }
+  if (uncompressed != total_count ||
+      uncompressed != static_cast<uint64_t>(num_vertices) + 1) {
+    return Status::Corruption("row index length mismatch");
+  }
+  if (!CountPlausible(in, num_cols, sizeof(VertexId))) {
+    return Status::Corruption("implausible column count");
+  }
+  rows->set_uncompressed_length(uncompressed);
+  cols->resize(num_cols);
+  if (num_cols > 0) {
+    in.read(reinterpret_cast<char*>(cols->data()),
+            static_cast<std::streamsize>(num_cols * sizeof(VertexId)));
+    if (!in) return Status::Corruption("truncated columns");
+  }
+  for (VertexId c : *cols) {
+    if (c >= num_vertices) return Status::Corruption("column out of range");
+  }
+  // The final row offset must equal the column count.
+  if (!rows->runs().empty() && rows->runs().back().value != num_cols) {
+    return Status::Corruption("row/column count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCcsrToStream(const Ccsr& ccsr, std::ostream& out) {
+  WriteScalar(out, kMagic);
+  WriteScalar(out, kVersion);
+  WriteScalar<uint8_t>(out, ccsr.directed() ? 1 : 0);
+  WriteScalar<uint32_t>(out, ccsr.NumVertices());
+  WriteScalar<uint64_t>(out, ccsr.NumEdges());
+  if (ccsr.NumVertices() > 0) {
+    out.write(
+        reinterpret_cast<const char*>(ccsr.vertex_labels().data()),
+        static_cast<std::streamsize>(ccsr.NumVertices() * sizeof(Label)));
+  }
+  for (VertexId v = 0; v < ccsr.NumVertices(); ++v) {
+    WriteScalar<uint32_t>(out, ccsr.OutDegree(v));
+  }
+  if (ccsr.directed()) {
+    for (VertexId v = 0; v < ccsr.NumVertices(); ++v) {
+      WriteScalar<uint32_t>(out, ccsr.InDegree(v));
+    }
+  }
+  WriteScalar<uint32_t>(out, static_cast<uint32_t>(ccsr.NumClusters()));
+  for (const CompressedCluster& c : ccsr.clusters()) {
+    WriteScalar<uint32_t>(out, c.id.src_label);
+    WriteScalar<uint32_t>(out, c.id.dst_label);
+    WriteScalar<uint32_t>(out, c.id.elabel);
+    WriteScalar<uint8_t>(out, c.id.directed ? 1 : 0);
+    WriteScalar<uint64_t>(out, c.num_edges);
+    WriteCompressedCsr(out, c.out_rows, c.out_cols);
+    if (c.id.directed) WriteCompressedCsr(out, c.in_rows, c.in_cols);
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status SaveCcsrToFile(const Ccsr& ccsr, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  return SaveCcsrToStream(ccsr, out);
+}
+
+Status LoadCcsrFromStream(std::istream& in, Ccsr* out) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadScalar(in, &magic) || magic != kMagic) {
+    return Status::Corruption("bad magic");
+  }
+  if (!ReadScalar(in, &version) || version != kVersion) {
+    return Status::Corruption("unsupported version");
+  }
+  uint8_t directed = 0;
+  uint32_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  if (!ReadScalar(in, &directed) || !ReadScalar(in, &num_vertices) ||
+      !ReadScalar(in, &num_edges)) {
+    return Status::Corruption("truncated header");
+  }
+  if (!CountPlausible(in, num_vertices, sizeof(Label))) {
+    return Status::Corruption("implausible vertex count");
+  }
+  Ccsr result;
+  result.directed_ = directed != 0;
+  result.num_edges_ = num_edges;
+  result.vlabels_.resize(num_vertices);
+  if (num_vertices > 0) {
+    in.read(reinterpret_cast<char*>(result.vlabels_.data()),
+            static_cast<std::streamsize>(num_vertices * sizeof(Label)));
+    if (!in) return Status::Corruption("truncated labels");
+  }
+  Label max_label = 0;
+  for (Label l : result.vlabels_) max_label = std::max(max_label, l);
+  result.vlabel_freq_.assign(num_vertices == 0 ? 0 : max_label + 1, 0);
+  for (Label l : result.vlabels_) ++result.vlabel_freq_[l];
+
+  result.out_degree_.resize(num_vertices);
+  if (num_vertices > 0) {
+    in.read(reinterpret_cast<char*>(result.out_degree_.data()),
+            static_cast<std::streamsize>(num_vertices * sizeof(uint32_t)));
+    if (!in) return Status::Corruption("truncated out-degrees");
+  }
+  if (result.directed_) {
+    result.in_degree_.resize(num_vertices);
+    if (num_vertices > 0) {
+      in.read(reinterpret_cast<char*>(result.in_degree_.data()),
+              static_cast<std::streamsize>(num_vertices * sizeof(uint32_t)));
+      if (!in) return Status::Corruption("truncated in-degrees");
+    }
+  }
+
+  uint32_t num_clusters = 0;
+  if (!ReadScalar(in, &num_clusters)) {
+    return Status::Corruption("truncated cluster count");
+  }
+  // Each cluster occupies at least its fixed-size header on disk.
+  if (!CountPlausible(in, num_clusters, 21)) {
+    return Status::Corruption("implausible cluster count");
+  }
+  result.clusters_.resize(num_clusters);
+  for (uint32_t i = 0; i < num_clusters; ++i) {
+    CompressedCluster& c = result.clusters_[i];
+    uint8_t cluster_directed = 0;
+    if (!ReadScalar(in, &c.id.src_label) || !ReadScalar(in, &c.id.dst_label) ||
+        !ReadScalar(in, &c.id.elabel) || !ReadScalar(in, &cluster_directed) ||
+        !ReadScalar(in, &c.num_edges)) {
+      return Status::Corruption("truncated cluster header");
+    }
+    c.id.directed = cluster_directed != 0;
+    if (c.id.directed != result.directed_) {
+      return Status::Corruption("cluster directedness mismatch");
+    }
+    CSCE_RETURN_IF_ERROR(
+        ReadCompressedCsr(in, num_vertices, &c.out_rows, &c.out_cols));
+    if (c.id.directed) {
+      CSCE_RETURN_IF_ERROR(
+          ReadCompressedCsr(in, num_vertices, &c.in_rows, &c.in_cols));
+    }
+  }
+  result.RebuildIndexes();
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status LoadCcsrFromFile(const std::string& path, Ccsr* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadCcsrFromStream(in, out);
+}
+
+}  // namespace csce

@@ -1,0 +1,31 @@
+#ifndef CSCE_CCSR_CCSR_IO_H_
+#define CSCE_CCSR_CCSR_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "ccsr/ccsr.h"
+#include "util/status.h"
+
+namespace csce {
+
+/// Binary on-disk format for the offline CCSR artifact. The paper's
+/// pipeline builds G_C once offline and every query reads only the
+/// clusters it needs; persisting G_C makes that split real.
+///
+/// Layout (little-endian):
+///   magic "CCSR" (u32) | version (u32) | directed (u8)
+///   num_vertices (u32) | num_edges (u64) | vertex labels (u32 each)
+///   num_clusters (u32) | clusters...
+/// Each cluster: id fields, edge count, then one (or two, if directed)
+/// compressed CSR: run count, runs as (value u64, count u32) pairs,
+/// uncompressed length, column count, columns.
+Status SaveCcsrToStream(const Ccsr& ccsr, std::ostream& out);
+Status SaveCcsrToFile(const Ccsr& ccsr, const std::string& path);
+
+Status LoadCcsrFromStream(std::istream& in, Ccsr* out);
+Status LoadCcsrFromFile(const std::string& path, Ccsr* out);
+
+}  // namespace csce
+
+#endif  // CSCE_CCSR_CCSR_IO_H_

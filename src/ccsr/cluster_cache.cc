@@ -1,0 +1,36 @@
+#include "ccsr/cluster_cache.h"
+
+namespace csce {
+
+// Defined in ccsr.cc (shares the cluster-selection logic with
+// ReadClusters).
+Status ReadClustersImpl(const Ccsr& gc, const Graph& pattern,
+                        MatchVariant variant, ClusterCache* cache,
+                        QueryClusters* out);
+
+std::shared_ptr<const ClusterView> ClusterCache::Get(const ClusterId& id) {
+  auto it = views_.find(id);
+  if (it != views_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  const CompressedCluster* c = gc_->Find(id);
+  if (c == nullptr) return nullptr;
+  ++misses_;
+  std::shared_ptr<const ClusterView> view = DecompressCluster(*c);
+  views_.emplace(id, view);
+  return view;
+}
+
+size_t ClusterCache::CachedBytes() const {
+  size_t total = 0;
+  for (const auto& [id, view] : views_) total += view->SizeBytes();
+  return total;
+}
+
+Status ReadClustersCached(ClusterCache& cache, const Graph& pattern,
+                          MatchVariant variant, QueryClusters* out) {
+  return ReadClustersImpl(cache.ccsr(), pattern, variant, &cache, out);
+}
+
+}  // namespace csce

@@ -1,0 +1,62 @@
+#ifndef CSCE_CCSR_CLUSTER_CACHE_H_
+#define CSCE_CCSR_CLUSTER_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "ccsr/ccsr.h"
+
+namespace csce {
+
+/// Cross-query cache of decompressed cluster views. The paper's
+/// Finding 5 charges every query the decompression of its clusters;
+/// its conclusion lists reducing that overhead as future work. A
+/// session serving many queries against one CCSR can instead share
+/// views: the first query pays the decompression, later queries
+/// touching the same clusters reuse them.
+///
+/// Not thread-safe (CSCE is a single-thread engine, like the paper's).
+class ClusterCache {
+ public:
+  /// `gc` must outlive the cache and every QueryClusters served by it.
+  explicit ClusterCache(const Ccsr* gc) : gc_(gc) {}
+
+  /// The decompressed view of `id`, decompressing on first use;
+  /// nullptr when the cluster is empty/absent.
+  std::shared_ptr<const ClusterView> Get(const ClusterId& id);
+
+  size_t CachedViews() const { return views_.size(); }
+  size_t CachedBytes() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  /// Drops all cached views (e.g. after Ccsr::InsertEdges /
+  /// RemoveEdges invalidated the underlying clusters).
+  void Clear() { views_.clear(); }
+
+  const Ccsr& ccsr() const { return *gc_; }
+
+ private:
+  const Ccsr* gc_;
+  std::unordered_map<ClusterId, std::shared_ptr<const ClusterView>,
+                     ClusterIdHash>
+      views_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Algorithm 1 backed by the shared cache: like ReadClusters but views
+/// already decompressed by earlier queries are reused. The returned
+/// QueryClusters co-owns its views, so it stays valid even if the cache
+/// is cleared afterwards.
+Status ReadClustersCached(ClusterCache& cache, const Graph& pattern,
+                          MatchVariant variant, QueryClusters* out);
+
+/// Decompresses one cluster into a standalone view.
+std::shared_ptr<const ClusterView> DecompressCluster(
+    const CompressedCluster& cluster);
+
+}  // namespace csce
+
+#endif  // CSCE_CCSR_CLUSTER_CACHE_H_

@@ -1,0 +1,16 @@
+#include "ccsr/cluster_id.h"
+
+namespace csce {
+
+std::string ClusterId::ToString() const {
+  std::string out = directed ? "dir(" : "und(";
+  out += std::to_string(src_label);
+  out += ",";
+  out += std::to_string(dst_label);
+  out += ",";
+  out += elabel == kNoLabel ? "NULL" : std::to_string(elabel);
+  out += ")-cluster";
+  return out;
+}
+
+}  // namespace csce

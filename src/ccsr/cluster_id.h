@@ -1,0 +1,64 @@
+#ifndef CSCE_CCSR_CLUSTER_ID_H_
+#define CSCE_CCSR_CLUSTER_ID_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace csce {
+
+/// Identifier of an edge-isomorphism cluster (paper Section IV). Two
+/// edges land in the same cluster iff they are isomorphic as single-edge
+/// graphs: same endpoint vertex labels, same edge label, same
+/// directedness.
+///
+/// Directed clusters orient labels in the outgoing direction:
+/// (src_label, dst_label, elabel). Undirected clusters use the sorted
+/// label pair (the paper's "(A,B,·),(B,A,·)" canonicalized to A <= B).
+struct ClusterId {
+  Label src_label = 0;
+  Label dst_label = 0;
+  Label elabel = 0;
+  bool directed = false;
+
+  static ClusterId Directed(Label src, Label dst, Label el) {
+    return ClusterId{src, dst, el, true};
+  }
+
+  static ClusterId Undirected(Label a, Label b, Label el) {
+    if (a > b) std::swap(a, b);
+    return ClusterId{a, b, el, false};
+  }
+
+  /// Cluster for a pattern edge (u_x -> u_y) in a pattern whose
+  /// directedness matches the data graph's.
+  static ClusterId ForPatternEdge(const Graph& pattern, const Edge& e) {
+    Label lx = pattern.VertexLabel(e.src);
+    Label ly = pattern.VertexLabel(e.dst);
+    return pattern.directed() ? Directed(lx, ly, e.elabel)
+                              : Undirected(lx, ly, e.elabel);
+  }
+
+  friend bool operator==(const ClusterId&, const ClusterId&) = default;
+  friend auto operator<=>(const ClusterId&, const ClusterId&) = default;
+
+  /// e.g. "(A=1,B=2,NULL)-cluster" style debug string.
+  std::string ToString() const;
+};
+
+struct ClusterIdHash {
+  size_t operator()(const ClusterId& id) const {
+    uint64_t h = id.src_label;
+    h = h * 0x100000001B3ull ^ id.dst_label;
+    h = h * 0x100000001B3ull ^ id.elabel;
+    h = h * 0x100000001B3ull ^ (id.directed ? 1 : 0);
+    return std::hash<uint64_t>{}(h);
+  }
+};
+
+}  // namespace csce
+
+#endif  // CSCE_CCSR_CLUSTER_ID_H_

@@ -1,0 +1,39 @@
+#include "ccsr/compressed_row.h"
+
+#include "util/logging.h"
+
+namespace csce {
+
+CompressedRowIndex CompressedRowIndex::Compress(
+    std::span<const uint64_t> row) {
+  CompressedRowIndex out;
+  out.uncompressed_length_ = row.size();
+  size_t i = 0;
+  while (i < row.size()) {
+    size_t j = i;
+    while (j < row.size() && row[j] == row[i]) ++j;
+    // Split runs longer than what a uint32 count can hold.
+    size_t remaining = j - i;
+    while (remaining > 0) {
+      uint32_t chunk = remaining > 0xFFFFFFFFull
+                           ? 0xFFFFFFFFu
+                           : static_cast<uint32_t>(remaining);
+      out.runs_.push_back(RleRun{row[i], chunk});
+      remaining -= chunk;
+    }
+    i = j;
+  }
+  return out;
+}
+
+std::vector<uint64_t> CompressedRowIndex::Decompress() const {
+  std::vector<uint64_t> row;
+  row.reserve(uncompressed_length_);
+  for (const RleRun& r : runs_) {
+    row.insert(row.end(), r.count, r.value);
+  }
+  CSCE_DCHECK(row.size() == uncompressed_length_);
+  return row;
+}
+
+}  // namespace csce

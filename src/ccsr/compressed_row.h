@@ -1,0 +1,68 @@
+#ifndef CSCE_CCSR_COMPRESSED_ROW_H_
+#define CSCE_CCSR_COMPRESSED_ROW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace csce {
+
+/// One run of a run-length-encoded row-index array: `count` consecutive
+/// entries all equal to `value`.
+struct RleRun {
+  uint64_t value;
+  uint32_t count;
+
+  friend bool operator==(const RleRun&, const RleRun&) = default;
+};
+
+/// Run-length-compressed CSR row index (paper Section IV): since most
+/// vertices have no arcs in a given cluster, the row-index array of a
+/// cluster CSR is dominated by runs of repeated offsets. Compressing
+/// each run to (value, repeat count) bounds the total row-index storage
+/// by ~2 integers per edge instead of |V|+1 integers per cluster.
+class CompressedRowIndex {
+ public:
+  CompressedRowIndex() = default;
+
+  /// Compresses a monotone row-index array (length |V|+1).
+  static CompressedRowIndex Compress(std::span<const uint64_t> row);
+
+  /// Reconstructs the standard row-index array.
+  std::vector<uint64_t> Decompress() const;
+
+  /// Invokes fn(vertex, begin, end) for every vertex whose arc range
+  /// [begin, end) is non-empty, in increasing vertex order. This is the
+  /// sparse decompression path: O(#non-empty vertices), not O(|V|).
+  template <typename Fn>
+  void ForEachNonEmptyRow(Fn&& fn) const {
+    // Row entry i is offsets[i]; vertex v's range is [offsets[v],
+    // offsets[v+1]). A vertex is non-empty where consecutive entries
+    // differ, i.e. at every run boundary.
+    uint64_t index = 0;  // index into the virtual decompressed array
+    for (size_t r = 0; r + 1 < runs_.size(); ++r) {
+      // The last entry of run r is at position index + count - 1; the
+      // next entry (start of run r+1) differs, so the vertex at
+      // position (index + count - 1) is non-empty.
+      uint64_t boundary = index + runs_[r].count - 1;
+      fn(boundary, runs_[r].value, runs_[r + 1].value);
+      index += runs_[r].count;
+    }
+  }
+
+  uint64_t uncompressed_length() const { return uncompressed_length_; }
+  size_t num_runs() const { return runs_.size(); }
+  const std::vector<RleRun>& runs() const { return runs_; }
+  std::vector<RleRun>* mutable_runs() { return &runs_; }
+  void set_uncompressed_length(uint64_t n) { uncompressed_length_ = n; }
+
+  size_t SizeBytes() const { return runs_.size() * sizeof(RleRun); }
+
+ private:
+  std::vector<RleRun> runs_;
+  uint64_t uncompressed_length_ = 0;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_CCSR_COMPRESSED_ROW_H_

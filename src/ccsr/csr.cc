@@ -1,0 +1,69 @@
+#include "ccsr/csr.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace csce {
+namespace {
+
+// Below this fill ratio (non-empty vertices / |V|), use the sparse
+// layout. Chosen so that a sparse cluster's row storage stays
+// proportional to its arc count while big clusters keep O(1) lookup.
+constexpr double kDenseThreshold = 1.0 / 16.0;
+
+}  // namespace
+
+CsrIndex CsrIndex::FromCompressed(const CompressedRowIndex& rows,
+                                  std::vector<VertexId> cols) {
+  CsrIndex out;
+  out.cols_ = std::move(cols);
+  uint64_t num_vertices = rows.uncompressed_length() - 1;
+  // Non-empty vertex count == number of run boundaries.
+  size_t non_empty = rows.num_runs() == 0 ? 0 : rows.num_runs() - 1;
+  if (num_vertices > 0 &&
+      static_cast<double>(non_empty) / static_cast<double>(num_vertices) >=
+          kDenseThreshold) {
+    out.dense_ = true;
+    out.dense_rows_ = rows.Decompress();
+  } else {
+    out.dense_ = false;
+    out.sparse_vertices_.reserve(non_empty);
+    out.sparse_rows_.reserve(non_empty + 1);
+    out.sparse_rows_.push_back(0);
+    rows.ForEachNonEmptyRow([&out](uint64_t v, uint64_t begin, uint64_t end) {
+      CSCE_DCHECK(out.sparse_rows_.back() == begin);
+      (void)begin;
+      out.sparse_vertices_.push_back(static_cast<VertexId>(v));
+      out.sparse_rows_.push_back(end);
+    });
+  }
+  return out;
+}
+
+CsrIndex CsrIndex::FromArcs(uint32_t num_vertices,
+                            std::span<const Edge> sorted_arcs) {
+  std::vector<uint64_t> rows(num_vertices + 1, 0);
+  std::vector<VertexId> cols(sorted_arcs.size());
+  for (size_t i = 0; i < sorted_arcs.size(); ++i) {
+    CSCE_DCHECK(i == 0 || !(sorted_arcs[i] < sorted_arcs[i - 1]));
+    ++rows[sorted_arcs[i].src + 1];
+    cols[i] = sorted_arcs[i].dst;
+  }
+  for (uint32_t v = 0; v < num_vertices; ++v) rows[v + 1] += rows[v];
+  CompressedRowIndex compressed = CompressedRowIndex::Compress(rows);
+  return FromCompressed(compressed, std::move(cols));
+}
+
+std::vector<VertexId> CsrIndex::NonEmptyVertices() const {
+  if (!dense_) return sparse_vertices_;
+  std::vector<VertexId> out;
+  for (size_t v = 0; v + 1 < dense_rows_.size(); ++v) {
+    if (dense_rows_[v + 1] > dense_rows_[v]) {
+      out.push_back(static_cast<VertexId>(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace csce

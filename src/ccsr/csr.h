@@ -1,0 +1,84 @@
+#ifndef CSCE_CCSR_CSR_H_
+#define CSCE_CCSR_CSR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ccsr/compressed_row.h"
+#include "graph/graph.h"
+
+namespace csce {
+
+/// A query-ready, one-direction CSR over the data-graph vertex universe,
+/// reconstructed from a CompressedRowIndex at read time (paper: "when
+/// reading clusters, we decompress and construct standard CSRs").
+///
+/// Two physical layouts behind one interface:
+/// * dense  — the standard row-index array of length |V|+1; O(1) lookup.
+///   Used when the cluster touches a large fraction of vertices.
+/// * sparse — sorted list of non-empty vertices plus their ranges;
+///   O(log k) lookup. Used for small clusters so that reading a query's
+///   clusters never costs O(|V|) memory per cluster (this is the
+///   practical fix for the row-array blowup the paper's RLE targets).
+class CsrIndex {
+ public:
+  CsrIndex() = default;
+
+  /// Decompresses `rows` + takes the column array. `num_vertices` is the
+  /// data graph vertex count (rows.uncompressed_length() - 1).
+  static CsrIndex FromCompressed(const CompressedRowIndex& rows,
+                                 std::vector<VertexId> cols);
+
+  /// Builds directly from sorted arcs (used by tests and by the CCSR
+  /// builder before compression).
+  static CsrIndex FromArcs(uint32_t num_vertices,
+                           std::span<const Edge> sorted_arcs);
+
+  /// Neighbors of v in this cluster direction (sorted, unique).
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    if (dense_) {
+      if (v + 1 >= dense_rows_.size()) return {};
+      return {cols_.data() + dense_rows_[v], cols_.data() + dense_rows_[v + 1]};
+    }
+    // Binary search in the sparse vertex list.
+    auto it = std::lower_bound(sparse_vertices_.begin(),
+                               sparse_vertices_.end(), v);
+    if (it == sparse_vertices_.end() || *it != v) return {};
+    size_t idx = static_cast<size_t>(it - sparse_vertices_.begin());
+    return {cols_.data() + sparse_rows_[idx],
+            cols_.data() + sparse_rows_[idx + 1]};
+  }
+
+  /// True if arc v -> w is present (binary search within v's range).
+  bool HasArc(VertexId v, VertexId w) const {
+    auto nbrs = Neighbors(v);
+    return std::binary_search(nbrs.begin(), nbrs.end(), w);
+  }
+
+  uint64_t NumArcs() const { return cols_.size(); }
+  bool dense() const { return dense_; }
+
+  /// The distinct vertices with at least one arc, sorted.
+  std::vector<VertexId> NonEmptyVertices() const;
+
+  /// Approximate heap footprint in bytes.
+  size_t SizeBytes() const {
+    return dense_rows_.size() * sizeof(uint64_t) +
+           sparse_vertices_.size() * sizeof(VertexId) +
+           sparse_rows_.size() * sizeof(uint64_t) +
+           cols_.size() * sizeof(VertexId);
+  }
+
+ private:
+  bool dense_ = true;
+  std::vector<uint64_t> dense_rows_;       // dense layout: |V|+1 offsets
+  std::vector<VertexId> sparse_vertices_;  // sparse layout: sorted vertices
+  std::vector<uint64_t> sparse_rows_;      // sparse layout: k+1 offsets
+  std::vector<VertexId> cols_;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_CCSR_CSR_H_

@@ -1,0 +1,35 @@
+#ifndef CSCE_CSCE_H_
+#define CSCE_CSCE_H_
+
+/// Umbrella header for the CSCE library: clustered-CSR indexing and
+/// SCE-based subgraph matching for heterogeneous graphs, plus the
+/// workload generators and baseline matchers used by the benchmark
+/// suite. Include the individual headers instead when compile time
+/// matters.
+
+#include "analysis/f1.h"                  // IWYU pragma: export
+#include "analysis/motif_adjacency.h"     // IWYU pragma: export
+#include "analysis/motif_clustering.h"    // IWYU pragma: export
+#include "baselines/backtracking.h"       // IWYU pragma: export
+#include "baselines/graphpi_like.h"       // IWYU pragma: export
+#include "baselines/join.h"               // IWYU pragma: export
+#include "baselines/vf2.h"                // IWYU pragma: export
+#include "ccsr/ccsr.h"                    // IWYU pragma: export
+#include "ccsr/ccsr_io.h"                 // IWYU pragma: export
+#include "ccsr/cluster_cache.h"           // IWYU pragma: export
+#include "engine/matcher.h"               // IWYU pragma: export
+#include "gen/datasets.h"                 // IWYU pragma: export
+#include "gen/pattern_gen.h"              // IWYU pragma: export
+#include "gen/random_graph.h"             // IWYU pragma: export
+#include "graph/components.h"             // IWYU pragma: export
+#include "graph/graph.h"                  // IWYU pragma: export
+#include "graph/graph_builder.h"          // IWYU pragma: export
+#include "graph/graph_io.h"               // IWYU pragma: export
+#include "graph/graph_stats.h"            // IWYU pragma: export
+#include "graph/isomorphism.h"            // IWYU pragma: export
+#include "graph/pattern_builder.h"        // IWYU pragma: export
+#include "graph/subgraph.h"               // IWYU pragma: export
+#include "plan/plan_printer.h"            // IWYU pragma: export
+#include "plan/symmetry.h"                // IWYU pragma: export
+
+#endif  // CSCE_CSCE_H_

@@ -1,0 +1,25 @@
+#ifndef CSCE_ENGINE_CANDIDATES_H_
+#define CSCE_ENGINE_CANDIDATES_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace csce {
+
+/// out = a ∩ b. Inputs are sorted unique; output likewise. Switches to
+/// galloping (doubling binary search) when sizes are lopsided.
+void IntersectSorted(std::span<const VertexId> a, std::span<const VertexId> b,
+                     std::vector<VertexId>* out);
+
+/// acc = acc ∩ b, in place.
+void IntersectInPlace(std::vector<VertexId>* acc, std::span<const VertexId> b);
+
+/// acc = acc \ b, in place.
+void DifferenceInPlace(std::vector<VertexId>* acc,
+                       std::span<const VertexId> b);
+
+}  // namespace csce
+
+#endif  // CSCE_ENGINE_CANDIDATES_H_

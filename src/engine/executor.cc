@@ -1,0 +1,249 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+
+#include "engine/candidates.h"
+#include "util/logging.h"
+
+namespace csce {
+namespace {
+
+constexpr uint64_t kDeadlineCheckInterval = 16384;
+
+}  // namespace
+
+Executor::Executor(const Ccsr& gc, const QueryClusters& qc, const Plan& plan)
+    : gc_(gc), qc_(qc), plan_(plan) {}
+
+Status Executor::Prepare(const ExecOptions& options) {
+  const size_t n = plan_.positions.size();
+  options_ = &options;
+  stats_ = ExecStats{};
+  aborted_ = false;
+  injective_ = plan_.variant != MatchVariant::kHomomorphic;
+  deadline_check_counter_ = 0;
+
+  edges_.assign(n, {});
+  negs_.assign(n, {});
+  restrictions_.assign(n, {});
+  cache_slot_.assign(n, 0);
+  caches_.assign(n, CandidateCache{});
+  mapping_by_pos_.assign(n, kInvalidVertex);
+  mapping_by_vertex_.assign(n, kInvalidVertex);
+  used_.Resize(gc_.NumVertices());
+  used_.Reset();
+
+  std::vector<uint32_t> pos_of(n, 0);
+  for (uint32_t j = 0; j < n; ++j) pos_of[plan_.positions[j].u] = j;
+
+  for (uint32_t j = 0; j < n; ++j) {
+    const PlanPosition& pos = plan_.positions[j];
+    for (const EdgeConstraint& e : pos.edges) {
+      edges_[j].push_back(
+          ResolvedEdge{e.pos, qc_.Find(e.cluster), e.incoming});
+    }
+    for (const NegConstraint& c : pos.negations) {
+      ResolvedNegation rn;
+      rn.pos = c.pos;
+      for (const ClusterView* view : qc_.Star(pos.label, c.other_label)) {
+        // Forbidden arc f(w) -> f(u): candidates in Out(f(w)).
+        if (c.forbid_from) rn.removals.emplace_back(view, /*use_out=*/true);
+        // Forbidden arc f(u) -> f(w): candidates in In(f(w)).
+        if (c.forbid_to) {
+          if (view->id().directed) {
+            rn.removals.emplace_back(view, /*use_out=*/false);
+          } else if (!c.forbid_from) {
+            // Undirected views: In == Out; avoid subtracting twice.
+            rn.removals.emplace_back(view, /*use_out=*/true);
+          }
+        }
+      }
+      if (!rn.removals.empty()) negs_[j].push_back(std::move(rn));
+    }
+    // NEC cache sharing is only safe together with SCE reuse: an
+    // aliased position recomputing into a shared slot would clobber the
+    // vector an outer recursion level is iterating.
+    cache_slot_[j] = (plan_.use_sce && pos.cache_alias >= 0)
+                         ? static_cast<uint32_t>(pos.cache_alias)
+                         : j;
+  }
+
+  for (const auto& [a, b] : options.restrictions) {
+    if (a >= n || b >= n) {
+      return Status::InvalidArgument("restriction vertex out of range");
+    }
+    uint32_t pa = pos_of[a];
+    uint32_t pb = pos_of[b];
+    // Enforce at the later position against the earlier mapping.
+    if (pa < pb) {
+      restrictions_[pb].push_back(Restriction{pa, /*require_greater=*/true});
+    } else {
+      restrictions_[pa].push_back(Restriction{pb, /*require_greater=*/false});
+    }
+  }
+  return Status::OK();
+}
+
+bool Executor::CheckDeadline() {
+  if (options_->time_limit_seconds <= 0) return true;
+  if (++deadline_check_counter_ % kDeadlineCheckInterval != 0) return true;
+  if (timer_.Seconds() > options_->time_limit_seconds) {
+    stats_.timed_out = true;
+    aborted_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool Executor::PassesRestrictions(uint32_t depth, VertexId v) const {
+  for (const Restriction& r : restrictions_[depth]) {
+    VertexId other = mapping_by_pos_[r.other_pos];
+    if (r.require_greater ? (v <= other) : (v >= other)) return false;
+  }
+  return true;
+}
+
+void Executor::ComputeCandidates(uint32_t depth, std::vector<VertexId>* out) {
+  ++stats_.candidate_sets_computed;
+  out->clear();
+  const PlanPosition& pos = plan_.positions[depth];
+
+  if (edges_[depth].empty()) {
+    // Seeded position: distinct endpoints of the smallest incident
+    // cluster, or a label scan for isolated pattern vertices.
+    if (pos.seed_valid) {
+      const ClusterView* view = qc_.Find(pos.seed_cluster);
+      if (view == nullptr) return;
+      std::vector<VertexId> endpoints =
+          pos.seed_use_sources ? view->Sources() : view->Targets();
+      for (VertexId v : endpoints) {
+        if (gc_.VertexLabel(v) == pos.label) out->push_back(v);
+      }
+    } else {
+      for (VertexId v = 0; v < gc_.NumVertices(); ++v) {
+        if (gc_.VertexLabel(v) == pos.label) out->push_back(v);
+      }
+    }
+  } else {
+    // Gather the neighbor lists and intersect smallest-first.
+    std::vector<std::span<const VertexId>> lists;
+    lists.reserve(edges_[depth].size());
+    for (const ResolvedEdge& e : edges_[depth]) {
+      if (e.view == nullptr) return;  // empty cluster: no candidates
+      VertexId w = mapping_by_pos_[e.pos];
+      lists.push_back(e.incoming ? e.view->In(w) : e.view->Out(w));
+      if (lists.back().empty()) return;
+    }
+    std::sort(lists.begin(), lists.end(),
+              [](std::span<const VertexId> a, std::span<const VertexId> b) {
+                return a.size() < b.size();
+              });
+    out->assign(lists[0].begin(), lists[0].end());
+    for (size_t i = 1; i < lists.size() && !out->empty(); ++i) {
+      IntersectInPlace(out, lists[i]);
+    }
+  }
+
+  // LDF degree filter (injective variants): a candidate must be able
+  // to host distinct images of all the pattern vertex's neighbors.
+  if (pos.min_out_degree > 1 || pos.min_in_degree > 1) {
+    auto write = out->begin();
+    for (VertexId v : *out) {
+      if (gc_.OutDegree(v) >= pos.min_out_degree &&
+          gc_.InDegree(v) >= pos.min_in_degree) {
+        *write++ = v;
+      }
+    }
+    out->erase(write, out->end());
+  }
+
+  // Vertex-induced negation: subtract the data-neighbors of every
+  // earlier non-neighbor mapping.
+  for (const ResolvedNegation& rn : negs_[depth]) {
+    if (out->empty()) break;
+    VertexId w = mapping_by_pos_[rn.pos];
+    for (const auto& [view, use_out] : rn.removals) {
+      DifferenceInPlace(out, use_out ? view->Out(w) : view->In(w));
+      if (out->empty()) break;
+    }
+  }
+}
+
+const std::vector<VertexId>& Executor::Candidates(uint32_t depth) {
+  uint32_t slot = cache_slot_[depth];
+  CandidateCache& cache = caches_[slot];
+  const std::vector<uint32_t>& deps = plan_.positions[slot].deps;
+  if (plan_.use_sce && cache.Fresh(deps, mapping_by_pos_)) {
+    ++stats_.candidate_sets_reused;
+    return cache.candidates;
+  }
+  ComputeCandidates(depth, &cache.candidates);
+  cache.Store(deps, mapping_by_pos_);
+  return cache.candidates;
+}
+
+bool Executor::Emit() {
+  ++stats_.embeddings;
+  if (options_->callback) {
+    if (!options_->callback(mapping_by_vertex_)) {
+      aborted_ = true;
+      return false;
+    }
+  }
+  if (options_->max_embeddings > 0 &&
+      stats_.embeddings >= options_->max_embeddings) {
+    stats_.limit_reached = true;
+    aborted_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool Executor::Enumerate(uint32_t depth) {
+  const std::vector<VertexId>& candidates = Candidates(depth);
+  const bool last = depth + 1 == plan_.positions.size();
+  const VertexId u = plan_.positions[depth].u;
+
+  // Count-only fast path: no per-candidate state is needed at the last
+  // position of a homomorphic, unrestricted, callback-free query.
+  if (last && !injective_ && restrictions_[depth].empty() &&
+      !options_->callback && options_->max_embeddings == 0) {
+    stats_.embeddings += candidates.size();
+    stats_.search_nodes += candidates.size();
+    return CheckDeadline();
+  }
+
+  for (VertexId v : candidates) {
+    ++stats_.search_nodes;
+    if (!CheckDeadline()) return false;
+    if (injective_ && used_.Test(v)) continue;
+    if (!restrictions_[depth].empty() && !PassesRestrictions(depth, v)) {
+      continue;
+    }
+    mapping_by_pos_[depth] = v;
+    mapping_by_vertex_[u] = v;
+    if (last) {
+      if (!Emit()) return false;
+    } else {
+      if (injective_) used_.Set(v);
+      bool keep_going = Enumerate(depth + 1);
+      if (injective_) used_.Clear(v);
+      if (!keep_going) return false;
+    }
+  }
+  mapping_by_pos_[depth] = kInvalidVertex;
+  return true;
+}
+
+Status Executor::Run(const ExecOptions& options, ExecStats* stats) {
+  CSCE_RETURN_IF_ERROR(Prepare(options));
+  timer_.Restart();
+  if (!plan_.positions.empty()) {
+    Enumerate(0);
+  }
+  stats_.seconds = timer_.Seconds();
+  *stats = stats_;
+  return Status::OK();
+}
+
+}  // namespace csce

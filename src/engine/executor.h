@@ -1,0 +1,109 @@
+#ifndef CSCE_ENGINE_EXECUTOR_H_
+#define CSCE_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ccsr/ccsr.h"
+#include "engine/sce_cache.h"
+#include "plan/planner.h"
+#include "util/bitset.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace csce {
+
+/// Called once per embedding with the mapping indexed by pattern vertex
+/// (mapping[u] is the matched data vertex). Return false to stop the
+/// enumeration early.
+using EmbeddingCallback = std::function<bool(std::span<const VertexId>)>;
+
+struct ExecOptions {
+  /// Stop after this many embeddings (0 = find all).
+  uint64_t max_embeddings = 0;
+  /// Abort after this many seconds (0 = no limit). The run is flagged
+  /// `timed_out` and the partial count is reported.
+  double time_limit_seconds = 0.0;
+  /// Invoked per embedding when set; otherwise the engine only counts.
+  EmbeddingCallback callback;
+  /// Symmetry-breaking restrictions f(first) < f(second) over pattern
+  /// vertices. Empty for CSCE proper (see paper Finding 2); used by the
+  /// GraphPi-like configuration in benchmarks.
+  std::vector<std::pair<VertexId, VertexId>> restrictions;
+};
+
+struct ExecStats {
+  uint64_t embeddings = 0;
+  bool timed_out = false;
+  bool limit_reached = false;
+  uint64_t search_nodes = 0;
+  uint64_t candidate_sets_computed = 0;
+  uint64_t candidate_sets_reused = 0;
+  double seconds = 0.0;
+};
+
+/// The pipelined worst-case-optimal-join executor: grows partial
+/// embeddings one pattern vertex at a time along the plan order,
+/// computing each position's candidates by intersecting cluster
+/// neighbor lists and reusing them via SCE caches.
+class Executor {
+ public:
+  /// `gc` provides vertex labels, `qc` the decompressed clusters, and
+  /// `plan` the compiled matching order. All must outlive the executor.
+  Executor(const Ccsr& gc, const QueryClusters& qc, const Plan& plan);
+
+  /// Runs the enumeration. Reentrant: each call resets all state.
+  Status Run(const ExecOptions& options, ExecStats* stats);
+
+ private:
+  struct ResolvedEdge {
+    uint32_t pos;
+    const ClusterView* view;  // nullptr: empty cluster, no match possible
+    bool incoming;
+  };
+  struct ResolvedNegation {
+    uint32_t pos;
+    // Views whose Out(f(w)) (use_out=true) or In(f(w)) lists are
+    // forbidden candidates and get subtracted.
+    std::vector<std::pair<const ClusterView*, bool>> removals;
+  };
+  struct Restriction {
+    uint32_t other_pos;
+    bool require_greater;  // candidate must compare > (else <) f(other)
+  };
+
+  Status Prepare(const ExecOptions& options);
+  bool Enumerate(uint32_t depth);  // false: abort (timeout/limit/callback)
+  const std::vector<VertexId>& Candidates(uint32_t depth);
+  void ComputeCandidates(uint32_t depth, std::vector<VertexId>* out);
+  bool PassesRestrictions(uint32_t depth, VertexId v) const;
+  bool Emit();
+  bool CheckDeadline();
+
+  const Ccsr& gc_;
+  const QueryClusters& qc_;
+  const Plan& plan_;
+
+  // Per-run state.
+  const ExecOptions* options_ = nullptr;
+  ExecStats stats_;
+  WallTimer timer_;
+  bool aborted_ = false;
+  bool injective_ = true;
+  std::vector<std::vector<ResolvedEdge>> edges_;        // per position
+  std::vector<std::vector<ResolvedNegation>> negs_;     // per position
+  std::vector<std::vector<Restriction>> restrictions_;  // per position
+  std::vector<uint32_t> cache_slot_;                    // per position
+  std::vector<CandidateCache> caches_;
+  std::vector<VertexId> mapping_by_pos_;
+  std::vector<VertexId> mapping_by_vertex_;
+  DynamicBitset used_;
+  uint64_t deadline_check_counter_ = 0;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_ENGINE_EXECUTOR_H_

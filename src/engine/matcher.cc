@@ -1,0 +1,81 @@
+#include "engine/matcher.h"
+
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace csce {
+namespace {
+
+Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
+                 const MatchOptions& options,
+                 const EmbeddingCallback* callback, MatchResult* result) {
+  *result = MatchResult{};
+  WallTimer total;
+
+  // Stage 1 (blue in Fig. 2): read the useful clusters G_C^*.
+  WallTimer stage;
+  QueryClusters qc;
+  if (cache != nullptr) {
+    CSCE_RETURN_IF_ERROR(
+        ReadClustersCached(*cache, pattern, options.variant, &qc));
+  } else {
+    CSCE_RETURN_IF_ERROR(ReadClusters(data, pattern, options.variant, &qc));
+  }
+  result->read_seconds = stage.Seconds();
+  result->clusters_read = qc.NumViews();
+  result->decompressed_bytes = qc.DecompressedBytes();
+
+  // Stage 2 (orange): plan optimization.
+  stage.Restart();
+  Planner planner(&data);
+  Plan plan;
+  CSCE_RETURN_IF_ERROR(
+      planner.MakePlan(pattern, options.variant, options.plan, &plan));
+  result->plan_seconds = stage.Seconds();
+  result->sce = plan.sce;
+
+  // Stage 3 (green): pipelined WCOJ execution.
+  stage.Restart();
+  Executor executor(data, qc, plan);
+  ExecOptions exec;
+  exec.max_embeddings = options.max_embeddings;
+  exec.time_limit_seconds = options.time_limit_seconds;
+  exec.restrictions = options.restrictions;
+  if (callback != nullptr) exec.callback = *callback;
+  ExecStats stats;
+  CSCE_RETURN_IF_ERROR(executor.Run(exec, &stats));
+  result->enumerate_seconds = stage.Seconds();
+
+  result->embeddings = stats.embeddings;
+  result->timed_out = stats.timed_out;
+  result->limit_reached = stats.limit_reached;
+  result->search_nodes = stats.search_nodes;
+  result->candidate_sets_computed = stats.candidate_sets_computed;
+  result->candidate_sets_reused = stats.candidate_sets_reused;
+  result->total_seconds = total.Seconds();
+  result->peak_rss_bytes = PeakRssBytes();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CsceMatcher::Match(const Graph& pattern, const MatchOptions& options,
+                          MatchResult* result) const {
+  return MatchImpl(*data_, cache_, pattern, options, nullptr, result);
+}
+
+Status CsceMatcher::MatchWithCallback(const Graph& pattern,
+                                      const MatchOptions& options,
+                                      const EmbeddingCallback& callback,
+                                      MatchResult* result) const {
+  return MatchImpl(*data_, cache_, pattern, options, &callback, result);
+}
+
+Status CsceMatcher::ExplainPlan(const Graph& pattern,
+                                const MatchOptions& options,
+                                Plan* plan) const {
+  Planner planner(data_);
+  return planner.MakePlan(pattern, options.variant, options.plan, plan);
+}
+
+}  // namespace csce

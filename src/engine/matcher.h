@@ -1,0 +1,93 @@
+#ifndef CSCE_ENGINE_MATCHER_H_
+#define CSCE_ENGINE_MATCHER_H_
+
+#include <cstdint>
+
+#include "ccsr/ccsr.h"
+#include "ccsr/cluster_cache.h"
+#include "engine/executor.h"
+#include "graph/graph.h"
+#include "graph/variant.h"
+#include "plan/planner.h"
+#include "util/status.h"
+
+namespace csce {
+
+/// End-to-end options for one CSCE matching task.
+struct MatchOptions {
+  MatchVariant variant = MatchVariant::kEdgeInduced;
+  PlanOptions plan;
+  /// Stop after this many embeddings (0 = find all).
+  uint64_t max_embeddings = 0;
+  /// Abort enumeration after this many seconds (0 = no limit).
+  double time_limit_seconds = 0.0;
+  /// Symmetry-breaking restrictions (benchmark ablations only).
+  std::vector<std::pair<VertexId, VertexId>> restrictions;
+};
+
+/// End-to-end result with the paper's per-stage time breakdown.
+struct MatchResult {
+  uint64_t embeddings = 0;
+  bool timed_out = false;
+  bool limit_reached = false;
+
+  double read_seconds = 0.0;       // Algorithm 1: cluster selection
+  double plan_seconds = 0.0;       // GCF + BuildDAG + LDSF + compile
+  double enumerate_seconds = 0.0;  // execution
+  double total_seconds = 0.0;
+
+  // Executor counters.
+  uint64_t search_nodes = 0;
+  uint64_t candidate_sets_computed = 0;
+  uint64_t candidate_sets_reused = 0;
+
+  // Plan/read diagnostics.
+  SceStats sce;
+  size_t clusters_read = 0;
+  size_t decompressed_bytes = 0;
+  uint64_t peak_rss_bytes = 0;
+};
+
+/// The public facade: matches patterns against a CCSR-indexed data
+/// graph for any of the three SM variants.
+///
+///   Ccsr gc = Ccsr::Build(data_graph);   // offline, once per graph
+///   CsceMatcher matcher(&gc);
+///   MatchOptions options;
+///   options.variant = MatchVariant::kEdgeInduced;
+///   MatchResult result;
+///   Status st = matcher.Match(pattern, options, &result);
+class CsceMatcher {
+ public:
+  /// `data` must outlive the matcher. With a non-null `cache`, queries
+  /// share decompressed cluster views (see ccsr/cluster_cache.h),
+  /// amortizing the paper's Finding-5 read overhead across a session;
+  /// the cache must be built over the same `data` and must outlive the
+  /// matcher too.
+  explicit CsceMatcher(const Ccsr* data, ClusterCache* cache = nullptr)
+      : data_(data), cache_(cache) {}
+
+  /// Counts all embeddings (subject to the options' limits).
+  Status Match(const Graph& pattern, const MatchOptions& options,
+               MatchResult* result) const;
+
+  /// Invokes `callback` per embedding; mapping is indexed by pattern
+  /// vertex. Returning false from the callback stops the enumeration.
+  Status MatchWithCallback(const Graph& pattern, const MatchOptions& options,
+                           const EmbeddingCallback& callback,
+                           MatchResult* result) const;
+
+  /// The plan CSCE would use, for inspection/benchmarks.
+  Status ExplainPlan(const Graph& pattern, const MatchOptions& options,
+                     Plan* plan) const;
+
+  const Ccsr* data() const { return data_; }
+
+ private:
+  const Ccsr* data_;
+  ClusterCache* cache_;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_ENGINE_MATCHER_H_

@@ -1,0 +1,45 @@
+#ifndef CSCE_ENGINE_SCE_CACHE_H_
+#define CSCE_ENGINE_SCE_CACHE_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace csce {
+
+/// One position's cached base candidate set together with the mapping
+/// snapshot of its dependency positions. The cache implements
+/// Definition 1 (Sequential Candidate Equivalence): as long as every
+/// dependency's current mapping equals the snapshot, the base candidate
+/// set is reusable — verbatim in homomorphic matching, minus the
+/// already-used vertices (enforced at consumption time) in the
+/// injective variants.
+struct CandidateCache {
+  std::vector<VertexId> candidates;
+  std::vector<VertexId> dep_snapshot;
+  bool valid = false;
+
+  /// True if the snapshot matches the current mappings at `deps`.
+  bool Fresh(std::span<const uint32_t> deps,
+             std::span<const VertexId> mapping_by_pos) const {
+    if (!valid) return false;
+    for (size_t i = 0; i < deps.size(); ++i) {
+      if (mapping_by_pos[deps[i]] != dep_snapshot[i]) return false;
+    }
+    return true;
+  }
+
+  void Store(std::span<const uint32_t> deps,
+             std::span<const VertexId> mapping_by_pos) {
+    dep_snapshot.resize(deps.size());
+    for (size_t i = 0; i < deps.size(); ++i) {
+      dep_snapshot[i] = mapping_by_pos[deps[i]];
+    }
+    valid = true;
+  }
+};
+
+}  // namespace csce
+
+#endif  // CSCE_ENGINE_SCE_CACHE_H_

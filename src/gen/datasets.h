@@ -1,0 +1,64 @@
+#ifndef CSCE_GEN_DATASETS_H_
+#define CSCE_GEN_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace csce {
+
+/// Deterministic synthetic analogues of the paper's Table IV datasets,
+/// scaled down ~10-40x so the full benchmark suite runs on one core in
+/// minutes. Each analogue preserves the original's *shape*: directed-
+/// ness, vertex label count, average degree, and degree skew. See
+/// DESIGN.md ("Substitutions") for the rationale.
+namespace datasets {
+
+/// DIP protein-protein interactions: undirected, unlabeled, skewed,
+/// avg degree ~8.9.
+Graph Dip();
+
+/// Yeast PPI: undirected, 71 labels, avg degree ~8.1.
+Graph Yeast();
+
+/// Human PPI: undirected, 44 labels, dense (avg degree ~37 in the
+/// paper; ~20 here to keep single-core runtimes sane).
+Graph Human();
+
+/// HPRD PPI: undirected, 304 labels, avg degree ~7.5.
+Graph Hprd();
+
+/// RoadCA road network: undirected, unlabeled, near-planar grid,
+/// avg degree ~2.8.
+Graph RoadCa();
+
+/// Patent citations: undirected per the paper's table, `labels`
+/// vertex labels (the paper uses 20, and 200/2000 variants for the
+/// scalability experiments), avg degree ~8.8.
+Graph Patent(uint32_t labels = 20);
+
+/// Subcategory: directed, 36 labels, avg degree ~10.
+Graph Subcategory();
+
+/// LiveJournal: directed, unlabeled, heavy-tailed, avg degree ~17.
+Graph LiveJournal();
+
+/// Orkut: undirected, 50 labels, dense and heavy-tailed.
+Graph Orkut();
+
+/// EMAIL-EU communications with planted departments for the case
+/// study; `departments_out` receives the ground truth.
+Graph EmailEu(std::vector<uint32_t>* departments_out);
+
+/// All Table IV analogues with their paper names, in table order.
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+std::vector<NamedGraph> AllTable4();
+
+}  // namespace datasets
+}  // namespace csce
+
+#endif  // CSCE_GEN_DATASETS_H_

@@ -1,0 +1,196 @@
+#include "gen/pattern_gen.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+#include "graph/subgraph.h"
+#include "util/logging.h"
+
+namespace csce {
+namespace {
+
+// Grows a connected vertex set of the requested size by repeatedly
+// picking a random collected vertex and a random (direction-blind)
+// neighbor. Returns an empty vector when the region saturates early.
+std::vector<VertexId> GrowConnectedSet(const Graph& g, uint32_t size,
+                                       Rng& rng) {
+  if (g.NumVertices() == 0 || size == 0) return {};
+  std::vector<VertexId> collected;
+  std::unordered_set<VertexId> in_set;
+  VertexId start = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+  collected.push_back(start);
+  in_set.insert(start);
+  uint32_t stale = 0;
+  while (collected.size() < size && stale < 64 * size) {
+    VertexId from = collected[rng.Uniform(collected.size())];
+    auto out = g.OutNeighbors(from);
+    auto in = g.InNeighbors(from);
+    size_t total = out.size() + (g.directed() ? in.size() : 0);
+    if (total == 0) {
+      ++stale;
+      continue;
+    }
+    size_t pick = rng.Uniform(total);
+    VertexId next = pick < out.size() ? out[pick].v
+                                      : in[pick - out.size()].v;
+    if (in_set.insert(next).second) {
+      collected.push_back(next);
+      stale = 0;
+    } else {
+      ++stale;
+    }
+  }
+  if (collected.size() < size) return {};
+  return collected;
+}
+
+// Sparsifies an induced pattern: keep a (direction-blind) spanning tree
+// and random extra edges until the edge count reaches |V| (avg degree
+// 2, RM's sparse/dense boundary).
+Graph Sparsify(const Graph& induced, Rng& rng) {
+  const uint32_t n = induced.NumVertices();
+  std::vector<Edge> all = induced.Edges();
+  // Spanning tree via union-find over shuffled edges.
+  std::vector<uint32_t> parent(n);
+  for (uint32_t i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&parent](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t i = all.size(); i > 1; --i) {
+    std::swap(all[i - 1], all[rng.Uniform(i)]);
+  }
+  std::vector<Edge> kept;
+  std::vector<Edge> rest;
+  for (const Edge& e : all) {
+    uint32_t a = find(e.src);
+    uint32_t b = find(e.dst);
+    if (a != b) {
+      parent[a] = b;
+      kept.push_back(e);
+    } else {
+      rest.push_back(e);
+    }
+  }
+  for (const Edge& e : rest) {
+    if (kept.size() >= n) break;  // avg degree 2 reached
+    kept.push_back(e);
+  }
+  GraphBuilder builder(induced.directed());
+  for (VertexId v = 0; v < n; ++v) builder.AddVertex(induced.VertexLabel(v));
+  for (const Edge& e : kept) builder.AddEdge(e.src, e.dst, e.elabel);
+  Graph out;
+  Status st = builder.Build(&out);
+  CSCE_CHECK(st.ok());
+  return out;
+}
+
+}  // namespace
+
+Status SamplePattern(const Graph& g, uint32_t size, PatternDensity density,
+                     Rng& rng, Graph* out) {
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    std::vector<VertexId> vertices = GrowConnectedSet(g, size, rng);
+    if (vertices.empty()) continue;
+    Graph induced = InducedSubgraph(g, vertices);
+    if (density == PatternDensity::kDense) {
+      *out = std::move(induced);
+    } else {
+      *out = Sparsify(induced, rng);
+    }
+    return Status::OK();
+  }
+  return Status::NotFound("no connected region of " + std::to_string(size) +
+                          " vertices found");
+}
+
+namespace {
+
+// Greedy dense growth: repeatedly add the outside neighbor with the
+// most edges into the collected set (random tie-break).
+std::vector<VertexId> GrowDenseSet(const Graph& g, uint32_t size, Rng& rng) {
+  if (g.NumVertices() == 0 || size == 0) return {};
+  std::vector<VertexId> collected;
+  std::unordered_set<VertexId> in_set;
+  // Connectivity counts of frontier vertices.
+  std::unordered_map<VertexId, uint32_t> frontier;
+  auto add = [&](VertexId v) {
+    collected.push_back(v);
+    in_set.insert(v);
+    frontier.erase(v);
+    auto bump = [&](VertexId w) {
+      if (in_set.count(w) == 0) ++frontier[w];
+    };
+    for (const Neighbor& n : g.OutNeighbors(v)) bump(n.v);
+    if (g.directed()) {
+      for (const Neighbor& n : g.InNeighbors(v)) bump(n.v);
+    }
+  };
+  add(static_cast<VertexId>(rng.Uniform(g.NumVertices())));
+  while (collected.size() < size && !frontier.empty()) {
+    uint32_t best_count = 0;
+    std::vector<VertexId> best;
+    for (const auto& [v, count] : frontier) {
+      if (count > best_count) {
+        best_count = count;
+        best.clear();
+      }
+      if (count == best_count) best.push_back(v);
+    }
+    add(best[rng.Uniform(best.size())]);
+  }
+  if (collected.size() < size) return {};
+  return collected;
+}
+
+}  // namespace
+
+Status SampleDensePattern(const Graph& g, uint32_t size,
+                          double min_avg_degree, Rng& rng, Graph* out) {
+  for (int attempt = 0; attempt < 128; ++attempt) {
+    std::vector<VertexId> vertices = GrowDenseSet(g, size, rng);
+    if (vertices.empty()) continue;
+    Graph induced = InducedSubgraph(g, vertices);
+    double avg_degree =
+        2.0 * static_cast<double>(induced.NumEdges()) / induced.NumVertices();
+    if (avg_degree < min_avg_degree) continue;
+    *out = std::move(induced);
+    return Status::OK();
+  }
+  return Status::NotFound("no region of " + std::to_string(size) +
+                          " vertices with average degree >= " +
+                          std::to_string(min_avg_degree));
+}
+
+Status SampleDensePatterns(const Graph& g, uint32_t size,
+                           double min_avg_degree, uint32_t count,
+                           uint64_t seed, std::vector<Graph>* out) {
+  out->clear();
+  Rng rng(seed);
+  for (uint32_t i = 0; i < count; ++i) {
+    Graph p;
+    CSCE_RETURN_IF_ERROR(SampleDensePattern(g, size, min_avg_degree, rng, &p));
+    out->push_back(std::move(p));
+  }
+  return Status::OK();
+}
+
+Status SamplePatterns(const Graph& g, uint32_t size, PatternDensity density,
+                      uint32_t count, uint64_t seed,
+                      std::vector<Graph>* out) {
+  out->clear();
+  Rng rng(seed);
+  for (uint32_t i = 0; i < count; ++i) {
+    Graph p;
+    CSCE_RETURN_IF_ERROR(SamplePattern(g, size, density, rng, &p));
+    out->push_back(std::move(p));
+  }
+  return Status::OK();
+}
+
+}  // namespace csce

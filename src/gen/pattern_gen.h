@@ -1,0 +1,51 @@
+#ifndef CSCE_GEN_PATTERN_GEN_H_
+#define CSCE_GEN_PATTERN_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace csce {
+
+/// Pattern density classes following RapidMatch/VEQ: a pattern is dense
+/// if its average degree exceeds 2 and sparse otherwise.
+enum class PatternDensity {
+  kDense,   // the full induced subgraph of the sampled vertices
+  kSparse,  // a spanning tree plus extra edges up to |V| edges total
+};
+
+/// Samples a connected pattern of `size` vertices from `g` by a random
+/// neighbor-growth walk (the convention of RM/VEQ/GuP for generating
+/// query workloads). Dense patterns take the whole induced subgraph, so
+/// they are guaranteed at least one vertex-induced (hence also
+/// edge-induced and homomorphic) embedding; sparse patterns keep a
+/// spanning tree plus random extra edges, guaranteed at least one
+/// edge-induced embedding.
+///
+/// Fails with NotFound if `g` has no connected region of `size`
+/// vertices reachable from the sampled seeds.
+Status SamplePattern(const Graph& g, uint32_t size, PatternDensity density,
+                     Rng& rng, Graph* out);
+
+/// `count` patterns of the same configuration with distinct walks.
+Status SamplePatterns(const Graph& g, uint32_t size, PatternDensity density,
+                      uint32_t count, uint64_t seed, std::vector<Graph>* out);
+
+/// Samples a complex-like pattern: a connected induced subgraph grown
+/// greedily toward dense regions, accepted only when its average
+/// degree reaches `min_avg_degree`. This is the shape of the paper's
+/// MIPS protein-complex patterns — dense enough to be selective in an
+/// unlabeled graph. NotFound when the graph has no such region.
+Status SampleDensePattern(const Graph& g, uint32_t size,
+                          double min_avg_degree, Rng& rng, Graph* out);
+
+Status SampleDensePatterns(const Graph& g, uint32_t size,
+                           double min_avg_degree, uint32_t count,
+                           uint64_t seed, std::vector<Graph>* out);
+
+}  // namespace csce
+
+#endif  // CSCE_GEN_PATTERN_GEN_H_

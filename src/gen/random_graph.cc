@@ -1,0 +1,166 @@
+#include "gen/random_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace csce {
+namespace {
+
+void AssignVertexLabels(GraphBuilder* builder, uint32_t n,
+                        const LabelConfig& labels, Rng& rng) {
+  for (uint32_t i = 0; i < n; ++i) {
+    builder->AddVertex(DrawLabel(rng, labels.vertex_labels, labels.label_skew));
+  }
+}
+
+Label DrawEdgeLabel(Rng& rng, const LabelConfig& labels) {
+  return DrawLabel(rng, labels.edge_labels, labels.label_skew);
+}
+
+Graph FinishBuild(GraphBuilder* builder) {
+  Graph g;
+  Status st = builder->Build(&g);
+  CSCE_CHECK(st.ok());
+  return g;
+}
+
+}  // namespace
+
+Label DrawLabel(Rng& rng, uint32_t count, double skew) {
+  if (count <= 1) return kNoLabel;
+  if (skew <= 0.0) return static_cast<Label>(rng.Uniform(count));
+  // Inverse-CDF Zipf approximation: P(i) ~ (i+1)^-skew.
+  double u = rng.NextDouble();
+  // Normalizing constant via the continuous approximation.
+  double max_r = std::pow(static_cast<double>(count), 1.0 - skew);
+  double r = std::pow(u * (max_r - 1.0) + 1.0, 1.0 / (1.0 - skew));
+  // r lands in [1, count]; shift to 0-based labels.
+  uint32_t label = static_cast<uint32_t>(r) - 1;
+  if (label >= count) label = count - 1;
+  return label;
+}
+
+Graph ErdosRenyi(uint32_t num_vertices, uint64_t num_edges, bool directed,
+                 const LabelConfig& labels, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(directed);
+  AssignVertexLabels(&builder, num_vertices, labels, rng);
+  if (num_vertices >= 2) {
+    for (uint64_t i = 0; i < num_edges; ++i) {
+      VertexId a = static_cast<VertexId>(rng.Uniform(num_vertices));
+      VertexId b = static_cast<VertexId>(rng.Uniform(num_vertices));
+      if (a == b) continue;  // builder rejects self-loops; just skip
+      builder.AddEdge(a, b, DrawEdgeLabel(rng, labels));
+    }
+  }
+  return FinishBuild(&builder);
+}
+
+Graph ChungLu(uint32_t num_vertices, uint64_t num_edges, double gamma,
+              bool directed, const LabelConfig& labels, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(directed);
+  AssignVertexLabels(&builder, num_vertices, labels, rng);
+  if (num_vertices < 2) return FinishBuild(&builder);
+
+  // Cumulative weights w_i = (i+1)^(-1/(gamma-1)) (descending), so
+  // low-index vertices become hubs.
+  std::vector<double> cdf(num_vertices);
+  double alpha = 1.0 / (gamma - 1.0);
+  double total = 0.0;
+  for (uint32_t i = 0; i < num_vertices; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -alpha);
+    cdf[i] = total;
+  }
+  auto draw = [&]() -> VertexId {
+    double u = rng.NextDouble() * total;
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<VertexId>(it - cdf.begin());
+  };
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    VertexId a = draw();
+    VertexId b = draw();
+    if (a == b) continue;
+    builder.AddEdge(a, b, DrawEdgeLabel(rng, labels));
+  }
+  return FinishBuild(&builder);
+}
+
+Graph GridRoad(uint32_t rows, uint32_t cols, double keep_prob,
+               uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(/*directed=*/false);
+  builder.AddVertices(rows * cols, kNoLabel);
+  auto id = [cols](uint32_t r, uint32_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols && rng.Bernoulli(keep_prob)) {
+        builder.AddEdge(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows && rng.Bernoulli(keep_prob)) {
+        builder.AddEdge(id(r, c), id(r + 1, c));
+      }
+      // Occasional diagonal shortcut (on/off-ramps, bridges).
+      if (r + 1 < rows && c + 1 < cols && rng.Bernoulli(0.05)) {
+        builder.AddEdge(id(r, c), id(r + 1, c + 1));
+      }
+    }
+  }
+  return FinishBuild(&builder);
+}
+
+Graph PlantPockets(const Graph& base, uint32_t num_pockets,
+                   uint32_t pocket_size, double p_in, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(base.directed());
+  for (VertexId v = 0; v < base.NumVertices(); ++v) {
+    builder.AddVertex(base.VertexLabel(v));
+  }
+  base.ForEachEdge(
+      [&builder](const Edge& e) { builder.AddEdge(e.src, e.dst, e.elabel); });
+  if (base.NumVertices() >= pocket_size) {
+    std::vector<VertexId> members(pocket_size);
+    for (uint32_t p = 0; p < num_pockets; ++p) {
+      for (VertexId& m : members) {
+        m = static_cast<VertexId>(rng.Uniform(base.NumVertices()));
+      }
+      for (uint32_t a = 0; a < pocket_size; ++a) {
+        for (uint32_t b = a + 1; b < pocket_size; ++b) {
+          if (members[a] != members[b] && rng.Bernoulli(p_in)) {
+            builder.AddEdge(members[a], members[b]);
+          }
+        }
+      }
+    }
+  }
+  return FinishBuild(&builder);
+}
+
+Graph PlantedPartition(uint32_t num_vertices, uint32_t communities,
+                       double p_in, double p_out, uint64_t seed,
+                       std::vector<uint32_t>* assignment_out) {
+  CSCE_CHECK(communities >= 1);
+  Rng rng(seed);
+  GraphBuilder builder(/*directed=*/false);
+  std::vector<uint32_t> assignment(num_vertices);
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    assignment[v] = v % communities;
+    builder.AddVertex(kNoLabel);
+  }
+  for (uint32_t a = 0; a < num_vertices; ++a) {
+    for (uint32_t b = a + 1; b < num_vertices; ++b) {
+      double p = assignment[a] == assignment[b] ? p_in : p_out;
+      if (rng.Bernoulli(p)) builder.AddEdge(a, b);
+    }
+  }
+  if (assignment_out != nullptr) *assignment_out = std::move(assignment);
+  return FinishBuild(&builder);
+}
+
+}  // namespace csce

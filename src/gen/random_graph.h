@@ -1,0 +1,58 @@
+#ifndef CSCE_GEN_RANDOM_GRAPH_H_
+#define CSCE_GEN_RANDOM_GRAPH_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace csce {
+
+/// Shared knobs for the random graph generators. All generators are
+/// fully deterministic given the seed.
+struct LabelConfig {
+  uint32_t vertex_labels = 1;  // 1 = unlabeled (all label 0)
+  uint32_t edge_labels = 1;
+  /// Zipf skew for label popularity; 0 = uniform.
+  double label_skew = 0.0;
+};
+
+/// G(n, m)-style uniform random graph with approximately `num_edges`
+/// distinct edges (self-loops rejected, duplicates collapse).
+Graph ErdosRenyi(uint32_t num_vertices, uint64_t num_edges, bool directed,
+                 const LabelConfig& labels, uint64_t seed);
+
+/// Chung-Lu random graph with a power-law expected-degree sequence
+/// (exponent `gamma`, typically 2.1-2.8): the heavy-tailed shape of
+/// social and citation networks.
+Graph ChungLu(uint32_t num_vertices, uint64_t num_edges, double gamma,
+              bool directed, const LabelConfig& labels, uint64_t seed);
+
+/// Road-network analogue: a rows x cols grid where each lattice edge is
+/// kept with probability `keep_prob` and a few diagonal shortcuts are
+/// added; average degree lands near RoadCA's ~2.8. Undirected,
+/// unlabeled.
+Graph GridRoad(uint32_t rows, uint32_t cols, double keep_prob, uint64_t seed);
+
+/// Planted-partition ("stochastic block") graph for the clustering case
+/// study: `communities` equal-sized groups, intra-group edge
+/// probability `p_in`, inter-group `p_out`. `assignment_out` (optional)
+/// receives the ground-truth community per vertex.
+Graph PlantedPartition(uint32_t num_vertices, uint32_t communities,
+                       double p_in, double p_out, uint64_t seed,
+                       std::vector<uint32_t>* assignment_out);
+
+/// Overlays `num_pockets` dense vertex groups on top of a base graph:
+/// each pocket picks `pocket_size` random vertices and connects each
+/// pair with probability `p_in`. Models the dense functional modules
+/// (protein complexes) of PPI networks, which are what make
+/// complex-shaped patterns selective.
+Graph PlantPockets(const Graph& base, uint32_t num_pockets,
+                   uint32_t pocket_size, double p_in, uint64_t seed);
+
+/// Draws a label in [0, count) with Zipf skew (0 = uniform).
+Label DrawLabel(Rng& rng, uint32_t count, double skew);
+
+}  // namespace csce
+
+#endif  // CSCE_GEN_RANDOM_GRAPH_H_

@@ -1,0 +1,52 @@
+#include "graph/components.h"
+
+#include <algorithm>
+
+namespace csce {
+
+uint32_t ConnectedComponents(const Graph& g,
+                             std::vector<uint32_t>* component_of) {
+  const uint32_t n = g.NumVertices();
+  component_of->assign(n, 0xFFFFFFFFu);
+  uint32_t next_id = 0;
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if ((*component_of)[start] != 0xFFFFFFFFu) continue;
+    uint32_t id = next_id++;
+    (*component_of)[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      auto visit = [&](VertexId w) {
+        if ((*component_of)[w] == 0xFFFFFFFFu) {
+          (*component_of)[w] = id;
+          stack.push_back(w);
+        }
+      };
+      for (const Neighbor& nb : g.OutNeighbors(v)) visit(nb.v);
+      if (g.directed()) {
+        for (const Neighbor& nb : g.InNeighbors(v)) visit(nb.v);
+      }
+    }
+  }
+  return next_id;
+}
+
+std::vector<VertexId> LargestComponent(const Graph& g) {
+  std::vector<uint32_t> component_of;
+  uint32_t count = ConnectedComponents(g, &component_of);
+  if (count == 0) return {};
+  std::vector<uint32_t> sizes(count, 0);
+  for (uint32_t c : component_of) ++sizes[c];
+  uint32_t best = static_cast<uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  std::vector<VertexId> vertices;
+  vertices.reserve(sizes[best]);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (component_of[v] == best) vertices.push_back(v);
+  }
+  return vertices;
+}
+
+}  // namespace csce

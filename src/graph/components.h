@@ -1,0 +1,23 @@
+#ifndef CSCE_GRAPH_COMPONENTS_H_
+#define CSCE_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace csce {
+
+/// Connected components, ignoring edge direction. Fills
+/// `component_of` (vertex -> dense component id, ids ordered by first
+/// appearance) and returns the number of components.
+uint32_t ConnectedComponents(const Graph& g,
+                             std::vector<uint32_t>* component_of);
+
+/// The vertices of the largest (by vertex count) component, sorted.
+/// Useful for sampling patterns that are guaranteed to be growable.
+std::vector<VertexId> LargestComponent(const Graph& g);
+
+}  // namespace csce
+
+#endif  // CSCE_GRAPH_COMPONENTS_H_

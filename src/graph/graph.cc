@@ -1,0 +1,33 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace csce {
+
+bool Graph::HasEdge(VertexId src, VertexId dst) const {
+  auto nbrs = OutNeighbors(src);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), dst,
+      [](const Neighbor& n, VertexId v) { return n.v < v; });
+  return it != nbrs.end() && it->v == dst;
+}
+
+bool Graph::HasEdge(VertexId src, VertexId dst, Label elabel) const {
+  auto nbrs = OutNeighbors(src);
+  Neighbor key{dst, elabel};
+  return std::binary_search(nbrs.begin(), nbrs.end(), key);
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  ForEachEdge([&edges](const Edge& e) { edges.push_back(e); });
+  return edges;
+}
+
+uint32_t Graph::LabelFrequency(Label label) const {
+  if (label >= vlabel_freq_.size()) return 0;
+  return vlabel_freq_[label];
+}
+
+}  // namespace csce

@@ -1,0 +1,155 @@
+#ifndef CSCE_GRAPH_GRAPH_H_
+#define CSCE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace csce {
+
+/// Vertex identifier: consecutive integers starting at 0.
+using VertexId = uint32_t;
+/// Vertex or edge label. Unlabeled graphs use label 0 everywhere.
+using Label = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
+inline constexpr Label kNoLabel = 0;
+
+/// One adjacency entry: the neighbor vertex and the connecting edge's
+/// label. Adjacency lists are sorted by (v, elabel).
+struct Neighbor {
+  VertexId v;
+  Label elabel;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+  friend auto operator<=>(const Neighbor&, const Neighbor&) = default;
+};
+
+/// A directed arc (or one orientation of an undirected edge) with its
+/// label. Used for edge iteration and by the CCSR builder.
+struct Edge {
+  VertexId src;
+  VertexId dst;
+  Label elabel;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// An immutable heterogeneous graph: vertex labels, edge labels, directed
+/// or undirected. Storage is CSR adjacency. For undirected graphs each
+/// edge {a,b} is stored as the two arcs (a,b) and (b,a) and the "out"
+/// adjacency serves both directions; for directed graphs separate
+/// incoming adjacency is kept as well.
+///
+/// Self-loops are not allowed (enforced by GraphBuilder). Parallel edges
+/// with identical (src, dst, elabel) are deduplicated; the same vertex
+/// pair may be connected by edges of different labels.
+class Graph {
+ public:
+  Graph() = default;
+
+  bool directed() const { return directed_; }
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(vlabels_.size());
+  }
+  /// Logical edge count: an undirected edge counts once.
+  uint64_t NumEdges() const { return num_edges_; }
+
+  Label VertexLabel(VertexId v) const {
+    CSCE_DCHECK(v < vlabels_.size());
+    return vlabels_[v];
+  }
+  const std::vector<Label>& vertex_labels() const { return vlabels_; }
+
+  /// Number of distinct vertex labels (0 if the graph is unlabeled,
+  /// following Table IV's convention that unlabeled graphs report 0).
+  uint32_t VertexLabelCount() const { return vlabel_count_; }
+  /// Number of distinct edge labels (0 if all edges share label 0).
+  uint32_t EdgeLabelCount() const { return elabel_count_; }
+
+  /// True if vertex or edge labels make the graph heterogeneous
+  /// (paper Section II: l_v + l_e > 2).
+  bool IsHeterogeneous() const {
+    uint32_t lv = vlabel_count_ == 0 ? 1 : vlabel_count_;
+    uint32_t le = elabel_count_ == 0 ? 1 : elabel_count_;
+    return lv + le > 2;
+  }
+
+  /// Outgoing adjacency of v (for undirected graphs: all neighbors).
+  std::span<const Neighbor> OutNeighbors(VertexId v) const {
+    CSCE_DCHECK(v < vlabels_.size());
+    return {out_nbrs_.data() + out_offsets_[v],
+            out_nbrs_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Incoming adjacency of v (for undirected graphs: all neighbors).
+  std::span<const Neighbor> InNeighbors(VertexId v) const {
+    CSCE_DCHECK(v < vlabels_.size());
+    if (!directed_) return OutNeighbors(v);
+    return {in_nbrs_.data() + in_offsets_[v],
+            in_nbrs_.data() + in_offsets_[v + 1]};
+  }
+
+  uint32_t OutDegree(VertexId v) const {
+    return static_cast<uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+  uint32_t InDegree(VertexId v) const {
+    if (!directed_) return OutDegree(v);
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+  /// Total degree: neighbors in either direction (arcs, for directed).
+  uint32_t Degree(VertexId v) const {
+    return directed_ ? OutDegree(v) + InDegree(v) : OutDegree(v);
+  }
+
+  /// True if arc src->dst exists with any edge label (undirected: edge
+  /// {src,dst}). Binary search over the sorted adjacency.
+  bool HasEdge(VertexId src, VertexId dst) const;
+  /// True if arc src->dst exists with label `elabel`.
+  bool HasEdge(VertexId src, VertexId dst, Label elabel) const;
+  /// True if src and dst are connected in either direction.
+  bool HasEdgeAnyDirection(VertexId a, VertexId b) const {
+    return HasEdge(a, b) || (directed_ && HasEdge(b, a));
+  }
+
+  /// Invokes `fn(Edge)` once per logical edge: every arc for directed
+  /// graphs; each undirected edge once, oriented src < dst.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (VertexId v = 0; v < NumVertices(); ++v) {
+      for (const Neighbor& n : OutNeighbors(v)) {
+        if (!directed_ && n.v < v) continue;
+        fn(Edge{v, n.v, n.elabel});
+      }
+    }
+  }
+
+  /// All logical edges as a vector (convenience; prefer ForEachEdge on
+  /// hot paths).
+  std::vector<Edge> Edges() const;
+
+  /// Number of vertices carrying `label`.
+  uint32_t LabelFrequency(Label label) const;
+
+ private:
+  friend class GraphBuilder;
+
+  bool directed_ = false;
+  uint64_t num_edges_ = 0;
+  uint32_t vlabel_count_ = 0;
+  uint32_t elabel_count_ = 0;
+  std::vector<Label> vlabels_;
+  std::vector<uint64_t> out_offsets_;
+  std::vector<Neighbor> out_nbrs_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<Neighbor> in_nbrs_;
+  // label -> frequency, indexed by label value (dense).
+  std::vector<uint32_t> vlabel_freq_;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_GRAPH_GRAPH_H_

@@ -1,0 +1,124 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+namespace csce {
+namespace {
+
+// Builds CSR offsets + sorted adjacency from arcs keyed by `KeyFn`.
+void BuildAdjacency(uint32_t num_vertices, const std::vector<Edge>& arcs,
+                    bool by_src, std::vector<uint64_t>* offsets,
+                    std::vector<Neighbor>* nbrs) {
+  offsets->assign(num_vertices + 1, 0);
+  for (const Edge& e : arcs) {
+    VertexId key = by_src ? e.src : e.dst;
+    ++(*offsets)[key + 1];
+  }
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    (*offsets)[v + 1] += (*offsets)[v];
+  }
+  nbrs->resize(arcs.size());
+  std::vector<uint64_t> cursor(offsets->begin(), offsets->end() - 1);
+  for (const Edge& e : arcs) {
+    VertexId key = by_src ? e.src : e.dst;
+    VertexId other = by_src ? e.dst : e.src;
+    (*nbrs)[cursor[key]++] = Neighbor{other, e.elabel};
+  }
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    std::sort(nbrs->begin() + (*offsets)[v], nbrs->begin() + (*offsets)[v + 1]);
+  }
+}
+
+uint32_t CountDistinctLabels(const std::vector<Label>& labels) {
+  std::unordered_set<Label> distinct(labels.begin(), labels.end());
+  // Table IV convention: a graph whose only label is 0 reports 0 labels.
+  if (distinct.size() == 1 && *distinct.begin() == kNoLabel) return 0;
+  return static_cast<uint32_t>(distinct.size());
+}
+
+}  // namespace
+
+VertexId GraphBuilder::AddVertex(Label label) {
+  vlabels_.push_back(label);
+  return static_cast<VertexId>(vlabels_.size() - 1);
+}
+
+VertexId GraphBuilder::AddVertices(uint32_t n, Label label) {
+  VertexId first = static_cast<VertexId>(vlabels_.size());
+  vlabels_.insert(vlabels_.end(), n, label);
+  return first;
+}
+
+void GraphBuilder::AddEdge(VertexId src, VertexId dst, Label elabel) {
+  edges_.push_back(Edge{src, dst, elabel});
+}
+
+Status GraphBuilder::Build(Graph* out) {
+  const uint32_t n = static_cast<uint32_t>(vlabels_.size());
+  for (const Edge& e : edges_) {
+    if (e.src >= n || e.dst >= n) {
+      return Status::InvalidArgument("edge endpoint out of range: (" +
+                                     std::to_string(e.src) + ", " +
+                                     std::to_string(e.dst) + ")");
+    }
+    if (e.src == e.dst) {
+      return Status::InvalidArgument("self-loop at vertex " +
+                                     std::to_string(e.src));
+    }
+  }
+
+  // Deduplicate logical edges. For undirected graphs canonicalize to
+  // src < dst first so {a,b} and {b,a} collapse.
+  std::vector<Edge> logical = edges_;
+  if (!directed_) {
+    for (Edge& e : logical) {
+      if (e.src > e.dst) std::swap(e.src, e.dst);
+    }
+  }
+  std::sort(logical.begin(), logical.end());
+  logical.erase(std::unique(logical.begin(), logical.end()), logical.end());
+
+  // Expand to arcs: undirected edges are stored in both orientations.
+  std::vector<Edge> arcs = logical;
+  if (!directed_) {
+    arcs.reserve(logical.size() * 2);
+    for (const Edge& e : logical) {
+      arcs.push_back(Edge{e.dst, e.src, e.elabel});
+    }
+  }
+
+  Graph g;
+  g.directed_ = directed_;
+  g.num_edges_ = logical.size();
+  g.vlabels_ = vlabels_;
+  g.vlabel_count_ = CountDistinctLabels(vlabels_);
+
+  std::unordered_set<Label> elabels;
+  for (const Edge& e : logical) elabels.insert(e.elabel);
+  g.elabel_count_ =
+      (elabels.empty() || (elabels.size() == 1 && *elabels.begin() == kNoLabel))
+          ? 0
+          : static_cast<uint32_t>(elabels.size());
+
+  BuildAdjacency(n, arcs, /*by_src=*/true, &g.out_offsets_, &g.out_nbrs_);
+  if (directed_) {
+    BuildAdjacency(n, arcs, /*by_src=*/false, &g.in_offsets_, &g.in_nbrs_);
+  }
+
+  Label max_label = 0;
+  for (Label l : vlabels_) max_label = std::max(max_label, l);
+  g.vlabel_freq_.assign(n == 0 ? 0 : max_label + 1, 0);
+  for (Label l : vlabels_) ++g.vlabel_freq_[l];
+
+  *out = std::move(g);
+  return Status::OK();
+}
+
+void GraphBuilder::Reset() {
+  vlabels_.clear();
+  edges_.clear();
+}
+
+}  // namespace csce

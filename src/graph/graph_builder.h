@@ -1,0 +1,55 @@
+#ifndef CSCE_GRAPH_GRAPH_BUILDER_H_
+#define CSCE_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace csce {
+
+/// Incrementally assembles a Graph. Typical use:
+///
+///   GraphBuilder b(/*directed=*/false);
+///   VertexId a = b.AddVertex(/*label=*/1);
+///   VertexId c = b.AddVertex(2);
+///   b.AddEdge(a, c, /*elabel=*/0);
+///   Graph g;
+///   CSCE_CHECK(b.Build(&g).ok());
+///
+/// Self-loops are rejected at Build(). Duplicate (src, dst, elabel)
+/// triples are deduplicated silently.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(bool directed) : directed_(directed) {}
+
+  /// Adds a vertex and returns its id (assigned consecutively from 0).
+  VertexId AddVertex(Label label);
+
+  /// Adds `n` vertices all carrying `label`; returns the first new id.
+  VertexId AddVertices(uint32_t n, Label label);
+
+  /// Adds an edge. For undirected builders the edge is symmetric.
+  /// Endpoints must already exist (checked at Build()).
+  void AddEdge(VertexId src, VertexId dst, Label elabel = kNoLabel);
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(vlabels_.size());
+  }
+
+  /// Validates and finalizes into `*out`. The builder can be reused
+  /// afterwards only by starting over (Reset()).
+  Status Build(Graph* out);
+
+  void Reset();
+
+ private:
+  bool directed_;
+  std::vector<Label> vlabels_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,117 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graph/graph_builder.h"
+
+namespace csce {
+
+Status LoadGraphFromStream(std::istream& in, Graph* out) {
+  std::string line;
+  bool saw_header = false;
+  bool directed = false;
+  uint64_t declared_vertices = 0;
+  uint64_t declared_edges = 0;
+  std::vector<std::pair<VertexId, Label>> vertices;
+  std::vector<Edge> edges;
+  size_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 't') {
+      std::string dir;
+      ls >> dir >> declared_vertices >> declared_edges;
+      if (ls.fail() || (dir != "directed" && dir != "undirected")) {
+        return Status::Corruption("bad header at line " +
+                                  std::to_string(line_no));
+      }
+      directed = (dir == "directed");
+      saw_header = true;
+    } else if (tag == 'v') {
+      uint64_t id = 0;
+      uint64_t label = 0;
+      ls >> id >> label;
+      if (ls.fail()) {
+        return Status::Corruption("bad vertex at line " +
+                                  std::to_string(line_no));
+      }
+      vertices.emplace_back(static_cast<VertexId>(id),
+                            static_cast<Label>(label));
+    } else if (tag == 'e') {
+      uint64_t src = 0;
+      uint64_t dst = 0;
+      uint64_t elabel = 0;
+      ls >> src >> dst;
+      if (ls.fail()) {
+        return Status::Corruption("bad edge at line " +
+                                  std::to_string(line_no));
+      }
+      ls >> elabel;  // optional; stream failure here leaves elabel == 0
+      edges.push_back(Edge{static_cast<VertexId>(src),
+                           static_cast<VertexId>(dst),
+                           static_cast<Label>(elabel)});
+    } else {
+      return Status::Corruption("unknown record '" + std::string(1, tag) +
+                                "' at line " + std::to_string(line_no));
+    }
+  }
+
+  if (!saw_header) return Status::Corruption("missing 't' header");
+  if (vertices.size() != declared_vertices) {
+    return Status::Corruption("vertex count mismatch: header says " +
+                              std::to_string(declared_vertices) + ", got " +
+                              std::to_string(vertices.size()));
+  }
+
+  GraphBuilder builder(directed);
+  std::vector<Label> labels(vertices.size(), kNoLabel);
+  for (const auto& [id, label] : vertices) {
+    if (id >= labels.size()) {
+      return Status::Corruption("vertex id " + std::to_string(id) +
+                                " out of range");
+    }
+    labels[id] = label;
+  }
+  for (Label l : labels) builder.AddVertex(l);
+  for (const Edge& e : edges) builder.AddEdge(e.src, e.dst, e.elabel);
+  return builder.Build(out);
+}
+
+Status LoadGraphFromFile(const std::string& path, Graph* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadGraphFromStream(in, out);
+}
+
+Status LoadGraphFromString(const std::string& text, Graph* out) {
+  std::istringstream in(text);
+  return LoadGraphFromStream(in, out);
+}
+
+Status SaveGraphToStream(const Graph& g, std::ostream& out) {
+  out << "t " << (g.directed() ? "directed" : "undirected") << ' '
+      << g.NumVertices() << ' ' << g.NumEdges() << '\n';
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out << "v " << v << ' ' << g.VertexLabel(v) << '\n';
+  }
+  Status status = Status::OK();
+  g.ForEachEdge([&out](const Edge& e) {
+    out << "e " << e.src << ' ' << e.dst << ' ' << e.elabel << '\n';
+  });
+  if (!out) return Status::IOError("write failed");
+  return status;
+}
+
+Status SaveGraphToFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  return SaveGraphToStream(g, out);
+}
+
+}  // namespace csce

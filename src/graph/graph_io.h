@@ -1,0 +1,30 @@
+#ifndef CSCE_GRAPH_GRAPH_IO_H_
+#define CSCE_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace csce {
+
+/// Text edge-list format used by this repository (a superset of the
+/// common SM benchmark format):
+///
+///   # comment lines start with '#'
+///   t <directed|undirected> <num_vertices> <num_edges>
+///   v <id> <label>          (one per vertex, ids 0..n-1 in any order)
+///   e <src> <dst> [elabel]  (elabel defaults to 0)
+///
+/// `num_edges` counts logical edges (undirected edges once).
+Status LoadGraphFromStream(std::istream& in, Graph* out);
+Status LoadGraphFromFile(const std::string& path, Graph* out);
+Status LoadGraphFromString(const std::string& text, Graph* out);
+
+Status SaveGraphToStream(const Graph& g, std::ostream& out);
+Status SaveGraphToFile(const Graph& g, const std::string& path);
+
+}  // namespace csce
+
+#endif  // CSCE_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,33 @@
+#ifndef CSCE_GRAPH_GRAPH_STATS_H_
+#define CSCE_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace csce {
+
+/// The per-dataset statistics reported in the paper's Table IV.
+struct GraphStats {
+  bool directed = false;
+  uint32_t vertex_count = 0;
+  uint64_t edge_count = 0;
+  uint32_t label_count = 0;  // distinct vertex labels (0 for unlabeled)
+  double average_degree = 0.0;
+  uint32_t max_in_degree = 0;
+  uint32_t max_out_degree = 0;
+};
+
+GraphStats ComputeStats(const Graph& g);
+
+/// One row formatted like Table IV:
+/// "name  U|D  |V|  |E|  labels  avg_deg  max_in  max_out".
+std::string FormatStatsRow(const std::string& name, const GraphStats& s);
+
+/// The Table IV header matching FormatStatsRow's columns.
+std::string StatsHeader();
+
+}  // namespace csce
+
+#endif  // CSCE_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,152 @@
+#include "graph/isomorphism.h"
+
+#include <algorithm>
+
+namespace csce {
+namespace {
+
+// Labels of all arcs a->b (sorted). Small-vector-free: patterns are tiny.
+std::vector<Label> ArcLabels(const Graph& g, VertexId a, VertexId b) {
+  std::vector<Label> labels;
+  for (const Neighbor& n : g.OutNeighbors(a)) {
+    if (n.v == b) labels.push_back(n.elabel);
+    if (n.v > b) break;
+  }
+  return labels;
+}
+
+// True if the ordered pair (a1,b1) in p carries exactly the same arc
+// label set as (a2,b2) in q.
+bool PairMatches(const Graph& p, VertexId a1, VertexId b1, const Graph& q,
+                 VertexId a2, VertexId b2) {
+  return ArcLabels(p, a1, b1) == ArcLabels(q, a2, b2);
+}
+
+struct IsoState {
+  const Graph& p;
+  const Graph& q;
+  uint64_t limit;
+  std::vector<VertexId> mapping;       // p vertex -> q vertex
+  std::vector<bool> used;              // q vertex used
+  std::vector<std::vector<VertexId>> results;
+
+  void Recurse(VertexId u) {
+    if (results.size() >= limit) return;
+    if (u == p.NumVertices()) {
+      results.push_back(mapping);
+      return;
+    }
+    for (VertexId v = 0; v < q.NumVertices(); ++v) {
+      if (used[v]) continue;
+      if (p.VertexLabel(u) != q.VertexLabel(v)) continue;
+      if (p.Degree(u) != q.Degree(v)) continue;
+      bool ok = true;
+      for (VertexId w = 0; w < u && ok; ++w) {
+        ok = PairMatches(p, u, w, q, v, mapping[w]) &&
+             PairMatches(p, w, u, q, mapping[w], v);
+      }
+      if (!ok) continue;
+      mapping[u] = v;
+      used[v] = true;
+      Recurse(u + 1);
+      used[v] = false;
+      mapping[u] = kInvalidVertex;
+    }
+  }
+};
+
+struct BruteState {
+  const Graph& data;
+  const Graph& pattern;
+  MatchVariant variant;
+  std::vector<VertexId> mapping;
+  std::vector<bool> used;
+  uint64_t count = 0;
+
+  // Verifies the constraints between the newly assigned pattern vertex u
+  // (mapped to v) and every previously assigned pattern vertex w.
+  bool Feasible(VertexId u, VertexId v) const {
+    for (VertexId w = 0; w < u; ++w) {
+      VertexId dw = mapping[w];
+      // Required arcs, with labels.
+      for (const Neighbor& n : pattern.OutNeighbors(u)) {
+        if (n.v == w && !data.HasEdge(v, dw, n.elabel)) return false;
+      }
+      for (const Neighbor& n : pattern.InNeighbors(u)) {
+        if (pattern.directed() && n.v == w &&
+            !data.HasEdge(dw, v, n.elabel)) {
+          return false;
+        }
+      }
+      if (variant == MatchVariant::kVertexInduced) {
+        // Forbidden arcs: unconnected ordered pattern pairs must stay
+        // unconnected in the data graph (any label).
+        if (!pattern.HasEdge(u, w) && data.HasEdge(v, dw)) return false;
+        if (pattern.directed()) {
+          if (!pattern.HasEdge(w, u) && data.HasEdge(dw, v)) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void Recurse(VertexId u) {
+    if (u == pattern.NumVertices()) {
+      ++count;
+      return;
+    }
+    for (VertexId v = 0; v < data.NumVertices(); ++v) {
+      if (variant != MatchVariant::kHomomorphic && used[v]) continue;
+      if (pattern.VertexLabel(u) != data.VertexLabel(v)) continue;
+      if (!Feasible(u, v)) continue;
+      mapping[u] = v;
+      if (variant != MatchVariant::kHomomorphic) used[v] = true;
+      Recurse(u + 1);
+      if (variant != MatchVariant::kHomomorphic) used[v] = false;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> EnumerateIsomorphisms(const Graph& p,
+                                                         const Graph& q,
+                                                         uint64_t limit) {
+  if (p.NumVertices() != q.NumVertices() || p.NumEdges() != q.NumEdges() ||
+      p.directed() != q.directed()) {
+    return {};
+  }
+  IsoState state{p, q, limit,
+                 std::vector<VertexId>(p.NumVertices(), kInvalidVertex),
+                 std::vector<bool>(q.NumVertices(), false),
+                 {}};
+  state.Recurse(0);
+  return std::move(state.results);
+}
+
+bool AreIsomorphic(const Graph& p, const Graph& q) {
+  return !EnumerateIsomorphisms(p, q, /*limit=*/1).empty();
+}
+
+std::vector<std::vector<VertexId>> EnumerateAutomorphisms(const Graph& p) {
+  return EnumerateIsomorphisms(p, p);
+}
+
+uint64_t CountAutomorphisms(const Graph& p) {
+  return EnumerateAutomorphisms(p).size();
+}
+
+uint64_t CountEmbeddingsBruteForce(const Graph& data, const Graph& pattern,
+                                   MatchVariant variant) {
+  if (pattern.NumVertices() == 0) return 0;
+  BruteState state{data,
+                   pattern,
+                   variant,
+                   std::vector<VertexId>(pattern.NumVertices(), kInvalidVertex),
+                   std::vector<bool>(data.NumVertices(), false),
+                   0};
+  state.Recurse(0);
+  return state.count;
+}
+
+}  // namespace csce

@@ -1,0 +1,35 @@
+#ifndef CSCE_GRAPH_ISOMORPHISM_H_
+#define CSCE_GRAPH_ISOMORPHISM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/variant.h"
+
+namespace csce {
+
+/// Enumerates all isomorphisms f: V_p -> V_q (bijections preserving
+/// vertex labels, arcs and arc labels exactly in both directions).
+/// Intended for small graphs (patterns); exponential worst case.
+/// Stops after `limit` mappings when given.
+std::vector<std::vector<VertexId>> EnumerateIsomorphisms(
+    const Graph& p, const Graph& q, uint64_t limit = UINT64_MAX);
+
+bool AreIsomorphic(const Graph& p, const Graph& q);
+
+/// All automorphisms of `p` (always includes the identity).
+std::vector<std::vector<VertexId>> EnumerateAutomorphisms(const Graph& p);
+
+uint64_t CountAutomorphisms(const Graph& p);
+
+/// Reference subgraph-matching oracle: counts embeddings of `pattern`
+/// in `data` under `variant` by naive backtracking with full constraint
+/// checks. Exponential; used as ground truth in tests and to validate
+/// the optimized engines on small inputs.
+uint64_t CountEmbeddingsBruteForce(const Graph& data, const Graph& pattern,
+                                   MatchVariant variant);
+
+}  // namespace csce
+
+#endif  // CSCE_GRAPH_ISOMORPHISM_H_

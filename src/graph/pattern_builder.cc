@@ -1,0 +1,56 @@
+#include "graph/pattern_builder.h"
+
+#include <vector>
+
+namespace csce {
+
+VertexId PatternBuilder::Intern(const std::string& name) {
+  auto it = names_.find(name);
+  if (it != names_.end()) return it->second;
+  VertexId id = builder_.AddVertex(kNoLabel);
+  names_.emplace(name, id);
+  return id;
+}
+
+PatternBuilder& PatternBuilder::Vertex(const std::string& name, Label label) {
+  VertexId id = Intern(name);
+  // GraphBuilder labels are fixed at AddVertex time; remember the
+  // override and apply it at Build().
+  relabels_[id] = label;
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::Edge(const std::string& from,
+                                     const std::string& to, Label elabel) {
+  VertexId src = Intern(from);
+  VertexId dst = Intern(to);
+  builder_.AddEdge(src, dst, elabel);
+  return *this;
+}
+
+VertexId PatternBuilder::VertexIdOf(const std::string& name) const {
+  auto it = names_.find(name);
+  return it == names_.end() ? kInvalidVertex : it->second;
+}
+
+Status PatternBuilder::Build(Graph* out) {
+  Graph raw;
+  CSCE_RETURN_IF_ERROR(builder_.Build(&raw));
+  if (relabels_.empty()) {
+    *out = std::move(raw);
+    return Status::OK();
+  }
+  // Rebuild with the final labels.
+  GraphBuilder relabeled(raw.directed());
+  for (VertexId v = 0; v < raw.NumVertices(); ++v) {
+    auto it = relabels_.find(v);
+    relabeled.AddVertex(it == relabels_.end() ? raw.VertexLabel(v)
+                                              : it->second);
+  }
+  raw.ForEachEdge([&relabeled](const csce::Edge& e) {
+    relabeled.AddEdge(e.src, e.dst, e.elabel);
+  });
+  return relabeled.Build(out);
+}
+
+}  // namespace csce

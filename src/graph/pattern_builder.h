@@ -1,0 +1,50 @@
+#ifndef CSCE_GRAPH_PATTERN_BUILDER_H_
+#define CSCE_GRAPH_PATTERN_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "util/status.h"
+
+namespace csce {
+
+/// Fluent construction of pattern graphs with named vertices, for
+/// query code that reads like the query:
+///
+///   Graph query;
+///   Status st = PatternBuilder(/*directed=*/true)
+///                   .Vertex("author", kUser)
+///                   .Vertex("post", kPost)
+///                   .Edge("author", "post", kAuthored)
+///                   .Build(&query);
+///
+/// Vertices referenced in Edge() before being declared are created
+/// with label 0; a later Vertex() call for the same name relabels
+/// them. Vertex ids are assigned in first-mention order, so callbacks
+/// can be decoded with VertexIdOf().
+class PatternBuilder {
+ public:
+  explicit PatternBuilder(bool directed) : builder_(directed) {}
+
+  PatternBuilder& Vertex(const std::string& name, Label label = kNoLabel);
+  PatternBuilder& Edge(const std::string& from, const std::string& to,
+                       Label elabel = kNoLabel);
+
+  /// Id of a named vertex; kInvalidVertex if never mentioned.
+  VertexId VertexIdOf(const std::string& name) const;
+
+  Status Build(Graph* out);
+
+ private:
+  VertexId Intern(const std::string& name);
+
+  GraphBuilder builder_;
+  std::unordered_map<std::string, VertexId> names_;
+  std::unordered_map<VertexId, Label> relabels_;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_GRAPH_PATTERN_BUILDER_H_

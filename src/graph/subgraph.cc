@@ -1,0 +1,81 @@
+#include "graph/subgraph.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace csce {
+
+Graph InducedSubgraph(const Graph& g, const std::vector<VertexId>& vertices) {
+  std::unordered_map<VertexId, VertexId> remap;
+  remap.reserve(vertices.size());
+  GraphBuilder builder(g.directed());
+  for (VertexId v : vertices) {
+    CSCE_CHECK(v < g.NumVertices());
+    bool inserted =
+        remap.emplace(v, builder.AddVertex(g.VertexLabel(v))).second;
+    CSCE_CHECK(inserted);
+  }
+  for (VertexId v : vertices) {
+    for (const Neighbor& n : g.OutNeighbors(v)) {
+      auto it = remap.find(n.v);
+      if (it == remap.end()) continue;
+      if (!g.directed() && n.v < v) continue;  // emit undirected edges once
+      builder.AddEdge(remap[v], it->second, n.elabel);
+    }
+  }
+  Graph out;
+  Status st = builder.Build(&out);
+  CSCE_CHECK(st.ok());
+  return out;
+}
+
+Graph EdgeInducedSubgraph(const Graph& g, const std::vector<Edge>& edges) {
+  std::unordered_map<VertexId, VertexId> remap;
+  GraphBuilder builder(g.directed());
+  auto intern = [&](VertexId v) {
+    auto it = remap.find(v);
+    if (it != remap.end()) return it->second;
+    VertexId id = builder.AddVertex(g.VertexLabel(v));
+    remap.emplace(v, id);
+    return id;
+  };
+  for (const Edge& e : edges) {
+    CSCE_CHECK(e.src < g.NumVertices() && e.dst < g.NumVertices());
+    VertexId s = intern(e.src);
+    VertexId d = intern(e.dst);
+    builder.AddEdge(s, d, e.elabel);
+  }
+  Graph out;
+  Status st = builder.Build(&out);
+  CSCE_CHECK(st.ok());
+  return out;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.NumVertices() == 0) return true;
+  std::vector<bool> seen(g.NumVertices(), false);
+  std::vector<VertexId> stack = {0};
+  seen[0] = true;
+  uint32_t visited = 1;
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    auto visit = [&](const Neighbor& n) {
+      if (!seen[n.v]) {
+        seen[n.v] = true;
+        ++visited;
+        stack.push_back(n.v);
+      }
+    };
+    for (const Neighbor& n : g.OutNeighbors(v)) visit(n);
+    if (g.directed()) {
+      for (const Neighbor& n : g.InNeighbors(v)) visit(n);
+    }
+  }
+  return visited == g.NumVertices();
+}
+
+}  // namespace csce

@@ -1,0 +1,25 @@
+#ifndef CSCE_GRAPH_SUBGRAPH_H_
+#define CSCE_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace csce {
+
+/// Extracts the vertex-induced subgraph G[vertices]. Vertices are
+/// renumbered 0..k-1 in the order given; labels are preserved.
+/// Duplicate ids in `vertices` are a programming error.
+Graph InducedSubgraph(const Graph& g, const std::vector<VertexId>& vertices);
+
+/// Extracts the edge-induced subgraph from the given arcs of `g`
+/// (arcs must exist in `g`). Vertices are the arcs' endpoints,
+/// renumbered in first-appearance order.
+Graph EdgeInducedSubgraph(const Graph& g, const std::vector<Edge>& edges);
+
+/// True if the graph is connected, ignoring edge directions.
+bool IsConnected(const Graph& g);
+
+}  // namespace csce
+
+#endif  // CSCE_GRAPH_SUBGRAPH_H_

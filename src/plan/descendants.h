@@ -1,0 +1,20 @@
+#ifndef CSCE_PLAN_DESCENDANTS_H_
+#define CSCE_PLAN_DESCENDANTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/dag.h"
+
+namespace csce {
+
+/// Algorithm 3 (ComputeDescendant): for every DAG vertex, the number of
+/// distinct direct and indirect descendants. Vertices can share
+/// descendants, so this unions descendant *sets* bottom-up (dynamic
+/// programming over a reverse topological order) rather than summing
+/// child counts.
+std::vector<uint32_t> ComputeDescendantSizes(const DependencyDag& dag);
+
+}  // namespace csce
+
+#endif  // CSCE_PLAN_DESCENDANTS_H_

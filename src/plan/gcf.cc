@@ -1,0 +1,160 @@
+#include "plan/gcf.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace csce {
+namespace {
+
+constexpr uint64_t kNoCluster = std::numeric_limits<uint64_t>::max();
+
+// Direction-blind adjacency of the pattern, deduplicated.
+std::vector<std::vector<VertexId>> UndirectedAdjacency(const Graph& p) {
+  std::vector<std::vector<VertexId>> adj(p.NumVertices());
+  for (VertexId v = 0; v < p.NumVertices(); ++v) {
+    for (const Neighbor& n : p.OutNeighbors(v)) adj[v].push_back(n.v);
+    if (p.directed()) {
+      for (const Neighbor& n : p.InNeighbors(v)) adj[v].push_back(n.v);
+    }
+    std::sort(adj[v].begin(), adj[v].end());
+    adj[v].erase(std::unique(adj[v].begin(), adj[v].end()), adj[v].end());
+  }
+  return adj;
+}
+
+// Smallest data cluster among all pattern arcs between a and b
+// (the paper's |I_C(u_a, u_b)|); kNoCluster if not adjacent.
+uint64_t MinClusterSizeBetween(const Graph& p, const Ccsr* gc, VertexId a,
+                               VertexId b) {
+  if (gc == nullptr) return kNoCluster;
+  uint64_t best = kNoCluster;
+  auto consider = [&](VertexId src, VertexId dst) {
+    for (const Neighbor& n : p.OutNeighbors(src)) {
+      if (n.v != dst) continue;
+      ClusterId id = ClusterId::ForPatternEdge(p, Edge{src, dst, n.elabel});
+      best = std::min(best, gc->ClusterSize(id));
+    }
+  };
+  consider(a, b);
+  if (p.directed()) consider(b, a);
+  return best;
+}
+
+uint64_t MinIncidentClusterSize(const Graph& p, const Ccsr* gc, VertexId x,
+                                const std::vector<VertexId>& neighbors) {
+  uint64_t best = kNoCluster;
+  for (VertexId n : neighbors) {
+    best = std::min(best, MinClusterSizeBetween(p, gc, x, n));
+  }
+  return best;
+}
+
+// Ranking key for the next-vertex choice: maximize (t1, t2, t3), then
+// minimize (w1, w2, w3, vertex id). Implemented as lexicographic
+// comparison on a normalized tuple.
+struct Rank {
+  uint32_t t1 = 0;
+  uint32_t t2 = 0;
+  uint32_t t3 = 0;
+  uint64_t w1 = kNoCluster;
+  uint64_t w2 = kNoCluster;
+  uint64_t w3 = kNoCluster;
+  VertexId vertex = kInvalidVertex;
+
+  bool BetterThan(const Rank& o) const {
+    if (t1 != o.t1) return t1 > o.t1;
+    if (t2 != o.t2) return t2 > o.t2;
+    if (t3 != o.t3) return t3 > o.t3;
+    if (w1 != o.w1) return w1 < o.w1;
+    if (w2 != o.w2) return w2 < o.w2;
+    if (w3 != o.w3) return w3 < o.w3;
+    return vertex < o.vertex;
+  }
+};
+
+}  // namespace
+
+std::vector<VertexId> GreatestConstraintFirstOrder(const Graph& pattern,
+                                                   const Ccsr* gc,
+                                                   const GcfOptions& options) {
+  const uint32_t n = pattern.NumVertices();
+  std::vector<VertexId> order;
+  if (n == 0) return order;
+  order.reserve(n);
+
+  const Ccsr* stats = options.use_cluster_tiebreak ? gc : nullptr;
+  std::vector<std::vector<VertexId>> adj = UndirectedAdjacency(pattern);
+  std::vector<bool> matched(n, false);
+
+  // First vertex: highest degree; ties by smallest incident cluster.
+  {
+    VertexId best = 0;
+    uint64_t best_cluster = kNoCluster;
+    uint32_t best_degree = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      uint32_t deg = static_cast<uint32_t>(adj[v].size());
+      uint64_t cluster = stats == nullptr
+                             ? kNoCluster
+                             : MinIncidentClusterSize(pattern, stats, v,
+                                                      adj[v]);
+      bool better = deg > best_degree ||
+                    (deg == best_degree && cluster < best_cluster);
+      if (v == 0 || better) {
+        best = v;
+        best_degree = deg;
+        best_cluster = cluster;
+      }
+    }
+    order.push_back(best);
+    matched[best] = true;
+  }
+
+  for (uint32_t step = 1; step < n; ++step) {
+    Rank best;
+    for (VertexId x = 0; x < n; ++x) {
+      if (matched[x]) continue;
+      Rank r;
+      r.vertex = x;
+      for (VertexId j : adj[x]) {
+        if (matched[j]) {
+          // Rule 1: edges to already-matched vertices.
+          ++r.t1;
+          if (stats != nullptr) {
+            r.w1 = std::min(r.w1, MinClusterSizeBetween(pattern, stats, j, x));
+          }
+          continue;
+        }
+        // j is an unmatched neighbor of x: rule 2 if it touches the
+        // matched prefix, rule 3 otherwise.
+        bool touches_matched = false;
+        for (VertexId k : adj[j]) {
+          if (matched[k]) {
+            touches_matched = true;
+            break;
+          }
+        }
+        if (touches_matched) {
+          ++r.t2;
+          if (stats != nullptr) {
+            r.w2 = std::min(r.w2, MinClusterSizeBetween(pattern, stats, x, j));
+          }
+        } else {
+          ++r.t3;
+          if (stats != nullptr) {
+            r.w3 = std::min(r.w3, MinClusterSizeBetween(pattern, stats, x, j));
+          }
+        }
+      }
+      if (best.vertex == kInvalidVertex || r.BetterThan(best)) best = r;
+    }
+    CSCE_CHECK(best.vertex != kInvalidVertex);
+    order.push_back(best.vertex);
+    matched[best.vertex] = true;
+  }
+  return order;
+}
+
+}  // namespace csce

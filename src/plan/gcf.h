@@ -1,0 +1,28 @@
+#ifndef CSCE_PLAN_GCF_H_
+#define CSCE_PLAN_GCF_H_
+
+#include <vector>
+
+#include "ccsr/ccsr.h"
+#include "graph/graph.h"
+
+namespace csce {
+
+struct GcfOptions {
+  /// Break RI's frequent ties using CCSR cluster sizes (paper Section
+  /// VI, Eq. 2). With false (or without data statistics) this is plain
+  /// RI, which ignores the data graph entirely.
+  bool use_cluster_tiebreak = true;
+};
+
+/// Greatest-Constraint-First matching order (RI's three rules, paper
+/// Eq. 1) with CCSR-based tie-breaking (Eq. 2). `gc` may be nullptr, in
+/// which case ties fall through to the lowest vertex id
+/// (deterministically), exactly like data-oblivious RI.
+std::vector<VertexId> GreatestConstraintFirstOrder(const Graph& pattern,
+                                                   const Ccsr* gc,
+                                                   const GcfOptions& options);
+
+}  // namespace csce
+
+#endif  // CSCE_PLAN_GCF_H_

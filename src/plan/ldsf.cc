@@ -1,0 +1,119 @@
+#include "plan/ldsf.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace csce {
+namespace {
+
+constexpr uint64_t kNoCluster = std::numeric_limits<uint64_t>::max();
+
+uint64_t MinClusterToOrdered(const Graph& p, const Ccsr* gc, VertexId x,
+                             const std::vector<bool>& ordered) {
+  if (gc == nullptr) return kNoCluster;
+  uint64_t best = kNoCluster;
+  auto consider = [&](VertexId src, VertexId dst, VertexId other) {
+    if (!ordered[other]) return;
+    for (const Neighbor& n : p.OutNeighbors(src)) {
+      if (n.v != dst) continue;
+      ClusterId id = ClusterId::ForPatternEdge(p, Edge{src, dst, n.elabel});
+      best = std::min(best, gc->ClusterSize(id));
+    }
+  };
+  for (const Neighbor& n : p.OutNeighbors(x)) consider(x, n.v, n.v);
+  if (p.directed()) {
+    for (const Neighbor& n : p.InNeighbors(x)) consider(n.v, x, n.v);
+  }
+  return best;
+}
+
+uint64_t LabelFrequency(const Graph& p, const Ccsr* gc, VertexId x) {
+  Label l = p.VertexLabel(x);
+  // Prefer the data-graph frequency; the pattern's own frequency is the
+  // data-oblivious fallback.
+  return gc != nullptr ? gc->LabelFrequency(l) : p.LabelFrequency(l);
+}
+
+}  // namespace
+
+std::vector<VertexId> LargestDescendantFirstOrder(
+    const DependencyDag& dag, const Graph& pattern, const Ccsr* gc,
+    std::span<const uint32_t> descendant_sizes) {
+  const uint32_t n = dag.NumVertices();
+  CSCE_CHECK(descendant_sizes.size() == n);
+  std::vector<VertexId> order;
+  order.reserve(n);
+
+  std::vector<uint32_t> pending_parents(n, 0);
+  std::vector<bool> ready(n, false);
+  std::vector<bool> ordered(n, false);
+  for (uint32_t v = 0; v < n; ++v) {
+    pending_parents[v] = static_cast<uint32_t>(dag.Parents(v).size());
+    if (pending_parents[v] == 0) ready[v] = true;
+  }
+
+  // The ready set is tiny (<= pattern size) so a linear scan with the
+  // composite rank beats maintaining a priority queue whose keys (the
+  // cluster tie-break) change as vertices get ordered.
+  //
+  // Rank: (1) greatest constraint count — a ready vertex is anchored by
+  // all of its DAG parents, and matching the most-constrained vertex
+  // first prunes fastest (GCF's principle carries over to the
+  // reordering); (2) largest descendant size, the LDSF tie-break that
+  // maximizes candidate reuse; (3) smallest cluster; (4) rarest label.
+  for (uint32_t step = 0; step < n; ++step) {
+    VertexId best = kInvalidVertex;
+    uint32_t best_parents = 0;
+    uint32_t best_desc = 0;
+    uint64_t best_cluster = kNoCluster;
+    uint64_t best_freq = kNoCluster;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!ready[v] || ordered[v]) continue;
+      uint32_t parents = static_cast<uint32_t>(dag.Parents(v).size());
+      uint32_t desc = descendant_sizes[v];
+      uint64_t cluster = 0;
+      uint64_t freq = 0;
+      bool need_ties = best != kInvalidVertex && parents == best_parents &&
+                       desc == best_desc;
+      if (best == kInvalidVertex || parents > best_parents ||
+          (parents == best_parents && desc > best_desc) || need_ties) {
+        cluster = MinClusterToOrdered(pattern, gc, v, ordered);
+        freq = LabelFrequency(pattern, gc, v);
+      }
+      bool better;
+      if (best == kInvalidVertex) {
+        better = true;
+      } else if (parents != best_parents) {
+        better = parents > best_parents;
+      } else if (desc != best_desc) {
+        better = desc > best_desc;
+      } else if (cluster != best_cluster) {
+        better = cluster < best_cluster;
+      } else if (freq != best_freq) {
+        better = freq < best_freq;
+      } else {
+        better = v < best;
+      }
+      if (better) {
+        best = v;
+        best_parents = parents;
+        best_desc = desc;
+        best_cluster = cluster;
+        best_freq = freq;
+      }
+    }
+    CSCE_CHECK(best != kInvalidVertex);
+    order.push_back(best);
+    ordered[best] = true;
+    ready[best] = false;
+    for (VertexId c : dag.Children(best)) {
+      if (--pending_parents[c] == 0) ready[c] = true;
+    }
+  }
+  return order;
+}
+
+}  // namespace csce

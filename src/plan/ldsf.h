@@ -1,0 +1,27 @@
+#ifndef CSCE_PLAN_LDSF_H_
+#define CSCE_PLAN_LDSF_H_
+
+#include <span>
+#include <vector>
+
+#include "ccsr/ccsr.h"
+#include "graph/graph.h"
+#include "plan/dag.h"
+
+namespace csce {
+
+/// Algorithm 4 (GeneratePlan): Largest-Descendant-Size-First topological
+/// order of the dependency DAG. Among ready vertices it prefers, in
+/// order: largest descendant size; smallest cluster among edges to
+/// already-ordered pattern neighbors; lowest data-graph label frequency;
+/// lowest vertex id (determinism). Unlike Kahn's algorithm, which picks
+/// an arbitrary topological order, this one maximizes candidate reuse.
+///
+/// `gc` may be nullptr (skips the data-dependent tie-breaks).
+std::vector<VertexId> LargestDescendantFirstOrder(
+    const DependencyDag& dag, const Graph& pattern, const Ccsr* gc,
+    std::span<const uint32_t> descendant_sizes);
+
+}  // namespace csce
+
+#endif  // CSCE_PLAN_LDSF_H_

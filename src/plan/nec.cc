@@ -1,0 +1,67 @@
+#include "plan/nec.h"
+
+#include <algorithm>
+
+namespace csce {
+namespace {
+
+// u's neighborhood in one direction with v (and u itself) removed.
+std::vector<Neighbor> NeighborhoodExcluding(std::span<const Neighbor> nbrs,
+                                            VertexId u, VertexId v) {
+  std::vector<Neighbor> out;
+  out.reserve(nbrs.size());
+  for (const Neighbor& n : nbrs) {
+    if (n.v == u || n.v == v) continue;
+    out.push_back(n);
+  }
+  return out;
+}
+
+bool Equivalent(const Graph& p, VertexId u, VertexId v) {
+  if (p.VertexLabel(u) != p.VertexLabel(v)) return false;
+  // If adjacent, the connecting edges must be mutual with equal labels
+  // (e.g. both endpoints of a triangle edge can be equivalent).
+  if (NeighborhoodExcluding(p.OutNeighbors(u), u, v) !=
+      NeighborhoodExcluding(p.OutNeighbors(v), v, u)) {
+    return false;
+  }
+  if (p.directed() && NeighborhoodExcluding(p.InNeighbors(u), u, v) !=
+                          NeighborhoodExcluding(p.InNeighbors(v), v, u)) {
+    return false;
+  }
+  // Arc labels between u and v themselves must be symmetric, otherwise
+  // swapping u and v changes the pattern.
+  auto arcs_between = [&p](VertexId a, VertexId b) {
+    std::vector<Label> labels;
+    for (const Neighbor& n : p.OutNeighbors(a)) {
+      if (n.v == b) labels.push_back(n.elabel);
+    }
+    return labels;
+  };
+  if (arcs_between(u, v) != arcs_between(v, u)) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint32_t> ComputeNecClasses(const Graph& pattern) {
+  const uint32_t n = pattern.NumVertices();
+  std::vector<uint32_t> cls(n, 0);
+  std::vector<VertexId> representative;  // class id -> smallest member
+  for (VertexId v = 0; v < n; ++v) {
+    bool assigned = false;
+    for (uint32_t c = 0; c < representative.size() && !assigned; ++c) {
+      if (Equivalent(pattern, representative[c], v)) {
+        cls[v] = c;
+        assigned = true;
+      }
+    }
+    if (!assigned) {
+      cls[v] = static_cast<uint32_t>(representative.size());
+      representative.push_back(v);
+    }
+  }
+  return cls;
+}
+
+}  // namespace csce

@@ -1,0 +1,61 @@
+#include "plan/plan_printer.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace csce {
+namespace {
+
+void Append(std::string* out, const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string PlanToString(const Plan& plan) {
+  std::string out;
+  Append(&out, "plan: variant=%s positions=%zu dag_edges=%zu sce=%u/%u%s\n",
+         VariantName(plan.variant), plan.positions.size(), plan.dag_edges,
+         plan.sce.sce_vertices, plan.sce.pattern_vertices,
+         plan.use_sce ? "" : " (sce disabled)");
+  for (size_t j = 0; j < plan.positions.size(); ++j) {
+    const PlanPosition& pos = plan.positions[j];
+    Append(&out, "  [%zu] u%u label=%u", j, pos.u, pos.label);
+    if (pos.edges.empty()) {
+      if (pos.seed_valid) {
+        Append(&out, " seed=%s(%s)", pos.seed_cluster.ToString().c_str(),
+               pos.seed_use_sources ? "sources" : "targets");
+      } else {
+        Append(&out, " seed=label-scan");
+      }
+    }
+    for (const EdgeConstraint& e : pos.edges) {
+      Append(&out, " %s@%u%s", e.cluster.ToString().c_str(), e.pos,
+             e.incoming ? "(in)" : "(out)");
+    }
+    for (const NegConstraint& c : pos.negations) {
+      Append(&out, " !%u%s%s", c.pos, c.forbid_to ? "to" : "",
+             c.forbid_from ? "from" : "");
+    }
+    if (!pos.deps.empty()) {
+      Append(&out, " deps={");
+      for (size_t i = 0; i < pos.deps.size(); ++i) {
+        Append(&out, "%s%u", i ? "," : "", pos.deps[i]);
+      }
+      Append(&out, "}");
+    }
+    if (pos.cache_alias >= 0) Append(&out, " alias=%d", pos.cache_alias);
+    if (pos.min_out_degree > 0 || pos.min_in_degree > 0) {
+      Append(&out, " mindeg=%u/%u", pos.min_out_degree, pos.min_in_degree);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace csce

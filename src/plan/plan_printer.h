@@ -1,0 +1,18 @@
+#ifndef CSCE_PLAN_PLAN_PRINTER_H_
+#define CSCE_PLAN_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "plan/planner.h"
+
+namespace csce {
+
+/// Human-readable multi-line dump of a compiled plan: matching order,
+/// per-position constraints (edge clusters, negations, dependency
+/// positions, cache aliases, degree filters) and the SCE summary. Used
+/// by `csce_match --explain` and handy in test failure messages.
+std::string PlanToString(const Plan& plan);
+
+}  // namespace csce
+
+#endif  // CSCE_PLAN_PLAN_PRINTER_H_

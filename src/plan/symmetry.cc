@@ -1,0 +1,54 @@
+#include "plan/symmetry.h"
+
+#include <algorithm>
+
+#include "graph/isomorphism.h"
+#include "util/timer.h"
+
+namespace csce {
+
+SymmetryInfo ComputeSymmetryBreaking(const Graph& pattern) {
+  WallTimer timer;
+  SymmetryInfo info;
+  std::vector<std::vector<VertexId>> autos = EnumerateAutomorphisms(pattern);
+  info.automorphism_count = autos.size();
+
+  // Stabilizer-chain restriction generation: repeatedly pick the
+  // smallest vertex v moved by the remaining automorphisms, emit
+  // f(v) < f(g(v)) for every image, then keep only the stabilizer of v.
+  // Orbit-stabilizer guarantees each automorphism class keeps exactly
+  // one representative satisfying all restrictions.
+  std::vector<std::vector<VertexId>> group = std::move(autos);
+  const uint32_t n = pattern.NumVertices();
+  while (group.size() > 1) {
+    VertexId pivot = kInvalidVertex;
+    for (VertexId v = 0; v < n && pivot == kInvalidVertex; ++v) {
+      for (const auto& g : group) {
+        if (g[v] != v) {
+          pivot = v;
+          break;
+        }
+      }
+    }
+    if (pivot == kInvalidVertex) break;  // only the identity remains
+    std::vector<VertexId> orbit;
+    for (const auto& g : group) {
+      if (g[pivot] != pivot) orbit.push_back(g[pivot]);
+    }
+    std::sort(orbit.begin(), orbit.end());
+    orbit.erase(std::unique(orbit.begin(), orbit.end()), orbit.end());
+    for (VertexId img : orbit) {
+      info.restrictions.emplace_back(pivot, img);
+    }
+    // Stabilizer of the pivot.
+    std::vector<std::vector<VertexId>> stabilizer;
+    for (auto& g : group) {
+      if (g[pivot] == pivot) stabilizer.push_back(std::move(g));
+    }
+    group = std::move(stabilizer);
+  }
+  info.generation_seconds = timer.Seconds();
+  return info;
+}
+
+}  // namespace csce

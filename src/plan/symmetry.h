@@ -1,0 +1,30 @@
+#ifndef CSCE_PLAN_SYMMETRY_H_
+#define CSCE_PLAN_SYMMETRY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace csce {
+
+/// Pattern symmetry-breaking restrictions (GraphPi/GraphZero style).
+/// An enumerator that enforces every `f(first) < f(second)` restriction
+/// finds exactly one canonical embedding per automorphism class; the
+/// true embedding count is canonical_count * automorphism_count.
+///
+/// Generating this requires enumerating the automorphism group, which
+/// is what fails to scale on large unlabeled patterns (the paper's
+/// Finding 2) — `generation_seconds` exposes that cost.
+struct SymmetryInfo {
+  uint64_t automorphism_count = 1;
+  std::vector<std::pair<VertexId, VertexId>> restrictions;
+  double generation_seconds = 0.0;
+};
+
+SymmetryInfo ComputeSymmetryBreaking(const Graph& pattern);
+
+}  // namespace csce
+
+#endif  // CSCE_PLAN_SYMMETRY_H_

@@ -1,0 +1,63 @@
+#ifndef CSCE_UTIL_BITSET_H_
+#define CSCE_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace csce {
+
+/// Fixed-capacity dynamic bitset used for "visited" / "used data vertex"
+/// sets on hot enumeration paths. Avoids std::vector<bool>'s proxy
+/// references and provides word-level reset.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t n) { Resize(n); }
+
+  void Resize(size_t n) {
+    size_ = n;
+    words_.assign((n + 63) / 64, 0);
+  }
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i) {
+    CSCE_DCHECK(i < size_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+
+  void Clear(size_t i) {
+    CSCE_DCHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    CSCE_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// this |= other. Both bitsets must have the same size.
+  void OrWith(const DynamicBitset& other) {
+    CSCE_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_UTIL_BITSET_H_

@@ -1,0 +1,113 @@
+#ifndef CSCE_UTIL_FLAGS_H_
+#define CSCE_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace csce {
+
+/// Minimal command-line flag parser for the CLI tools:
+/// `--key=value` pairs, bare `--switch` booleans, and positional
+/// arguments. `--` ends flag parsing. Unknown flags are the caller's
+/// concern (query what you need; `UnusedFlags()` reports the rest).
+class FlagParser {
+ public:
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  /// Bare `--switch` and `--switch=true|1|yes` are true.
+  bool GetBool(const std::string& name, bool default_value = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were parsed but never queried — typo detection.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  mutable std::map<std::string, std::pair<std::string, bool>> flags_;
+  std::vector<std::string> positional_;
+};
+
+inline Status FlagParser::Parse(int argc, const char* const* argv) {
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (flags_done || arg.size() < 2 || arg.substr(0, 2) != "--") {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    std::string key = eq == std::string::npos ? body : body.substr(0, eq);
+    std::string value = eq == std::string::npos ? "" : body.substr(eq + 1);
+    if (key.empty()) return Status::InvalidArgument("empty flag name");
+    flags_[key] = {value, false};
+  }
+  return Status::OK();
+}
+
+inline std::string FlagParser::GetString(
+    const std::string& name, const std::string& default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  it->second.second = true;
+  return it->second.first;
+}
+
+inline int64_t FlagParser::GetInt(const std::string& name,
+                                  int64_t default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  it->second.second = true;
+  try {
+    return std::stoll(it->second.first);
+  } catch (...) {
+    return default_value;
+  }
+}
+
+inline double FlagParser::GetDouble(const std::string& name,
+                                    double default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  it->second.second = true;
+  try {
+    return std::stod(it->second.first);
+  } catch (...) {
+    return default_value;
+  }
+}
+
+inline bool FlagParser::GetBool(const std::string& name,
+                                bool default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  it->second.second = true;
+  const std::string& v = it->second.first;
+  return v.empty() || v == "true" || v == "1" || v == "yes";
+}
+
+inline std::vector<std::string> FlagParser::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : flags_) {
+    if (!value.second) unused.push_back(key);
+  }
+  return unused;
+}
+
+}  // namespace csce
+
+#endif  // CSCE_UTIL_FLAGS_H_

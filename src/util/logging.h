@@ -1,0 +1,37 @@
+#ifndef CSCE_UTIL_LOGGING_H_
+#define CSCE_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace csce {
+namespace internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CSCE_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace csce
+
+/// Aborts the process if `cond` is false. Used for internal invariants
+/// that indicate a programming error (never for user input; user input
+/// errors surface as csce::Status).
+#define CSCE_CHECK(cond)                                               \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::csce::internal_logging::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                                  \
+  } while (false)
+
+#ifdef NDEBUG
+#define CSCE_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define CSCE_DCHECK(cond) CSCE_CHECK(cond)
+#endif
+
+#endif  // CSCE_UTIL_LOGGING_H_

@@ -1,0 +1,29 @@
+#include "util/memory.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace csce {
+
+uint64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // On Linux ru_maxrss is in kilobytes.
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+uint64_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total = 0;
+  long resident = 0;
+  int n = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  long page = sysconf(_SC_PAGESIZE);
+  return static_cast<uint64_t>(resident) * static_cast<uint64_t>(page);
+}
+
+}  // namespace csce

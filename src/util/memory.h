@@ -1,0 +1,19 @@
+#ifndef CSCE_UTIL_MEMORY_H_
+#define CSCE_UTIL_MEMORY_H_
+
+#include <cstdint>
+
+namespace csce {
+
+/// Peak resident set size of this process in bytes (ru_maxrss). Used by
+/// the benchmark harness to report the paper's "peak memory" metric.
+/// Returns 0 if the platform does not expose it.
+uint64_t PeakRssBytes();
+
+/// Current resident set size in bytes (from /proc/self/statm on Linux),
+/// or 0 if unavailable.
+uint64_t CurrentRssBytes();
+
+}  // namespace csce
+
+#endif  // CSCE_UTIL_MEMORY_H_

@@ -1,0 +1,49 @@
+#ifndef CSCE_UTIL_RNG_H_
+#define CSCE_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace csce {
+
+/// Deterministic 64-bit pseudo-random generator (splitmix64). All
+/// workload generation in this repository is seeded through this class so
+/// experiments are exactly reproducible across runs and machines.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    CSCE_DCHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (-bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_UTIL_RNG_H_

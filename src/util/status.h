@@ -1,0 +1,72 @@
+#ifndef CSCE_UTIL_STATUS_H_
+#define CSCE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace csce {
+
+/// Error codes used across the public API. Modeled after the
+/// RocksDB/Arrow convention: fallible public entry points return a
+/// `Status` (or `StatusOr<T>`) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+  kResourceExhausted,
+};
+
+/// A lightweight success-or-error value. Cheap to copy in the success
+/// case (no allocation); carries a message otherwise.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Use inside functions that
+/// themselves return Status.
+#define CSCE_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::csce::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace csce
+
+#endif  // CSCE_UTIL_STATUS_H_

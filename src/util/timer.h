@@ -1,0 +1,29 @@
+#ifndef CSCE_UTIL_TIMER_H_
+#define CSCE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace csce {
+
+/// Wall-clock stopwatch. Starts at construction; `Restart()` resets it.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_UTIL_TIMER_H_

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "analysis/f1.h"
+#include "analysis/motif_clustering.h"
+#include "gen/random_graph.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+TEST(F1Test, PerfectClustering) {
+  std::vector<uint32_t> truth = {0, 0, 1, 1, 2};
+  PairScores s = PairCountingF1(truth, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(F1Test, LabelPermutationInvariant) {
+  std::vector<uint32_t> truth = {0, 0, 1, 1};
+  std::vector<uint32_t> renamed = {7, 7, 3, 3};
+  EXPECT_DOUBLE_EQ(PairCountingF1(renamed, truth).f1, 1.0);
+}
+
+TEST(F1Test, SingletonPredictionHasZeroRecall) {
+  std::vector<uint32_t> truth = {0, 0, 0};
+  std::vector<uint32_t> pred = {0, 1, 2};
+  PairScores s = PairCountingF1(pred, truth);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(F1Test, AllInOnePredictionHasFullRecall) {
+  std::vector<uint32_t> truth = {0, 0, 1, 1};
+  std::vector<uint32_t> pred = {0, 0, 0, 0};
+  PairScores s = PairCountingF1(pred, truth);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.precision, 2.0 / 6.0);
+}
+
+TEST(F1Test, KnownMixedCase) {
+  // Pairs: (0,1) pred same/true same = TP; (0,2) pred same/true diff =
+  // FP; (1,2) pred same/true diff = FP; truth pairs: only (0,1).
+  std::vector<uint32_t> truth = {0, 0, 1};
+  std::vector<uint32_t> pred = {0, 0, 0};
+  PairScores s = PairCountingF1(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+}
+
+TEST(ClusteringTest, EdgeClusteringRunsOnPlantedPartition) {
+  std::vector<uint32_t> truth;
+  Graph g = PlantedPartition(150, 5, 0.7, 0.01, 11, &truth);
+  ClusteringResult result;
+  ASSERT_TRUE(EdgeClustering(g, 1, &result).ok());
+  ASSERT_EQ(result.assignment.size(), g.NumVertices());
+  // Communities are well-separated: label propagation should do well.
+  EXPECT_GT(PairCountingF1(result.assignment, truth).f1, 0.6);
+}
+
+TEST(ClusteringTest, HigherOrderBeatsEdgesOnNoisyGraph) {
+  // Noisy planted partition: enough inter-community edges to confuse
+  // edge-based propagation, while triangles stay intra-community.
+  std::vector<uint32_t> truth;
+  Graph g = PlantedPartition(150, 5, 0.75, 0.09, 13, &truth);
+  ClusteringResult edges;
+  ClusteringResult motifs;
+  ASSERT_TRUE(EdgeClustering(g, 1, &edges).ok());
+  ASSERT_TRUE(HigherOrderClustering(g, /*clique_size=*/4, 1,
+                                    /*max_instances=*/0, &motifs)
+                  .ok());
+  EXPECT_GT(motifs.motif_instances, 0u);
+  double edge_f1 = PairCountingF1(edges.assignment, truth).f1;
+  double motif_f1 = PairCountingF1(motifs.assignment, truth).f1;
+  EXPECT_GE(motif_f1, edge_f1 - 0.05);  // at least comparable
+  EXPECT_GT(motif_f1, 0.6);
+}
+
+TEST(ClusteringTest, MotifWeightingCapRespected) {
+  std::vector<uint32_t> truth;
+  Graph g = PlantedPartition(100, 4, 0.8, 0.02, 17, &truth);
+  ClusteringResult result;
+  ASSERT_TRUE(
+      HigherOrderClustering(g, 3, 1, /*max_instances=*/50, &result).ok());
+  EXPECT_LE(result.motif_instances, 50u);
+}
+
+TEST(ClusteringTest, DirectedGraphUnsupportedForMotifs) {
+  Graph g = testing::MakeGraph(true, {0, 0}, {{0, 1, 0}});
+  ClusteringResult result;
+  EXPECT_EQ(HigherOrderClustering(g, 3, 1, 0, &result).code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(ClusteringTest, BadCliqueSizeRejected) {
+  Graph g = testing::Clique(4);
+  ClusteringResult result;
+  EXPECT_EQ(HigherOrderClustering(g, 1, 1, 0, &result).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace csce

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "baselines/backtracking.h"
+#include "baselines/graphpi_like.h"
+#include "baselines/join.h"
+#include "baselines/vf2.h"
+#include "graph/isomorphism.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+TEST(BacktrackingTest, TrianglesInClique) {
+  Graph data = testing::Clique(5);
+  BacktrackingMatcher bt(&data);
+  BaselineOptions options;
+  BaselineResult result;
+  ASSERT_TRUE(bt.Match(testing::Cycle(3), options, &result).ok());
+  EXPECT_EQ(result.embeddings, 60u);
+}
+
+TEST(BacktrackingTest, FspPreservesCounts) {
+  Rng rng(83);
+  for (int i = 0; i < 8; ++i) {
+    Graph data = testing::RandomGraph(rng, 16, 0.25, 2, 1, false);
+    Graph pattern = testing::RandomGraph(rng, 5, 0.5, 2, 1, false);
+    BacktrackingMatcher bt(&data);
+    BaselineOptions plain;
+    BaselineOptions fsp;
+    fsp.use_fsp = true;
+    BaselineResult a;
+    BaselineResult b;
+    ASSERT_TRUE(bt.Match(pattern, plain, &a).ok());
+    ASSERT_TRUE(bt.Match(pattern, fsp, &b).ok());
+    EXPECT_EQ(a.embeddings, b.embeddings) << "iteration " << i;
+    EXPECT_LE(b.search_nodes, a.search_nodes + 1);  // FSP only prunes
+  }
+}
+
+TEST(BacktrackingTest, FspPrunesHopelessSubtrees) {
+  // A data graph where many partial embeddings die for a reason
+  // independent of recent choices: star pattern needing a rare leaf.
+  GraphBuilder b(false);
+  VertexId hub = b.AddVertex(0);
+  for (int i = 0; i < 30; ++i) b.AddEdge(hub, b.AddVertex(1));
+  b.AddEdge(hub, b.AddVertex(2));
+  Graph data;
+  ASSERT_TRUE(b.Build(&data).ok());
+  // Pattern: hub + 3 label-1 leaves + 2 label-2 leaves (impossible:
+  // only one label-2 vertex exists).
+  Graph pattern = testing::MakeGraph(
+      false, {0, 1, 1, 1, 2, 2},
+      {{0, 1, 0}, {0, 2, 0}, {0, 3, 0}, {0, 4, 0}, {0, 5, 0}});
+  BacktrackingMatcher bt(&data);
+  BaselineOptions plain;
+  plain.use_nlf = false;  // let the search actually explore
+  BaselineOptions fsp = plain;
+  fsp.use_fsp = true;
+  BaselineResult a;
+  BaselineResult f;
+  ASSERT_TRUE(bt.Match(pattern, plain, &a).ok());
+  ASSERT_TRUE(bt.Match(pattern, fsp, &f).ok());
+  EXPECT_EQ(a.embeddings, 0u);
+  EXPECT_EQ(f.embeddings, 0u);
+  EXPECT_LT(f.search_nodes, a.search_nodes);
+}
+
+TEST(BacktrackingTest, NlfTogglePreservesCounts) {
+  Rng rng(89);
+  Graph data = testing::RandomGraph(rng, 15, 0.3, 3, 1, false);
+  Graph pattern = testing::RandomGraph(rng, 4, 0.6, 3, 1, false);
+  BacktrackingMatcher bt(&data);
+  BaselineOptions with;
+  BaselineOptions without;
+  without.use_nlf = false;
+  BaselineResult a;
+  BaselineResult b;
+  ASSERT_TRUE(bt.Match(pattern, with, &a).ok());
+  ASSERT_TRUE(bt.Match(pattern, without, &b).ok());
+  EXPECT_EQ(a.embeddings, b.embeddings);
+}
+
+TEST(BacktrackingTest, MaxEmbeddingsAndTimeout) {
+  Graph data = testing::Clique(10);
+  BacktrackingMatcher bt(&data);
+  BaselineOptions options;
+  options.max_embeddings = 7;
+  BaselineResult result;
+  ASSERT_TRUE(bt.Match(testing::Cycle(3), options, &result).ok());
+  EXPECT_EQ(result.embeddings, 7u);
+  EXPECT_TRUE(result.limit_reached);
+}
+
+TEST(JoinTest, MatchesBruteForce) {
+  Rng rng(91);
+  Graph data = testing::RandomGraph(rng, 14, 0.3, 2, 2, true);
+  Graph pattern = testing::RandomGraph(rng, 4, 0.5, 2, 2, true);
+  JoinMatcher jm(&data);
+  for (auto variant :
+       {MatchVariant::kEdgeInduced, MatchVariant::kHomomorphic}) {
+    BaselineOptions options;
+    options.variant = variant;
+    BaselineResult result;
+    ASSERT_TRUE(jm.Match(pattern, options, &result).ok());
+    EXPECT_EQ(result.embeddings,
+              CountEmbeddingsBruteForce(data, pattern, variant));
+  }
+}
+
+TEST(JoinTest, VertexInducedUnsupported) {
+  Graph data = testing::Clique(4);
+  JoinMatcher jm(&data);
+  BaselineOptions options;
+  options.variant = MatchVariant::kVertexInduced;
+  BaselineResult result;
+  EXPECT_EQ(jm.Match(testing::Path(3), options, &result).code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(Vf2Test, VertexInducedCounts) {
+  Graph data = testing::Clique(5);
+  Vf2Matcher vf(&data);
+  BaselineOptions options;
+  options.variant = MatchVariant::kVertexInduced;
+  BaselineResult result;
+  ASSERT_TRUE(vf.Match(testing::Cycle(3), options, &result).ok());
+  EXPECT_EQ(result.embeddings, 60u);
+  // A path is never induced in a clique.
+  ASSERT_TRUE(vf.Match(testing::Path(3), options, &result).ok());
+  EXPECT_EQ(result.embeddings, 0u);
+}
+
+TEST(Vf2Test, HomomorphicUnsupported) {
+  Graph data = testing::Clique(4);
+  Vf2Matcher vf(&data);
+  BaselineOptions options;
+  options.variant = MatchVariant::kHomomorphic;
+  BaselineResult result;
+  EXPECT_EQ(vf.Match(testing::Path(2), options, &result).code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(GraphPiLikeTest, CountsMatchPlainEnumeration) {
+  Rng rng(97);
+  Graph data = testing::RandomGraph(rng, 14, 0.3, 1, 1, false);
+  GraphPiLikeMatcher gp(&data);
+  BacktrackingMatcher bt(&data);
+  for (const Graph& pattern :
+       {testing::Cycle(4), testing::Star(3), testing::Clique(3)}) {
+    BaselineOptions options;
+    BaselineResult sym;
+    BaselineResult plain;
+    ASSERT_TRUE(gp.Match(pattern, options, &sym).ok());
+    ASSERT_TRUE(bt.Match(pattern, options, &plain).ok());
+    EXPECT_EQ(sym.embeddings, plain.embeddings);
+  }
+}
+
+TEST(GraphPiLikeTest, OnlyEdgeInduced) {
+  Graph data = testing::Clique(4);
+  GraphPiLikeMatcher gp(&data);
+  BaselineOptions options;
+  options.variant = MatchVariant::kHomomorphic;
+  BaselineResult result;
+  EXPECT_EQ(gp.Match(testing::Path(2), options, &result).code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(BaselineTest, DirectednessMismatchRejected) {
+  Graph data = testing::Clique(4);
+  Graph directed_pattern =
+      testing::MakeGraph(true, {0, 0}, {{0, 1, 0}});
+  BacktrackingMatcher bt(&data);
+  JoinMatcher jm(&data);
+  Vf2Matcher vf(&data);
+  BaselineOptions options;
+  BaselineResult result;
+  EXPECT_FALSE(bt.Match(directed_pattern, options, &result).ok());
+  EXPECT_FALSE(jm.Match(directed_pattern, options, &result).ok());
+  EXPECT_FALSE(vf.Match(directed_pattern, options, &result).ok());
+}
+
+}  // namespace
+}  // namespace csce

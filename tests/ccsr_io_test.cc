@@ -1,0 +1,105 @@
+#include "ccsr/ccsr_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+void ExpectCcsrEqual(const Ccsr& a, const Ccsr& b) {
+  EXPECT_EQ(a.directed(), b.directed());
+  EXPECT_EQ(a.NumVertices(), b.NumVertices());
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_EQ(a.vertex_labels(), b.vertex_labels());
+  ASSERT_EQ(a.NumClusters(), b.NumClusters());
+  for (size_t i = 0; i < a.NumClusters(); ++i) {
+    const CompressedCluster& ca = a.clusters()[i];
+    const CompressedCluster& cb = b.clusters()[i];
+    EXPECT_EQ(ca.id, cb.id);
+    EXPECT_EQ(ca.num_edges, cb.num_edges);
+    EXPECT_EQ(ca.out_rows.runs(), cb.out_rows.runs());
+    EXPECT_EQ(ca.out_cols, cb.out_cols);
+    EXPECT_EQ(ca.in_rows.runs(), cb.in_rows.runs());
+    EXPECT_EQ(ca.in_cols, cb.in_cols);
+  }
+}
+
+TEST(CcsrIoTest, RoundTripsUndirected) {
+  Rng rng(31);
+  Graph g = testing::RandomGraph(rng, 50, 0.15, 4, 2, false);
+  Ccsr gc = Ccsr::Build(g);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCcsrToStream(gc, buffer).ok());
+  Ccsr back;
+  ASSERT_TRUE(LoadCcsrFromStream(buffer, &back).ok());
+  ExpectCcsrEqual(gc, back);
+  // The loaded index must answer lookups identically.
+  for (const CompressedCluster& c : gc.clusters()) {
+    EXPECT_EQ(back.ClusterSize(c.id), c.num_edges);
+  }
+}
+
+TEST(CcsrIoTest, RoundTripsDirected) {
+  Rng rng(32);
+  Graph g = testing::RandomGraph(rng, 50, 0.15, 4, 2, true);
+  Ccsr gc = Ccsr::Build(g);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCcsrToStream(gc, buffer).ok());
+  Ccsr back;
+  ASSERT_TRUE(LoadCcsrFromStream(buffer, &back).ok());
+  ExpectCcsrEqual(gc, back);
+}
+
+TEST(CcsrIoTest, RoundTripsEmptyGraph) {
+  GraphBuilder b(false);
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  Ccsr gc = Ccsr::Build(g);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCcsrToStream(gc, buffer).ok());
+  Ccsr back;
+  ASSERT_TRUE(LoadCcsrFromStream(buffer, &back).ok());
+  EXPECT_EQ(back.NumClusters(), 0u);
+  EXPECT_EQ(back.NumVertices(), 0u);
+}
+
+TEST(CcsrIoTest, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "this is not a ccsr file at all";
+  Ccsr back;
+  EXPECT_EQ(LoadCcsrFromStream(buffer, &back).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CcsrIoTest, RejectsTruncatedFile) {
+  Rng rng(33);
+  Graph g = testing::RandomGraph(rng, 30, 0.2, 3, 1, false);
+  Ccsr gc = Ccsr::Build(g);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCcsrToStream(gc, buffer).ok());
+  std::string full = buffer.str();
+  // Chop off the tail.
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  Ccsr back;
+  EXPECT_EQ(LoadCcsrFromStream(truncated, &back).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CcsrIoTest, FileRoundTrip) {
+  Rng rng(34);
+  Graph g = testing::RandomGraph(rng, 30, 0.2, 3, 1, true);
+  Ccsr gc = Ccsr::Build(g);
+  std::string path = ::testing::TempDir() + "/ccsr_io_test.ccsr";
+  ASSERT_TRUE(SaveCcsrToFile(gc, path).ok());
+  Ccsr back;
+  ASSERT_TRUE(LoadCcsrFromFile(path, &back).ok());
+  ExpectCcsrEqual(gc, back);
+  EXPECT_EQ(LoadCcsrFromFile("/nonexistent/x.ccsr", &back).code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace csce

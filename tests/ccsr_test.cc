@@ -1,0 +1,170 @@
+#include "ccsr/ccsr.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+using testing::MakeGraph;
+using testing::RandomGraph;
+
+TEST(ClusterIdTest, UndirectedCanonicalizesLabels) {
+  EXPECT_EQ(ClusterId::Undirected(3, 1, 0), ClusterId::Undirected(1, 3, 0));
+  EXPECT_NE(ClusterId::Undirected(1, 3, 0), ClusterId::Undirected(1, 3, 1));
+}
+
+TEST(ClusterIdTest, DirectedKeepsOrientation) {
+  EXPECT_NE(ClusterId::Directed(1, 2, 0), ClusterId::Directed(2, 1, 0));
+}
+
+TEST(ClusterIdTest, ToStringMentionsNull) {
+  EXPECT_NE(ClusterId::Directed(1, 2, kNoLabel).ToString().find("NULL"),
+            std::string::npos);
+}
+
+TEST(CcsrTest, UnlabeledGraphHasOneCluster) {
+  Graph g = testing::Clique(4);
+  Ccsr gc = Ccsr::Build(g);
+  EXPECT_EQ(gc.NumClusters(), 1u);
+  EXPECT_EQ(gc.clusters()[0].num_edges, 6u);
+}
+
+TEST(CcsrTest, ClustersPartitionEdges) {
+  Rng rng(3);
+  for (bool directed : {false, true}) {
+    Graph g = RandomGraph(rng, 30, 0.2, 4, 2, directed);
+    Ccsr gc = Ccsr::Build(g);
+    uint64_t total = 0;
+    for (const CompressedCluster& c : gc.clusters()) total += c.num_edges;
+    // Every edge in exactly one cluster.
+    EXPECT_EQ(total, g.NumEdges());
+    // Each edge stored twice: both CSR directions (directed) or both
+    // orientations in one CSR (undirected).
+    uint64_t arcs = 0;
+    for (const CompressedCluster& c : gc.clusters()) {
+      arcs += c.out_cols.size() + c.in_cols.size();
+    }
+    EXPECT_EQ(arcs, 2 * g.NumEdges());
+  }
+}
+
+TEST(CcsrTest, DirectedClusterHasBothDirections) {
+  Graph g = MakeGraph(true, {1, 2}, {{0, 1, 5}});
+  Ccsr gc = Ccsr::Build(g);
+  const CompressedCluster* c = gc.Find(ClusterId::Directed(1, 2, 5));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->num_edges, 1u);
+  EXPECT_EQ(c->out_cols.size(), 1u);
+  EXPECT_EQ(c->in_cols.size(), 1u);
+  EXPECT_EQ(gc.Find(ClusterId::Directed(2, 1, 5)), nullptr);
+}
+
+TEST(CcsrTest, ClusterSizeLookupWithoutDecompression) {
+  Graph g = MakeGraph(false, {1, 2, 2}, {{0, 1, 0}, {0, 2, 0}});
+  Ccsr gc = Ccsr::Build(g);
+  EXPECT_EQ(gc.ClusterSize(ClusterId::Undirected(1, 2, 0)), 2u);
+  EXPECT_EQ(gc.ClusterSize(ClusterId::Undirected(2, 2, 0)), 0u);
+}
+
+TEST(CcsrTest, StarClustersFindAllLabelPairs) {
+  Graph g = MakeGraph(true, {1, 2}, {{0, 1, 5}, {0, 1, 6}, {1, 0, 7}});
+  Ccsr gc = Ccsr::Build(g);
+  // Three clusters between labels {1,2}: two edge labels one way plus
+  // one reversed.
+  EXPECT_EQ(gc.StarClusters(1, 2).size(), 3u);
+  EXPECT_EQ(gc.StarClusters(2, 1).size(), 3u);  // order-insensitive
+  EXPECT_TRUE(gc.StarClusters(1, 9).empty());
+}
+
+TEST(CcsrTest, CarriesVertexLabels) {
+  Graph g = MakeGraph(false, {4, 4, 9}, {{0, 2, 0}});
+  Ccsr gc = Ccsr::Build(g);
+  EXPECT_EQ(gc.NumVertices(), 3u);
+  EXPECT_EQ(gc.VertexLabel(2), 9u);
+  EXPECT_EQ(gc.LabelFrequency(4), 2u);
+  EXPECT_EQ(gc.LabelFrequency(9), 1u);
+}
+
+TEST(CcsrTest, PaperFig4ClusterContents) {
+  // The (A,B,NULL)-cluster of Fig. 4: v1 -> {v2, v6} and v4 -> {v5}.
+  // A = label 1, B = label 2; ids: v1=0, v2=1, v4=2, v5=3, v6=4.
+  Graph g = MakeGraph(true, {1, 2, 1, 2, 2},
+                      {{0, 1, 0}, {0, 4, 0}, {2, 3, 0}});
+  Ccsr gc = Ccsr::Build(g);
+  QueryClusters qc;
+  Graph pattern = MakeGraph(true, {1, 2}, {{0, 1, 0}});
+  ASSERT_TRUE(
+      ReadClusters(gc, pattern, MatchVariant::kEdgeInduced, &qc).ok());
+  const ClusterView* view = qc.Find(ClusterId::Directed(1, 2, 0));
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->NumEdges(), 3u);
+  auto out_v1 = view->Out(0);
+  ASSERT_EQ(out_v1.size(), 2u);
+  EXPECT_EQ(out_v1[0], 1u);
+  EXPECT_EQ(out_v1[1], 4u);
+  EXPECT_EQ(view->In(1).size(), 1u);
+  EXPECT_EQ(view->In(1)[0], 0u);
+  EXPECT_TRUE(view->HasArc(2, 3));
+  EXPECT_FALSE(view->HasArc(3, 2));
+}
+
+TEST(ReadClustersTest, LoadsOnlyPatternEdgeClusters) {
+  Rng rng(9);
+  Graph g = RandomGraph(rng, 40, 0.2, 3, 1, false);
+  Ccsr gc = Ccsr::Build(g);
+  Graph pattern = MakeGraph(false, {0, 1}, {{0, 1, 0}});
+  QueryClusters qc;
+  ASSERT_TRUE(
+      ReadClusters(gc, pattern, MatchVariant::kEdgeInduced, &qc).ok());
+  EXPECT_LE(qc.NumViews(), 1u);
+  if (qc.NumViews() == 1) {
+    EXPECT_NE(qc.Find(ClusterId::Undirected(0, 1, 0)), nullptr);
+  }
+}
+
+TEST(ReadClustersTest, VertexInducedLoadsNegationClusters) {
+  Rng rng(10);
+  Graph g = RandomGraph(rng, 40, 0.3, 3, 1, false);
+  Ccsr gc = Ccsr::Build(g);
+  // Path pattern: the endpoints are unconnected -> negation clusters.
+  Graph pattern = MakeGraph(false, {0, 1, 2}, {{0, 1, 0}, {1, 2, 0}});
+  QueryClusters edge_qc;
+  QueryClusters vi_qc;
+  ASSERT_TRUE(
+      ReadClusters(gc, pattern, MatchVariant::kEdgeInduced, &edge_qc).ok());
+  ASSERT_TRUE(
+      ReadClusters(gc, pattern, MatchVariant::kVertexInduced, &vi_qc).ok());
+  EXPECT_GE(vi_qc.NumViews(), edge_qc.NumViews());
+  EXPECT_FALSE(vi_qc.Star(0, 2).empty());
+  EXPECT_TRUE(edge_qc.Star(0, 2).empty());
+}
+
+TEST(ReadClustersTest, RejectsDirectednessMismatch) {
+  Graph g = MakeGraph(false, {0, 0}, {{0, 1, 0}});
+  Ccsr gc = Ccsr::Build(g);
+  Graph pattern = MakeGraph(true, {0, 0}, {{0, 1, 0}});
+  QueryClusters qc;
+  EXPECT_EQ(
+      ReadClusters(gc, pattern, MatchVariant::kEdgeInduced, &qc).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(CcsrTest, RowIndexStorageBounded) {
+  // Paper Section IV: total compressed I_R length is at most 4|E|
+  // integers (2 per stored edge, each edge stored twice).
+  Rng rng(20);
+  Graph g = RandomGraph(rng, 200, 0.05, 8, 2, true);
+  Ccsr gc = Ccsr::Build(g);
+  size_t total_runs = 0;
+  for (const CompressedCluster& c : gc.clusters()) {
+    total_runs += c.out_rows.num_runs() + c.in_rows.num_runs();
+  }
+  // Each run is (value, count); bound from the paper plus one run per
+  // CSR for the leading zeros.
+  EXPECT_LE(total_runs, 4 * g.NumEdges() + 2 * gc.NumClusters());
+}
+
+}  // namespace
+}  // namespace csce

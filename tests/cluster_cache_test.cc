@@ -1,0 +1,113 @@
+#include "ccsr/cluster_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/matcher.h"
+#include "graph/isomorphism.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+TEST(ClusterCacheTest, SecondQueryHitsCache) {
+  Rng rng(901);
+  Graph data = testing::RandomGraph(rng, 40, 0.2, 3, 1, false);
+  Ccsr gc = Ccsr::Build(data);
+  ClusterCache cache(&gc);
+  Graph pattern = testing::RandomGraph(rng, 4, 0.6, 3, 1, false);
+
+  QueryClusters first;
+  ASSERT_TRUE(
+      ReadClustersCached(cache, pattern, MatchVariant::kEdgeInduced, &first)
+          .ok());
+  uint64_t misses_after_first = cache.misses();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_GT(misses_after_first, 0u);
+
+  QueryClusters second;
+  ASSERT_TRUE(
+      ReadClustersCached(cache, pattern, MatchVariant::kEdgeInduced, &second)
+          .ok());
+  EXPECT_EQ(cache.misses(), misses_after_first);  // no new decompression
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_EQ(second.NumViews(), first.NumViews());
+}
+
+TEST(ClusterCacheTest, CachedAndUncachedAgree) {
+  Rng rng(902);
+  for (int i = 0; i < 8; ++i) {
+    bool directed = i % 2 == 0;
+    Graph data = testing::RandomGraph(rng, 16, 0.3, 2, 2, directed);
+    Graph pattern = testing::RandomGraph(rng, 4, 0.5, 2, 2, directed);
+    Ccsr gc = Ccsr::Build(data);
+    ClusterCache cache(&gc);
+    CsceMatcher cold(&gc);
+    CsceMatcher warm(&gc, &cache);
+    for (auto variant :
+         {MatchVariant::kEdgeInduced, MatchVariant::kVertexInduced,
+          MatchVariant::kHomomorphic}) {
+      MatchOptions options;
+      options.variant = variant;
+      MatchResult a;
+      MatchResult b;
+      MatchResult c;
+      ASSERT_TRUE(cold.Match(pattern, options, &a).ok());
+      ASSERT_TRUE(warm.Match(pattern, options, &b).ok());  // fills cache
+      ASSERT_TRUE(warm.Match(pattern, options, &c).ok());  // uses cache
+      EXPECT_EQ(a.embeddings, b.embeddings);
+      EXPECT_EQ(b.embeddings, c.embeddings);
+      EXPECT_EQ(a.embeddings,
+                CountEmbeddingsBruteForce(data, pattern, variant));
+    }
+  }
+}
+
+TEST(ClusterCacheTest, ViewsSurviveCacheClear) {
+  Rng rng(903);
+  Graph data = testing::RandomGraph(rng, 30, 0.25, 2, 1, false);
+  Ccsr gc = Ccsr::Build(data);
+  ClusterCache cache(&gc);
+  Graph pattern = testing::Path(3);
+  QueryClusters qc;
+  ASSERT_TRUE(
+      ReadClustersCached(cache, pattern, MatchVariant::kEdgeInduced, &qc)
+          .ok());
+  size_t views = qc.NumViews();
+  cache.Clear();
+  EXPECT_EQ(cache.CachedViews(), 0u);
+  // The QueryClusters co-owns its views: still usable.
+  EXPECT_EQ(qc.NumViews(), views);
+  Plan plan;
+  Planner planner(&gc);
+  ASSERT_TRUE(
+      planner.MakePlan(pattern, MatchVariant::kEdgeInduced, PlanOptions{},
+                       &plan)
+          .ok());
+  Executor executor(gc, qc, plan);
+  ExecStats stats;
+  ASSERT_TRUE(executor.Run(ExecOptions{}, &stats).ok());
+  EXPECT_EQ(stats.embeddings,
+            CountEmbeddingsBruteForce(data, pattern,
+                                      MatchVariant::kEdgeInduced));
+}
+
+TEST(ClusterCacheTest, MissOnAbsentCluster) {
+  Graph data = testing::MakeGraph(false, {0, 1}, {{0, 1, 0}});
+  Ccsr gc = Ccsr::Build(data);
+  ClusterCache cache(&gc);
+  EXPECT_EQ(cache.Get(ClusterId::Undirected(5, 6, 0)), nullptr);
+  EXPECT_EQ(cache.CachedViews(), 0u);
+}
+
+TEST(ClusterCacheTest, ReportsBytes) {
+  Rng rng(904);
+  Graph data = testing::RandomGraph(rng, 50, 0.2, 2, 1, false);
+  Ccsr gc = Ccsr::Build(data);
+  ClusterCache cache(&gc);
+  for (const CompressedCluster& c : gc.clusters()) cache.Get(c.id);
+  EXPECT_EQ(cache.CachedViews(), gc.NumClusters());
+  EXPECT_GT(cache.CachedBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace csce

@@ -1,0 +1,59 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(ComponentsTest, SingleComponent) {
+  std::vector<uint32_t> comp;
+  EXPECT_EQ(ConnectedComponents(testing::Cycle(5), &comp), 1u);
+  for (uint32_t c : comp) EXPECT_EQ(c, 0u);
+}
+
+TEST(ComponentsTest, TwoComponents) {
+  Graph g = MakeGraph(false, {0, 0, 0, 0, 0},
+                      {{0, 1, 0}, {2, 3, 0}, {3, 4, 0}});
+  std::vector<uint32_t> comp;
+  EXPECT_EQ(ConnectedComponents(g, &comp), 2u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(ComponentsTest, IsolatedVerticesAreOwnComponents) {
+  Graph g = MakeGraph(false, {0, 0, 0}, {{0, 1, 0}});
+  std::vector<uint32_t> comp;
+  EXPECT_EQ(ConnectedComponents(g, &comp), 2u);
+}
+
+TEST(ComponentsTest, DirectionIgnored) {
+  Graph g = MakeGraph(true, {0, 0, 0}, {{1, 0, 0}, {1, 2, 0}});
+  std::vector<uint32_t> comp;
+  EXPECT_EQ(ConnectedComponents(g, &comp), 1u);
+}
+
+TEST(ComponentsTest, LargestComponentPicksBiggest) {
+  Graph g = MakeGraph(false, {0, 0, 0, 0, 0, 0},
+                      {{0, 1, 0}, {2, 3, 0}, {3, 4, 0}, {4, 5, 0}});
+  std::vector<VertexId> largest = LargestComponent(g);
+  std::vector<VertexId> expected = {2, 3, 4, 5};
+  EXPECT_EQ(largest, expected);
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  GraphBuilder b(false);
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  std::vector<uint32_t> comp;
+  EXPECT_EQ(ConnectedComponents(g, &comp), 0u);
+  EXPECT_TRUE(LargestComponent(g).empty());
+}
+
+}  // namespace
+}  // namespace csce

@@ -1,0 +1,114 @@
+#include "plan/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "engine/matcher.h"
+#include "graph/isomorphism.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(CostModelTest, CostBasedOrderIsPermutation) {
+  Rng rng(201);
+  for (int i = 0; i < 10; ++i) {
+    bool directed = i % 2 == 0;
+    Graph data = testing::RandomGraph(rng, 40, 0.2, 3, 2, directed);
+    Graph pattern = testing::RandomGraph(rng, 6, 0.5, 3, 2, directed);
+    Ccsr gc = Ccsr::Build(data);
+    auto order = CostBasedOrder(pattern, gc);
+    ASSERT_EQ(order.size(), pattern.NumVertices());
+    std::vector<bool> seen(pattern.NumVertices(), false);
+    for (VertexId v : order) {
+      ASSERT_LT(v, pattern.NumVertices());
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(CostModelTest, PrefersSelectiveSeed) {
+  // Pattern edge (A,B) is frequent, (A,C) rare: the order should start
+  // from the rare side.
+  Graph pattern = MakeGraph(false, {0, 1, 2},
+                            {{0, 1, 0}, {0, 2, 0}});
+  GraphBuilder b(false);
+  VertexId hub = b.AddVertex(0);
+  for (int i = 0; i < 50; ++i) b.AddEdge(hub, b.AddVertex(1));
+  b.AddEdge(hub, b.AddVertex(2));
+  Graph data;
+  ASSERT_TRUE(b.Build(&data).ok());
+  Ccsr gc = Ccsr::Build(data);
+  auto order = CostBasedOrder(pattern, gc);
+  // Vertex 2 (label C, one data edge) or the hub lead; the frequent
+  // leaf must come last.
+  EXPECT_EQ(order.back(), 1u);
+}
+
+TEST(CostModelTest, EstimateMonotoneInClusterSize) {
+  // The same pattern against a denser data graph costs more.
+  Graph pattern = testing::Path(3);
+  Rng rng(203);
+  Graph sparse = testing::RandomGraph(rng, 60, 0.03, 1, 1, false);
+  Graph dense = testing::RandomGraph(rng, 60, 0.3, 1, 1, false);
+  Ccsr gc_sparse = Ccsr::Build(sparse);
+  Ccsr gc_dense = Ccsr::Build(dense);
+  std::vector<VertexId> order(3);
+  std::iota(order.begin(), order.end(), 0);
+  EXPECT_LT(EstimateOrderCost(pattern, gc_sparse, order),
+            EstimateOrderCost(pattern, gc_dense, order));
+}
+
+TEST(CostModelTest, EmptyClusterGivesZeroExtensionCost) {
+  Graph data = MakeGraph(false, {0, 1}, {{0, 1, 0}});
+  Ccsr gc = Ccsr::Build(data);
+  // Pattern needs a (1,2) edge that does not exist in the data.
+  Graph pattern = MakeGraph(false, {0, 1, 2}, {{0, 1, 0}, {1, 2, 0}});
+  std::vector<VertexId> order = {0, 1, 2};
+  double cost = EstimateOrderCost(pattern, gc, order);
+  EXPECT_GE(cost, 0.0);
+  EXPECT_LT(cost, 10.0);  // collapses after the empty extension
+}
+
+class CostBasedCorrectnessTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(CostBasedCorrectnessTest, CostBasedPlansStayCorrect) {
+  Rng rng(GetParam() * 409 + 7);
+  bool directed = GetParam() % 2 == 0;
+  Graph data = testing::RandomGraph(rng, 15, 0.3, 2, 1, directed);
+  Graph pattern = testing::RandomGraph(rng, 5, 0.5, 2, 1, directed);
+  Ccsr gc = Ccsr::Build(data);
+  CsceMatcher matcher(&gc);
+  for (auto variant :
+       {MatchVariant::kEdgeInduced, MatchVariant::kVertexInduced,
+        MatchVariant::kHomomorphic}) {
+    MatchOptions options;
+    options.variant = variant;
+    options.plan.use_cost_based = true;
+    MatchResult result;
+    ASSERT_TRUE(matcher.Match(pattern, options, &result).ok());
+    EXPECT_EQ(result.embeddings,
+              CountEmbeddingsBruteForce(data, pattern, variant))
+        << VariantName(variant);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostBasedCorrectnessTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+TEST(CostModelTest, BeamWidthOneStillValid) {
+  Rng rng(205);
+  Graph data = testing::RandomGraph(rng, 20, 0.25, 2, 1, false);
+  Graph pattern = testing::RandomGraph(rng, 5, 0.5, 2, 1, false);
+  Ccsr gc = Ccsr::Build(data);
+  auto order = CostBasedOrder(pattern, gc, /*beam_width=*/1);
+  EXPECT_EQ(order.size(), pattern.NumVertices());
+}
+
+}  // namespace
+}  // namespace csce

@@ -1,0 +1,169 @@
+// The central property suite: on random heterogeneous graphs, every
+// matcher in the repository must report exactly the same embedding
+// count as the brute-force oracle, for every variant it supports. This
+// is the invariant the whole benchmark story rests on.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/backtracking.h"
+#include "baselines/graphpi_like.h"
+#include "baselines/join.h"
+#include "baselines/vf2.h"
+#include "ccsr/ccsr.h"
+#include "engine/matcher.h"
+#include "graph/isomorphism.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+struct CrosscheckCase {
+  uint64_t seed;
+  bool directed;
+  uint32_t vertex_labels;
+  uint32_t edge_labels;
+  double pattern_density;
+};
+
+class CrosscheckTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool, uint32_t>> {
+};
+
+TEST_P(CrosscheckTest, AllMatchersAgreeWithOracle) {
+  auto [seed, directed, vertex_labels] = GetParam();
+  Rng rng(seed * 7919 + (directed ? 1 : 0) + vertex_labels * 13);
+  Graph data = testing::RandomGraph(rng, 15, 0.28, vertex_labels, 2,
+                                    directed);
+  Graph pattern =
+      testing::RandomGraph(rng, 5, 0.45, vertex_labels, 2, directed);
+
+  Ccsr gc = Ccsr::Build(data);
+  CsceMatcher csce(&gc);
+  BacktrackingMatcher bt(&data);
+  JoinMatcher jm(&data);
+  Vf2Matcher vf(&data);
+  GraphPiLikeMatcher gp(&data);
+
+  for (auto variant :
+       {MatchVariant::kEdgeInduced, MatchVariant::kVertexInduced,
+        MatchVariant::kHomomorphic}) {
+    SCOPED_TRACE(VariantName(variant));
+    const uint64_t expected =
+        CountEmbeddingsBruteForce(data, pattern, variant);
+
+    {
+      MatchOptions options;
+      options.variant = variant;
+      MatchResult r;
+      ASSERT_TRUE(csce.Match(pattern, options, &r).ok());
+      EXPECT_EQ(r.embeddings, expected) << "csce";
+
+      // Every ablation of the planner must stay correct.
+      MatchOptions ablated = options;
+      ablated.plan.use_sce = false;
+      ablated.plan.use_nec = false;
+      ASSERT_TRUE(csce.Match(pattern, ablated, &r).ok());
+      EXPECT_EQ(r.embeddings, expected) << "csce no-sce/no-nec";
+
+      ablated = options;
+      ablated.plan.use_ldsf = false;
+      ablated.plan.use_cluster_tiebreak = false;
+      ASSERT_TRUE(csce.Match(pattern, ablated, &r).ok());
+      EXPECT_EQ(r.embeddings, expected) << "csce no-ldsf/no-tiebreak";
+
+      ablated = options;
+      ablated.plan.use_gcf = false;
+      ASSERT_TRUE(csce.Match(pattern, ablated, &r).ok());
+      EXPECT_EQ(r.embeddings, expected) << "csce id-order";
+    }
+    {
+      BaselineOptions options;
+      options.variant = variant;
+      BaselineResult r;
+      ASSERT_TRUE(bt.Match(pattern, options, &r).ok());
+      EXPECT_EQ(r.embeddings, expected) << "backtracking";
+      BaselineOptions fsp = options;
+      fsp.use_fsp = true;
+      ASSERT_TRUE(bt.Match(pattern, fsp, &r).ok());
+      EXPECT_EQ(r.embeddings, expected) << "backtracking+fsp";
+      if (variant != MatchVariant::kVertexInduced) {
+        ASSERT_TRUE(jm.Match(pattern, options, &r).ok());
+        EXPECT_EQ(r.embeddings, expected) << "join";
+      }
+      if (variant != MatchVariant::kHomomorphic) {
+        ASSERT_TRUE(vf.Match(pattern, options, &r).ok());
+        EXPECT_EQ(r.embeddings, expected) << "vf2";
+      }
+      if (variant == MatchVariant::kEdgeInduced) {
+        ASSERT_TRUE(gp.Match(pattern, options, &r).ok());
+        EXPECT_EQ(r.embeddings, expected) << "graphpi-like";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, CrosscheckTest,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 8),
+                       ::testing::Bool(),
+                       ::testing::Values(1u, 3u)));
+
+// Denser patterns stress vertex-induced negations and NEC sharing.
+class DensePatternCrosscheckTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DensePatternCrosscheckTest, CsceAgreesOnDensePatterns) {
+  Rng rng(GetParam() * 104729 + 3);
+  Graph data = testing::RandomGraph(rng, 14, 0.45, 2, 1, false);
+  Graph pattern = testing::RandomGraph(rng, 6, 0.7, 2, 1, false);
+  Ccsr gc = Ccsr::Build(data);
+  CsceMatcher csce(&gc);
+  for (auto variant :
+       {MatchVariant::kEdgeInduced, MatchVariant::kVertexInduced,
+        MatchVariant::kHomomorphic}) {
+    MatchOptions options;
+    options.variant = variant;
+    MatchResult r;
+    ASSERT_TRUE(csce.Match(pattern, options, &r).ok());
+    EXPECT_EQ(r.embeddings, CountEmbeddingsBruteForce(data, pattern, variant))
+        << VariantName(variant);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DensePatternCrosscheckTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+// Larger patterns than the oracle can handle: matchers cross-check each
+// other instead (CSCE vs backtracking), which scales further.
+class LargePatternAgreementTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(LargePatternAgreementTest, CsceAgreesWithBacktracking) {
+  Rng rng(GetParam() * 31337 + 11);
+  Graph data = testing::RandomGraph(rng, 60, 0.12, 3, 1, false);
+  Graph pattern = testing::RandomGraph(rng, 8, 0.35, 3, 1, false);
+  Ccsr gc = Ccsr::Build(data);
+  CsceMatcher csce(&gc);
+  BacktrackingMatcher bt(&data);
+  for (auto variant :
+       {MatchVariant::kEdgeInduced, MatchVariant::kVertexInduced,
+        MatchVariant::kHomomorphic}) {
+    MatchOptions mo;
+    mo.variant = variant;
+    MatchResult mr;
+    ASSERT_TRUE(csce.Match(pattern, mo, &mr).ok());
+    BaselineOptions bo;
+    bo.variant = variant;
+    BaselineResult br;
+    ASSERT_TRUE(bt.Match(pattern, bo, &br).ok());
+    EXPECT_EQ(mr.embeddings, br.embeddings) << VariantName(variant);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LargePatternAgreementTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace csce

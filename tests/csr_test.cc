@@ -1,0 +1,102 @@
+#include "ccsr/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace csce {
+namespace {
+
+std::vector<Edge> SortedArcs(std::vector<Edge> arcs) {
+  std::sort(arcs.begin(), arcs.end());
+  return arcs;
+}
+
+TEST(CsrIndexTest, BasicNeighbors) {
+  std::vector<Edge> arcs =
+      SortedArcs({{0, 1, 0}, {0, 5, 0}, {3, 2, 0}, {3, 4, 0}});
+  CsrIndex csr = CsrIndex::FromArcs(6, arcs);
+  EXPECT_EQ(csr.NumArcs(), 4u);
+  auto n0 = csr.Neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 5u);
+  EXPECT_TRUE(csr.Neighbors(1).empty());
+  EXPECT_EQ(csr.Neighbors(3).size(), 2u);
+}
+
+TEST(CsrIndexTest, HasArc) {
+  CsrIndex csr = CsrIndex::FromArcs(4, SortedArcs({{0, 1, 0}, {0, 3, 0}}));
+  EXPECT_TRUE(csr.HasArc(0, 1));
+  EXPECT_TRUE(csr.HasArc(0, 3));
+  EXPECT_FALSE(csr.HasArc(0, 2));
+  EXPECT_FALSE(csr.HasArc(1, 0));
+}
+
+TEST(CsrIndexTest, NonEmptyVertices) {
+  CsrIndex csr = CsrIndex::FromArcs(10, SortedArcs({{2, 0, 0}, {7, 1, 0}}));
+  std::vector<VertexId> expected = {2, 7};
+  EXPECT_EQ(csr.NonEmptyVertices(), expected);
+}
+
+TEST(CsrIndexTest, SparseLayoutForSmallClusters) {
+  // 2 sources out of 10000 vertices: far below the density threshold.
+  CsrIndex csr =
+      CsrIndex::FromArcs(10000, SortedArcs({{5, 6, 0}, {9000, 3, 0}}));
+  EXPECT_FALSE(csr.dense());
+  EXPECT_EQ(csr.Neighbors(5).size(), 1u);
+  EXPECT_EQ(csr.Neighbors(9000)[0], 3u);
+  EXPECT_TRUE(csr.Neighbors(4).empty());
+}
+
+TEST(CsrIndexTest, DenseLayoutForBigClusters) {
+  std::vector<Edge> arcs;
+  for (VertexId v = 0; v < 100; ++v) arcs.push_back({v, (v + 1) % 100, 0});
+  CsrIndex csr = CsrIndex::FromArcs(100, SortedArcs(arcs));
+  EXPECT_TRUE(csr.dense());
+  for (VertexId v = 0; v < 100; ++v) {
+    ASSERT_EQ(csr.Neighbors(v).size(), 1u);
+    EXPECT_EQ(csr.Neighbors(v)[0], (v + 1) % 100);
+  }
+}
+
+class CsrLayoutAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsrLayoutAgreementTest, DenseAndSparseAgree) {
+  Rng rng(GetParam());
+  // Vertex count chosen so some instances are dense and some sparse.
+  uint32_t n = 50 + static_cast<uint32_t>(rng.Uniform(5000));
+  size_t m = 1 + rng.Uniform(200);
+  std::set<std::pair<VertexId, VertexId>> arc_set;
+  for (size_t i = 0; i < m; ++i) {
+    VertexId a = static_cast<VertexId>(rng.Uniform(n));
+    VertexId b = static_cast<VertexId>(rng.Uniform(n));
+    if (a != b) arc_set.insert({a, b});
+  }
+  std::vector<Edge> arcs;
+  for (auto [a, b] : arc_set) arcs.push_back({a, b, 0});
+  CsrIndex csr = CsrIndex::FromArcs(n, arcs);
+  EXPECT_EQ(csr.NumArcs(), arcs.size());
+  // Every arc must be found; every probed non-arc must not.
+  for (const Edge& e : arcs) EXPECT_TRUE(csr.HasArc(e.src, e.dst));
+  for (int probe = 0; probe < 100; ++probe) {
+    VertexId a = static_cast<VertexId>(rng.Uniform(n));
+    VertexId b = static_cast<VertexId>(rng.Uniform(n));
+    bool expected = arc_set.count({a, b}) > 0;
+    EXPECT_EQ(csr.HasArc(a, b), expected);
+  }
+  // NonEmptyVertices == distinct sources.
+  std::set<VertexId> sources;
+  for (const Edge& e : arcs) sources.insert(e.src);
+  std::vector<VertexId> expected_sources(sources.begin(), sources.end());
+  EXPECT_EQ(csr.NonEmptyVertices(), expected_sources);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrLayoutAgreementTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace csce

@@ -1,0 +1,184 @@
+// Edge cases around the executor: cache-sharing safety, seeding
+// direction, edge-label selectivity, restriction interplay, callbacks.
+
+#include <gtest/gtest.h>
+
+#include "engine/matcher.h"
+#include "graph/isomorphism.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(EngineEdgeCaseTest, NecWithoutSceIsSafe) {
+  // Regression guard: NEC cache aliasing without SCE revalidation would
+  // let an inner recursion clobber the candidate vector an outer level
+  // iterates. The executor must fall back to per-position caches.
+  Rng rng(701);
+  for (int i = 0; i < 10; ++i) {
+    Graph data = testing::RandomGraph(rng, 18, 0.3, 2, 1, false);
+    Graph pattern = testing::Star(3);  // heavy NEC aliasing
+    Ccsr gc = Ccsr::Build(data);
+    CsceMatcher matcher(&gc);
+    MatchOptions options;
+    options.plan.use_sce = false;
+    options.plan.use_nec = true;  // the dangerous combination
+    MatchResult result;
+    ASSERT_TRUE(matcher.Match(pattern, options, &result).ok());
+    EXPECT_EQ(result.embeddings,
+              CountEmbeddingsBruteForce(data, pattern,
+                                        MatchVariant::kEdgeInduced));
+  }
+}
+
+TEST(EngineEdgeCaseTest, DirectedSeedFromTargetSide) {
+  // A pattern whose cheapest seed position is the *destination* of its
+  // only arc: the engine must seed from the cluster's target side.
+  Graph data = MakeGraph(true, {1, 2, 1, 2}, {{0, 1, 0}, {2, 3, 0}});
+  Graph pattern = MakeGraph(true, {1, 2}, {{0, 1, 0}});
+  Ccsr gc = Ccsr::Build(data);
+  CsceMatcher matcher(&gc);
+  MatchResult result;
+  ASSERT_TRUE(matcher.Match(pattern, MatchOptions{}, &result).ok());
+  EXPECT_EQ(result.embeddings, 2u);
+}
+
+TEST(EngineEdgeCaseTest, EdgeLabelsSelectClusters) {
+  // Two parallel arc labels between the same label pair: each pattern
+  // edge label must match only its own cluster.
+  Graph data = MakeGraph(true, {1, 2}, {{0, 1, 7}, {0, 1, 8}});
+  Ccsr gc = Ccsr::Build(data);
+  CsceMatcher matcher(&gc);
+  for (Label el : {7u, 8u}) {
+    Graph pattern = MakeGraph(true, {1, 2}, {{0, 1, el}});
+    MatchResult result;
+    ASSERT_TRUE(matcher.Match(pattern, MatchOptions{}, &result).ok());
+    EXPECT_EQ(result.embeddings, 1u) << "label " << el;
+  }
+  Graph wrong = MakeGraph(true, {1, 2}, {{0, 1, 9}});
+  MatchResult result;
+  ASSERT_TRUE(matcher.Match(wrong, MatchOptions{}, &result).ok());
+  EXPECT_EQ(result.embeddings, 0u);
+}
+
+TEST(EngineEdgeCaseTest, BothArcDirectionsBetweenOnePair) {
+  // Pattern demanding a 2-cycle: both arcs must be verified.
+  Graph data = MakeGraph(true, {0, 0, 0},
+                         {{0, 1, 0}, {1, 0, 0}, {1, 2, 0}});
+  Graph two_cycle = MakeGraph(true, {0, 0}, {{0, 1, 0}, {1, 0, 0}});
+  Ccsr gc = Ccsr::Build(data);
+  CsceMatcher matcher(&gc);
+  MatchResult result;
+  ASSERT_TRUE(matcher.Match(two_cycle, MatchOptions{}, &result).ok());
+  EXPECT_EQ(result.embeddings, 2u);  // (0,1) and (1,0)
+}
+
+TEST(EngineEdgeCaseTest, RestrictionsOnVertexInduced) {
+  Rng rng(702);
+  Graph data = testing::RandomGraph(rng, 14, 0.35, 1, 1, false);
+  Graph pattern = testing::Cycle(4);
+  Ccsr gc = Ccsr::Build(data);
+  CsceMatcher matcher(&gc);
+  MatchOptions plain;
+  plain.variant = MatchVariant::kVertexInduced;
+  MatchOptions restricted = plain;
+  restricted.restrictions = {{0, 2}};  // half the 4-cycle symmetries
+  MatchResult full;
+  MatchResult half;
+  ASSERT_TRUE(matcher.Match(pattern, plain, &full).ok());
+  ASSERT_TRUE(matcher.Match(pattern, restricted, &half).ok());
+  EXPECT_EQ(half.embeddings * 2, full.embeddings);
+}
+
+TEST(EngineEdgeCaseTest, RestrictionOutOfRangeRejected) {
+  Graph data = testing::Clique(4);
+  Ccsr gc = Ccsr::Build(data);
+  CsceMatcher matcher(&gc);
+  MatchOptions options;
+  options.restrictions = {{0, 9}};
+  MatchResult result;
+  EXPECT_EQ(matcher.Match(testing::Path(2), options, &result).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineEdgeCaseTest, CallbackAbortLeavesConsistentCount) {
+  Ccsr gc = Ccsr::Build(testing::Clique(6));
+  CsceMatcher matcher(&gc);
+  MatchOptions options;
+  MatchResult result;
+  ASSERT_TRUE(matcher
+                  .MatchWithCallback(
+                      testing::Cycle(3), options,
+                      [](std::span<const VertexId>) { return false; },
+                      &result)
+                  .ok());
+  EXPECT_EQ(result.embeddings, 1u);  // exactly the one delivered
+}
+
+TEST(EngineEdgeCaseTest, HomCountFastPathMatchesSlowPath) {
+  // The count-only last-depth shortcut must agree with the callback
+  // path, which disables it.
+  Rng rng(703);
+  Graph data = testing::RandomGraph(rng, 20, 0.3, 2, 2, true);
+  Graph pattern = testing::RandomGraph(rng, 4, 0.5, 2, 2, true);
+  Ccsr gc = Ccsr::Build(data);
+  CsceMatcher matcher(&gc);
+  MatchOptions options;
+  options.variant = MatchVariant::kHomomorphic;
+  MatchResult fast;
+  ASSERT_TRUE(matcher.Match(pattern, options, &fast).ok());
+  uint64_t slow = 0;
+  MatchResult via_callback;
+  ASSERT_TRUE(matcher
+                  .MatchWithCallback(
+                      pattern, options,
+                      [&slow](std::span<const VertexId>) {
+                        ++slow;
+                        return true;
+                      },
+                      &via_callback)
+                  .ok());
+  EXPECT_EQ(fast.embeddings, slow);
+}
+
+TEST(EngineEdgeCaseTest, DegreeFilterToggleKeepsCounts) {
+  Rng rng(704);
+  for (int i = 0; i < 6; ++i) {
+    bool directed = i % 2 == 0;
+    Graph data = testing::RandomGraph(rng, 16, 0.3, 2, 1, directed);
+    Graph pattern = testing::RandomGraph(rng, 5, 0.5, 2, 1, directed);
+    Ccsr gc = Ccsr::Build(data);
+    CsceMatcher matcher(&gc);
+    for (auto variant :
+         {MatchVariant::kEdgeInduced, MatchVariant::kVertexInduced}) {
+      MatchOptions with;
+      with.variant = variant;
+      MatchOptions without = with;
+      without.plan.use_degree_filter = false;
+      MatchResult a;
+      MatchResult b;
+      ASSERT_TRUE(matcher.Match(pattern, with, &a).ok());
+      ASSERT_TRUE(matcher.Match(pattern, without, &b).ok());
+      EXPECT_EQ(a.embeddings, b.embeddings) << VariantName(variant);
+    }
+  }
+}
+
+TEST(EngineEdgeCaseTest, IsolatedPatternVertexScansLabel) {
+  Graph data = MakeGraph(false, {1, 1, 2}, {{0, 1, 0}});
+  // One edge plus an isolated label-2 vertex.
+  Graph pattern = MakeGraph(false, {1, 1, 2}, {{0, 1, 0}});
+  Ccsr gc = Ccsr::Build(data);
+  CsceMatcher matcher(&gc);
+  MatchResult result;
+  ASSERT_TRUE(matcher.Match(pattern, MatchOptions{}, &result).ok());
+  EXPECT_EQ(result.embeddings,
+            CountEmbeddingsBruteForce(data, pattern,
+                                      MatchVariant::kEdgeInduced));
+  EXPECT_EQ(result.embeddings, 2u);  // two edge orientations x 1 vertex
+}
+
+}  // namespace
+}  // namespace csce

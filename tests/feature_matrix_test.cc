@@ -1,0 +1,107 @@
+// Feature-interaction matrix: every planner/engine feature combination
+// must stay correct, on directed and undirected heterogeneous graphs,
+// with and without the cross-query cluster cache. This is the widest
+// sweep in the suite; each case is tiny so the whole suite stays fast.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ccsr/cluster_cache.h"
+#include "engine/matcher.h"
+#include "graph/isomorphism.h"
+#include "plan/symmetry.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+// (seed, directed, use_cache, feature-mask)
+using MatrixParam = std::tuple<uint64_t, bool, bool, int>;
+
+class FeatureMatrixTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(FeatureMatrixTest, EveryFeatureComboMatchesOracle) {
+  auto [seed, directed, use_cache, mask] = GetParam();
+  Rng rng(seed * 65537 + mask * 101 + (directed ? 7 : 0));
+  Graph data = testing::RandomGraph(rng, 13, 0.3, 2, 2, directed);
+  Graph pattern = testing::RandomGraph(rng, 4, 0.55, 2, 2, directed);
+
+  Ccsr gc = Ccsr::Build(data);
+  ClusterCache cache(&gc);
+  CsceMatcher matcher(&gc, use_cache ? &cache : nullptr);
+
+  MatchOptions options;
+  options.plan.use_sce = (mask & 1) != 0;
+  options.plan.use_nec = (mask & 2) != 0;
+  options.plan.use_ldsf = (mask & 4) != 0;
+  options.plan.use_cluster_tiebreak = (mask & 8) != 0;
+  options.plan.use_degree_filter = (mask & 16) != 0;
+  options.plan.use_cost_based = (mask & 32) != 0;
+
+  for (auto variant :
+       {MatchVariant::kEdgeInduced, MatchVariant::kVertexInduced,
+        MatchVariant::kHomomorphic}) {
+    options.variant = variant;
+    MatchResult result;
+    ASSERT_TRUE(matcher.Match(pattern, options, &result).ok());
+    EXPECT_EQ(result.embeddings,
+              CountEmbeddingsBruteForce(data, pattern, variant))
+        << VariantName(variant) << " mask=" << mask;
+  }
+}
+
+// Masks chosen to cover each feature off alone, all-on, all-off, and a
+// few mixed combinations (full 2^6 x seeds x ... would be excessive).
+INSTANTIATE_TEST_SUITE_P(
+    Combos, FeatureMatrixTest,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 3),
+                       ::testing::Bool(),  // directed
+                       ::testing::Bool(),  // cluster cache
+                       ::testing::Values(0,       // everything off
+                                         63,      // everything on
+                                         62,      // -sce
+                                         61,      // -nec
+                                         59,      // -ldsf
+                                         47,      // -degree filter
+                                         32,      // cost-based only
+                                         33)));   // cost-based + sce
+
+// Restrictions interact with every variant and the cache.
+class RestrictionMatrixTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(RestrictionMatrixTest, SymmetryCountsConsistentEverywhere) {
+  auto [seed, use_cache] = GetParam();
+  Rng rng(seed * 31 + 5);
+  Graph data = testing::RandomGraph(rng, 14, 0.3, 1, 1, false);
+  Ccsr gc = Ccsr::Build(data);
+  ClusterCache cache(&gc);
+  CsceMatcher matcher(&gc, use_cache ? &cache : nullptr);
+  for (const Graph& pattern :
+       {testing::Cycle(4), testing::Star(3), testing::Clique(3),
+        testing::Path(4)}) {
+    SymmetryInfo info = ComputeSymmetryBreaking(pattern);
+    for (auto variant :
+         {MatchVariant::kEdgeInduced, MatchVariant::kVertexInduced}) {
+      MatchOptions plain;
+      plain.variant = variant;
+      MatchOptions restricted = plain;
+      restricted.restrictions = info.restrictions;
+      MatchResult full;
+      MatchResult canonical;
+      ASSERT_TRUE(matcher.Match(pattern, plain, &full).ok());
+      ASSERT_TRUE(matcher.Match(pattern, restricted, &canonical).ok());
+      EXPECT_EQ(canonical.embeddings * info.automorphism_count,
+                full.embeddings)
+          << VariantName(variant);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RestrictionMatrixTest,
+                         ::testing::Combine(::testing::Range<uint64_t>(0, 5),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace csce

@@ -1,0 +1,86 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace csce {
+namespace {
+
+FlagParser Parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"tool"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  FlagParser parser;
+  Status st = parser.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(st.ok());
+  return parser;
+}
+
+TEST(FlagsTest, KeyValuePairs) {
+  FlagParser flags = Parse({"--graph=data.txt", "--limit=5"});
+  EXPECT_EQ(flags.GetString("graph", ""), "data.txt");
+  EXPECT_EQ(flags.GetInt("limit", 0), 5);
+  EXPECT_EQ(flags.GetString("missing", "fallback"), "fallback");
+}
+
+TEST(FlagsTest, BareSwitches) {
+  FlagParser flags = Parse({"--verbose", "--quiet=false"});
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_FALSE(flags.GetBool("quiet"));
+  EXPECT_FALSE(flags.GetBool("absent"));
+  EXPECT_TRUE(flags.GetBool("absent", true));
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  EXPECT_TRUE(Parse({"--x=true"}).GetBool("x"));
+  EXPECT_TRUE(Parse({"--x=1"}).GetBool("x"));
+  EXPECT_TRUE(Parse({"--x=yes"}).GetBool("x"));
+  EXPECT_FALSE(Parse({"--x=0"}).GetBool("x"));
+}
+
+TEST(FlagsTest, Doubles) {
+  FlagParser flags = Parse({"--ratio=0.25"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 0), 0.25);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("other", 1.5), 1.5);
+}
+
+TEST(FlagsTest, MalformedNumbersFallBack) {
+  FlagParser flags = Parse({"--n=abc"});
+  EXPECT_EQ(flags.GetInt("n", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("n", 2.5), 2.5);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  FlagParser flags = Parse({"a.txt", "--k=v", "b.txt"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "a.txt");
+  EXPECT_EQ(flags.positional()[1], "b.txt");
+}
+
+TEST(FlagsTest, DoubleDashEndsFlags) {
+  FlagParser flags = Parse({"--k=v", "--", "--not-a-flag"});
+  EXPECT_EQ(flags.GetString("k", ""), "v");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "--not-a-flag");
+}
+
+TEST(FlagsTest, UnusedFlagsReported) {
+  FlagParser flags = Parse({"--used=1", "--typo=2"});
+  EXPECT_EQ(flags.GetInt("used", 0), 1);
+  auto unused = flags.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagsTest, LastValueWins) {
+  FlagParser flags = Parse({"--k=1", "--k=2"});
+  EXPECT_EQ(flags.GetInt("k", 0), 2);
+}
+
+TEST(FlagsTest, EmptyFlagNameRejected) {
+  std::vector<const char*> argv = {"tool", "--=v"};
+  FlagParser parser;
+  EXPECT_EQ(parser.Parse(2, argv.data()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace csce

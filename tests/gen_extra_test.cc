@@ -1,0 +1,108 @@
+// Generators beyond the basics: pocket planting, dense-pattern
+// sampling guarantees, label skew behavior.
+
+#include <gtest/gtest.h>
+
+#include "ccsr/ccsr.h"
+#include "engine/matcher.h"
+#include "gen/pattern_gen.h"
+#include "gen/random_graph.h"
+#include "graph/subgraph.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+TEST(PlantPocketsTest, PreservesBaseEdgesAndLabels) {
+  Rng rng(801);
+  Graph base = testing::RandomGraph(rng, 60, 0.05, 3, 1, false);
+  Graph planted = PlantPockets(base, 4, 6, 0.9, 99);
+  EXPECT_EQ(planted.NumVertices(), base.NumVertices());
+  EXPECT_EQ(planted.vertex_labels(), base.vertex_labels());
+  EXPECT_GE(planted.NumEdges(), base.NumEdges());
+  base.ForEachEdge([&planted](const Edge& e) {
+    EXPECT_TRUE(planted.HasEdge(e.src, e.dst, e.elabel));
+  });
+}
+
+TEST(PlantPocketsTest, AddsDenseRegions) {
+  GraphBuilder b(false);
+  b.AddVertices(100, kNoLabel);
+  Graph empty;
+  ASSERT_TRUE(b.Build(&empty).ok());
+  Graph planted = PlantPockets(empty, 5, 8, 1.0, 7);
+  // 5 pockets of 8 vertices at p=1: close to 5 * 28 edges (sampling
+  // with replacement can merge members).
+  EXPECT_GT(planted.NumEdges(), 80u);
+}
+
+TEST(PlantPocketsTest, Deterministic) {
+  Graph base = testing::Clique(10);
+  Graph a = PlantPockets(base, 2, 4, 0.5, 42);
+  Graph c = PlantPockets(base, 2, 4, 0.5, 42);
+  EXPECT_EQ(a.Edges(), c.Edges());
+}
+
+TEST(SampleDensePatternTest, MeetsDegreeBound) {
+  Rng rng(802);
+  Graph base = testing::RandomGraph(rng, 200, 0.02, 1, 1, false);
+  Graph g = PlantPockets(base, 10, 9, 0.7, 5);
+  Rng sample_rng(6);
+  for (int i = 0; i < 5; ++i) {
+    Graph pattern;
+    ASSERT_TRUE(SampleDensePattern(g, 8, 3.0, sample_rng, &pattern).ok());
+    EXPECT_EQ(pattern.NumVertices(), 8u);
+    EXPECT_TRUE(IsConnected(pattern));
+    EXPECT_GE(2.0 * pattern.NumEdges() / pattern.NumVertices(), 3.0);
+  }
+}
+
+TEST(SampleDensePatternTest, FailsOnSparseGraph) {
+  // A path has no region of average degree 3.
+  Graph path = testing::Path(50);
+  Rng rng(803);
+  Graph pattern;
+  EXPECT_EQ(SampleDensePattern(path, 8, 3.0, rng, &pattern).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SampleDensePatternTest, PatternsEmbedInSource) {
+  Rng rng(804);
+  Graph base = testing::RandomGraph(rng, 150, 0.03, 1, 1, false);
+  Graph g = PlantPockets(base, 8, 9, 0.7, 11);
+  Ccsr gc = Ccsr::Build(g);
+  CsceMatcher matcher(&gc);
+  Rng sample_rng(12);
+  Graph pattern;
+  ASSERT_TRUE(SampleDensePattern(g, 7, 3.0, sample_rng, &pattern).ok());
+  MatchOptions options;
+  options.variant = MatchVariant::kVertexInduced;  // induced subgraph
+  options.max_embeddings = 1;
+  MatchResult result;
+  ASSERT_TRUE(matcher.Match(pattern, options, &result).ok());
+  EXPECT_GE(result.embeddings, 1u);
+}
+
+TEST(LabelSkewTest, SkewConcentratesMass) {
+  Rng rng(805);
+  std::vector<int> uniform_counts(10, 0);
+  std::vector<int> skewed_counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++uniform_counts[DrawLabel(rng, 10, 0.0)];
+    ++skewed_counts[DrawLabel(rng, 10, 0.9)];
+  }
+  // Uniform: each bucket near 2000. Skewed: label 0 dominates.
+  EXPECT_GT(skewed_counts[0], uniform_counts[0] * 2);
+  EXPECT_LT(skewed_counts[9], uniform_counts[9]);
+}
+
+TEST(GridRoadTest, Deterministic) {
+  Graph a = GridRoad(20, 20, 0.7, 3);
+  Graph b = GridRoad(20, 20, 0.7, 3);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  Graph c = GridRoad(20, 20, 0.7, 4);
+  EXPECT_NE(a.Edges(), c.Edges());
+}
+
+}  // namespace
+}  // namespace csce

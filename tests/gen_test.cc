@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "ccsr/ccsr.h"
+#include "engine/matcher.h"
+#include "gen/datasets.h"
+#include "gen/pattern_gen.h"
+#include "gen/random_graph.h"
+#include "graph/graph_stats.h"
+#include "graph/subgraph.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+TEST(RandomGraphTest, ErdosRenyiShape) {
+  LabelConfig labels;
+  labels.vertex_labels = 5;
+  Graph g = ErdosRenyi(500, 1500, false, labels, 1);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  EXPECT_GT(g.NumEdges(), 1300u);  // some duplicates/self-loops drop out
+  EXPECT_LE(g.NumEdges(), 1500u);
+  EXPECT_EQ(g.VertexLabelCount(), 5u);
+}
+
+TEST(RandomGraphTest, Deterministic) {
+  LabelConfig labels;
+  Graph a = ErdosRenyi(100, 300, true, labels, 9);
+  Graph b = ErdosRenyi(100, 300, true, labels, 9);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(RandomGraphTest, ChungLuIsSkewed) {
+  LabelConfig labels;
+  Graph g = ChungLu(2000, 10000, 2.3, false, labels, 5);
+  GraphStats s = ComputeStats(g);
+  // Hubs should far exceed the average.
+  EXPECT_GT(s.max_out_degree, 5 * s.average_degree);
+}
+
+TEST(RandomGraphTest, GridRoadIsSparse) {
+  Graph g = GridRoad(50, 50, 0.72, 3);
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.vertex_count, 2500u);
+  EXPECT_GT(s.average_degree, 2.0);
+  EXPECT_LT(s.average_degree, 3.6);
+  EXPECT_LT(s.max_out_degree, 12u);
+}
+
+TEST(RandomGraphTest, PlantedPartitionGroundTruth) {
+  std::vector<uint32_t> truth;
+  Graph g = PlantedPartition(200, 10, 0.7, 0.02, 7, &truth);
+  ASSERT_EQ(truth.size(), 200u);
+  // Count intra vs inter edges: intra should dominate per capita.
+  uint64_t intra = 0;
+  uint64_t inter = 0;
+  g.ForEachEdge([&](const Edge& e) {
+    (truth[e.src] == truth[e.dst] ? intra : inter) += 1;
+  });
+  EXPECT_GT(intra, inter);
+}
+
+TEST(RandomGraphTest, DrawLabelBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(DrawLabel(rng, 7, 0.0), 7u);
+    EXPECT_LT(DrawLabel(rng, 7, 0.9), 7u);
+  }
+  EXPECT_EQ(DrawLabel(rng, 1, 0.5), kNoLabel);
+}
+
+TEST(DatasetsTest, ShapesMatchTable4Conventions) {
+  struct Expectation {
+    const char* name;
+    bool directed;
+    uint32_t labels;
+    double min_avg_degree;
+    double max_avg_degree;
+  };
+  const Expectation expectations[] = {
+      {"DIP", false, 0, 6.0, 11.0},
+      {"Yeast", false, 71, 6.0, 10.0},
+      {"Human", false, 44, 14.0, 24.0},
+      {"HPRD", false, 304, 5.5, 9.0},
+      {"RoadCA", false, 0, 2.2, 3.6},
+      {"Orkut", false, 50, 28.0, 44.0},
+      {"Patent", false, 20, 6.5, 10.5},
+      {"Subcategory", true, 36, 8.0, 12.0},
+      {"LiveJournal", true, 0, 13.0, 19.0},
+  };
+  auto all = datasets::AllTable4();
+  ASSERT_EQ(all.size(), std::size(expectations));
+  for (size_t i = 0; i < all.size(); ++i) {
+    const auto& e = expectations[i];
+    SCOPED_TRACE(e.name);
+    EXPECT_EQ(all[i].name, e.name);
+    GraphStats s = ComputeStats(all[i].graph);
+    EXPECT_EQ(s.directed, e.directed);
+    if (e.labels == 0) {
+      EXPECT_EQ(s.label_count, 0u);
+    } else {
+      // Skewed assignment may drop a few of the rarest labels.
+      EXPECT_GE(s.label_count, e.labels * 7 / 10);
+      EXPECT_LE(s.label_count, e.labels);
+    }
+    EXPECT_GE(s.average_degree, e.min_avg_degree);
+    EXPECT_LE(s.average_degree, e.max_avg_degree);
+  }
+}
+
+TEST(DatasetsTest, PatentLabelVariants) {
+  Graph p200 = datasets::Patent(200);
+  GraphStats s = ComputeStats(p200);
+  EXPECT_GE(s.label_count, 150u);
+  EXPECT_LE(s.label_count, 200u);
+}
+
+TEST(DatasetsTest, EmailEuHasDepartments) {
+  std::vector<uint32_t> departments;
+  Graph g = datasets::EmailEu(&departments);
+  EXPECT_EQ(departments.size(), g.NumVertices());
+  uint32_t max_dept = 0;
+  for (uint32_t d : departments) max_dept = std::max(max_dept, d);
+  EXPECT_EQ(max_dept, 19u);
+}
+
+TEST(PatternGenTest, SampledPatternsAreConnectedAndSized) {
+  Graph g = datasets::Dip();
+  Rng rng(5);
+  for (uint32_t size : {4u, 8u, 16u}) {
+    for (auto density : {PatternDensity::kDense, PatternDensity::kSparse}) {
+      Graph p;
+      ASSERT_TRUE(SamplePattern(g, size, density, rng, &p).ok());
+      EXPECT_EQ(p.NumVertices(), size);
+      EXPECT_TRUE(IsConnected(p));
+      if (density == PatternDensity::kSparse) {
+        EXPECT_LE(p.NumEdges(), size);  // avg degree <= 2
+      }
+    }
+  }
+}
+
+TEST(PatternGenTest, DensePatternsEmbedInSource) {
+  // A dense pattern is an induced subgraph, so it must appear at least
+  // once even vertex-induced.
+  Graph g = datasets::Yeast();
+  Ccsr gc = Ccsr::Build(g);
+  CsceMatcher matcher(&gc);
+  Rng rng(6);
+  for (int i = 0; i < 3; ++i) {
+    Graph p;
+    ASSERT_TRUE(SamplePattern(g, 8, PatternDensity::kDense, rng, &p).ok());
+    MatchOptions options;
+    options.variant = MatchVariant::kVertexInduced;
+    options.max_embeddings = 1;
+    MatchResult result;
+    ASSERT_TRUE(matcher.Match(p, options, &result).ok());
+    EXPECT_GE(result.embeddings, 1u);
+  }
+}
+
+TEST(PatternGenTest, SparsePatternsEmbedEdgeInduced) {
+  Graph g = datasets::Dip();
+  Ccsr gc = Ccsr::Build(g);
+  CsceMatcher matcher(&gc);
+  Rng rng(7);
+  for (int i = 0; i < 3; ++i) {
+    Graph p;
+    ASSERT_TRUE(SamplePattern(g, 10, PatternDensity::kSparse, rng, &p).ok());
+    MatchOptions options;
+    options.max_embeddings = 1;
+    MatchResult result;
+    ASSERT_TRUE(matcher.Match(p, options, &result).ok());
+    EXPECT_GE(result.embeddings, 1u);
+  }
+}
+
+TEST(PatternGenTest, BatchSamplingDeterministic) {
+  Graph g = datasets::Dip();
+  std::vector<Graph> a;
+  std::vector<Graph> b;
+  ASSERT_TRUE(
+      SamplePatterns(g, 8, PatternDensity::kDense, 5, 99, &a).ok());
+  ASSERT_TRUE(
+      SamplePatterns(g, 8, PatternDensity::kDense, 5, 99, &b).ok());
+  ASSERT_EQ(a.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(a[i].Edges(), b[i].Edges());
+}
+
+TEST(PatternGenTest, DirectedSourceGivesDirectedPatterns) {
+  Graph g = datasets::Subcategory();
+  Rng rng(8);
+  Graph p;
+  ASSERT_TRUE(SamplePattern(g, 6, PatternDensity::kDense, rng, &p).ok());
+  EXPECT_TRUE(p.directed());
+}
+
+}  // namespace
+}  // namespace csce

@@ -1,0 +1,101 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+TEST(GraphIoTest, ParsesMinimalGraph) {
+  const std::string text =
+      "# a comment\n"
+      "t undirected 3 2\n"
+      "v 0 1\n"
+      "v 1 2\n"
+      "v 2 1\n"
+      "e 0 1 5\n"
+      "e 1 2\n";
+  Graph g;
+  ASSERT_TRUE(LoadGraphFromString(text, &g).ok());
+  EXPECT_FALSE(g.directed());
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.VertexLabel(1), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1, 5));
+  EXPECT_TRUE(g.HasEdge(1, 2, 0));  // elabel defaults to 0
+}
+
+TEST(GraphIoTest, ParsesDirected) {
+  Graph g;
+  ASSERT_TRUE(
+      LoadGraphFromString("t directed 2 1\nv 0 0\nv 1 0\ne 0 1 0\n", &g).ok());
+  EXPECT_TRUE(g.directed());
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(GraphIoTest, RejectsMissingHeader) {
+  Graph g;
+  EXPECT_EQ(LoadGraphFromString("v 0 0\n", &g).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, RejectsBadDirection) {
+  Graph g;
+  EXPECT_EQ(LoadGraphFromString("t sideways 1 0\nv 0 0\n", &g).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, RejectsVertexCountMismatch) {
+  Graph g;
+  EXPECT_EQ(LoadGraphFromString("t undirected 2 0\nv 0 0\n", &g).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, RejectsUnknownRecord) {
+  Graph g;
+  EXPECT_EQ(LoadGraphFromString("t undirected 1 0\nv 0 0\nx 1 2\n", &g).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, RejectsVertexIdOutOfRange) {
+  Graph g;
+  EXPECT_EQ(LoadGraphFromString("t undirected 1 0\nv 5 0\n", &g).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, MissingFileIsIOError) {
+  Graph g;
+  EXPECT_EQ(LoadGraphFromFile("/nonexistent/path/graph.txt", &g).code(),
+            StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, RoundTripsUndirected) {
+  Rng rng(11);
+  Graph g = testing::RandomGraph(rng, 20, 0.2, 3, 2, false);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveGraphToStream(g, out).ok());
+  Graph back;
+  ASSERT_TRUE(LoadGraphFromString(out.str(), &back).ok());
+  EXPECT_EQ(back.NumVertices(), g.NumVertices());
+  EXPECT_EQ(back.NumEdges(), g.NumEdges());
+  EXPECT_EQ(back.Edges(), g.Edges());
+  EXPECT_EQ(back.vertex_labels(), g.vertex_labels());
+}
+
+TEST(GraphIoTest, RoundTripsDirected) {
+  Rng rng(12);
+  Graph g = testing::RandomGraph(rng, 20, 0.2, 3, 2, true);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveGraphToStream(g, out).ok());
+  Graph back;
+  ASSERT_TRUE(LoadGraphFromString(out.str(), &back).ok());
+  EXPECT_TRUE(back.directed());
+  EXPECT_EQ(back.Edges(), g.Edges());
+}
+
+}  // namespace
+}  // namespace csce

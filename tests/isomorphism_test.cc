@@ -1,0 +1,143 @@
+#include "graph/isomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+using testing::Clique;
+using testing::Cycle;
+using testing::MakeGraph;
+using testing::Path;
+using testing::Star;
+
+TEST(AutomorphismTest, KnownGroupSizes) {
+  EXPECT_EQ(CountAutomorphisms(Path(2)), 2u);
+  EXPECT_EQ(CountAutomorphisms(Path(3)), 2u);
+  EXPECT_EQ(CountAutomorphisms(Cycle(3)), 6u);   // S3
+  EXPECT_EQ(CountAutomorphisms(Cycle(4)), 8u);   // dihedral D4
+  EXPECT_EQ(CountAutomorphisms(Cycle(5)), 10u);  // D5
+  EXPECT_EQ(CountAutomorphisms(Clique(4)), 24u);
+  EXPECT_EQ(CountAutomorphisms(Star(4)), 24u);   // leaves permute freely
+}
+
+TEST(AutomorphismTest, LabelsBreakSymmetry) {
+  Graph labeled_path = MakeGraph(false, {1, 0, 2}, {{0, 1, 0}, {1, 2, 0}});
+  EXPECT_EQ(CountAutomorphisms(labeled_path), 1u);
+}
+
+TEST(AutomorphismTest, EdgeLabelsBreakSymmetry) {
+  Graph g = MakeGraph(false, {0, 0, 0}, {{0, 1, 1}, {1, 2, 2}});
+  EXPECT_EQ(CountAutomorphisms(g), 1u);
+}
+
+TEST(AutomorphismTest, DirectionBreaksSymmetry) {
+  Graph cycle3 = MakeGraph(true, {0, 0, 0}, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}});
+  EXPECT_EQ(CountAutomorphisms(cycle3), 3u);  // rotations only
+}
+
+TEST(AutomorphismTest, IdentityAlwaysPresent) {
+  Rng rng(5);
+  Graph g = testing::RandomGraph(rng, 7, 0.4, 2, 1, false);
+  auto autos = EnumerateAutomorphisms(g);
+  ASSERT_GE(autos.size(), 1u);
+  bool has_identity = false;
+  for (const auto& f : autos) {
+    bool id = true;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) id = id && f[v] == v;
+    has_identity = has_identity || id;
+  }
+  EXPECT_TRUE(has_identity);
+}
+
+TEST(IsomorphismTest, DetectsIsomorphicRelabeling) {
+  Graph a = MakeGraph(false, {1, 2, 3}, {{0, 1, 0}, {1, 2, 0}});
+  Graph b = MakeGraph(false, {3, 2, 1}, {{2, 1, 0}, {1, 0, 0}});
+  EXPECT_TRUE(AreIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, RejectsDifferentStructure) {
+  EXPECT_FALSE(AreIsomorphic(Path(4), Star(3)));  // same size, diff degrees
+  EXPECT_FALSE(AreIsomorphic(Path(3), Path(4)));
+  EXPECT_FALSE(AreIsomorphic(Cycle(4), Path(4)));
+}
+
+TEST(IsomorphismTest, RespectsLimit) {
+  auto all = EnumerateIsomorphisms(Clique(4), Clique(4));
+  EXPECT_EQ(all.size(), 24u);
+  auto limited = EnumerateIsomorphisms(Clique(4), Clique(4), 5);
+  EXPECT_EQ(limited.size(), 5u);
+}
+
+TEST(BruteForceTest, TriangleInClique4) {
+  // K4 contains 4 triangles, each matched by 3! = 6 mappings.
+  EXPECT_EQ(CountEmbeddingsBruteForce(Clique(4), Cycle(3),
+                                      MatchVariant::kEdgeInduced),
+            24u);
+  EXPECT_EQ(CountEmbeddingsBruteForce(Clique(4), Cycle(3),
+                                      MatchVariant::kVertexInduced),
+            24u);
+}
+
+TEST(BruteForceTest, EdgeInHomVsInjective) {
+  Graph edge = Path(2);
+  Graph triangle = Cycle(3);
+  // Hom: any arc of the triangle (6 ordered pairs).
+  EXPECT_EQ(
+      CountEmbeddingsBruteForce(triangle, edge, MatchVariant::kHomomorphic),
+      6u);
+  EXPECT_EQ(
+      CountEmbeddingsBruteForce(triangle, edge, MatchVariant::kEdgeInduced),
+      6u);
+}
+
+TEST(BruteForceTest, VertexInducedExcludesExtraEdges) {
+  // Path 0-1-2 inside a triangle: edge-induced yes, vertex-induced no
+  // (the chord closes the triangle).
+  Graph triangle = Cycle(3);
+  Graph path3 = Path(3);
+  EXPECT_EQ(
+      CountEmbeddingsBruteForce(triangle, path3, MatchVariant::kEdgeInduced),
+      6u);
+  EXPECT_EQ(
+      CountEmbeddingsBruteForce(triangle, path3, MatchVariant::kVertexInduced),
+      0u);
+}
+
+TEST(BruteForceTest, HomomorphismFoldsVertices) {
+  // A 2-path can fold both endpoints onto the same vertex of an edge.
+  Graph edge = Path(2);
+  Graph path3 = Path(3);
+  EXPECT_EQ(CountEmbeddingsBruteForce(edge, path3, MatchVariant::kHomomorphic),
+            2u);  // 0->1->0 and 1->0->1
+  EXPECT_EQ(CountEmbeddingsBruteForce(edge, path3, MatchVariant::kEdgeInduced),
+            0u);  // no injective image
+}
+
+TEST(BruteForceTest, DirectedEdgesRespectOrientation) {
+  Graph arc = MakeGraph(true, {0, 0}, {{0, 1, 0}});
+  Graph two_cycle = MakeGraph(true, {0, 0}, {{0, 1, 0}, {1, 0, 0}});
+  EXPECT_EQ(CountEmbeddingsBruteForce(two_cycle, arc,
+                                      MatchVariant::kEdgeInduced),
+            2u);
+  // Vertex-induced: the pattern pair has only one arc but the data pair
+  // has both, so exact adjacency fails.
+  EXPECT_EQ(CountEmbeddingsBruteForce(two_cycle, arc,
+                                      MatchVariant::kVertexInduced),
+            0u);
+}
+
+TEST(BruteForceTest, EdgeLabelsMustMatch) {
+  Graph data = MakeGraph(false, {0, 0}, {{0, 1, 7}});
+  Graph right = MakeGraph(false, {0, 0}, {{0, 1, 7}});
+  Graph wrong = MakeGraph(false, {0, 0}, {{0, 1, 8}});
+  EXPECT_EQ(
+      CountEmbeddingsBruteForce(data, right, MatchVariant::kEdgeInduced), 2u);
+  EXPECT_EQ(
+      CountEmbeddingsBruteForce(data, wrong, MatchVariant::kEdgeInduced), 0u);
+}
+
+}  // namespace
+}  // namespace csce

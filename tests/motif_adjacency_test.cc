@@ -1,0 +1,81 @@
+#include "analysis/motif_adjacency.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+TEST(MotifAdjacencyTest, TrianglesInClique4) {
+  Graph g = testing::Clique(4);
+  MotifAdjacency ma;
+  ASSERT_TRUE(BuildMotifAdjacency(g, testing::Cycle(3), 0, &ma).ok());
+  // K4 has 4 triangles (as instances, not embeddings).
+  EXPECT_EQ(ma.instances(), 4u);
+  // Every pair lies in exactly 2 triangles.
+  for (VertexId a = 0; a < 4; ++a) {
+    for (VertexId b = a + 1; b < 4; ++b) {
+      EXPECT_DOUBLE_EQ(ma.Weight(a, b), 2.0);
+    }
+  }
+  EXPECT_EQ(ma.NumWeightedPairs(), 6u);
+}
+
+TEST(MotifAdjacencyTest, WeightTotalsMatchInstances) {
+  // Sum of weights == instances * C(k, 2).
+  Rng rng(601);
+  Graph g = testing::RandomGraph(rng, 20, 0.3, 1, 1, false);
+  Graph motif = testing::Cycle(4);
+  MotifAdjacency ma;
+  ASSERT_TRUE(BuildMotifAdjacency(g, motif, 0, &ma).ok());
+  double total = 0;
+  auto adj = ma.ToAdjacency(g.NumVertices());
+  for (const auto& list : adj) {
+    for (const auto& [v, w] : list) total += w;
+  }
+  // Each pair appears twice in the symmetric adjacency.
+  EXPECT_DOUBLE_EQ(total, 2.0 * ma.instances() * 6);
+}
+
+TEST(MotifAdjacencyTest, InstanceCountIsEmbeddingsOverAut) {
+  Rng rng(602);
+  Graph g = testing::RandomGraph(rng, 15, 0.35, 1, 1, false);
+  Graph motif = testing::Star(3);
+  MotifAdjacency ma;
+  ASSERT_TRUE(BuildMotifAdjacency(g, motif, 0, &ma).ok());
+  uint64_t embeddings =
+      CountEmbeddingsBruteForce(g, motif, MatchVariant::kEdgeInduced);
+  EXPECT_EQ(ma.instances() * CountAutomorphisms(motif), embeddings);
+}
+
+TEST(MotifAdjacencyTest, EdgeMotifReproducesGraph) {
+  Graph g = testing::Cycle(5);
+  MotifAdjacency ma;
+  ASSERT_TRUE(BuildMotifAdjacency(g, testing::Path(2), 0, &ma).ok());
+  EXPECT_EQ(ma.instances(), 5u);
+  EXPECT_DOUBLE_EQ(ma.Weight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ma.Weight(0, 2), 0.0);
+}
+
+TEST(MotifAdjacencyTest, CapRespected) {
+  Graph g = testing::Clique(8);
+  MotifAdjacency ma;
+  ASSERT_TRUE(BuildMotifAdjacency(g, testing::Cycle(3), 10, &ma).ok());
+  EXPECT_LE(ma.instances(), 10u);
+}
+
+TEST(MotifAdjacencyTest, RejectsDirectedAndTrivial) {
+  Graph directed = testing::MakeGraph(true, {0, 0}, {{0, 1, 0}});
+  Graph single = testing::MakeGraph(false, {0}, {});
+  MotifAdjacency ma;
+  EXPECT_EQ(BuildMotifAdjacency(directed, testing::Path(2), 0, &ma).code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(
+      BuildMotifAdjacency(testing::Clique(3), single, 0, &ma).code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace csce

@@ -1,0 +1,74 @@
+#include "plan/nec.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(NecTest, StarLeavesAreEquivalent) {
+  Graph star = testing::Star(4);
+  auto cls = ComputeNecClasses(star);
+  EXPECT_NE(cls[0], cls[1]);
+  EXPECT_EQ(cls[1], cls[2]);
+  EXPECT_EQ(cls[2], cls[3]);
+  EXPECT_EQ(cls[3], cls[4]);
+}
+
+TEST(NecTest, TriangleFullyEquivalent) {
+  auto cls = ComputeNecClasses(testing::Cycle(3));
+  EXPECT_EQ(cls[0], cls[1]);
+  EXPECT_EQ(cls[1], cls[2]);
+}
+
+TEST(NecTest, SquareOppositeCornersEquivalent) {
+  // 4-cycle: opposite corners share neighborhoods; adjacent ones do
+  // not (their neighborhoods minus each other differ).
+  auto cls = ComputeNecClasses(testing::Cycle(4));
+  EXPECT_EQ(cls[0], cls[2]);
+  EXPECT_EQ(cls[1], cls[3]);
+  EXPECT_NE(cls[0], cls[1]);
+}
+
+TEST(NecTest, LabelsSplitClasses) {
+  Graph star = MakeGraph(false, {0, 1, 1, 2}, {{0, 1, 0}, {0, 2, 0},
+                                               {0, 3, 0}});
+  auto cls = ComputeNecClasses(star);
+  EXPECT_EQ(cls[1], cls[2]);
+  EXPECT_NE(cls[1], cls[3]);
+}
+
+TEST(NecTest, EdgeLabelsSplitClasses) {
+  Graph star = MakeGraph(false, {0, 1, 1}, {{0, 1, 5}, {0, 2, 6}});
+  auto cls = ComputeNecClasses(star);
+  EXPECT_NE(cls[1], cls[2]);
+}
+
+TEST(NecTest, DirectionSplitsClasses) {
+  Graph g = MakeGraph(true, {0, 1, 1}, {{0, 1, 0}, {2, 0, 0}});
+  auto cls = ComputeNecClasses(g);
+  EXPECT_NE(cls[1], cls[2]);
+}
+
+TEST(NecTest, PathEndpointsEquivalent) {
+  auto cls = ComputeNecClasses(testing::Path(3));
+  EXPECT_EQ(cls[0], cls[2]);
+  EXPECT_NE(cls[0], cls[1]);
+}
+
+TEST(NecTest, ClassIdsAreDense) {
+  Rng rng(41);
+  Graph g = testing::RandomGraph(rng, 8, 0.4, 2, 1, false);
+  auto cls = ComputeNecClasses(g);
+  uint32_t max_class = 0;
+  for (uint32_t c : cls) max_class = std::max(max_class, c);
+  std::vector<bool> seen(max_class + 1, false);
+  for (uint32_t c : cls) seen[c] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace csce

@@ -1,0 +1,71 @@
+#include "graph/pattern_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+TEST(PatternBuilderTest, NamedVerticesAndEdges) {
+  Graph p;
+  Status st = PatternBuilder(/*directed=*/false)
+                  .Vertex("a", 1)
+                  .Vertex("b", 2)
+                  .Edge("a", "b", 5)
+                  .Build(&p);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(p.NumVertices(), 2u);
+  EXPECT_EQ(p.NumEdges(), 1u);
+  EXPECT_EQ(p.VertexLabel(0), 1u);
+  EXPECT_EQ(p.VertexLabel(1), 2u);
+  EXPECT_TRUE(p.HasEdge(0, 1, 5));
+}
+
+TEST(PatternBuilderTest, EdgeCreatesVerticesLazily) {
+  PatternBuilder b(/*directed=*/true);
+  Graph p;
+  ASSERT_TRUE(b.Edge("x", "y").Edge("y", "z").Build(&p).ok());
+  EXPECT_EQ(p.NumVertices(), 3u);
+  EXPECT_EQ(b.VertexIdOf("x"), 0u);
+  EXPECT_EQ(b.VertexIdOf("z"), 2u);
+  EXPECT_EQ(b.VertexIdOf("unknown"), kInvalidVertex);
+  EXPECT_TRUE(p.HasEdge(0, 1));
+  EXPECT_FALSE(p.HasEdge(1, 0));
+}
+
+TEST(PatternBuilderTest, LateVertexRelabels) {
+  Graph p;
+  ASSERT_TRUE(PatternBuilder(false)
+                  .Edge("a", "b")   // both created with label 0
+                  .Vertex("b", 7)   // relabel afterwards
+                  .Build(&p)
+                  .ok());
+  EXPECT_EQ(p.VertexLabel(0), kNoLabel);
+  EXPECT_EQ(p.VertexLabel(1), 7u);
+}
+
+TEST(PatternBuilderTest, SelfLoopRejected) {
+  Graph p;
+  EXPECT_EQ(PatternBuilder(false).Edge("a", "a").Build(&p).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PatternBuilderTest, EquivalentToGraphBuilder) {
+  Graph via_names;
+  ASSERT_TRUE(PatternBuilder(false)
+                  .Vertex("u0", 1)
+                  .Vertex("u1", 2)
+                  .Vertex("u2", 3)
+                  .Edge("u0", "u1")
+                  .Edge("u1", "u2")
+                  .Build(&via_names)
+                  .ok());
+  Graph via_ids =
+      testing::MakeGraph(false, {1, 2, 3}, {{0, 1, 0}, {1, 2, 0}});
+  EXPECT_TRUE(AreIsomorphic(via_names, via_ids));
+}
+
+}  // namespace
+}  // namespace csce

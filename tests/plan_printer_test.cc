@@ -1,0 +1,58 @@
+#include "plan/plan_printer.h"
+
+#include <gtest/gtest.h>
+
+#include "ccsr/ccsr.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+TEST(PlanPrinterTest, MentionsEveryPosition) {
+  Rng rng(1001);
+  Graph data = testing::RandomGraph(rng, 30, 0.25, 2, 1, false);
+  Graph pattern = testing::Cycle(4);
+  Ccsr gc = Ccsr::Build(data);
+  Planner planner(&gc);
+  Plan plan;
+  ASSERT_TRUE(planner
+                  .MakePlan(pattern, MatchVariant::kEdgeInduced,
+                            PlanOptions{}, &plan)
+                  .ok());
+  std::string text = PlanToString(plan);
+  EXPECT_NE(text.find("edge-induced"), std::string::npos);
+  EXPECT_NE(text.find("[0]"), std::string::npos);
+  EXPECT_NE(text.find("[3]"), std::string::npos);
+  EXPECT_NE(text.find("seed="), std::string::npos);
+  EXPECT_NE(text.find("deps={"), std::string::npos);
+}
+
+TEST(PlanPrinterTest, ShowsNegationsForVertexInduced) {
+  Graph data = testing::Clique(6);
+  Graph pattern = testing::Path(3);
+  Ccsr gc = Ccsr::Build(data);
+  Planner planner(&gc);
+  Plan plan;
+  ASSERT_TRUE(planner
+                  .MakePlan(pattern, MatchVariant::kVertexInduced,
+                            PlanOptions{}, &plan)
+                  .ok());
+  std::string text = PlanToString(plan);
+  EXPECT_NE(text.find("vertex-induced"), std::string::npos);
+  EXPECT_NE(text.find("!"), std::string::npos);  // a negation constraint
+}
+
+TEST(PlanPrinterTest, ShowsAliases) {
+  Graph data = testing::Star(6);
+  Ccsr gc = Ccsr::Build(data);
+  Planner planner(&gc);
+  Plan plan;
+  ASSERT_TRUE(planner
+                  .MakePlan(testing::Star(3), MatchVariant::kEdgeInduced,
+                            PlanOptions{}, &plan)
+                  .ok());
+  EXPECT_NE(PlanToString(plan).find("alias="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csce

@@ -1,0 +1,170 @@
+#include "plan/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+using testing::MakeGraph;
+
+void ExpectPlanWellFormed(const Plan& plan, const Graph& pattern) {
+  const uint32_t n = pattern.NumVertices();
+  ASSERT_EQ(plan.order.size(), n);
+  ASSERT_EQ(plan.positions.size(), n);
+  std::vector<bool> seen(n, false);
+  for (VertexId v : plan.order) {
+    ASSERT_LT(v, n);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  for (uint32_t j = 0; j < n; ++j) {
+    const PlanPosition& pos = plan.positions[j];
+    EXPECT_EQ(pos.u, plan.order[j]);
+    EXPECT_EQ(pos.label, pattern.VertexLabel(pos.u));
+    for (const EdgeConstraint& e : pos.edges) EXPECT_LT(e.pos, j);
+    for (const NegConstraint& c : pos.negations) EXPECT_LT(c.pos, j);
+    EXPECT_TRUE(std::is_sorted(pos.deps.begin(), pos.deps.end()));
+    for (uint32_t d : pos.deps) EXPECT_LT(d, j);
+    if (pos.cache_alias >= 0) {
+      const PlanPosition& alias = plan.positions[pos.cache_alias];
+      EXPECT_LT(static_cast<uint32_t>(pos.cache_alias), j);
+      EXPECT_EQ(alias.edges, pos.edges);
+      EXPECT_EQ(alias.negations, pos.negations);
+      EXPECT_EQ(alias.deps, pos.deps);
+    }
+    if (pos.edges.empty() && pattern.Degree(pos.u) > 0) {
+      EXPECT_TRUE(pos.seed_valid);
+    }
+    if (plan.variant != MatchVariant::kVertexInduced) {
+      EXPECT_TRUE(pos.negations.empty());
+    }
+  }
+  // Backward edge constraints cover every pattern edge exactly once.
+  size_t constraint_arcs = 0;
+  for (const PlanPosition& pos : plan.positions) {
+    constraint_arcs += pos.edges.size();
+  }
+  size_t pattern_arcs =
+      pattern.directed() ? pattern.NumEdges() : pattern.NumEdges();
+  EXPECT_EQ(constraint_arcs, pattern_arcs);
+}
+
+class PlannerVariantTest : public ::testing::TestWithParam<MatchVariant> {};
+
+TEST_P(PlannerVariantTest, PlansAreWellFormedOnRandomPatterns) {
+  Rng rng(61);
+  for (int i = 0; i < 10; ++i) {
+    bool directed = i % 2 == 1;
+    Graph data = testing::RandomGraph(rng, 40, 0.2, 3, 2, directed);
+    Graph pattern = testing::RandomGraph(rng, 6, 0.5, 3, 2, directed);
+    Ccsr gc = Ccsr::Build(data);
+    Planner planner(&gc);
+    Plan plan;
+    ASSERT_TRUE(
+        planner.MakePlan(pattern, GetParam(), PlanOptions{}, &plan).ok());
+    ExpectPlanWellFormed(plan, pattern);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, PlannerVariantTest,
+                         ::testing::Values(MatchVariant::kEdgeInduced,
+                                           MatchVariant::kVertexInduced,
+                                           MatchVariant::kHomomorphic));
+
+TEST(PlannerTest, RejectsEmptyPattern) {
+  Graph data = testing::Clique(3);
+  Ccsr gc = Ccsr::Build(data);
+  Planner planner(&gc);
+  GraphBuilder b(false);
+  Graph empty;
+  ASSERT_TRUE(b.Build(&empty).ok());
+  Plan plan;
+  EXPECT_EQ(planner
+                .MakePlan(empty, MatchVariant::kEdgeInduced, PlanOptions{},
+                          &plan)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlannerTest, RejectsDirectednessMismatch) {
+  Graph data = testing::Clique(3);
+  Ccsr gc = Ccsr::Build(data);
+  Planner planner(&gc);
+  Graph pattern = MakeGraph(true, {0, 0}, {{0, 1, 0}});
+  Plan plan;
+  EXPECT_EQ(planner
+                .MakePlan(pattern, MatchVariant::kEdgeInduced, PlanOptions{},
+                          &plan)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlannerTest, NecAliasesStarLeaves) {
+  Graph data = testing::Star(10);
+  Ccsr gc = Ccsr::Build(data);
+  Planner planner(&gc);
+  Plan plan;
+  ASSERT_TRUE(planner
+                  .MakePlan(testing::Star(4), MatchVariant::kEdgeInduced,
+                            PlanOptions{}, &plan)
+                  .ok());
+  // All leaves hang off the center; positions 2..4 should alias 1.
+  int aliased = 0;
+  for (const PlanPosition& pos : plan.positions) {
+    aliased += pos.cache_alias >= 0;
+  }
+  EXPECT_EQ(aliased, 3);
+}
+
+TEST(PlannerTest, NecOffDisablesAliases) {
+  Graph data = testing::Star(10);
+  Ccsr gc = Ccsr::Build(data);
+  Planner planner(&gc);
+  PlanOptions options;
+  options.use_nec = false;
+  Plan plan;
+  ASSERT_TRUE(planner
+                  .MakePlan(testing::Star(4), MatchVariant::kEdgeInduced,
+                            options, &plan)
+                  .ok());
+  for (const PlanPosition& pos : plan.positions) {
+    EXPECT_EQ(pos.cache_alias, -1);
+  }
+}
+
+TEST(PlannerTest, LdsfOffKeepsGcfOrder) {
+  Rng rng(67);
+  Graph data = testing::RandomGraph(rng, 30, 0.3, 2, 1, false);
+  Graph pattern = testing::RandomGraph(rng, 6, 0.5, 2, 1, false);
+  Ccsr gc = Ccsr::Build(data);
+  Planner planner(&gc);
+  PlanOptions no_ldsf;
+  no_ldsf.use_ldsf = false;
+  Plan plan;
+  ASSERT_TRUE(planner
+                  .MakePlan(pattern, MatchVariant::kEdgeInduced, no_ldsf,
+                            &plan)
+                  .ok());
+  ExpectPlanWellFormed(plan, pattern);
+}
+
+TEST(PlannerTest, SceStatsPopulated) {
+  Graph data = testing::Star(10);
+  Ccsr gc = Ccsr::Build(data);
+  Planner planner(&gc);
+  Plan plan;
+  ASSERT_TRUE(planner
+                  .MakePlan(testing::Star(5), MatchVariant::kEdgeInduced,
+                            PlanOptions{}, &plan)
+                  .ok());
+  EXPECT_EQ(plan.sce.pattern_vertices, 6u);
+  EXPECT_EQ(plan.sce.sce_vertices, 4u);  // leaves after the first
+  EXPECT_EQ(plan.dag_edges, 5u);
+}
+
+}  // namespace
+}  // namespace csce

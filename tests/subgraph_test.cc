@@ -1,0 +1,65 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(SubgraphTest, InducedKeepsAllInternalEdges) {
+  Graph g = testing::Clique(5);
+  Graph sub = InducedSubgraph(g, {0, 2, 4});
+  EXPECT_EQ(sub.NumVertices(), 3u);
+  EXPECT_EQ(sub.NumEdges(), 3u);  // triangle
+}
+
+TEST(SubgraphTest, InducedPreservesLabels) {
+  Graph g = MakeGraph(false, {7, 8, 9}, {{0, 1, 3}, {1, 2, 4}});
+  Graph sub = InducedSubgraph(g, {2, 1});
+  EXPECT_EQ(sub.VertexLabel(0), 9u);
+  EXPECT_EQ(sub.VertexLabel(1), 8u);
+  EXPECT_TRUE(sub.HasEdge(0, 1, 4));
+}
+
+TEST(SubgraphTest, InducedDirectedKeepsDirections) {
+  Graph g = MakeGraph(true, {0, 0, 0}, {{0, 1, 0}, {2, 1, 0}});
+  Graph sub = InducedSubgraph(g, {0, 1});
+  EXPECT_TRUE(sub.directed());
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_FALSE(sub.HasEdge(1, 0));
+}
+
+TEST(SubgraphTest, EdgeInducedCollectsEndpoints) {
+  Graph g = testing::Clique(4);
+  Graph sub = EdgeInducedSubgraph(g, {{0, 1, 0}, {2, 3, 0}});
+  EXPECT_EQ(sub.NumVertices(), 4u);
+  EXPECT_EQ(sub.NumEdges(), 2u);  // only the chosen edges survive
+}
+
+TEST(SubgraphTest, IsConnectedPositive) {
+  EXPECT_TRUE(IsConnected(testing::Path(6)));
+  EXPECT_TRUE(IsConnected(testing::Cycle(4)));
+}
+
+TEST(SubgraphTest, IsConnectedNegative) {
+  Graph g = MakeGraph(false, {0, 0, 0, 0}, {{0, 1, 0}, {2, 3, 0}});
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(SubgraphTest, IsConnectedIgnoresDirection) {
+  Graph g = MakeGraph(true, {0, 0, 0}, {{1, 0, 0}, {1, 2, 0}});
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(SubgraphTest, EmptyGraphIsConnected) {
+  GraphBuilder b(false);
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  EXPECT_TRUE(IsConnected(g));
+}
+
+}  // namespace
+}  // namespace csce

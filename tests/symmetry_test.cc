@@ -1,0 +1,72 @@
+#include "plan/symmetry.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/backtracking.h"
+#include "graph/isomorphism.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace {
+
+TEST(SymmetryTest, AsymmetricPatternNeedsNoRestrictions) {
+  Graph p = testing::MakeGraph(false, {0, 1, 2}, {{0, 1, 0}, {1, 2, 0}});
+  SymmetryInfo info = ComputeSymmetryBreaking(p);
+  EXPECT_EQ(info.automorphism_count, 1u);
+  EXPECT_TRUE(info.restrictions.empty());
+}
+
+TEST(SymmetryTest, EdgeHasOneRestriction) {
+  SymmetryInfo info = ComputeSymmetryBreaking(testing::Path(2));
+  EXPECT_EQ(info.automorphism_count, 2u);
+  ASSERT_EQ(info.restrictions.size(), 1u);
+}
+
+TEST(SymmetryTest, CliqueRestrictionsChain) {
+  SymmetryInfo info = ComputeSymmetryBreaking(testing::Clique(4));
+  EXPECT_EQ(info.automorphism_count, 24u);
+  // Stabilizer chain: 3 + 2 + 1 pairwise restrictions.
+  EXPECT_EQ(info.restrictions.size(), 6u);
+}
+
+// The crucial correctness property: canonical count * |Aut| == plain
+// count, for assorted patterns on random data graphs.
+class SymmetryCountTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SymmetryCountTest, CanonicalTimesAutEqualsTotal) {
+  Rng rng(GetParam() * 57 + 1);
+  Graph data = testing::RandomGraph(rng, 14, 0.3, 1, 1, false);
+  Graph patterns[] = {testing::Path(3), testing::Cycle(3), testing::Cycle(4),
+                      testing::Star(3), testing::Clique(3)};
+  BacktrackingMatcher bt(&data);
+  for (const Graph& p : patterns) {
+    SymmetryInfo info = ComputeSymmetryBreaking(p);
+    BaselineOptions options;
+    options.variant = MatchVariant::kEdgeInduced;
+    BaselineResult plain;
+    BaselineResult canonical;
+    ASSERT_TRUE(bt.Match(p, options, &plain).ok());
+    ASSERT_TRUE(
+        bt.MatchWithRestrictions(p, options, info.restrictions, &canonical)
+            .ok());
+    EXPECT_EQ(canonical.embeddings * info.automorphism_count,
+              plain.embeddings);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymmetryCountTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+TEST(SymmetryTest, GenerationCostGrowsWithUnlabeledPatternSize) {
+  // Finding 2's mechanism: |Aut| of a clique is n!, so enumeration cost
+  // explodes. Verify the group sizes rather than wall time.
+  EXPECT_EQ(ComputeSymmetryBreaking(testing::Clique(3)).automorphism_count,
+            6u);
+  EXPECT_EQ(ComputeSymmetryBreaking(testing::Clique(5)).automorphism_count,
+            120u);
+  EXPECT_EQ(ComputeSymmetryBreaking(testing::Clique(6)).automorphism_count,
+            720u);
+}
+
+}  // namespace
+}  // namespace csce

@@ -1,0 +1,97 @@
+#ifndef CSCE_TESTS_TEST_UTIL_H_
+#define CSCE_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace csce {
+namespace testing {
+
+/// Random G(n, p)-ish labeled graph for property tests.
+inline Graph RandomGraph(Rng& rng, uint32_t n, double p,
+                         uint32_t vertex_labels, uint32_t edge_labels,
+                         bool directed) {
+  GraphBuilder b(directed);
+  for (uint32_t i = 0; i < n; ++i) {
+    b.AddVertex(static_cast<Label>(rng.Uniform(vertex_labels)));
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (i == j || (!directed && j < i)) continue;
+      if (rng.Bernoulli(p)) {
+        b.AddEdge(i, j, static_cast<Label>(rng.Uniform(edge_labels)));
+      }
+    }
+  }
+  Graph g;
+  Status st = b.Build(&g);
+  CSCE_CHECK(st.ok());
+  return g;
+}
+
+/// Builds a graph from explicit parts; aborts on builder errors.
+inline Graph MakeGraph(bool directed, const std::vector<Label>& vlabels,
+                       const std::vector<Edge>& edges) {
+  GraphBuilder b(directed);
+  for (Label l : vlabels) b.AddVertex(l);
+  for (const Edge& e : edges) b.AddEdge(e.src, e.dst, e.elabel);
+  Graph g;
+  Status st = b.Build(&g);
+  CSCE_CHECK(st.ok());
+  return g;
+}
+
+/// Complete unlabeled undirected graph on n vertices.
+inline Graph Clique(uint32_t n) {
+  GraphBuilder b(false);
+  b.AddVertices(n, kNoLabel);
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId c = a + 1; c < n; ++c) b.AddEdge(a, c);
+  }
+  Graph g;
+  Status st = b.Build(&g);
+  CSCE_CHECK(st.ok());
+  return g;
+}
+
+/// Undirected unlabeled path 0-1-...-(n-1).
+inline Graph Path(uint32_t n) {
+  GraphBuilder b(false);
+  b.AddVertices(n, kNoLabel);
+  for (VertexId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1);
+  Graph g;
+  Status st = b.Build(&g);
+  CSCE_CHECK(st.ok());
+  return g;
+}
+
+/// Undirected unlabeled cycle on n vertices.
+inline Graph Cycle(uint32_t n) {
+  GraphBuilder b(false);
+  b.AddVertices(n, kNoLabel);
+  for (VertexId v = 0; v < n; ++v) b.AddEdge(v, (v + 1) % n);
+  Graph g;
+  Status st = b.Build(&g);
+  CSCE_CHECK(st.ok());
+  return g;
+}
+
+/// Star: center 0 connected to n leaves.
+inline Graph Star(uint32_t leaves) {
+  GraphBuilder b(false);
+  b.AddVertices(leaves + 1, kNoLabel);
+  for (VertexId v = 1; v <= leaves; ++v) b.AddEdge(0, v);
+  Graph g;
+  Status st = b.Build(&g);
+  CSCE_CHECK(st.ok());
+  return g;
+}
+
+}  // namespace testing
+}  // namespace csce
+
+#endif  // CSCE_TESTS_TEST_UTIL_H_

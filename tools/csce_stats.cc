@@ -1,0 +1,44 @@
+// csce_stats: print Table IV-style statistics for graph files, plus the
+// CCSR clustering summary.
+//
+//   csce_stats g1.txt g2.txt ...
+
+#include <cstdio>
+
+#include "ccsr/ccsr.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace csce;
+  FlagParser flags;
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "usage: csce_stats <graph.txt>...\n");
+    return 2;
+  }
+  bool with_ccsr = !flags.GetBool("no-ccsr");
+  std::printf("%s%s\n", StatsHeader().c_str(),
+              with_ccsr ? "     clusters  compressed" : "");
+  int failures = 0;
+  for (const std::string& path : flags.positional()) {
+    Graph g;
+    if (Status st = LoadGraphFromFile(path, &g); !st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s", FormatStatsRow(path, ComputeStats(g)).c_str());
+    if (with_ccsr) {
+      Ccsr ccsr = Ccsr::Build(g);
+      std::printf(" %12zu %10.2fMB", ccsr.NumClusters(),
+                  static_cast<double>(ccsr.CompressedSizeBytes()) / (1 << 20));
+    }
+    std::printf("\n");
+  }
+  return failures == 0 ? 0 : 1;
+}

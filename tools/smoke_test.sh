@@ -1,0 +1,44 @@
+#!/bin/sh
+# End-to-end smoke test of the CLI tools, run by ctest:
+# generate a dataset + patterns, build the CCSR artifact, match against
+# both the artifact and the raw graph, and print stats.
+set -e
+
+BIN_DIR="$1"
+WORK_DIR="${2:-$(mktemp -d)}"
+
+"$BIN_DIR/csce_gen" --dataset=yeast --out="$WORK_DIR/g.txt" \
+    --pattern-size=6 --pattern-count=2 --density=dense --seed=5 \
+    --pattern-prefix="$WORK_DIR/q_"
+
+"$BIN_DIR/csce_build" --graph="$WORK_DIR/g.txt" --out="$WORK_DIR/g.ccsr" \
+    --verbose
+
+"$BIN_DIR/csce_stats" "$WORK_DIR/g.txt"
+
+OUT_CCSR=$("$BIN_DIR/csce_match" --ccsr="$WORK_DIR/g.ccsr" \
+    --pattern="$WORK_DIR/q_0.txt" --variant=edge --explain)
+OUT_GRAPH=$("$BIN_DIR/csce_match" --graph="$WORK_DIR/g.txt" \
+    --pattern="$WORK_DIR/q_0.txt" --variant=edge)
+
+COUNT_CCSR=$(printf '%s\n' "$OUT_CCSR" | sed -n 's/.*embeddings=\([0-9]*\).*/\1/p')
+COUNT_GRAPH=$(printf '%s\n' "$OUT_GRAPH" | sed -n 's/.*embeddings=\([0-9]*\).*/\1/p')
+
+if [ -z "$COUNT_CCSR" ] || [ "$COUNT_CCSR" != "$COUNT_GRAPH" ]; then
+  echo "FAIL: ccsr path found '$COUNT_CCSR', graph path found '$COUNT_GRAPH'"
+  exit 1
+fi
+
+# A dense pattern sampled from the graph occurs at least once.
+if [ "$COUNT_CCSR" -lt 1 ]; then
+  echo "FAIL: sampled pattern not found"
+  exit 1
+fi
+
+# All three variants run against the artifact.
+for variant in edge vertex hom; do
+  "$BIN_DIR/csce_match" --ccsr="$WORK_DIR/g.ccsr" \
+      --pattern="$WORK_DIR/q_1.txt" --variant="$variant" > /dev/null
+done
+
+echo "PASS: tools pipeline ($COUNT_CCSR embeddings)"
