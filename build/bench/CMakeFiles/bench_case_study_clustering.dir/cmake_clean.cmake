@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_study_clustering.dir/bench_case_study_clustering.cc.o"
+  "CMakeFiles/bench_case_study_clustering.dir/bench_case_study_clustering.cc.o.d"
+  "bench_case_study_clustering"
+  "bench_case_study_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_study_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

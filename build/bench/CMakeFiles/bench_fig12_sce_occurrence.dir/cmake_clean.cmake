@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_sce_occurrence.dir/bench_fig12_sce_occurrence.cc.o"
+  "CMakeFiles/bench_fig12_sce_occurrence.dir/bench_fig12_sce_occurrence.cc.o.d"
+  "bench_fig12_sce_occurrence"
+  "bench_fig12_sce_occurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_sce_occurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

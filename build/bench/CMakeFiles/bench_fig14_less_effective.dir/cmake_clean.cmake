@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_less_effective.dir/bench_fig14_less_effective.cc.o"
+  "CMakeFiles/bench_fig14_less_effective.dir/bench_fig14_less_effective.cc.o.d"
+  "bench_fig14_less_effective"
+  "bench_fig14_less_effective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_less_effective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_variants.dir/bench_fig7_variants.cc.o"
+  "CMakeFiles/bench_fig7_variants.dir/bench_fig7_variants.cc.o.d"
+  "bench_fig7_variants"
+  "bench_fig7_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_throughput.dir/bench_fig8_throughput.cc.o"
+  "CMakeFiles/bench_fig8_throughput.dir/bench_fig8_throughput.cc.o.d"
+  "bench_fig8_throughput"
+  "bench_fig8_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_embeddings.dir/bench_fig9_embeddings.cc.o"
+  "CMakeFiles/bench_fig9_embeddings.dir/bench_fig9_embeddings.cc.o.d"
+  "bench_fig9_embeddings"
+  "bench_fig9_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

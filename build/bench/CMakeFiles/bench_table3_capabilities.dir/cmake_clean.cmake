@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_capabilities.dir/bench_table3_capabilities.cc.o"
+  "CMakeFiles/bench_table3_capabilities.dir/bench_table3_capabilities.cc.o.d"
+  "bench_table3_capabilities"
+  "bench_table3_capabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_capabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

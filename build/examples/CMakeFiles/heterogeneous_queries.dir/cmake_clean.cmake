@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_queries.dir/heterogeneous_queries.cpp.o"
+  "CMakeFiles/heterogeneous_queries.dir/heterogeneous_queries.cpp.o.d"
+  "heterogeneous_queries"
+  "heterogeneous_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/higher_order_clustering.dir/higher_order_clustering.cpp.o"
+  "CMakeFiles/higher_order_clustering.dir/higher_order_clustering.cpp.o.d"
+  "higher_order_clustering"
+  "higher_order_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/higher_order_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

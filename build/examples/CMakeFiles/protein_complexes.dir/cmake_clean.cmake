@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_complexes.dir/protein_complexes.cpp.o"
+  "CMakeFiles/protein_complexes.dir/protein_complexes.cpp.o.d"
+  "protein_complexes"
+  "protein_complexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_complexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

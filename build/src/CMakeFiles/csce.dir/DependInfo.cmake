@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/f1.cc" "src/CMakeFiles/csce.dir/analysis/f1.cc.o" "gcc" "src/CMakeFiles/csce.dir/analysis/f1.cc.o.d"
+  "/root/repo/src/analysis/motif_adjacency.cc" "src/CMakeFiles/csce.dir/analysis/motif_adjacency.cc.o" "gcc" "src/CMakeFiles/csce.dir/analysis/motif_adjacency.cc.o.d"
+  "/root/repo/src/analysis/motif_clustering.cc" "src/CMakeFiles/csce.dir/analysis/motif_clustering.cc.o" "gcc" "src/CMakeFiles/csce.dir/analysis/motif_clustering.cc.o.d"
+  "/root/repo/src/baselines/backtracking.cc" "src/CMakeFiles/csce.dir/baselines/backtracking.cc.o" "gcc" "src/CMakeFiles/csce.dir/baselines/backtracking.cc.o.d"
+  "/root/repo/src/baselines/fsp.cc" "src/CMakeFiles/csce.dir/baselines/fsp.cc.o" "gcc" "src/CMakeFiles/csce.dir/baselines/fsp.cc.o.d"
+  "/root/repo/src/baselines/graphpi_like.cc" "src/CMakeFiles/csce.dir/baselines/graphpi_like.cc.o" "gcc" "src/CMakeFiles/csce.dir/baselines/graphpi_like.cc.o.d"
+  "/root/repo/src/baselines/join.cc" "src/CMakeFiles/csce.dir/baselines/join.cc.o" "gcc" "src/CMakeFiles/csce.dir/baselines/join.cc.o.d"
+  "/root/repo/src/baselines/vf2.cc" "src/CMakeFiles/csce.dir/baselines/vf2.cc.o" "gcc" "src/CMakeFiles/csce.dir/baselines/vf2.cc.o.d"
+  "/root/repo/src/ccsr/ccsr.cc" "src/CMakeFiles/csce.dir/ccsr/ccsr.cc.o" "gcc" "src/CMakeFiles/csce.dir/ccsr/ccsr.cc.o.d"
+  "/root/repo/src/ccsr/ccsr_io.cc" "src/CMakeFiles/csce.dir/ccsr/ccsr_io.cc.o" "gcc" "src/CMakeFiles/csce.dir/ccsr/ccsr_io.cc.o.d"
+  "/root/repo/src/ccsr/cluster_cache.cc" "src/CMakeFiles/csce.dir/ccsr/cluster_cache.cc.o" "gcc" "src/CMakeFiles/csce.dir/ccsr/cluster_cache.cc.o.d"
+  "/root/repo/src/ccsr/cluster_id.cc" "src/CMakeFiles/csce.dir/ccsr/cluster_id.cc.o" "gcc" "src/CMakeFiles/csce.dir/ccsr/cluster_id.cc.o.d"
+  "/root/repo/src/ccsr/compressed_row.cc" "src/CMakeFiles/csce.dir/ccsr/compressed_row.cc.o" "gcc" "src/CMakeFiles/csce.dir/ccsr/compressed_row.cc.o.d"
+  "/root/repo/src/ccsr/csr.cc" "src/CMakeFiles/csce.dir/ccsr/csr.cc.o" "gcc" "src/CMakeFiles/csce.dir/ccsr/csr.cc.o.d"
+  "/root/repo/src/engine/candidates.cc" "src/CMakeFiles/csce.dir/engine/candidates.cc.o" "gcc" "src/CMakeFiles/csce.dir/engine/candidates.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/csce.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/csce.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/matcher.cc" "src/CMakeFiles/csce.dir/engine/matcher.cc.o" "gcc" "src/CMakeFiles/csce.dir/engine/matcher.cc.o.d"
+  "/root/repo/src/gen/datasets.cc" "src/CMakeFiles/csce.dir/gen/datasets.cc.o" "gcc" "src/CMakeFiles/csce.dir/gen/datasets.cc.o.d"
+  "/root/repo/src/gen/pattern_gen.cc" "src/CMakeFiles/csce.dir/gen/pattern_gen.cc.o" "gcc" "src/CMakeFiles/csce.dir/gen/pattern_gen.cc.o.d"
+  "/root/repo/src/gen/random_graph.cc" "src/CMakeFiles/csce.dir/gen/random_graph.cc.o" "gcc" "src/CMakeFiles/csce.dir/gen/random_graph.cc.o.d"
+  "/root/repo/src/graph/components.cc" "src/CMakeFiles/csce.dir/graph/components.cc.o" "gcc" "src/CMakeFiles/csce.dir/graph/components.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/csce.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/csce.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/csce.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/csce.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/csce.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/csce.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/csce.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/csce.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/isomorphism.cc" "src/CMakeFiles/csce.dir/graph/isomorphism.cc.o" "gcc" "src/CMakeFiles/csce.dir/graph/isomorphism.cc.o.d"
+  "/root/repo/src/graph/pattern_builder.cc" "src/CMakeFiles/csce.dir/graph/pattern_builder.cc.o" "gcc" "src/CMakeFiles/csce.dir/graph/pattern_builder.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/CMakeFiles/csce.dir/graph/subgraph.cc.o" "gcc" "src/CMakeFiles/csce.dir/graph/subgraph.cc.o.d"
+  "/root/repo/src/plan/cost_model.cc" "src/CMakeFiles/csce.dir/plan/cost_model.cc.o" "gcc" "src/CMakeFiles/csce.dir/plan/cost_model.cc.o.d"
+  "/root/repo/src/plan/dag.cc" "src/CMakeFiles/csce.dir/plan/dag.cc.o" "gcc" "src/CMakeFiles/csce.dir/plan/dag.cc.o.d"
+  "/root/repo/src/plan/descendants.cc" "src/CMakeFiles/csce.dir/plan/descendants.cc.o" "gcc" "src/CMakeFiles/csce.dir/plan/descendants.cc.o.d"
+  "/root/repo/src/plan/gcf.cc" "src/CMakeFiles/csce.dir/plan/gcf.cc.o" "gcc" "src/CMakeFiles/csce.dir/plan/gcf.cc.o.d"
+  "/root/repo/src/plan/ldsf.cc" "src/CMakeFiles/csce.dir/plan/ldsf.cc.o" "gcc" "src/CMakeFiles/csce.dir/plan/ldsf.cc.o.d"
+  "/root/repo/src/plan/nec.cc" "src/CMakeFiles/csce.dir/plan/nec.cc.o" "gcc" "src/CMakeFiles/csce.dir/plan/nec.cc.o.d"
+  "/root/repo/src/plan/plan_printer.cc" "src/CMakeFiles/csce.dir/plan/plan_printer.cc.o" "gcc" "src/CMakeFiles/csce.dir/plan/plan_printer.cc.o.d"
+  "/root/repo/src/plan/planner.cc" "src/CMakeFiles/csce.dir/plan/planner.cc.o" "gcc" "src/CMakeFiles/csce.dir/plan/planner.cc.o.d"
+  "/root/repo/src/plan/symmetry.cc" "src/CMakeFiles/csce.dir/plan/symmetry.cc.o" "gcc" "src/CMakeFiles/csce.dir/plan/symmetry.cc.o.d"
+  "/root/repo/src/util/memory.cc" "src/CMakeFiles/csce.dir/util/memory.cc.o" "gcc" "src/CMakeFiles/csce.dir/util/memory.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/csce.dir/util/status.cc.o" "gcc" "src/CMakeFiles/csce.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

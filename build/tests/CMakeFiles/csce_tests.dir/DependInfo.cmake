@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/csce_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/csce_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/ccsr_io_test.cc" "tests/CMakeFiles/csce_tests.dir/ccsr_io_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/ccsr_io_test.cc.o.d"
+  "/root/repo/tests/ccsr_test.cc" "tests/CMakeFiles/csce_tests.dir/ccsr_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/ccsr_test.cc.o.d"
+  "/root/repo/tests/ccsr_update_test.cc" "tests/CMakeFiles/csce_tests.dir/ccsr_update_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/ccsr_update_test.cc.o.d"
+  "/root/repo/tests/cluster_cache_test.cc" "tests/CMakeFiles/csce_tests.dir/cluster_cache_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/cluster_cache_test.cc.o.d"
+  "/root/repo/tests/components_test.cc" "tests/CMakeFiles/csce_tests.dir/components_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/components_test.cc.o.d"
+  "/root/repo/tests/compressed_row_test.cc" "tests/CMakeFiles/csce_tests.dir/compressed_row_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/compressed_row_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/csce_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/crosscheck_property_test.cc" "tests/CMakeFiles/csce_tests.dir/crosscheck_property_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/crosscheck_property_test.cc.o.d"
+  "/root/repo/tests/csr_test.cc" "tests/CMakeFiles/csce_tests.dir/csr_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/csr_test.cc.o.d"
+  "/root/repo/tests/dag_test.cc" "tests/CMakeFiles/csce_tests.dir/dag_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/dag_test.cc.o.d"
+  "/root/repo/tests/descendants_test.cc" "tests/CMakeFiles/csce_tests.dir/descendants_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/descendants_test.cc.o.d"
+  "/root/repo/tests/engine_edge_cases_test.cc" "tests/CMakeFiles/csce_tests.dir/engine_edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/engine_edge_cases_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/csce_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/feature_matrix_test.cc" "tests/CMakeFiles/csce_tests.dir/feature_matrix_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/feature_matrix_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/csce_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/gcf_test.cc" "tests/CMakeFiles/csce_tests.dir/gcf_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/gcf_test.cc.o.d"
+  "/root/repo/tests/gen_extra_test.cc" "tests/CMakeFiles/csce_tests.dir/gen_extra_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/gen_extra_test.cc.o.d"
+  "/root/repo/tests/gen_test.cc" "tests/CMakeFiles/csce_tests.dir/gen_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/gen_test.cc.o.d"
+  "/root/repo/tests/graph_io_test.cc" "tests/CMakeFiles/csce_tests.dir/graph_io_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/graph_io_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/csce_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/csce_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/isomorphism_test.cc" "tests/CMakeFiles/csce_tests.dir/isomorphism_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/isomorphism_test.cc.o.d"
+  "/root/repo/tests/ldsf_test.cc" "tests/CMakeFiles/csce_tests.dir/ldsf_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/ldsf_test.cc.o.d"
+  "/root/repo/tests/motif_adjacency_test.cc" "tests/CMakeFiles/csce_tests.dir/motif_adjacency_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/motif_adjacency_test.cc.o.d"
+  "/root/repo/tests/nec_test.cc" "tests/CMakeFiles/csce_tests.dir/nec_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/nec_test.cc.o.d"
+  "/root/repo/tests/paper_example_test.cc" "tests/CMakeFiles/csce_tests.dir/paper_example_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/paper_example_test.cc.o.d"
+  "/root/repo/tests/pattern_builder_test.cc" "tests/CMakeFiles/csce_tests.dir/pattern_builder_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/pattern_builder_test.cc.o.d"
+  "/root/repo/tests/plan_printer_test.cc" "tests/CMakeFiles/csce_tests.dir/plan_printer_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/plan_printer_test.cc.o.d"
+  "/root/repo/tests/planner_test.cc" "tests/CMakeFiles/csce_tests.dir/planner_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/planner_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/csce_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/subgraph_test.cc" "tests/CMakeFiles/csce_tests.dir/subgraph_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/subgraph_test.cc.o.d"
+  "/root/repo/tests/symmetry_test.cc" "tests/CMakeFiles/csce_tests.dir/symmetry_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/symmetry_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/csce_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/csce_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csce_build.dir/csce_build.cc.o"
+  "CMakeFiles/csce_build.dir/csce_build.cc.o.d"
+  "csce_build"
+  "csce_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csce_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for csce_build.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csce_gen.dir/csce_gen.cc.o"
+  "CMakeFiles/csce_gen.dir/csce_gen.cc.o.d"
+  "csce_gen"
+  "csce_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csce_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

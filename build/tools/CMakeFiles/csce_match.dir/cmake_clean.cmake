@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csce_match.dir/csce_match.cc.o"
+  "CMakeFiles/csce_match.dir/csce_match.cc.o.d"
+  "csce_match"
+  "csce_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csce_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csce_stats.dir/csce_stats.cc.o"
+  "CMakeFiles/csce_stats.dir/csce_stats.cc.o.d"
+  "csce_stats"
+  "csce_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csce_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
