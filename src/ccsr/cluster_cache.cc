@@ -9,20 +9,29 @@ Status ReadClustersImpl(const Ccsr& gc, const Graph& pattern,
                         QueryClusters* out);
 
 std::shared_ptr<const ClusterView> ClusterCache::Get(const ClusterId& id) {
-  auto it = views_.find(id);
-  if (it != views_.end()) {
-    ++hits_;
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = views_.find(id);
+    if (it != views_.end()) {
+      ++hits_;
+      return it->second;
+    }
   }
   const CompressedCluster* c = gc_->Find(id);
   if (c == nullptr) return nullptr;
-  ++misses_;
+  // Decompress outside the lock: concurrent queries missing on
+  // different clusters proceed in parallel. Two threads racing on the
+  // same cluster both decompress; the first insert wins and the loser's
+  // copy is dropped (both are correct, the work is wasted once).
   std::shared_ptr<const ClusterView> view = DecompressCluster(*c);
-  views_.emplace(id, view);
-  return view;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = views_.emplace(id, view);
+  ++misses_;
+  return it->second;
 }
 
 size_t ClusterCache::CachedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
   for (const auto& [id, view] : views_) total += view->SizeBytes();
   return total;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "ccsr/ccsr.h"
@@ -16,7 +17,14 @@ namespace csce {
 /// views: the first query pays the decompression, later queries
 /// touching the same clusters reuse them.
 ///
-/// Not thread-safe (CSCE is a single-thread engine, like the paper's).
+/// Thread-safety: Get/CachedViews/CachedBytes/hits/misses/Clear are
+/// safe to call concurrently (one mutex guards the view map), so many
+/// in-flight queries of a QueryRuntime session may share one cache.
+/// The ClusterViews handed out are immutable and individually
+/// shared_ptr-owned, hence safe to read from any number of threads and
+/// to keep across a concurrent Clear(). The underlying Ccsr must not
+/// be mutated (InsertEdges/RemoveEdges) while queries are in flight —
+/// the index itself is not synchronized, only this cache is.
 class ClusterCache {
  public:
   /// `gc` must outlive the cache and every QueryClusters served by it.
@@ -26,19 +34,33 @@ class ClusterCache {
   /// nullptr when the cluster is empty/absent.
   std::shared_ptr<const ClusterView> Get(const ClusterId& id);
 
-  size_t CachedViews() const { return views_.size(); }
+  size_t CachedViews() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return views_.size();
+  }
   size_t CachedBytes() const;
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
   /// Drops all cached views (e.g. after Ccsr::InsertEdges /
-  /// RemoveEdges invalidated the underlying clusters).
-  void Clear() { views_.clear(); }
+  /// RemoveEdges invalidated the underlying clusters). Views still
+  /// co-owned by live QueryClusters stay valid.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    views_.clear();
+  }
 
   const Ccsr& ccsr() const { return *gc_; }
 
  private:
   const Ccsr* gc_;
+  mutable std::mutex mu_;
   std::unordered_map<ClusterId, std::shared_ptr<const ClusterView>,
                      ClusterIdHash>
       views_;

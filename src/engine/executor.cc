@@ -85,9 +85,15 @@ Status Executor::Prepare(const ExecOptions& options) {
 }
 
 bool Executor::CheckDeadline() {
-  if (options_->time_limit_seconds <= 0) return true;
+  const bool has_deadline = options_->time_limit_seconds > 0;
+  if (!has_deadline && options_->stop == nullptr) return true;
   if (++deadline_check_counter_ % kDeadlineCheckInterval != 0) return true;
-  if (timer_.Seconds() > options_->time_limit_seconds) {
+  if (options_->stop != nullptr && options_->stop->StopRequested()) {
+    stats_.cancelled = true;
+    aborted_ = true;
+    return false;
+  }
+  if (has_deadline && timer_.Seconds() > options_->time_limit_seconds) {
     stats_.timed_out = true;
     aborted_ = true;
     return false;
@@ -200,7 +206,11 @@ bool Executor::Emit() {
 }
 
 bool Executor::Enumerate(uint32_t depth) {
-  const std::vector<VertexId>& candidates = Candidates(depth);
+  return EnumerateOver(depth, Candidates(depth));
+}
+
+bool Executor::EnumerateOver(uint32_t depth,
+                             std::span<const VertexId> candidates) {
   const bool last = depth + 1 == plan_.positions.size();
   const VertexId u = plan_.positions[depth].u;
 
@@ -239,10 +249,28 @@ Status Executor::Run(const ExecOptions& options, ExecStats* stats) {
   CSCE_RETURN_IF_ERROR(Prepare(options));
   timer_.Restart();
   if (!plan_.positions.empty()) {
-    Enumerate(0);
+    if (options.root_claim) {
+      // Morsel mode: drain root batches from the shared claim counter.
+      // SCE caches persist across morsels, so positions independent of
+      // the root mapping keep their reuse within this worker.
+      std::span<const VertexId> morsel;
+      while (!aborted_ && !(morsel = options.root_claim()).empty()) {
+        if (!EnumerateOver(0, morsel)) break;
+      }
+    } else {
+      Enumerate(0);
+    }
   }
   stats_.seconds = timer_.Seconds();
   *stats = stats_;
+  return Status::OK();
+}
+
+Status Executor::ComputeRootCandidates(const ExecOptions& options,
+                                       std::vector<VertexId>* out) {
+  CSCE_RETURN_IF_ERROR(Prepare(options));
+  out->clear();
+  if (!plan_.positions.empty()) ComputeCandidates(0, out);
   return Status::OK();
 }
 

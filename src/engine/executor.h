@@ -12,6 +12,7 @@
 #include "plan/planner.h"
 #include "util/bitset.h"
 #include "util/status.h"
+#include "util/stop_token.h"
 #include "util/timer.h"
 
 namespace csce {
@@ -20,6 +21,12 @@ namespace csce {
 /// (mapping[u] is the matched data vertex). Return false to stop the
 /// enumeration early.
 using EmbeddingCallback = std::function<bool(std::span<const VertexId>)>;
+
+/// Yields the next batch of root-position candidates, or an empty span
+/// when none remain. Used by the morsel-parallel runtime: each worker's
+/// executor drains morsels from a shared claim counter instead of
+/// enumerating the whole root candidate set (see runtime/).
+using RootClaimFn = std::function<std::span<const VertexId>()>;
 
 struct ExecOptions {
   /// Stop after this many embeddings (0 = find all).
@@ -33,12 +40,24 @@ struct ExecOptions {
   /// vertices. Empty for CSCE proper (see paper Finding 2); used by the
   /// GraphPi-like configuration in benchmarks.
   std::vector<std::pair<VertexId, VertexId>> restrictions;
+  /// Cooperative cancellation: polled at the same cadence as the time
+  /// limit; a stopped token aborts the run with `cancelled` set. Must
+  /// outlive the run. nullptr disables the check.
+  const StopToken* stop = nullptr;
+  /// When set, the root position enumerates the claimed morsels instead
+  /// of its own candidate set. The spans must contain (a subset of) the
+  /// candidates ComputeRootCandidates() would produce, must stay alive
+  /// for the whole run, and are consumed in claim order. Plans with a
+  /// single position still honor the count-only fast path per morsel.
+  RootClaimFn root_claim;
 };
 
 struct ExecStats {
   uint64_t embeddings = 0;
   bool timed_out = false;
   bool limit_reached = false;
+  /// The run was aborted by `ExecOptions::stop`.
+  bool cancelled = false;
   uint64_t search_nodes = 0;
   uint64_t candidate_sets_computed = 0;
   uint64_t candidate_sets_reused = 0;
@@ -57,6 +76,13 @@ class Executor {
 
   /// Runs the enumeration. Reentrant: each call resets all state.
   Status Run(const ExecOptions& options, ExecStats* stats);
+
+  /// The root position's full candidate set (seed/label scan plus the
+  /// LDF degree filter), exactly what Run would enumerate at depth 0.
+  /// The morsel-parallel runtime computes this once, then shards it
+  /// across workers via ExecOptions::root_claim.
+  Status ComputeRootCandidates(const ExecOptions& options,
+                               std::vector<VertexId>* out);
 
  private:
   struct ResolvedEdge {
@@ -77,6 +103,7 @@ class Executor {
 
   Status Prepare(const ExecOptions& options);
   bool Enumerate(uint32_t depth);  // false: abort (timeout/limit/callback)
+  bool EnumerateOver(uint32_t depth, std::span<const VertexId> candidates);
   const std::vector<VertexId>& Candidates(uint32_t depth);
   void ComputeCandidates(uint32_t depth, std::vector<VertexId>* out);
   bool PassesRestrictions(uint32_t depth, VertexId v) const;

@@ -1,5 +1,6 @@
 #include "engine/matcher.h"
 
+#include "runtime/parallel_executor.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
@@ -34,21 +35,32 @@ Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
   result->plan_seconds = stage.Seconds();
   result->sce = plan.sce;
 
-  // Stage 3 (green): pipelined WCOJ execution.
+  // Stage 3 (green): pipelined WCOJ execution, morsel-parallel when
+  // the options ask for more than one thread.
   stage.Restart();
-  Executor executor(data, qc, plan);
   ExecOptions exec;
   exec.max_embeddings = options.max_embeddings;
   exec.time_limit_seconds = options.time_limit_seconds;
   exec.restrictions = options.restrictions;
+  exec.stop = options.stop;
   if (callback != nullptr) exec.callback = *callback;
   ExecStats stats;
-  CSCE_RETURN_IF_ERROR(executor.Run(exec, &stats));
+  if (options.num_threads != 1) {
+    ParallelExecutor executor(data, qc, plan);
+    ParallelOptions popts;
+    popts.num_threads = options.num_threads;
+    popts.morsel_size = options.morsel_size;
+    CSCE_RETURN_IF_ERROR(executor.Run(exec, popts, &stats));
+  } else {
+    Executor executor(data, qc, plan);
+    CSCE_RETURN_IF_ERROR(executor.Run(exec, &stats));
+  }
   result->enumerate_seconds = stage.Seconds();
 
   result->embeddings = stats.embeddings;
   result->timed_out = stats.timed_out;
   result->limit_reached = stats.limit_reached;
+  result->cancelled = stats.cancelled;
   result->search_nodes = stats.search_nodes;
   result->candidate_sets_computed = stats.candidate_sets_computed;
   result->candidate_sets_reused = stats.candidate_sets_reused;

@@ -23,6 +23,17 @@ struct MatchOptions {
   double time_limit_seconds = 0.0;
   /// Symmetry-breaking restrictions (benchmark ablations only).
   std::vector<std::pair<VertexId, VertexId>> restrictions;
+  /// Enumeration workers: > 1 shards the root position's candidates
+  /// into morsels executed by a private worker pool (see
+  /// runtime/parallel_executor.h for semantics and determinism notes);
+  /// 0 uses all hardware threads, 1 is the plain serial executor.
+  uint32_t num_threads = 1;
+  /// Root candidates per morsel when num_threads > 1 (0 = auto).
+  uint32_t morsel_size = 0;
+  /// Cooperative cancellation token (nullptr = none); a stopped token
+  /// aborts enumeration with MatchResult::cancelled set. Must outlive
+  /// the call.
+  const StopToken* stop = nullptr;
 };
 
 /// End-to-end result with the paper's per-stage time breakdown.
@@ -30,6 +41,7 @@ struct MatchResult {
   uint64_t embeddings = 0;
   bool timed_out = false;
   bool limit_reached = false;
+  bool cancelled = false;
 
   double read_seconds = 0.0;       // Algorithm 1: cluster selection
   double plan_seconds = 0.0;       // GCF + BuildDAG + LDSF + compile

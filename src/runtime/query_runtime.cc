@@ -1,0 +1,156 @@
+#include "runtime/query_runtime.h"
+
+namespace csce {
+namespace {
+
+RuntimeOptions Normalize(RuntimeOptions options) {
+  if (options.worker_threads == 0) {
+    options.worker_threads = ThreadPool::DefaultThreads();
+  }
+  if (options.max_inflight == 0) {
+    options.max_inflight = options.worker_threads;
+  }
+  if (options.threads_per_query == 0) options.threads_per_query = 1;
+  return options;
+}
+
+}  // namespace
+
+QueryRuntime::QueryRuntime(const Ccsr* data, const RuntimeOptions& options)
+    : data_(data),
+      options_(Normalize(options)),
+      cache_(data),
+      pool_(options_.worker_threads) {}
+
+Status QueryRuntime::RunBatch(const std::vector<QueryJob>& jobs,
+                              std::vector<QueryOutcome>* outcomes) {
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  outcomes->assign(jobs.size(), QueryOutcome{});
+  WallTimer batch_timer;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_.submitted += jobs.size();
+  }
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const QueryJob* job = &jobs[i];
+    QueryOutcome* outcome = &(*outcomes)[i];
+    const double submit_seconds = batch_timer.Seconds();
+    pool_.Submit([this, job, submit_seconds, &batch_timer, outcome] {
+      RunOne(*job, submit_seconds, batch_timer, outcome);
+    });
+  }
+  pool_.Wait();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_.wall_seconds += batch_timer.Seconds();
+    metrics_.cluster_cache_hits = cache_.hits();
+    metrics_.cluster_cache_misses = cache_.misses();
+  }
+  return Status::OK();
+}
+
+void QueryRuntime::RunOne(const QueryJob& job, double submit_seconds,
+                          const WallTimer& batch_timer,
+                          QueryOutcome* outcome) {
+  outcome->tag = job.tag;
+  bool cancelled_in_queue = false;
+  Admit(&outcome->queue_wait_seconds, submit_seconds, batch_timer,
+        &cancelled_in_queue);
+  if (cancelled_in_queue) {
+    outcome->result.cancelled = true;
+    outcome->total_seconds = batch_timer.Seconds() - submit_seconds;
+    Account(*outcome);
+    return;
+  }
+
+  // The deadline runs from submission, so time burned in the admission
+  // queue shrinks (or exhausts) the enumeration budget.
+  const double deadline = job.options.time_limit_seconds > 0
+                              ? job.options.time_limit_seconds
+                              : options_.default_deadline_seconds;
+  if (deadline > 0 && outcome->queue_wait_seconds >= deadline) {
+    outcome->result.timed_out = true;
+    outcome->total_seconds = batch_timer.Seconds() - submit_seconds;
+    Release();
+    Account(*outcome);
+    return;
+  }
+
+  MatchOptions options = job.options;
+  if (deadline > 0) {
+    options.time_limit_seconds = deadline - outcome->queue_wait_seconds;
+  }
+  if (options.num_threads == 1) {
+    options.num_threads = options_.threads_per_query;
+  }
+  options.stop = &session_stop_;
+
+  CsceMatcher matcher(data_,
+                      options_.share_cluster_views ? &cache_ : nullptr);
+  outcome->executed = true;
+  outcome->status = matcher.Match(job.pattern, options, &outcome->result);
+  outcome->total_seconds = batch_timer.Seconds() - submit_seconds;
+  Release();
+  Account(*outcome);
+}
+
+void QueryRuntime::Admit(double* queue_wait, double submit_seconds,
+                         const WallTimer& batch_timer,
+                         bool* cancelled_in_queue) {
+  std::unique_lock<std::mutex> lock(admit_mu_);
+  admit_cv_.wait(lock, [this] {
+    return inflight_ < options_.max_inflight || session_stop_.StopRequested();
+  });
+  *queue_wait = batch_timer.Seconds() - submit_seconds;
+  if (session_stop_.StopRequested()) {
+    *cancelled_in_queue = true;
+    return;
+  }
+  ++inflight_;
+}
+
+void QueryRuntime::Release() {
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    --inflight_;
+  }
+  admit_cv_.notify_one();
+}
+
+void QueryRuntime::CancelAll() {
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    session_stop_.RequestStop();
+  }
+  admit_cv_.notify_all();
+}
+
+void QueryRuntime::ResetCancellation() { session_stop_.Reset(); }
+
+void QueryRuntime::Account(const QueryOutcome& outcome) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  metrics_.queue_wait_seconds += outcome.queue_wait_seconds;
+  metrics_.exec_seconds +=
+      outcome.total_seconds - outcome.queue_wait_seconds;
+  if (!outcome.status.ok()) {
+    ++metrics_.failed;
+    return;
+  }
+  if (outcome.result.cancelled) ++metrics_.cancelled;
+  if (outcome.result.timed_out) ++metrics_.timed_out;
+  if (outcome.result.limit_reached) ++metrics_.limit_reached;
+  if (outcome.executed) {
+    ++metrics_.completed;
+    metrics_.embeddings += outcome.result.embeddings;
+    metrics_.read_seconds += outcome.result.read_seconds;
+    metrics_.plan_seconds += outcome.result.plan_seconds;
+    metrics_.enumerate_seconds += outcome.result.enumerate_seconds;
+  }
+}
+
+RuntimeMetrics QueryRuntime::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  return metrics_;
+}
+
+}  // namespace csce

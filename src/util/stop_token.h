@@ -1,0 +1,46 @@
+#ifndef CSCE_UTIL_STOP_TOKEN_H_
+#define CSCE_UTIL_STOP_TOKEN_H_
+
+#include <atomic>
+
+namespace csce {
+
+/// Cooperative cancellation flag. A holder (session, runtime, worker
+/// fan-out) calls RequestStop(); workers poll StopRequested() at safe
+/// points and unwind. Tokens can be chained: a child token reports
+/// stopped when either it or its parent is stopped, so a query-local
+/// token (e.g. the internal "some worker hit the embedding limit"
+/// broadcast) composes with a session-wide CancelAll() token without
+/// the pollers knowing about the hierarchy.
+///
+/// Thread-safe: RequestStop/StopRequested may race freely. SetParent
+/// must happen-before any concurrent StopRequested() poll (set it
+/// during single-threaded setup).
+class StopToken {
+ public:
+  StopToken() = default;
+  StopToken(const StopToken&) = delete;
+  StopToken& operator=(const StopToken&) = delete;
+
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Re-arms the token for reuse (e.g. a session runtime between
+  /// batches). Only meaningful once no worker is polling it.
+  void Reset() { stop_.store(false, std::memory_order_relaxed); }
+
+  bool StopRequested() const {
+    if (stop_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->StopRequested();
+  }
+
+  /// `parent` must outlive this token (nullptr detaches).
+  void SetParent(const StopToken* parent) { parent_ = parent; }
+
+ private:
+  std::atomic<bool> stop_{false};
+  const StopToken* parent_ = nullptr;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_UTIL_STOP_TOKEN_H_

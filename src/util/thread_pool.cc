@@ -1,0 +1,56 @@
+#include "util/thread_pool.h"
+
+namespace csce {
+
+uint32_t ThreadPool::DefaultThreads() {
+  uint32_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  threads_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // shutdown with a drained queue
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --running_;
+    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace csce

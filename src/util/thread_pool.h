@@ -1,0 +1,57 @@
+#ifndef CSCE_UTIL_THREAD_POOL_H_
+#define CSCE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csce {
+
+/// A fixed pool of worker threads draining one shared FIFO task queue.
+/// Deliberately minimal: the runtime's load balancing happens one level
+/// up, via atomically claimed morsels (parallel_executor.h), so the
+/// pool itself never needs per-thread deques or stealing — tasks are
+/// coarse (one per worker or one per query) and the queue lock is cold.
+///
+/// Submit() and Wait() are thread-safe. Tasks may themselves block
+/// (e.g. on the runtime's admission semaphore); sizing the pool is the
+/// caller's concern. The destructor waits for all submitted tasks.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(uint32_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. New tasks
+  /// submitted concurrently extend the wait.
+  void Wait();
+
+  uint32_t size() const { return static_cast<uint32_t>(threads_.size()); }
+
+  /// hardware_concurrency() with a floor of 1 (it may report 0).
+  static uint32_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stop
+  std::condition_variable idle_cv_;   // Wait(): queue empty and none running
+  std::deque<std::function<void()>> queue_;
+  uint32_t running_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_UTIL_THREAD_POOL_H_

@@ -50,9 +50,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: csce_match (--ccsr=x.ccsr | --graph=x.txt) "
                  "--pattern=p.txt [--variant=edge|vertex|hom] "
-                 "[--time-limit=s] [--max=n] [--print=n] [--explain] "
-                 "[--no-sce] [--no-nec] [--no-ldsf] [--no-tiebreak] "
-                 "[--cost-based]\n");
+                 "[--time-limit=s] [--max=n] [--print=n] [--threads=n] "
+                 "[--explain] [--no-sce] [--no-nec] [--no-ldsf] "
+                 "[--no-tiebreak] [--cost-based]\n");
     return 2;
   }
 
@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
   options.time_limit_seconds = flags.GetDouble("time-limit", 0);
   options.max_embeddings =
       static_cast<uint64_t>(flags.GetInt("max", 0));
+  options.num_threads = static_cast<uint32_t>(flags.GetInt("threads", 1));
   options.plan.use_sce = !flags.GetBool("no-sce");
   options.plan.use_nec = !flags.GetBool("no-nec");
   options.plan.use_ldsf = !flags.GetBool("no-ldsf");

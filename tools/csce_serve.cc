@@ -1,0 +1,198 @@
+// csce_serve: the multi-query session front-end — execute a batch of
+// pattern queries concurrently against one shared index, with admission
+// control, deadlines, and a JSON summary of the session.
+//
+//   csce_serve --ccsr=data.ccsr --queries=workload.txt --threads=8 \
+//              --inflight=4 --threads-per-query=2 --deadline=5
+//   csce_gen ... && csce_serve --graph=data.txt --queries=- < workload.txt
+//
+// Workload format, one query per line ('#' starts a comment):
+//   <pattern-file> [variant] [max-embeddings] [deadline-seconds]
+// e.g.
+//   q_0.txt edge
+//   q_1.txt hom 100000 2.5
+//
+// --repeat=N serves the whole workload N times (load generation; with
+// view sharing the repeats hit the session's cluster cache).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ccsr/ccsr.h"
+#include "ccsr/ccsr_io.h"
+#include "graph/graph_io.h"
+#include "runtime/query_runtime.h"
+#include "util/flags.h"
+
+namespace {
+
+bool ParseVariant(const std::string& name, csce::MatchVariant* out) {
+  if (name == "edge" || name == "edge-induced") {
+    *out = csce::MatchVariant::kEdgeInduced;
+  } else if (name == "vertex" || name == "vertex-induced" ||
+             name == "induced") {
+    *out = csce::MatchVariant::kVertexInduced;
+  } else if (name == "hom" || name == "homomorphic") {
+    *out = csce::MatchVariant::kHomomorphic;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseWorkload(std::istream& in, std::vector<csce::QueryJob>* jobs) {
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::string path, variant;
+    if (!(fields >> path)) continue;  // blank/comment line
+    csce::QueryJob job;
+    job.tag = path;
+    if (fields >> variant && !ParseVariant(variant, &job.options.variant)) {
+      std::fprintf(stderr, "queries line %zu: unknown variant '%s'\n", lineno,
+                   variant.c_str());
+      return false;
+    }
+    double max_embeddings = 0, deadline = 0;
+    if (fields >> max_embeddings) {
+      job.options.max_embeddings = static_cast<uint64_t>(max_embeddings);
+    }
+    if (fields >> deadline) job.options.time_limit_seconds = deadline;
+    if (csce::Status st = csce::LoadGraphFromFile(path, &job.pattern);
+        !st.ok()) {
+      std::fprintf(stderr, "queries line %zu: %s\n", lineno,
+                   st.ToString().c_str());
+      return false;
+    }
+    jobs->push_back(std::move(job));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace csce;
+  FlagParser flags;
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  std::string ccsr_path = flags.GetString("ccsr", "");
+  std::string graph_path = flags.GetString("graph", "");
+  std::string queries_path = flags.GetString("queries", "");
+  if (queries_path.empty() || (ccsr_path.empty() == graph_path.empty())) {
+    std::fprintf(stderr,
+                 "usage: csce_serve (--ccsr=x.ccsr | --graph=x.txt) "
+                 "--queries=(workload.txt | -) [--threads=n] [--inflight=n] "
+                 "[--threads-per-query=n] [--deadline=s] [--repeat=n] "
+                 "[--no-share-views] [--quiet]\n");
+    return 2;
+  }
+
+  Ccsr index;
+  if (!ccsr_path.empty()) {
+    if (Status st = LoadCcsrFromFile(ccsr_path, &index); !st.ok()) {
+      std::fprintf(stderr, "load ccsr: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  } else {
+    Graph g;
+    if (Status st = LoadGraphFromFile(graph_path, &g); !st.ok()) {
+      std::fprintf(stderr, "load graph: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    index = Ccsr::Build(g);
+  }
+
+  std::vector<QueryJob> workload;
+  if (queries_path == "-") {
+    if (!ParseWorkload(std::cin, &workload)) return 2;
+  } else {
+    std::ifstream in(queries_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open --queries=%s\n", queries_path.c_str());
+      return 1;
+    }
+    if (!ParseWorkload(in, &workload)) return 2;
+  }
+
+  RuntimeOptions runtime_options;
+  runtime_options.worker_threads =
+      static_cast<uint32_t>(flags.GetInt("threads", 0));
+  runtime_options.max_inflight =
+      static_cast<uint32_t>(flags.GetInt("inflight", 0));
+  runtime_options.threads_per_query =
+      static_cast<uint32_t>(flags.GetInt("threads-per-query", 1));
+  runtime_options.default_deadline_seconds = flags.GetDouble("deadline", 0);
+  runtime_options.share_cluster_views = !flags.GetBool("no-share-views");
+  int64_t repeat = flags.GetInt("repeat", 1);
+  bool quiet = flags.GetBool("quiet");
+  for (const std::string& unused : flags.UnusedFlags()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", unused.c_str());
+  }
+
+  std::vector<QueryJob> jobs;
+  for (int64_t r = 0; r < repeat; ++r) {
+    jobs.insert(jobs.end(), workload.begin(), workload.end());
+  }
+
+  QueryRuntime runtime(&index, runtime_options);
+  std::vector<QueryOutcome> outcomes;
+  if (Status st = runtime.RunBatch(jobs, &outcomes); !st.ok()) {
+    std::fprintf(stderr, "run batch: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const QueryOutcome& o = outcomes[i];
+    if (!o.status.ok()) ++failures;
+    if (quiet) continue;
+    std::printf(
+        "query=%s variant=%s status=%s embeddings=%llu wait=%.3fms "
+        "total=%.3fms%s%s%s%s\n",
+        o.tag.c_str(), VariantName(jobs[i].options.variant),
+        o.status.ok() ? "ok" : o.status.ToString().c_str(),
+        static_cast<unsigned long long>(o.result.embeddings),
+        o.queue_wait_seconds * 1e3, o.total_seconds * 1e3,
+        o.result.timed_out ? " timed_out" : "",
+        o.result.limit_reached ? " limit_reached" : "",
+        o.result.cancelled ? " cancelled" : "",
+        o.executed ? "" : " not_executed");
+  }
+
+  const RuntimeMetrics m = runtime.metrics();
+  std::printf(
+      "{\"queries\": %llu, \"completed\": %llu, \"failed\": %llu, "
+      "\"timed_out\": %llu, \"limit_reached\": %llu, \"cancelled\": %llu, "
+      "\"embeddings\": %llu, \"wall_seconds\": %.6f, "
+      "\"queue_wait_seconds\": %.6f, \"exec_seconds\": %.6f, "
+      "\"read_seconds\": %.6f, \"plan_seconds\": %.6f, "
+      "\"enumerate_seconds\": %.6f, \"cache_hits\": %llu, "
+      "\"cache_misses\": %llu, \"worker_threads\": %u, "
+      "\"max_inflight\": %u, \"threads_per_query\": %u}\n",
+      static_cast<unsigned long long>(m.submitted),
+      static_cast<unsigned long long>(m.completed),
+      static_cast<unsigned long long>(m.failed),
+      static_cast<unsigned long long>(m.timed_out),
+      static_cast<unsigned long long>(m.limit_reached),
+      static_cast<unsigned long long>(m.cancelled),
+      static_cast<unsigned long long>(m.embeddings), m.wall_seconds,
+      m.queue_wait_seconds, m.exec_seconds, m.read_seconds, m.plan_seconds,
+      m.enumerate_seconds,
+      static_cast<unsigned long long>(m.cluster_cache_hits),
+      static_cast<unsigned long long>(m.cluster_cache_misses),
+      runtime.options().worker_threads, runtime.options().max_inflight,
+      runtime.options().threads_per_query);
+  return failures == 0 ? 0 : 1;
+}

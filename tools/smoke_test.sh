@@ -1,11 +1,18 @@
 #!/bin/sh
 # End-to-end smoke test of the CLI tools, run by ctest:
 # generate a dataset + patterns, build the CCSR artifact, match against
-# both the artifact and the raw graph, and print stats.
+# both the artifact and the raw graph, run a concurrent serving session,
+# and print stats.
+#
+# Set CSCE_TSAN=1 to additionally configure a ThreadSanitizer build of
+# the test suite and run the runtime/concurrency tests under it (slow:
+# it compiles the library with -fsanitize=thread; off by default so the
+# regular ctest run stays fast).
 set -e
 
 BIN_DIR="$1"
 WORK_DIR="${2:-$(mktemp -d)}"
+mkdir -p "$WORK_DIR"
 
 "$BIN_DIR/csce_gen" --dataset=yeast --out="$WORK_DIR/g.txt" \
     --pattern-size=6 --pattern-count=2 --density=dense --seed=5 \
@@ -35,10 +42,56 @@ if [ "$COUNT_CCSR" -lt 1 ]; then
   exit 1
 fi
 
+# Morsel-parallel enumeration returns the same count as serial.
+OUT_PAR=$("$BIN_DIR/csce_match" --ccsr="$WORK_DIR/g.ccsr" \
+    --pattern="$WORK_DIR/q_0.txt" --variant=edge --threads=4)
+COUNT_PAR=$(printf '%s\n' "$OUT_PAR" | sed -n 's/.*embeddings=\([0-9]*\).*/\1/p')
+if [ "$COUNT_PAR" != "$COUNT_CCSR" ]; then
+  echo "FAIL: --threads=4 found '$COUNT_PAR', serial found '$COUNT_CCSR'"
+  exit 1
+fi
+
 # All three variants run against the artifact.
 for variant in edge vertex hom; do
   "$BIN_DIR/csce_match" --ccsr="$WORK_DIR/g.ccsr" \
       --pattern="$WORK_DIR/q_1.txt" --variant="$variant" > /dev/null
 done
+
+# Concurrent serving session over the same workload: both patterns,
+# repeated so the shared cluster cache gets hits, per-query counts
+# matching the standalone tool.
+cat > "$WORK_DIR/queries.txt" <<EOF
+# smoke workload
+$WORK_DIR/q_0.txt edge
+$WORK_DIR/q_1.txt hom
+$WORK_DIR/q_1.txt vertex
+EOF
+OUT_SERVE=$("$BIN_DIR/csce_serve" --ccsr="$WORK_DIR/g.ccsr" \
+    --queries="$WORK_DIR/queries.txt" --threads=4 --inflight=2 --repeat=2)
+printf '%s\n' "$OUT_SERVE" | tail -1
+case "$OUT_SERVE" in
+  *'"completed": 6'*) ;;
+  *) echo "FAIL: csce_serve did not complete all 6 queries"; exit 1 ;;
+esac
+SERVE_EDGE=$(printf '%s\n' "$OUT_SERVE" | \
+    sed -n 's/.*q_0.txt variant=edge-induced status=ok embeddings=\([0-9]*\).*/\1/p' | \
+    head -1)
+if [ "$SERVE_EDGE" != "$COUNT_CCSR" ]; then
+  echo "FAIL: csce_serve edge count '$SERVE_EDGE' != csce_match '$COUNT_CCSR'"
+  exit 1
+fi
+
+# Optional TSan pass over the runtime subsystem's tests.
+if [ -n "${CSCE_TSAN:-}" ]; then
+  SRC_DIR=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+  TSAN_DIR="$WORK_DIR/tsan_build"
+  cmake -S "$SRC_DIR" -B "$TSAN_DIR" -DCSCE_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$TSAN_DIR" --target csce_tests -j "$(nproc)" > /dev/null
+  (cd "$TSAN_DIR" && ctest \
+      -R 'ThreadPool|StopToken|ParallelExecutor|QueryRuntime|ClusterCacheConcurrency' \
+      --output-on-failure)
+  echo "PASS: runtime tests clean under TSan"
+fi
 
 echo "PASS: tools pipeline ($COUNT_CCSR embeddings)"
