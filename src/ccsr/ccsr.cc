@@ -293,6 +293,233 @@ Status Ccsr::RemoveEdges(const std::vector<Edge>& edges) {
   return Status::OK();
 }
 
+namespace {
+
+// Deep check of one direction of a cluster's compressed CSR. Verifies
+// the RLE row index, row/column consistency, sorted-unique neighbor
+// lists, vertex ranges, and endpoint-label homogeneity; appends the
+// direction's arcs (src -> dst as stored) to `arcs_out` for the
+// caller's transpose/symmetry check.
+Status ValidateClusterDirection(const CompressedCluster& c, bool incoming,
+                                const std::vector<Label>& vlabels,
+                                std::vector<Edge>* arcs_out) {
+  const CompressedRowIndex& rows = incoming ? c.in_rows : c.out_rows;
+  const std::vector<VertexId>& cols = incoming ? c.in_cols : c.out_cols;
+  const std::string where =
+      c.id.ToString() + (incoming ? " incoming" : " outgoing");
+  // Directed clusters orient (src_label, dst_label) along the arc; the
+  // incoming CSR stores reversed arcs, so the roles swap. Undirected
+  // clusters only require the unordered label pair to match.
+  const Label expect_src = incoming ? c.id.dst_label : c.id.src_label;
+  const Label expect_dst = incoming ? c.id.src_label : c.id.dst_label;
+
+  if (Status st = rows.Validate(); !st.ok()) {
+    return Status::Corruption(where + ": " + st.message());
+  }
+  const uint32_t n = static_cast<uint32_t>(vlabels.size());
+  if (rows.uncompressed_length() != static_cast<uint64_t>(n) + 1) {
+    return Status::Corruption(
+        where + ": row index covers " +
+        std::to_string(rows.uncompressed_length()) +
+        " entries, expected |V|+1 = " + std::to_string(n + 1));
+  }
+  std::vector<uint64_t> row = rows.Decompress();
+  if (row.back() != cols.size()) {
+    return Status::Corruption(where + ": final row offset " +
+                              std::to_string(row.back()) + " != column count " +
+                              std::to_string(cols.size()));
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t begin = row[v];
+    uint64_t end = row[v + 1];
+    if (begin == end) continue;
+    if (vlabels[v] != expect_src) {
+      if (c.id.directed || (vlabels[v] != c.id.src_label &&
+                            vlabels[v] != c.id.dst_label)) {
+        return Status::Corruption(where + ": vertex " + std::to_string(v) +
+                                  " has label " + std::to_string(vlabels[v]) +
+                                  ", not an endpoint label of the cluster");
+      }
+    }
+    VertexId prev = kInvalidVertex;
+    for (uint64_t k = begin; k < end; ++k) {
+      VertexId w = cols[k];
+      if (w >= n) {
+        return Status::Corruption(where + ": neighbor " + std::to_string(w) +
+                                  " of vertex " + std::to_string(v) +
+                                  " out of range");
+      }
+      if (prev != kInvalidVertex && w <= prev) {
+        return Status::Corruption(where + ": neighbors of vertex " +
+                                  std::to_string(v) +
+                                  " not sorted strictly increasing");
+      }
+      prev = w;
+      Label lw = vlabels[w];
+      bool label_ok =
+          c.id.directed
+              ? lw == expect_dst
+              // Undirected: the arc's unordered label pair must be the
+              // cluster's pair (either orientation).
+              : ((vlabels[v] == c.id.src_label && lw == c.id.dst_label) ||
+                 (vlabels[v] == c.id.dst_label && lw == c.id.src_label));
+      if (!label_ok) {
+        return Status::Corruption(
+            where + ": arc (" + std::to_string(v) + ", " + std::to_string(w) +
+            ") labels (" + std::to_string(vlabels[v]) + ", " +
+            std::to_string(lw) + ") do not match the cluster id");
+      }
+      arcs_out->push_back(Edge{v, w, c.id.elabel});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Ccsr::Validate() const {
+  const uint32_t n = NumVertices();
+
+  // Statistics tables.
+  if (out_degree_.size() != n) {
+    return Status::Corruption("out-degree table has " +
+                              std::to_string(out_degree_.size()) +
+                              " entries for " + std::to_string(n) +
+                              " vertices");
+  }
+  if (directed_ ? in_degree_.size() != n : !in_degree_.empty()) {
+    return Status::Corruption("in-degree table size inconsistent with "
+                              "graph directedness");
+  }
+  Label max_label = 0;
+  for (Label l : vlabels_) max_label = std::max(max_label, l);
+  if (vlabel_freq_.size() != (n == 0 ? 0 : size_t{max_label} + 1)) {
+    return Status::Corruption("label frequency table has wrong size");
+  }
+  std::vector<uint32_t> freq(vlabel_freq_.size(), 0);
+  for (Label l : vlabels_) ++freq[l];
+  if (freq != vlabel_freq_) {
+    return Status::Corruption("label frequency table does not match the "
+                              "vertex labels");
+  }
+
+  // Lookup indexes: clusters sorted strictly by id (hence unique), both
+  // indexes exhaustive.
+  if (index_.size() != clusters_.size()) {
+    return Status::Corruption("cluster index has " +
+                              std::to_string(index_.size()) +
+                              " entries for " +
+                              std::to_string(clusters_.size()) + " clusters");
+  }
+  for (size_t i = 0; i < clusters_.size(); ++i) {
+    const ClusterId& id = clusters_[i].id;
+    if (i > 0 && !(clusters_[i - 1].id < id)) {
+      return Status::Corruption("clusters not sorted strictly by id at slot " +
+                                std::to_string(i));
+    }
+    auto it = index_.find(id);
+    if (it == index_.end() || it->second != i) {
+      return Status::Corruption("cluster index entry missing or stale for " +
+                                id.ToString());
+    }
+    bool in_star = false;
+    for (const CompressedCluster* c :
+         StarClusters(id.src_label, id.dst_label)) {
+      if (c == &clusters_[i]) in_star = true;
+    }
+    if (!in_star) {
+      return Status::Corruption("star index misses " + id.ToString());
+    }
+  }
+
+  // Per-cluster structure plus global partition accounting. Clusters
+  // are disjoint over (src, dst, elabel) triples by construction once
+  // each is internally consistent: homogeneity pins the endpoint labels
+  // to the id, ids are unique, and neighbor lists are strictly sorted —
+  // so exhaustiveness reduces to the edge totals and per-vertex arc
+  // counts matching the stored degree tables.
+  uint64_t total_edges = 0;
+  std::vector<uint64_t> out_count(n, 0);
+  std::vector<uint64_t> in_count(n, 0);
+  for (const CompressedCluster& c : clusters_) {
+    if (c.id.directed != directed_) {
+      return Status::Corruption("cluster " + c.id.ToString() +
+                                " directedness differs from the graph");
+    }
+    if (!directed_ && c.id.src_label > c.id.dst_label) {
+      return Status::Corruption("undirected cluster " + c.id.ToString() +
+                                " label pair not canonicalized");
+    }
+    std::vector<Edge> out_arcs;
+    CSCE_RETURN_IF_ERROR(
+        ValidateClusterDirection(c, /*incoming=*/false, vlabels_, &out_arcs));
+    uint64_t expected_arcs = directed_ ? c.num_edges : 2 * c.num_edges;
+    if (out_arcs.size() != expected_arcs) {
+      return Status::Corruption(
+          c.id.ToString() + ": size " + std::to_string(c.num_edges) +
+          " inconsistent with " + std::to_string(out_arcs.size()) +
+          " stored arcs");
+    }
+    if (directed_) {
+      std::vector<Edge> in_arcs;
+      CSCE_RETURN_IF_ERROR(
+          ValidateClusterDirection(c, /*incoming=*/true, vlabels_, &in_arcs));
+      // The incoming CSR must be exactly the transpose of the outgoing.
+      for (Edge& e : in_arcs) std::swap(e.src, e.dst);
+      std::sort(in_arcs.begin(), in_arcs.end());
+      if (in_arcs != out_arcs) {  // out_arcs are emitted sorted
+        return Status::Corruption(c.id.ToString() +
+                                  ": incoming CSR is not the transpose of "
+                                  "the outgoing CSR");
+      }
+      for (const Edge& e : out_arcs) {
+        ++out_count[e.src];
+        ++in_count[e.dst];
+      }
+    } else {
+      if (!c.in_cols.empty() || c.in_rows.num_runs() != 0) {
+        return Status::Corruption(c.id.ToString() +
+                                  ": undirected cluster carries an incoming "
+                                  "CSR");
+      }
+      // Undirected clusters store each edge in both orientations in the
+      // single CSR: the arc set must be symmetric.
+      std::vector<Edge> reversed(out_arcs);
+      for (Edge& e : reversed) std::swap(e.src, e.dst);
+      std::sort(reversed.begin(), reversed.end());
+      if (reversed != out_arcs) {
+        return Status::Corruption(c.id.ToString() +
+                                  ": undirected cluster arcs are not "
+                                  "symmetric");
+      }
+      for (const Edge& e : out_arcs) ++out_count[e.src];
+    }
+    total_edges += c.num_edges;
+  }
+
+  if (total_edges != num_edges_) {
+    return Status::Corruption(
+        "clusters hold " + std::to_string(total_edges) +
+        " edges in total, index claims " + std::to_string(num_edges_) +
+        " (partition not exhaustive/disjoint)");
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (out_count[v] != out_degree_[v]) {
+      return Status::Corruption(
+          "vertex " + std::to_string(v) + ": clusters hold " +
+          std::to_string(out_count[v]) + " outgoing arcs, degree table says " +
+          std::to_string(out_degree_[v]));
+    }
+    if (directed_ && in_count[v] != in_degree_[v]) {
+      return Status::Corruption(
+          "vertex " + std::to_string(v) + ": clusters hold " +
+          std::to_string(in_count[v]) + " incoming arcs, degree table says " +
+          std::to_string(in_degree_[v]));
+    }
+  }
+  return Status::OK();
+}
+
 size_t Ccsr::CompressedSizeBytes() const {
   size_t total = vlabels_.size() * sizeof(Label);
   for (const CompressedCluster& c : clusters_) total += c.SizeBytes();

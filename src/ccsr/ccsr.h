@@ -128,6 +128,18 @@ class Ccsr {
   /// with the index unchanged). Emptied clusters are dropped.
   Status RemoveEdges(const std::vector<Edge>& edges);
 
+  /// Deep structural validation (O(|E| log |E|)): per-cluster RLE row
+  /// sanity and row/column consistency, sorted-unique adjacency,
+  /// endpoint-label homogeneity against the cluster identifier,
+  /// incoming CSR == transpose of outgoing (directed) / symmetry
+  /// (undirected), and globally that the clusters partition the data
+  /// edges exhaustively and disjointly (edge totals and per-vertex
+  /// degree sums match the stored degree tables), that the statistics
+  /// tables are consistent, and that the lookup indexes cover every
+  /// cluster. Used by the corruption tests, `--self-check`, and the
+  /// CCSR artifact loader.
+  Status Validate() const;
+
  private:
   friend Status LoadCcsrFromStream(std::istream&, Ccsr*);
 

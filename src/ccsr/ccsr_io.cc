@@ -10,6 +10,9 @@ namespace csce {
 namespace {
 
 constexpr uint32_t kMagic = 0x43435352;  // "CCSR"
+// Label values are histogram indexes; cap them so corrupted artifacts
+// cannot trigger multi-gigabyte allocations before deep validation runs.
+constexpr Label kMaxPlausibleLabel = 1u << 20;
 // Version 2 added per-vertex degree tables (candidate degree filter).
 constexpr uint32_t kVersion = 2;
 
@@ -184,6 +187,12 @@ Status LoadCcsrFromStream(std::istream& in, Ccsr* out) {
   }
   Label max_label = 0;
   for (Label l : result.vlabels_) max_label = std::max(max_label, l);
+  // The frequency table below is indexed by label value, so a single
+  // flipped high bit in one stored label would make it allocate
+  // gigabytes. No plausible dataset needs label ids anywhere near this.
+  if (num_vertices > 0 && max_label >= kMaxPlausibleLabel) {
+    return Status::Corruption("implausible vertex label");
+  }
   result.vlabel_freq_.assign(num_vertices == 0 ? 0 : max_label + 1, 0);
   for (Label l : result.vlabels_) ++result.vlabel_freq_[l];
 
@@ -231,6 +240,11 @@ Status LoadCcsrFromStream(std::istream& in, Ccsr* out) {
     }
   }
   result.RebuildIndexes();
+  // Field-level reads above only catch local damage (truncation, counts,
+  // ranges). The deep validator cross-checks everything global: label
+  // homogeneity, sorted adjacency, transpose consistency, degree tables
+  // and the edge partition. A corrupted artifact must never load.
+  CSCE_RETURN_IF_ERROR(result.Validate());
   *out = std::move(result);
   return Status::OK();
 }

@@ -1,5 +1,8 @@
 #include "ccsr/compressed_row.h"
 
+#include <cstdint>
+#include <string>
+
 #include "util/logging.h"
 
 namespace csce {
@@ -34,6 +37,50 @@ std::vector<uint64_t> CompressedRowIndex::Decompress() const {
   }
   CSCE_DCHECK(row.size() == uncompressed_length_);
   return row;
+}
+
+Status CompressedRowIndex::Validate() const {
+  if (runs_.empty()) {
+    if (uncompressed_length_ != 0) {
+      return Status::Corruption("compressed row: no runs but length " +
+                                std::to_string(uncompressed_length_));
+    }
+    return Status::OK();
+  }
+  if (runs_.front().value != 0) {
+    return Status::Corruption("compressed row: first offset is " +
+                              std::to_string(runs_.front().value) +
+                              ", expected 0");
+  }
+  uint64_t covered = 0;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    const RleRun& r = runs_[i];
+    if (r.count == 0) {
+      return Status::Corruption("compressed row: empty run at index " +
+                                std::to_string(i));
+    }
+    if (i > 0) {
+      const RleRun& prev = runs_[i - 1];
+      // Compress() merges equal adjacent offsets into one run, so run
+      // values must strictly increase — unless the previous run's
+      // counter saturated and the run was split.
+      bool saturated_split =
+          r.value == prev.value && prev.count == UINT32_MAX;
+      if (r.value <= prev.value && !saturated_split) {
+        return Status::Corruption(
+            "compressed row: non-monotone run value " +
+            std::to_string(r.value) + " after " + std::to_string(prev.value) +
+            " at index " + std::to_string(i));
+      }
+    }
+    covered += r.count;
+  }
+  if (covered != uncompressed_length_) {
+    return Status::Corruption("compressed row: runs cover " +
+                              std::to_string(covered) + " entries, expected " +
+                              std::to_string(uncompressed_length_));
+  }
+  return Status::OK();
 }
 
 }  // namespace csce

@@ -5,6 +5,8 @@
 #include <span>
 #include <vector>
 
+#include "util/status.h"
+
 namespace csce {
 
 /// One run of a run-length-encoded row-index array: `count` consecutive
@@ -57,6 +59,15 @@ class CompressedRowIndex {
   void set_uncompressed_length(uint64_t n) { uncompressed_length_ = n; }
 
   size_t SizeBytes() const { return runs_.size() * sizeof(RleRun); }
+
+  /// Deep structural check of the RLE encoding: every run is non-empty,
+  /// run values are monotone (strictly increasing across run boundaries,
+  /// since equal adjacent offsets would have been merged into one run —
+  /// except after a saturated uint32 count, where Compress() splits),
+  /// run coverage equals `uncompressed_length`, and the reconstructed
+  /// row-index array starts at 0. Returns Corruption with a description
+  /// of the first violated invariant.
+  Status Validate() const;
 
  private:
   std::vector<RleRun> runs_;

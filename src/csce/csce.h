@@ -1,5 +1,5 @@
-#ifndef CSCE_CSCE_H_
-#define CSCE_CSCE_H_
+#ifndef CSCE_CSCE_CSCE_H_
+#define CSCE_CSCE_CSCE_H_
 
 /// Umbrella header for the CSCE library: clustered-CSR indexing and
 /// SCE-based subgraph matching for heterogeneous graphs, plus the
@@ -32,4 +32,4 @@
 #include "plan/plan_printer.h"            // IWYU pragma: export
 #include "plan/symmetry.h"                // IWYU pragma: export
 
-#endif  // CSCE_CSCE_H_
+#endif  // CSCE_CSCE_CSCE_H_

@@ -1,0 +1,91 @@
+#ifndef CSCE_ENGINE_EMBEDDING_VERIFIER_H_
+#define CSCE_ENGINE_EMBEDDING_VERIFIER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ccsr/ccsr.h"
+#include "ccsr/cluster_id.h"
+#include "ccsr/csr.h"
+#include "graph/graph.h"
+#include "graph/variant.h"
+#include "util/status.h"
+
+namespace csce {
+
+/// Ground-truth re-verification of emitted embeddings — the backend of
+/// MatchOptions::self_check. Every emitted mapping is re-checked
+/// against the data graph from first principles: vertex labels, the
+/// presence of every pattern edge's data arc, injectivity (edge- and
+/// vertex-induced), and the absence of extra arcs between non-adjacent
+/// pattern vertices (vertex-induced).
+///
+/// The verifier decompresses every cluster it needs privately from the
+/// compressed CCSR, independently of any shared ClusterCache, so a
+/// corrupted reused view is caught rather than echoed.
+///
+/// Verify() is thread-safe (immutable state plus one atomic counter):
+/// the morsel-parallel runtime invokes the embedding callback
+/// concurrently from its workers.
+class EmbeddingVerifier {
+ public:
+  /// Decompresses the clusters of all pattern edges and, for
+  /// vertex-induced matching, the "(x,y)*-clusters" of all non-adjacent
+  /// pattern vertex pairs. `data` and `pattern` must outlive the
+  /// verifier. Requires pattern.directed() == data.directed().
+  EmbeddingVerifier(const Ccsr& data, const Graph& pattern,
+                    MatchVariant variant);
+
+  EmbeddingVerifier(const EmbeddingVerifier&) = delete;
+  EmbeddingVerifier& operator=(const EmbeddingVerifier&) = delete;
+
+  /// Checks one embedding (indexed by pattern vertex). Returns OK and
+  /// bumps verified() on success; Corruption describing the first
+  /// violated constraint otherwise.
+  Status Verify(std::span<const VertexId> mapping) const;
+
+  /// Number of embeddings that passed verification so far.
+  uint64_t verified() const {
+    return verified_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One privately decompressed star cluster, for anti-edge checks.
+  struct StarView {
+    Label src_label;
+    Label dst_label;
+    bool directed;
+    CsrIndex out;
+  };
+  // One ordered (directed) or unordered (undirected) pattern vertex
+  // pair that must have no data arc u -> w, plus the star clusters the
+  // forbidden arc could live in.
+  struct AntiPair {
+    VertexId u;
+    VertexId w;
+    const std::vector<StarView>* stars;
+  };
+  // One pattern edge with its privately decompressed cluster
+  // (nullptr: the cluster is absent from the data, so no embedding can
+  // contain this edge).
+  struct PatternEdge {
+    Edge edge;
+    const CsrIndex* view;
+  };
+
+  const Ccsr& data_;
+  const Graph& pattern_;
+  const MatchVariant variant_;
+  std::unordered_map<ClusterId, CsrIndex, ClusterIdHash> edge_views_;
+  std::unordered_map<uint64_t, std::vector<StarView>> star_views_;
+  std::vector<PatternEdge> edges_;
+  std::vector<AntiPair> anti_pairs_;
+  mutable std::atomic<uint64_t> verified_{0};
+};
+
+}  // namespace csce
+
+#endif  // CSCE_ENGINE_EMBEDDING_VERIFIER_H_

@@ -181,10 +181,24 @@ const std::vector<VertexId>& Executor::Candidates(uint32_t depth) {
   const std::vector<uint32_t>& deps = plan_.positions[slot].deps;
   if (plan_.use_sce && cache.Fresh(deps, mapping_by_pos_)) {
     ++stats_.candidate_sets_reused;
+    if (options_->verify_sce) {
+      // SCE oracle: the reused set must be byte-identical to a fresh
+      // recomputation. An aliased position recomputes its own base set,
+      // which NEC guarantees equals the slot owner's.
+      ComputeCandidates(depth, &sce_oracle_scratch_);
+      --stats_.candidate_sets_computed;  // oracle work, not engine work
+      CSCE_CHECK(sce_oracle_scratch_ == cache.candidates)
+          << "SCE cache mismatch at position " << depth << " (slot " << slot
+          << "): cached " << cache.candidates.size()
+          << " candidates, recomputed " << sce_oracle_scratch_.size();
+    }
     return cache.candidates;
   }
   ComputeCandidates(depth, &cache.candidates);
   cache.Store(deps, mapping_by_pos_);
+  if (depth == options_->poison_sce_position && !cache.candidates.empty()) {
+    cache.candidates.pop_back();  // test-only fault injection, see header
+  }
   return cache.candidates;
 }
 

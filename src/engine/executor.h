@@ -50,6 +50,20 @@ struct ExecOptions {
   /// for the whole run, and are consumed in claim order. Plans with a
   /// single position still honor the count-only fast path per morsel.
   RootClaimFn root_claim;
+  /// SCE oracle (debug, enabled by MatchOptions::self_check): before
+  /// trusting a fresh cache hit, recompute the candidate set from
+  /// scratch and CSCE_CHECK it equals the cached one — the cache is
+  /// never trusted blindly. Turns every reuse into a recomputation, so
+  /// it costs exactly the speedup SCE buys; the oracle recomputations
+  /// are not counted in candidate_sets_computed.
+  bool verify_sce = false;
+  /// Test-only fault injection: after this position first stores its
+  /// SCE cache entry, the cached candidate vector is corrupted (its
+  /// last candidate is dropped). Later reuses then return wrong
+  /// candidates — which verify_sce must catch with a CHECK failure,
+  /// and which silently skews results without it (that contrast is the
+  /// test). UINT32_MAX (the default) disables.
+  uint32_t poison_sce_position = 0xFFFFFFFFu;
 };
 
 struct ExecStats {
@@ -125,6 +139,7 @@ class Executor {
   std::vector<std::vector<Restriction>> restrictions_;  // per position
   std::vector<uint32_t> cache_slot_;                    // per position
   std::vector<CandidateCache> caches_;
+  std::vector<VertexId> sce_oracle_scratch_;  // verify_sce recompute buffer
   std::vector<VertexId> mapping_by_pos_;
   std::vector<VertexId> mapping_by_vertex_;
   DynamicBitset used_;

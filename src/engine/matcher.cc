@@ -1,5 +1,10 @@
 #include "engine/matcher.h"
 
+#include <memory>
+#include <mutex>
+
+#include "engine/embedding_verifier.h"
+#include "plan/validate.h"
 #include "runtime/parallel_executor.h"
 #include "util/memory.h"
 #include "util/timer.h"
@@ -44,6 +49,30 @@ Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
   exec.restrictions = options.restrictions;
   exec.stop = options.stop;
   if (callback != nullptr) exec.callback = *callback;
+
+  // Self-check: validate the plan, arm the SCE oracle, and re-verify
+  // every emitted embedding from first principles. The verifying
+  // wrapper must be thread-safe — the parallel runtime invokes the
+  // callback concurrently from its workers.
+  std::unique_ptr<EmbeddingVerifier> verifier;
+  std::mutex self_check_mu;
+  Status self_check_error;
+  if (options.self_check) {
+    CSCE_RETURN_IF_ERROR(ValidatePlan(&data, pattern, plan));
+    exec.verify_sce = true;
+    verifier = std::make_unique<EmbeddingVerifier>(data, pattern,
+                                                   options.variant);
+    exec.callback = [&, user = exec.callback](
+                        std::span<const VertexId> mapping) -> bool {
+      Status st = verifier->Verify(mapping);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(self_check_mu);
+        if (self_check_error.ok()) self_check_error = std::move(st);
+        return false;
+      }
+      return user ? user(mapping) : true;
+    };
+  }
   ExecStats stats;
   if (options.num_threads != 1) {
     ParallelExecutor executor(data, qc, plan);
@@ -56,6 +85,11 @@ Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
     CSCE_RETURN_IF_ERROR(executor.Run(exec, &stats));
   }
   result->enumerate_seconds = stage.Seconds();
+
+  if (options.self_check) {
+    if (!self_check_error.ok()) return self_check_error;
+    result->embeddings_verified = verifier->verified();
+  }
 
   result->embeddings = stats.embeddings;
   result->timed_out = stats.timed_out;

@@ -34,6 +34,16 @@ struct MatchOptions {
   /// aborts enumeration with MatchResult::cancelled set. Must outlive
   /// the call.
   const StopToken* stop = nullptr;
+  /// Debug self-check mode. Three layers of paranoia, all ground-truth:
+  /// the compiled plan is re-validated against the pattern
+  /// (plan/validate.h), every SCE cache reuse is CHECK-compared against
+  /// a fresh recomputation before being trusted, and every emitted
+  /// embedding is re-verified against privately decompressed clusters
+  /// (labels, arcs, injectivity, induced-ness — engine/
+  /// embedding_verifier.h). A bad embedding fails the match with
+  /// Corruption; a bad cache reuse aborts the process. Disables the
+  /// count-only fast path, so expect an order of magnitude of overhead.
+  bool self_check = false;
 };
 
 /// End-to-end result with the paper's per-stage time breakdown.
@@ -58,6 +68,10 @@ struct MatchResult {
   size_t clusters_read = 0;
   size_t decompressed_bytes = 0;
   uint64_t peak_rss_bytes = 0;
+
+  /// Embeddings re-verified by the self-check (options.self_check only;
+  /// equals `embeddings` when the run completed without corruption).
+  uint64_t embeddings_verified = 0;
 };
 
 /// The public facade: matches patterns against a CCSR-indexed data

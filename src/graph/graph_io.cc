@@ -25,34 +25,62 @@ Status LoadGraphFromStream(std::istream& in, Graph* out) {
     char tag = 0;
     ls >> tag;
     if (tag == 't') {
+      if (saw_header) {
+        return Status::Corruption("duplicate 't' header at line " +
+                                  std::to_string(line_no));
+      }
       std::string dir;
       ls >> dir >> declared_vertices >> declared_edges;
       if (ls.fail() || (dir != "directed" && dir != "undirected")) {
         return Status::Corruption("bad header at line " +
                                   std::to_string(line_no));
       }
+      if (declared_vertices > 0xFFFFFFFFull) {
+        return Status::Corruption("implausible vertex count " +
+                                  std::to_string(declared_vertices) +
+                                  " at line " + std::to_string(line_no));
+      }
       directed = (dir == "directed");
       saw_header = true;
     } else if (tag == 'v') {
+      if (!saw_header) {
+        return Status::Corruption("vertex record before 't' header at line " +
+                                  std::to_string(line_no));
+      }
       uint64_t id = 0;
       uint64_t label = 0;
       ls >> id >> label;
-      if (ls.fail()) {
+      if (ls.fail() || id > 0xFFFFFFFFull || label > 0xFFFFFFFFull) {
         return Status::Corruption("bad vertex at line " +
+                                  std::to_string(line_no));
+      }
+      // Labels index a frequency table downstream; an absurd label id
+      // would turn one corrupt line into a multi-gigabyte allocation.
+      if (label >= (1ull << 20)) {
+        return Status::Corruption("implausible vertex label " +
+                                  std::to_string(label) + " at line " +
                                   std::to_string(line_no));
       }
       vertices.emplace_back(static_cast<VertexId>(id),
                             static_cast<Label>(label));
     } else if (tag == 'e') {
+      if (!saw_header) {
+        return Status::Corruption("edge record before 't' header at line " +
+                                  std::to_string(line_no));
+      }
       uint64_t src = 0;
       uint64_t dst = 0;
       uint64_t elabel = 0;
       ls >> src >> dst;
-      if (ls.fail()) {
+      if (ls.fail() || src > 0xFFFFFFFFull || dst > 0xFFFFFFFFull) {
         return Status::Corruption("bad edge at line " +
                                   std::to_string(line_no));
       }
       ls >> elabel;  // optional; stream failure here leaves elabel == 0
+      if (elabel > 0xFFFFFFFFull) {
+        return Status::Corruption("bad edge label at line " +
+                                  std::to_string(line_no));
+      }
       edges.push_back(Edge{static_cast<VertexId>(src),
                            static_cast<VertexId>(dst),
                            static_cast<Label>(elabel)});
@@ -68,14 +96,24 @@ Status LoadGraphFromStream(std::istream& in, Graph* out) {
                               std::to_string(declared_vertices) + ", got " +
                               std::to_string(vertices.size()));
   }
+  if (edges.size() != declared_edges) {
+    return Status::Corruption("edge count mismatch: header says " +
+                              std::to_string(declared_edges) + ", got " +
+                              std::to_string(edges.size()));
+  }
 
   GraphBuilder builder(directed);
   std::vector<Label> labels(vertices.size(), kNoLabel);
+  std::vector<bool> seen(vertices.size(), false);
   for (const auto& [id, label] : vertices) {
     if (id >= labels.size()) {
       return Status::Corruption("vertex id " + std::to_string(id) +
                                 " out of range");
     }
+    if (seen[id]) {
+      return Status::Corruption("duplicate vertex id " + std::to_string(id));
+    }
+    seen[id] = true;
     labels[id] = label;
   }
   for (Label l : labels) builder.AddVertex(l);

@@ -3,33 +3,80 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ostream>
+#include <sstream>
 
 namespace csce {
 namespace internal_logging {
 
-[[noreturn]] inline void CheckFailed(const char* file, int line,
-                                     const char* expr) {
-  std::fprintf(stderr, "CSCE_CHECK failed at %s:%d: %s\n", file, line, expr);
-  std::abort();
-}
+/// Collects the streamed context of a failed CSCE_CHECK and aborts the
+/// process when it goes out of scope (i.e. at the end of the full
+/// `CSCE_CHECK(x) << ...` statement). Only ever constructed on the
+/// failure path, so the happy path pays one branch and nothing else.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::string context = stream_.str();
+    if (context.empty()) {
+      std::fprintf(stderr, "CSCE_CHECK failed at %s:%d: %s\n", file_, line_,
+                   expr_);
+    } else {
+      std::fprintf(stderr, "CSCE_CHECK failed at %s:%d: %s: %s\n", file_,
+                   line_, expr_, context.c_str());
+    }
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
 
 }  // namespace internal_logging
 }  // namespace csce
 
 /// Aborts the process if `cond` is false. Used for internal invariants
 /// that indicate a programming error (never for user input; user input
-/// errors surface as csce::Status).
-#define CSCE_CHECK(cond)                                               \
-  do {                                                                 \
-    if (!(cond)) {                                                     \
-      ::csce::internal_logging::CheckFailed(__FILE__, __LINE__, #cond); \
-    }                                                                  \
-  } while (false)
+/// errors surface as csce::Status). Optional context can be streamed:
+///
+///   CSCE_CHECK(offset < row.size()) << "cluster " << id.ToString();
+///
+/// The streamed expressions are only evaluated on failure. The
+/// `switch (0) case 0: default:` wrapper makes the macro a single
+/// statement that is safe inside unbraced if/else.
+#define CSCE_CHECK(cond)                                                  \
+  switch (0)                                                              \
+  case 0:                                                                 \
+  default:                                                                \
+    if (cond)                                                             \
+      ;                                                                   \
+    else                                                                  \
+      ::csce::internal_logging::CheckFailure(__FILE__, __LINE__, #cond)   \
+          .stream()
 
 #ifdef NDEBUG
-#define CSCE_DCHECK(cond) \
-  do {                    \
-  } while (false)
+// Release builds: never evaluates `cond` (nor the streamed context) at
+// runtime, but keeps both in a discarded branch so variables used only
+// in debug checks do not trigger -Wunused-* under -Werror.
+#define CSCE_DCHECK(cond)                                                 \
+  switch (0)                                                              \
+  case 0:                                                                 \
+  default:                                                                \
+    if (true || (cond))                                                   \
+      ;                                                                   \
+    else                                                                  \
+      ::csce::internal_logging::CheckFailure(__FILE__, __LINE__, #cond)   \
+          .stream()
 #else
 #define CSCE_DCHECK(cond) CSCE_CHECK(cond)
 #endif

@@ -45,7 +45,9 @@ TEST(RobustnessTest, CcsrLoadSurvivesBitFlips) {
     std::stringstream in(corrupted);
     Ccsr out;
     Status st = LoadCcsrFromStream(in, &out);  // must return, any code
-    if (pos < 8) EXPECT_FALSE(st.ok()) << "header corruption undetected";
+    if (pos < 8) {
+      EXPECT_FALSE(st.ok()) << "header corruption undetected";
+    }
   }
 }
 

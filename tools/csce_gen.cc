@@ -3,7 +3,7 @@
 //
 //   csce_gen --dataset=dip --out=dip.txt
 //   csce_gen --dataset=patent --labels=200 --out=patent200.txt
-//   csce_gen --dataset=yeast --pattern-size=16 --pattern-count=10 \
+//   csce_gen --dataset=yeast --pattern-size=16 --pattern-count=10
 //            --density=dense --seed=7 --pattern-prefix=q_
 //
 // Known datasets: dip yeast human hprd roadca orkut patent subcategory

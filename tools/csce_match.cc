@@ -2,7 +2,7 @@
 // (text) or a prebuilt CCSR artifact.
 //
 //   csce_match --ccsr=data.ccsr --pattern=p.txt [--variant=edge]
-//   csce_match --graph=data.txt --pattern=p.txt --variant=hom \
+//   csce_match --graph=data.txt --pattern=p.txt --variant=hom
 //              --time-limit=10 --max=100000 --explain --no-sce
 //
 // Prints the embedding count and the per-stage breakdown; --print=N
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
                  "--pattern=p.txt [--variant=edge|vertex|hom] "
                  "[--time-limit=s] [--max=n] [--print=n] [--threads=n] "
                  "[--explain] [--no-sce] [--no-nec] [--no-ldsf] "
-                 "[--no-tiebreak] [--cost-based]\n");
+                 "[--no-tiebreak] [--cost-based] [--self-check]\n");
     return 2;
   }
 
@@ -90,6 +90,16 @@ int main(int argc, char** argv) {
   options.plan.use_ldsf = !flags.GetBool("no-ldsf");
   options.plan.use_cluster_tiebreak = !flags.GetBool("no-tiebreak");
   options.plan.use_cost_based = flags.GetBool("cost-based");
+  options.self_check = flags.GetBool("self-check");
+
+  if (options.self_check) {
+    // Paranoid mode starts at the index itself: deep-validate the CCSR
+    // once before matching against it.
+    if (Status st = index.Validate(); !st.ok()) {
+      std::fprintf(stderr, "ccsr validation: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
 
   CsceMatcher matcher(&index);
   if (flags.GetBool("explain")) {
@@ -140,5 +150,10 @@ int main(int argc, char** argv) {
               result.clusters_read,
               static_cast<unsigned long long>(result.candidate_sets_computed),
               static_cast<unsigned long long>(result.candidate_sets_reused));
+  if (options.self_check) {
+    std::printf(
+        "self-check: verified=%llu mismatches=0\n",
+        static_cast<unsigned long long>(result.embeddings_verified));
+  }
   return 0;
 }

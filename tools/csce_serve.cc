@@ -2,7 +2,7 @@
 // pattern queries concurrently against one shared index, with admission
 // control, deadlines, and a JSON summary of the session.
 //
-//   csce_serve --ccsr=data.ccsr --queries=workload.txt --threads=8 \
+//   csce_serve --ccsr=data.ccsr --queries=workload.txt --threads=8
 //              --inflight=4 --threads-per-query=2 --deadline=5
 //   csce_gen ... && csce_serve --graph=data.txt --queries=- < workload.txt
 //

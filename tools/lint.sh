@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Repository lint: fast, dependency-free style checks over the library
+# tree (src/). Run from anywhere; exits non-zero with one line per
+# violation. CI runs this before the build matrix.
+#
+#   1. Include guards follow the exact  CSCE_<DIR>_<FILE>_H_  pattern
+#      derived from the header's path under src/.
+#   2. Library code does not include <iostream>: the static library
+#      must not drag in stream globals; printing belongs to tools/,
+#      bench/ and examples/.
+#   3. No naked `new` in library code — ownership goes through
+#      std::make_unique / containers.
+#   4. Every header under src/ is self-contained: it compiles alone
+#      with -fsyntax-only (skipped when no C++ compiler is found).
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SRC="$ROOT/src"
+failures=0
+
+fail() {
+  echo "lint: $*" >&2
+  failures=$((failures + 1))
+}
+
+# --- 1. include-guard style -------------------------------------------------
+while IFS= read -r header; do
+  rel="${header#"$SRC"/}"
+  guard="CSCE_$(echo "$rel" | tr '[:lower:]/.' '[:upper:]__')_"
+  if ! grep -q "^#ifndef ${guard}\$" "$header"; then
+    fail "$rel: missing or wrong include guard (expected $guard)"
+    continue
+  fi
+  if ! grep -q "^#define ${guard}\$" "$header"; then
+    fail "$rel: #define does not match include guard $guard"
+  fi
+  if ! grep -q "^#endif  // ${guard}\$" "$header"; then
+    fail "$rel: closing '#endif  // $guard' comment missing"
+  fi
+done < <(find "$SRC" -name '*.h' | sort)
+
+# --- 2. no <iostream> in the library ---------------------------------------
+while IFS= read -r match; do
+  fail "${match#"$ROOT"/}: library code must not include <iostream>"
+done < <(grep -rln '^#include <iostream>' "$SRC" || true)
+
+# --- 3. no naked new --------------------------------------------------------
+# Matches `new T...` expressions; placement/operator overloads don't
+# occur in this tree. Allowlist nothing: use std::make_unique.
+while IFS= read -r match; do
+  fail "$match: naked 'new' (use std::make_unique or a container)"
+done < <(grep -rnE '(^|[^_[:alnum:]])new +[_[:alnum:]:<>]+ *[({[;]' "$SRC" \
+           --include='*.h' --include='*.cc' \
+         | sed "s|^$ROOT/||" | cut -d: -f1-2 || true)
+
+# --- 4. header self-containment ---------------------------------------------
+CXX_BIN="${CXX:-}"
+if [ -z "$CXX_BIN" ]; then
+  for c in c++ g++ clang++; do
+    if command -v "$c" >/dev/null 2>&1; then CXX_BIN="$c"; break; fi
+  done
+fi
+if [ -n "$CXX_BIN" ]; then
+  tmpdir="$(mktemp -d)"
+  trap 'rm -rf "$tmpdir"' EXIT
+  while IFS= read -r header; do
+    rel="${header#"$SRC"/}"
+    echo "#include \"$rel\"" > "$tmpdir/tu.cc"
+    if ! "$CXX_BIN" -std=c++20 -fsyntax-only -I"$SRC" "$tmpdir/tu.cc" \
+         2> "$tmpdir/err"; then
+      fail "$rel: not self-contained"
+      sed 's/^/    /' "$tmpdir/err" >&2
+    fi
+  done < <(find "$SRC" -name '*.h' | sort)
+else
+  echo "lint: no C++ compiler found, skipping self-containment check" >&2
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "lint: $failures problem(s)" >&2
+  exit 1
+fi
+echo "lint: OK"

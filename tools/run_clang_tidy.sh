@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# clang-tidy over the library sources (src/), using the checks in
+# .clang-tidy. Needs a compile_commands.json; pass the build directory
+# as $1 (default: build). Generates one configured with
+# CMAKE_EXPORT_COMPILE_COMMANDS if it is missing.
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the script
+# is safe to call from environments without LLVM (the CI lint job
+# installs it; local sanitizer containers may not have it).
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+TIDY="${CLANG_TIDY:-}"
+if [ -z "$TIDY" ]; then
+  for c in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16; do
+    if command -v "$c" >/dev/null 2>&1; then TIDY="$c"; break; fi
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "run_clang_tidy: clang-tidy not found, skipping (install LLVM or set CLANG_TIDY)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "run_clang_tidy: generating compile_commands.json in $BUILD" >&2
+  cmake -S "$ROOT" -B "$BUILD" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t sources < <(find "$ROOT/src" -name '*.cc' | sort)
+echo "run_clang_tidy: $TIDY over ${#sources[@]} files" >&2
+
+status=0
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$TIDY" -p "$BUILD" -quiet \
+    "^$ROOT/src/.*\.cc\$" || status=$?
+else
+  for f in "${sources[@]}"; do
+    "$TIDY" -p "$BUILD" --quiet "$f" || status=$?
+  done
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy: findings above (WarningsAsErrors is '*')" >&2
+  exit 1
+fi
+echo "run_clang_tidy: OK"

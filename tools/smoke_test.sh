@@ -81,6 +81,33 @@ if [ "$SERVE_EDGE" != "$COUNT_CCSR" ]; then
   exit 1
 fi
 
+# Self-check mode on Patent(18): deep-validate the CCSR, then re-verify
+# every emitted embedding and every SCE cache reuse against ground
+# truth, serial and morsel-parallel. verified must equal the embedding
+# count in both runs.
+"$BIN_DIR/csce_gen" --dataset=patent --labels=18 --out="$WORK_DIR/patent.txt" \
+    --pattern-size=5 --pattern-count=1 --density=dense --seed=7 \
+    --pattern-prefix="$WORK_DIR/pq_"
+"$BIN_DIR/csce_build" --graph="$WORK_DIR/patent.txt" \
+    --out="$WORK_DIR/patent.ccsr"
+for threads in 1 8; do
+  OUT_SC=$("$BIN_DIR/csce_match" --ccsr="$WORK_DIR/patent.ccsr" \
+      --pattern="$WORK_DIR/pq_0.txt" --variant=edge --self-check \
+      --threads="$threads")
+  COUNT_SC=$(printf '%s\n' "$OUT_SC" | sed -n 's/.*embeddings=\([0-9]*\).*/\1/p')
+  VERIFIED_SC=$(printf '%s\n' "$OUT_SC" | \
+      sed -n 's/.*verified=\([0-9]*\).*/\1/p')
+  case "$OUT_SC" in
+    *'mismatches=0'*) ;;
+    *) echo "FAIL: self-check (threads=$threads) reported mismatches"; exit 1 ;;
+  esac
+  if [ -z "$COUNT_SC" ] || [ "$VERIFIED_SC" != "$COUNT_SC" ]; then
+    echo "FAIL: self-check threads=$threads verified '$VERIFIED_SC' of '$COUNT_SC' embeddings"
+    exit 1
+  fi
+done
+echo "PASS: Patent(18) self-check clean at 1 and 8 threads"
+
 # Optional TSan pass over the runtime subsystem's tests.
 if [ -n "${CSCE_TSAN:-}" ]; then
   SRC_DIR=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
