@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "gen/datasets.h"
 
@@ -51,7 +52,7 @@ std::vector<Config> Configs() {
 }
 
 void RunDataset(const char* name, const Graph& graph, uint32_t size,
-                bool complex_like) {
+                bool complex_like, bench::BenchJson* json) {
   Ccsr gc = Ccsr::Build(graph);
   CsceMatcher matcher(&gc);
   std::vector<Graph> patterns;
@@ -68,6 +69,10 @@ void RunDataset(const char* name, const Graph& graph, uint32_t size,
     return;
   }
   std::printf("%-12s", name);
+  obs::JsonValue row = obs::JsonValue::Object();
+  row.Set("dataset", name);
+  row.Set("pattern_size", size);
+  obs::JsonValue cells = obs::JsonValue::Object();
   for (const Config& config : Configs()) {
     double total = 0;
     uint64_t reference = 0;
@@ -88,8 +93,12 @@ void RunDataset(const char* name, const Graph& graph, uint32_t size,
       }
       (void)mismatch;
     }
-    std::printf(" %10.4f", total / patterns.size());
+    double mean = total / patterns.size();
+    std::printf(" %10.4f", mean);
+    cells.Set(config.name, mean);
   }
+  row.Set("mean_seconds", std::move(cells));
+  json->AddRow(std::move(row));
   std::printf("\n");
 }
 
@@ -107,11 +116,22 @@ int main() {
   }
   std::printf("\n");
   bench::PrintRule(80);
-  RunDataset("Patent-16", datasets::Patent(20), 16, /*complex_like=*/true);
-  RunDataset("Patent-24", datasets::Patent(20), 24, /*complex_like=*/true);
-  RunDataset("RoadCA-16", datasets::RoadCa(), 16, /*complex_like=*/false);
-  RunDataset("RoadCA-32", datasets::RoadCa(), 32, /*complex_like=*/false);
-  RunDataset("DIP-9", datasets::Dip(), 9, /*complex_like=*/true);
+  bench::BenchJson json("ablation");
+  json.Config("time_limit_seconds", bench::TimeLimit());
+  json.Config("patterns_per_config", bench::PatternsPerConfig());
+  RunDataset("Patent-16", datasets::Patent(20), 16, /*complex_like=*/true,
+             &json);
+  if (!bench::QuickMode()) {
+    RunDataset("Patent-24", datasets::Patent(20), 24, /*complex_like=*/true,
+               &json);
+  }
+  RunDataset("RoadCA-16", datasets::RoadCa(), 16, /*complex_like=*/false,
+             &json);
+  if (!bench::QuickMode()) {
+    RunDataset("RoadCA-32", datasets::RoadCa(), 32, /*complex_like=*/false,
+               &json);
+  }
+  RunDataset("DIP-9", datasets::Dip(), 9, /*complex_like=*/true, &json);
   std::printf("\nEach column disables one mechanism; 'full' is CSCE as "
               "shipped, 'costbased' swaps GCF+LDSF for the systematic "
               "optimizer.\n");

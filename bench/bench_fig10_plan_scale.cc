@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "ccsr/ccsr.h"
 #include "engine/matcher.h"
 #include "gen/datasets.h"
@@ -18,6 +19,8 @@ int main() {
   std::printf("Fig. 10 analogue: plan generation time/memory vs pattern "
               "size (Patent-like graph, 2000 labels)\n\n");
 
+  bench::BenchJson json("fig10_plan_scale");
+  json.Config("labels", 2000);
   Graph patent = datasets::Patent(2000);
   WallTimer build_timer;
   Ccsr gc = Ccsr::Build(patent);
@@ -30,7 +33,9 @@ int main() {
     std::printf(" %12s", v);
   }
   std::printf(" %14s\n", "peak RSS (GB)");
-  for (uint32_t size : {8u, 32u, 128u, 512u, 1000u, 2000u}) {
+  std::vector<uint32_t> sizes = {8u, 32u, 128u, 512u, 1000u, 2000u};
+  if (bench::QuickMode()) sizes = {8u, 32u, 128u};
+  for (uint32_t size : sizes) {
     Rng rng(size + 17);
     Graph pattern;
     Status st =
@@ -41,6 +46,11 @@ int main() {
       continue;
     }
     std::printf("%-8u", size);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("pattern_size", size);
+    const char* keys[] = {"edge_plan_seconds", "vertex_plan_seconds",
+                          "hom_plan_seconds"};
+    int k = 0;
     for (auto variant :
          {MatchVariant::kEdgeInduced, MatchVariant::kVertexInduced,
           MatchVariant::kHomomorphic}) {
@@ -52,10 +62,15 @@ int main() {
       Status planned =
           planner.MakePlan(pattern, variant, PlanOptions{}, &plan);
       CSCE_CHECK(planned.ok());
-      std::printf(" %12.3f", timer.Seconds());
+      double seconds = timer.Seconds();
+      std::printf(" %12.3f", seconds);
+      row.Set(keys[k++], seconds);
     }
-    std::printf(" %14.2f\n",
-                static_cast<double>(PeakRssBytes()) / (1024.0 * 1024 * 1024));
+    double rss_gb =
+        static_cast<double>(PeakRssBytes()) / (1024.0 * 1024 * 1024);
+    row.Set("peak_rss_gb", rss_gb);
+    json.AddRow(std::move(row));
+    std::printf(" %14.2f\n", rss_gb);
   }
   std::printf("\nExpected shape (Finding 10): plans for 2000-vertex "
               "patterns complete within the budget; homomorphism (no "

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "ccsr/ccsr.h"
 #include "ccsr/cluster_cache.h"
 #include "gen/datasets.h"
@@ -18,12 +19,19 @@ int main() {
   std::printf("%-8s %-10s %12s %12s %14s %12s\n", "labels", "size",
               "clusters", "read(ms)", "decomp(MB)", "built(s)");
 
-  for (uint32_t labels : {20u, 200u, 2000u}) {
+  bench::BenchJson json("fig11_ccsr_overhead");
+  std::vector<uint32_t> label_counts = {20u, 200u, 2000u};
+  std::vector<uint32_t> sizes = {3u, 4u, 8u, 32u, 128u, 512u, 2000u};
+  if (bench::QuickMode()) {
+    label_counts = {20u, 200u};
+    sizes = {4u, 8u, 32u};
+  }
+  for (uint32_t labels : label_counts) {
     Graph patent = datasets::Patent(labels);
     WallTimer build_timer;
     Ccsr gc = Ccsr::Build(patent);
     double build_seconds = build_timer.Seconds();
-    for (uint32_t size : {3u, 4u, 8u, 32u, 128u, 512u, 2000u}) {
+    for (uint32_t size : sizes) {
       Rng rng(labels * 1000 + size);
       Graph pattern;
       Status st =
@@ -34,10 +42,19 @@ int main() {
       Status read =
           ReadClusters(gc, pattern, MatchVariant::kEdgeInduced, &qc);
       CSCE_CHECK(read.ok());
+      double read_ms = timer.Millis();
+      double decomp_mb =
+          static_cast<double>(qc.DecompressedBytes()) / (1 << 20);
       std::printf("%-8u %-10u %12zu %12.3f %14.2f %12.2f\n", labels, size,
-                  qc.NumViews(), timer.Millis(),
-                  static_cast<double>(qc.DecompressedBytes()) / (1 << 20),
-                  build_seconds);
+                  qc.NumViews(), read_ms, decomp_mb, build_seconds);
+      obs::JsonValue row = obs::JsonValue::Object();
+      row.Set("labels", labels);
+      row.Set("pattern_size", size);
+      row.Set("clusters", static_cast<uint64_t>(qc.NumViews()));
+      row.Set("read_ms", read_ms);
+      row.Set("decompressed_mb", decomp_mb);
+      row.Set("build_seconds", build_seconds);
+      json.AddRow(std::move(row));
     }
   }
   std::printf("\nExpected shape (Finding 11): overhead grows with the label "

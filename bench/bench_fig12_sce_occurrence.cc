@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "ccsr/ccsr.h"
 #include "gen/datasets.h"
 #include "gen/pattern_gen.h"
@@ -27,12 +28,15 @@ int main() {
   Ccsr gc200 = Ccsr::Build(patent200);
   Planner planner200(&gc200);
 
+  bench::BenchJson json("fig12_sce_occurrence");
   std::printf("%-8s | %10s %12s | %10s | %12s %12s\n", "size", "E sce%",
               "E cluster%", "H sce%", "V@200 dns%", "V@200 sps%");
-  for (uint32_t size : {8u, 16u, 32u, 64u, 128u, 200u}) {
+  std::vector<uint32_t> sizes = {8u, 16u, 32u, 64u, 128u, 200u};
+  if (bench::QuickMode()) sizes = {8u, 16u, 32u};
+  for (uint32_t size : sizes) {
     double sums[4] = {0, 0, 0, 0};
     double v_sparse = 0;
-    const int kPatterns = 5;
+    const int kPatterns = bench::QuickMode() ? 2 : 5;
     int sampled = 0;
     for (int i = 0; i < kPatterns; ++i) {
       Rng rng(size * 91 + i);
@@ -86,6 +90,14 @@ int main() {
     std::printf("%-8u | %9.1f%% %11.1f%% | %9.1f%% | %11.1f%% %11.1f%%\n",
                 size, sums[0] / sampled, sums[1] / sampled,
                 sums[2] / sampled, sums[3] / sampled, v_sparse / sampled);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("pattern_size", size);
+    row.Set("edge_sce_pct", sums[0] / sampled);
+    row.Set("edge_cluster_pct", sums[1] / sampled);
+    row.Set("hom_sce_pct", sums[2] / sampled);
+    row.Set("vertex200_dense_pct", sums[3] / sampled);
+    row.Set("vertex200_sparse_pct", v_sparse / sampled);
+    json.AddRow(std::move(row));
   }
   std::printf("\nExpected shape (Finding 12): roughly half the vertices "
               "show SCE for E/H; vertex-induced SCE is small and entirely "

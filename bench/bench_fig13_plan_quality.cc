@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "gen/datasets.h"
 
@@ -37,9 +38,14 @@ int main() {
   std::printf("Fig. 13 analogue: plan quality on Patent (edge-induced, "
               "mean seconds over %u patterns, limit %.1fs)\n\n",
               bench::PatternsPerConfig(), bench::TimeLimit());
+  bench::BenchJson json("fig13_plan_quality");
+  json.Config("time_limit_seconds", bench::TimeLimit());
+  json.Config("patterns_per_config", bench::PatternsPerConfig());
   std::printf("%-8s %12s %12s %12s %12s\n", "size", "RM-plan", "RI",
               "RI+Cluster", "CSCE");
-  for (uint32_t size : {8u, 12u, 16u, 24u}) {
+  std::vector<uint32_t> sizes = {8u, 12u, 16u, 24u};
+  if (bench::QuickMode()) sizes = {8u, 12u};
+  for (uint32_t size : sizes) {
     std::vector<Graph> patterns;
     // Complex-like patterns keep result sets finite so the plans can
     // actually be told apart within the time limit.
@@ -61,6 +67,13 @@ int main() {
     double n = patterns.size();
     std::printf("%-8u %12.4f %12.4f %12.4f %12.4f\n", size, rm / n, ri / n,
                 ri_cluster / n, full / n);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("pattern_size", size);
+    row.Set("rm_plan_seconds", rm / n);
+    row.Set("ri_seconds", ri / n);
+    row.Set("ri_cluster_seconds", ri_cluster / n);
+    row.Set("csce_seconds", full / n);
+    json.AddRow(std::move(row));
   }
   std::printf("\nExpected shape (Finding 13): CSCE <= RI+Cluster <= RI, "
               "with the full plan the best overall.\n");

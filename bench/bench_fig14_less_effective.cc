@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "gen/datasets.h"
 #include "graph/graph_builder.h"
@@ -49,23 +50,36 @@ int main() {
     CSCE_CHECK(b.Build(&g).ok());
     return g;
   };
+  bench::BenchJson json("fig14_less_effective");
+  json.Config("time_limit_seconds", bench::TimeLimit());
   std::vector<Symmetric> symmetric;
   symmetric.push_back({"cycle-4", cycle(4)});
   symmetric.push_back({"cycle-5", cycle(5)});
   symmetric.push_back({"clique-3", clique(3)});
   symmetric.push_back({"clique-4", clique(4)});
   symmetric.push_back({"clique-5", clique(5)});
-  symmetric.push_back({"clique-8", clique(8)});
-  symmetric.push_back({"clique-9", clique(9)});
-  symmetric.push_back({"clique-10", clique(10)});
+  if (!bench::QuickMode()) {
+    symmetric.push_back({"clique-8", clique(8)});
+    symmetric.push_back({"clique-9", clique(9)});
+    symmetric.push_back({"clique-10", clique(10)});
+  }
   for (const Symmetric& s : symmetric) {
     SymmetryInfo info = ComputeSymmetryBreaking(s.pattern);
+    double csce_s = runners.Csce(s.pattern, kV).total_seconds;
+    double graphpi_s = runners.GraphPi(s.pattern, kV).total_seconds;
+    double btfsp_s = runners.BtFsp(s.pattern, kV).total_seconds;
     std::printf("%-12s %10llu %12.4f %12.4f %12.4f %14.4f\n", s.name,
                 static_cast<unsigned long long>(info.automorphism_count),
-                runners.Csce(s.pattern, kV).total_seconds,
-                runners.GraphPi(s.pattern, kV).total_seconds,
-                runners.BtFsp(s.pattern, kV).total_seconds,
-                info.generation_seconds);
+                csce_s, graphpi_s, btfsp_s, info.generation_seconds);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("panel", "symmetry");
+    row.Set("pattern", s.name);
+    row.Set("automorphisms", info.automorphism_count);
+    row.Set("csce_seconds", csce_s);
+    row.Set("graphpi_seconds", graphpi_s);
+    row.Set("btfsp_seconds", btfsp_s);
+    row.Set("symmetry_plan_seconds", info.generation_seconds);
+    json.AddRow(std::move(row));
   }
   std::printf("\nExpected shape (Finding 2): the symmetry plan cost "
               "explodes beyond ~8 unlabeled vertices while its benefit "
@@ -75,7 +89,9 @@ int main() {
               "(edge-induced)\n\n");
   std::printf("%-6s %-8s %16s %16s\n", "size", "density", "CSCE emb/s",
               "BT-FSP emb/s");
-  for (uint32_t size : {8u, 12u, 16u, 20u}) {
+  std::vector<uint32_t> sizes = {8u, 12u, 16u, 20u};
+  if (bench::QuickMode()) sizes = {8u, 12u};
+  for (uint32_t size : sizes) {
     for (auto density : {PatternDensity::kSparse, PatternDensity::kDense}) {
       std::vector<Graph> patterns;
       Status st = SamplePatterns(dip, size, density,
@@ -98,6 +114,14 @@ int main() {
                   density == PatternDensity::kDense ? "dense" : "sparse",
                   csce_time > 0 ? csce_emb / csce_time : 0.0,
                   bt_time > 0 ? bt_emb / bt_time : 0.0);
+      obs::JsonValue row = obs::JsonValue::Object();
+      row.Set("panel", "density");
+      row.Set("pattern_size", size);
+      row.Set("density",
+              density == PatternDensity::kDense ? "dense" : "sparse");
+      row.Set("csce_throughput", csce_time > 0 ? csce_emb / csce_time : 0.0);
+      row.Set("btfsp_throughput", bt_time > 0 ? bt_emb / bt_time : 0.0);
+      json.AddRow(std::move(row));
     }
   }
   std::printf("\nExpected shape: throughput drops on denser patterns for "

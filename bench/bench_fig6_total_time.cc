@@ -8,6 +8,7 @@
 #include <functional>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "gen/datasets.h"
 
@@ -16,6 +17,7 @@ namespace {
 
 using bench::AlgoOutcome;
 using bench::Average;
+using bench::BenchJson;
 using bench::FormatCell;
 using bench::Runners;
 
@@ -30,7 +32,7 @@ struct Panel {
   double min_avg_degree = 0.0;
 };
 
-void RunPanel(const Panel& panel) {
+void RunPanel(const Panel& panel, BenchJson* json) {
   Runners runners(&panel.graph);
   std::printf("\n(%s) %s\n", panel.title, VariantName(panel.variant));
   bench::PrintRule();
@@ -68,11 +70,26 @@ void RunPanel(const Panel& panel) {
     }
     std::printf("%-10u", size);
     uint64_t embeddings = 0;
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("panel", panel.title);
+    row.Set("variant", VariantName(panel.variant));
+    row.Set("pattern_size", size);
+    obs::JsonValue cells = obs::JsonValue::Object();
     for (const Algo& a : algos) {
       auto cell = Average(patterns, a.run);
       if (a.header[0] == 'C') embeddings = cell.total_embeddings;
       std::printf(" %12s", FormatCell(cell).c_str());
+      obs::JsonValue c = obs::JsonValue::Object();
+      c.Set("supported", cell.supported);
+      if (cell.supported) {
+        c.Set("mean_seconds", cell.mean_seconds);
+        c.Set("timeouts", cell.timeouts);
+      }
+      cells.Set(a.header, std::move(c));
     }
+    row.Set("algorithms", std::move(cells));
+    row.Set("embeddings", embeddings);
+    json->AddRow(std::move(row));
     std::printf(" %14llu\n", static_cast<unsigned long long>(embeddings));
   }
 }
@@ -86,7 +103,23 @@ int main() {
               "(limit %.1fs, %u patterns per row)\n",
               bench::TimeLimit(), bench::PatternsPerConfig());
 
+  BenchJson json("fig6_total_time");
+  json.Config("time_limit_seconds", bench::TimeLimit());
+  json.Config("patterns_per_config", bench::PatternsPerConfig());
+
   std::vector<Panel> panels;
+  if (bench::QuickMode()) {
+    // CI-sized subset on generated Patent-style data: one labeled
+    // heterogeneous graph, both induced variants, small patterns.
+    panels.push_back({"q: Patent(18)", datasets::Patent(18),
+                      MatchVariant::kEdgeInduced,
+                      {4, 5}, PatternDensity::kDense});
+    panels.push_back({"q: Patent(18)", datasets::Patent(18),
+                      MatchVariant::kVertexInduced,
+                      {4}, PatternDensity::kDense});
+    for (const Panel& panel : panels) RunPanel(panel, &json);
+    return 0;
+  }
   panels.push_back({"a: DIP", datasets::Dip(), MatchVariant::kEdgeInduced,
                     {4, 8, 9, 12}, PatternDensity::kDense,
                     /*min_avg_degree=*/3.0});
@@ -124,7 +157,7 @@ int main() {
                     MatchVariant::kVertexInduced,
                     {4, 8, 12}, PatternDensity::kDense});
 
-  for (const Panel& panel : panels) RunPanel(panel);
+  for (const Panel& panel : panels) RunPanel(panel, &json);
   std::printf("\nExpected shape (paper Finding 1): CSCE fastest on large "
               "patterns, up to two orders of magnitude.\n");
   return 0;

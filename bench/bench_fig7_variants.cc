@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "gen/datasets.h"
 
@@ -12,6 +13,9 @@ int main() {
   using namespace csce;
   using bench::Runners;
 
+  bench::BenchJson json("fig7_variants");
+  json.Config("time_limit_seconds", bench::TimeLimit());
+  json.Config("patterns_per_config", bench::PatternsPerConfig());
   Graph road = datasets::RoadCa();
   Runners runners(&road);
   std::printf("Fig. 7 analogue: edge- vs vertex-induced on RoadCA "
@@ -22,7 +26,9 @@ int main() {
               "V time", "V thruput");
   bench::PrintRule(100);
 
-  for (uint32_t size : {8u, 16u, 24u, 32u}) {
+  std::vector<uint32_t> sizes = {8u, 16u, 24u, 32u};
+  if (bench::QuickMode()) sizes = {8u, 16u};
+  for (uint32_t size : sizes) {
     std::vector<Graph> patterns;
     Status st = SamplePatterns(road, size, PatternDensity::kDense,
                                bench::PatternsPerConfig(), size * 13 + 5,
@@ -49,6 +55,18 @@ int main() {
                 e.mean_seconds, throughput(e),
                 static_cast<unsigned long long>(v.total_embeddings),
                 v.mean_seconds, throughput(v));
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("pattern_size", size);
+    auto variant_cell = [&](const bench::AveragedCell& c) {
+      obs::JsonValue cell = obs::JsonValue::Object();
+      cell.Set("embeddings", c.total_embeddings);
+      cell.Set("mean_seconds", c.mean_seconds);
+      cell.Set("throughput", throughput(c));
+      return cell;
+    };
+    row.Set("edge", variant_cell(e));
+    row.Set("vertex", variant_cell(v));
+    json.AddRow(std::move(row));
   }
   std::printf("\nExpected shape (Finding 6): neither variant dominates in "
               "time; edge-induced has the higher throughput.\n");

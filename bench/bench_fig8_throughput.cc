@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "gen/datasets.h"
 
@@ -14,6 +15,9 @@ int main() {
   using bench::AlgoOutcome;
   using bench::Runners;
 
+  bench::BenchJson json("fig8_throughput");
+  json.Config("time_limit_seconds", bench::TimeLimit());
+  json.Config("patterns_per_config", bench::PatternsPerConfig());
   Graph road = datasets::RoadCa();
   Runners runners(&road);
   std::printf("Fig. 8 analogue: edge-induced throughput on RoadCA "
@@ -37,13 +41,18 @@ int main() {
   for (const Algo& a : algos) std::printf(" %14s", a.name);
   std::printf("\n");
   bench::PrintRule(70);
-  for (uint32_t size : {8u, 16u, 24u, 32u}) {
+  std::vector<uint32_t> sizes = {8u, 16u, 24u, 32u};
+  if (bench::QuickMode()) sizes = {8u, 16u};
+  for (uint32_t size : sizes) {
     std::vector<Graph> patterns;
     Status st = SamplePatterns(road, size, PatternDensity::kDense,
                                bench::PatternsPerConfig(), size * 13 + 5,
                                &patterns);
     if (!st.ok()) continue;
     std::printf("%-6u", size);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("pattern_size", size);
+    obs::JsonValue cells = obs::JsonValue::Object();
     for (const Algo& a : algos) {
       double total_time = 0;
       uint64_t total_embeddings = 0;
@@ -54,13 +63,20 @@ int main() {
         total_time += o.total_seconds;
         total_embeddings += o.embeddings;
       }
+      obs::JsonValue c = obs::JsonValue::Object();
+      c.Set("supported", supported);
       if (!supported) {
         std::printf(" %14s", "n/a");
       } else {
-        std::printf(" %14.0f",
-                    total_time > 0 ? total_embeddings / total_time : 0.0);
+        double thruput = total_time > 0 ? total_embeddings / total_time : 0.0;
+        std::printf(" %14.0f", thruput);
+        c.Set("throughput", thruput);
+        c.Set("embeddings", total_embeddings);
       }
+      cells.Set(a.name, std::move(c));
     }
+    row.Set("algorithms", std::move(cells));
+    json.AddRow(std::move(row));
     std::printf("\n");
   }
   std::printf("\nExpected shape (Finding 8): throughput decreases with "

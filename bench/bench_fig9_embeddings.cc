@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "gen/datasets.h"
 
@@ -15,6 +16,8 @@ int main() {
   using bench::AlgoOutcome;
   using bench::Runners;
 
+  bench::BenchJson json("fig9_embeddings");
+  json.Config("time_limit_seconds", bench::TimeLimit());
   Graph dip = datasets::Dip();
   Runners runners(&dip);
   const MatchVariant kV = MatchVariant::kEdgeInduced;
@@ -22,10 +25,11 @@ int main() {
               "(edge-induced, limit %.1fs)\n",
               bench::TimeLimit());
 
+  const uint32_t per_size = bench::QuickMode() ? 4 : 10;
   for (uint32_t size : {8u, 9u}) {
     std::vector<Graph> patterns;
-    Status st = SampleDensePatterns(dip, size, /*min_avg_degree=*/3.0, 10,
-                                    size * 31 + 7, &patterns);
+    Status st = SampleDensePatterns(dip, size, /*min_avg_degree=*/3.0,
+                                    per_size, size * 31 + 7, &patterns);
     if (!st.ok()) {
       std::printf("sampling failed for size %u\n", size);
       continue;
@@ -59,6 +63,14 @@ int main() {
       std::printf("%16llu %10.4f %10.4f %10.4f %10.4f\n",
                   static_cast<unsigned long long>(r.embeddings), r.csce,
                   r.bt, r.join, r.graphpi);
+      obs::JsonValue jrow = obs::JsonValue::Object();
+      jrow.Set("pattern_size", size);
+      jrow.Set("embeddings", r.embeddings);
+      jrow.Set("csce_seconds", r.csce);
+      jrow.Set("btfsp_seconds", r.bt);
+      jrow.Set("wcoj_seconds", r.join);
+      jrow.Set("graphpi_seconds", r.graphpi);
+      json.AddRow(std::move(jrow));
     }
   }
   std::printf("\nExpected shape (Finding 9): total time grows with the "

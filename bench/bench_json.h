@@ -1,0 +1,111 @@
+#ifndef CSCE_BENCH_BENCH_JSON_H_
+#define CSCE_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace csce {
+namespace bench {
+
+/// Quick mode (CSCE_BENCH_QUICK=1): each bench trims itself to a
+/// CI-sized subset — fewer panels, smaller graphs, fewer repeats — so
+/// the bench-smoke job and BENCH_baseline.json regeneration finish in
+/// seconds while still exercising the full measurement path.
+inline bool QuickMode() {
+  const char* env = std::getenv("CSCE_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Machine-readable mirror of a bench binary's printed tables.
+///
+/// Every bench_* binary owns one BenchJson named after itself, records
+/// its configuration knobs and one JSON row per printed table row, and
+/// writes BENCH_<name>.json on destruction (or an explicit Write).
+/// Document schema, csce.bench.v1:
+///
+///   {"schema": "csce.bench.v1", "bench": "<name>", "quick": bool,
+///    "config": {...}, "rows": [{...}, ...]}
+///
+/// The file goes to $CSCE_BENCH_JSON_DIR (default: the working
+/// directory); CSCE_BENCH_JSON=0 disables writing entirely. Rows are
+/// free-form objects — the schema constrains the envelope, not the
+/// per-bench columns — so tests validate JSON well-formedness, the
+/// envelope keys, and non-negativity of numeric values.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name)
+      : name_(std::move(name)),
+        config_(obs::JsonValue::Object()),
+        rows_(obs::JsonValue::Array()) {}
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  ~BenchJson() {
+    if (written_) return;
+    if (Status st = Write(); !st.ok()) {
+      std::fprintf(stderr, "bench json: %s\n", st.ToString().c_str());
+    }
+  }
+
+  void Config(const std::string& key, obs::JsonValue value) {
+    config_.Set(key, std::move(value));
+  }
+
+  void AddRow(obs::JsonValue row) { rows_.Append(std::move(row)); }
+
+  size_t NumRows() const { return rows_.size(); }
+
+  /// The assembled csce.bench.v1 document.
+  obs::JsonValue ToJson() const {
+    obs::JsonValue doc = obs::JsonValue::Object();
+    doc.Set("schema", "csce.bench.v1");
+    doc.Set("bench", name_);
+    doc.Set("quick", QuickMode());
+    doc.Set("config", config_);
+    doc.Set("rows", rows_);
+    return doc;
+  }
+
+  /// Writes BENCH_<name>.json (see class comment for destination).
+  /// Idempotent: the destructor skips writing after an explicit call.
+  Status Write() {
+    written_ = true;
+    const char* toggle = std::getenv("CSCE_BENCH_JSON");
+    if (toggle != nullptr && toggle[0] == '0') return Status::OK();
+    const char* dir = std::getenv("CSCE_BENCH_JSON_DIR");
+    std::string path = dir != nullptr && dir[0] != '\0'
+                           ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                           : "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      return Status::IOError("cannot open bench json: " + path);
+    }
+    std::string text = ToJson().Dump(1);
+    text += "\n";
+    size_t n = std::fwrite(text.data(), 1, text.size(), out);
+    bool close_ok = std::fclose(out) == 0;
+    if (n != text.size() || !close_ok) {
+      return Status::IOError("cannot write bench json: " + path);
+    }
+    std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(),
+                 rows_.size());
+    return Status::OK();
+  }
+
+ private:
+  std::string name_;
+  obs::JsonValue config_;
+  obs::JsonValue rows_;
+  bool written_ = false;
+};
+
+}  // namespace bench
+}  // namespace csce
+
+#endif  // CSCE_BENCH_BENCH_JSON_H_

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "gen/datasets.h"
 #include "gen/pattern_gen.h"
@@ -52,11 +53,20 @@ double RunWorkload(const CsceMatcher& matcher,
 }  // namespace
 
 int Main() {
-  const uint32_t size = EnvOr("CSCE_SCALING_SIZE", 8);
-  const uint32_t repeats = EnvOr("CSCE_SCALING_REPEATS", 3);
+  const bool quick = bench::QuickMode();
+  const uint32_t size = EnvOr("CSCE_SCALING_SIZE", quick ? 6 : 8);
+  const uint32_t repeats = EnvOr("CSCE_SCALING_REPEATS", quick ? 1 : 3);
   const uint32_t labels = EnvOr("CSCE_SCALING_LABELS", 18);
   const uint32_t seed = EnvOr("CSCE_SCALING_SEED", 42);
   const uint32_t count = bench::PatternsPerConfig();
+
+  bench::BenchJson json("parallel_scaling");
+  json.Config("pattern_size", size);
+  json.Config("repeats", repeats);
+  json.Config("labels", labels);
+  json.Config("seed", seed);
+  json.Config("patterns", count);
+  json.Config("hardware_threads", std::thread::hardware_concurrency());
 
   // Patent with few labels: 40k vertices, skewed degrees, and label
   // classes coarse enough that an 8-vertex homomorphic pattern does
@@ -102,6 +112,13 @@ int Main() {
     std::printf("%8u %12.4f %9.2fx %14llu\n", threads, best,
                 serial_seconds / best,
                 static_cast<unsigned long long>(embeddings));
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("mode", "morsel");
+    row.Set("threads", threads);
+    row.Set("seconds", best);
+    row.Set("speedup", serial_seconds / best);
+    row.Set("embeddings", embeddings);
+    json.AddRow(std::move(row));
   }
 
   // Inter-query parallelism: the whole workload as one concurrent batch.
@@ -135,6 +152,15 @@ int Main() {
                     runtime.metrics().cluster_cache_hits),
                 static_cast<unsigned long long>(
                     runtime.metrics().cluster_cache_misses));
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("mode", "session");
+    row.Set("threads", threads);
+    row.Set("seconds", seconds);
+    row.Set("speedup", serial_seconds / seconds);
+    row.Set("embeddings", embeddings);
+    row.Set("cache_hits", runtime.metrics().cluster_cache_hits);
+    row.Set("cache_misses", runtime.metrics().cluster_cache_misses);
+    json.AddRow(std::move(row));
   }
   return 0;
 }

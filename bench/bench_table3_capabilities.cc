@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "graph/graph_builder.h"
 
@@ -98,6 +99,7 @@ int main() {
        "Yes", "Yes", "U and D", "up to 2000"},
   };
 
+  bench::BenchJson json("table3_capabilities");
   std::printf("Table III analogue: algorithm capabilities (probed live)\n");
   bench::PrintRule();
   std::printf("%-22s %-10s %-8s %-8s %-10s %-18s\n", "Algorithm", "Variants",
@@ -107,6 +109,14 @@ int main() {
     std::printf("%-22s %-10s %-8s %-8s %-10s %-18s\n", r.name,
                 r.variants.c_str(), r.vlabels, r.elabels, r.directions,
                 r.max_pattern);
+    obs::JsonValue jrow = obs::JsonValue::Object();
+    jrow.Set("algorithm", r.name);
+    jrow.Set("variants", r.variants);
+    jrow.Set("vertex_labels", r.vlabels);
+    jrow.Set("edge_labels", r.elabels);
+    jrow.Set("directions", r.directions);
+    jrow.Set("max_pattern", r.max_pattern);
+    json.AddRow(std::move(jrow));
   }
   bench::PrintRule();
   std::printf("Note: the BT/WCOJ/VF3/GraphPi rows are this repository's "

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "ccsr/ccsr.h"
 #include "gen/datasets.h"
 #include "graph/graph_stats.h"
@@ -15,6 +16,7 @@ int main() {
               "shapes; see DESIGN.md)\n\n");
   std::printf("%s %12s %10s\n", StatsHeader().c_str(), "clusters",
               "ccsr(s)");
+  bench::BenchJson json("table4_datasets");
   for (auto& [name, graph] : datasets::AllTable4()) {
     GraphStats stats = ComputeStats(graph);
     WallTimer timer;
@@ -22,6 +24,16 @@ int main() {
     double build = timer.Seconds();
     std::printf("%s %12zu %9.3fs\n", FormatStatsRow(name, stats).c_str(),
                 ccsr.NumClusters(), build);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("dataset", name);
+    row.Set("directed", stats.directed);
+    row.Set("vertices", stats.vertex_count);
+    row.Set("edges", stats.edge_count);
+    row.Set("labels", stats.label_count);
+    row.Set("avg_degree", stats.average_degree);
+    row.Set("clusters", static_cast<uint64_t>(ccsr.NumClusters()));
+    row.Set("ccsr_build_seconds", build);
+    json.AddRow(std::move(row));
   }
   return 0;
 }

@@ -5,10 +5,32 @@
 
 #include "ccsr/cluster_cache.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace csce {
 namespace {
+
+struct CcsrMetrics {
+  obs::Counter builds;
+  obs::Gauge clusters;
+  obs::Gauge compressed_bytes;
+  obs::Gauge raw_csr_bytes;
+  obs::Gauge rle_runs_saved;
+
+  static const CcsrMetrics& Get() {
+    static const CcsrMetrics m = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return CcsrMetrics{r.counter("ccsr.builds"),
+                         r.gauge("ccsr.clusters"),
+                         r.gauge("ccsr.compressed_bytes"),
+                         r.gauge("ccsr.raw_csr_bytes"),
+                         r.gauge("ccsr.rle_runs_saved")};
+    }();
+    return m;
+  }
+};
 
 uint64_t LabelPairKey(Label a, Label b) {
   if (a > b) std::swap(a, b);
@@ -31,6 +53,30 @@ void BuildCompressedDirection(uint32_t num_vertices,
   *rows = CompressedRowIndex::Compress(row);
 }
 
+// Publishes the index-shape gauges for `ccsr`: cluster count, bytes of
+// the compressed representation vs an uncompressed per-cluster CSR
+// (row offsets stored flat, 8 bytes each), and how many row-index
+// entries RLE compression eliminated.
+void PublishCcsrGauges(const Ccsr& ccsr) {
+  uint64_t raw_bytes = ccsr.vertex_labels().size() * sizeof(Label);
+  uint64_t runs_saved = 0;
+  for (const CompressedCluster& c : ccsr.clusters()) {
+    raw_bytes += c.out_rows.uncompressed_length() * sizeof(uint64_t) +
+                 c.out_cols.size() * sizeof(VertexId);
+    runs_saved += c.out_rows.uncompressed_length() - c.out_rows.num_runs();
+    if (c.id.directed) {
+      raw_bytes += c.in_rows.uncompressed_length() * sizeof(uint64_t) +
+                   c.in_cols.size() * sizeof(VertexId);
+      runs_saved += c.in_rows.uncompressed_length() - c.in_rows.num_runs();
+    }
+  }
+  const CcsrMetrics& m = CcsrMetrics::Get();
+  m.clusters.Set(static_cast<double>(ccsr.NumClusters()));
+  m.compressed_bytes.Set(static_cast<double>(ccsr.CompressedSizeBytes()));
+  m.raw_csr_bytes.Set(static_cast<double>(raw_bytes));
+  m.rle_runs_saved.Set(static_cast<double>(runs_saved));
+}
+
 // Is the unordered pattern pair {a,b} fully connected, i.e. does no
 // negation constraint exist between them? For undirected patterns that
 // means the edge exists; for directed, both arc directions exist.
@@ -42,6 +88,7 @@ bool FullyConnected(const Graph& pattern, VertexId a, VertexId b) {
 }  // namespace
 
 Ccsr Ccsr::Build(const Graph& g) {
+  obs::Span span("ccsr.build");
   Ccsr out;
   out.directed_ = g.directed();
   out.num_edges_ = g.NumEdges();
@@ -101,6 +148,8 @@ Ccsr Ccsr::Build(const Graph& g) {
               return a.id < b.id;
             });
   out.RebuildIndexes();
+  CcsrMetrics::Get().builds.Increment();
+  PublishCcsrGauges(out);
   return out;
 }
 
@@ -226,6 +275,7 @@ Status Ccsr::InsertEdges(const std::vector<Edge>& edges) {
               });
   }
   RebuildIndexes();
+  PublishCcsrGauges(*this);
   return Status::OK();
 }
 
@@ -290,6 +340,7 @@ Status Ccsr::RemoveEdges(const std::vector<Edge>& edges) {
               });
   }
   RebuildIndexes();
+  PublishCcsrGauges(*this);
   return Status::OK();
 }
 

@@ -3,12 +3,44 @@
 #include <algorithm>
 
 #include "engine/candidates.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace csce {
 namespace {
 
 constexpr uint64_t kDeadlineCheckInterval = 16384;
+
+/// Process-wide engine counters. Registered once; flushed from each
+/// run's ExecStats at the end of Run (never on the enumeration hot
+/// path), so observability cannot perturb per-run results and the
+/// aggregate over worker threads equals the serial totals exactly.
+struct EngineMetrics {
+  obs::Counter runs;
+  obs::Counter embeddings;
+  obs::Counter search_nodes;
+  obs::Counter sce_recomputes;
+  obs::Counter sce_reuses;
+  obs::Counter morsels_claimed;
+  obs::Histogram candidate_set_size;
+  obs::Histogram run_seconds;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics m = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return EngineMetrics{r.counter("engine.runs"),
+                           r.counter("engine.embeddings"),
+                           r.counter("engine.search_nodes"),
+                           r.counter("engine.sce_recomputes"),
+                           r.counter("engine.sce_reuses"),
+                           r.counter("engine.morsels_claimed"),
+                           r.histogram("engine.candidate_set_size"),
+                           r.histogram("engine.run_seconds")};
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -173,6 +205,9 @@ void Executor::ComputeCandidates(uint32_t depth, std::vector<VertexId>* out) {
       if (out->empty()) break;
     }
   }
+
+  EngineMetrics::Get().candidate_set_size.Record(
+      static_cast<double>(out->size()));
 }
 
 const std::vector<VertexId>& Executor::Candidates(uint32_t depth) {
@@ -260,7 +295,12 @@ bool Executor::EnumerateOver(uint32_t depth,
 }
 
 Status Executor::Run(const ExecOptions& options, ExecStats* stats) {
+  // Zero the caller's stats before anything can fail: a reused
+  // executor whose second Run errors out must not leave the first
+  // run's counters behind (regression test in engine_test.cc).
+  *stats = ExecStats{};
   CSCE_RETURN_IF_ERROR(Prepare(options));
+  obs::Span span("engine.run");
   timer_.Restart();
   if (!plan_.positions.empty()) {
     if (options.root_claim) {
@@ -269,6 +309,8 @@ Status Executor::Run(const ExecOptions& options, ExecStats* stats) {
       // the root mapping keep their reuse within this worker.
       std::span<const VertexId> morsel;
       while (!aborted_ && !(morsel = options.root_claim()).empty()) {
+        ++stats_.morsels_claimed;
+        obs::Span morsel_span("engine.morsel");
         if (!EnumerateOver(0, morsel)) break;
       }
     } else {
@@ -277,6 +319,15 @@ Status Executor::Run(const ExecOptions& options, ExecStats* stats) {
   }
   stats_.seconds = timer_.Seconds();
   *stats = stats_;
+
+  const EngineMetrics& m = EngineMetrics::Get();
+  m.runs.Increment();
+  m.embeddings.Add(stats_.embeddings);
+  m.search_nodes.Add(stats_.search_nodes);
+  m.sce_recomputes.Add(stats_.candidate_sets_computed);
+  m.sce_reuses.Add(stats_.candidate_sets_reused);
+  m.morsels_claimed.Add(stats_.morsels_claimed);
+  m.run_seconds.Record(stats_.seconds);
   return Status::OK();
 }
 

@@ -75,7 +75,15 @@ struct ExecStats {
   uint64_t search_nodes = 0;
   uint64_t candidate_sets_computed = 0;
   uint64_t candidate_sets_reused = 0;
+  /// Non-empty root morsels this executor claimed via
+  /// `ExecOptions::root_claim` (0 outside morsel mode). The parallel
+  /// runtime's merged stats sum to exactly ceil(roots / morsel_size)
+  /// on an uninterrupted run — a deterministic-counter test anchor.
+  uint64_t morsels_claimed = 0;
   double seconds = 0.0;
+  /// Filled by ParallelExecutor only: total worker wall time not spent
+  /// inside Executor::Run, i.e. threads * wall - sum(worker seconds).
+  double worker_idle_seconds = 0.0;
 };
 
 /// The pipelined worst-case-optimal-join executor: grows partial
@@ -88,7 +96,9 @@ class Executor {
   /// `plan` the compiled matching order. All must outlive the executor.
   Executor(const Ccsr& gc, const QueryClusters& qc, const Plan& plan);
 
-  /// Runs the enumeration. Reentrant: each call resets all state.
+  /// Runs the enumeration. Reentrant: each call resets all state, and
+  /// `*stats` is zeroed at entry so a failed run never leaves a reused
+  /// executor's previous counters in the caller's struct.
   Status Run(const ExecOptions& options, ExecStats* stats);
 
   /// The root position's full candidate set (seed/label scan plus the

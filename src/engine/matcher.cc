@@ -4,6 +4,8 @@
 #include <mutex>
 
 #include "engine/embedding_verifier.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/validate.h"
 #include "runtime/parallel_executor.h"
 #include "util/memory.h"
@@ -12,20 +14,42 @@
 namespace csce {
 namespace {
 
+struct MatchMetrics {
+  obs::Counter queries;
+  obs::Histogram read_seconds;
+  obs::Histogram plan_seconds;
+  obs::Histogram enumerate_seconds;
+
+  static const MatchMetrics& Get() {
+    static const MatchMetrics m = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return MatchMetrics{r.counter("match.queries"),
+                          r.histogram("match.read_seconds"),
+                          r.histogram("match.plan_seconds"),
+                          r.histogram("match.enumerate_seconds")};
+    }();
+    return m;
+  }
+};
+
 Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
                  const MatchOptions& options,
                  const EmbeddingCallback* callback, MatchResult* result) {
   *result = MatchResult{};
+  obs::Span match_span("match.query");
   WallTimer total;
 
   // Stage 1 (blue in Fig. 2): read the useful clusters G_C^*.
   WallTimer stage;
   QueryClusters qc;
-  if (cache != nullptr) {
-    CSCE_RETURN_IF_ERROR(
-        ReadClustersCached(*cache, pattern, options.variant, &qc));
-  } else {
-    CSCE_RETURN_IF_ERROR(ReadClusters(data, pattern, options.variant, &qc));
+  {
+    obs::Span span("match.read");
+    if (cache != nullptr) {
+      CSCE_RETURN_IF_ERROR(
+          ReadClustersCached(*cache, pattern, options.variant, &qc));
+    } else {
+      CSCE_RETURN_IF_ERROR(ReadClusters(data, pattern, options.variant, &qc));
+    }
   }
   result->read_seconds = stage.Seconds();
   result->clusters_read = qc.NumViews();
@@ -35,8 +59,11 @@ Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
   stage.Restart();
   Planner planner(&data);
   Plan plan;
-  CSCE_RETURN_IF_ERROR(
-      planner.MakePlan(pattern, options.variant, options.plan, &plan));
+  {
+    obs::Span span("match.plan");
+    CSCE_RETURN_IF_ERROR(
+        planner.MakePlan(pattern, options.variant, options.plan, &plan));
+  }
   result->plan_seconds = stage.Seconds();
   result->sce = plan.sce;
 
@@ -74,15 +101,18 @@ Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
     };
   }
   ExecStats stats;
-  if (options.num_threads != 1) {
-    ParallelExecutor executor(data, qc, plan);
-    ParallelOptions popts;
-    popts.num_threads = options.num_threads;
-    popts.morsel_size = options.morsel_size;
-    CSCE_RETURN_IF_ERROR(executor.Run(exec, popts, &stats));
-  } else {
-    Executor executor(data, qc, plan);
-    CSCE_RETURN_IF_ERROR(executor.Run(exec, &stats));
+  {
+    obs::Span span("match.enumerate");
+    if (options.num_threads != 1) {
+      ParallelExecutor executor(data, qc, plan);
+      ParallelOptions popts;
+      popts.num_threads = options.num_threads;
+      popts.morsel_size = options.morsel_size;
+      CSCE_RETURN_IF_ERROR(executor.Run(exec, popts, &stats));
+    } else {
+      Executor executor(data, qc, plan);
+      CSCE_RETURN_IF_ERROR(executor.Run(exec, &stats));
+    }
   }
   result->enumerate_seconds = stage.Seconds();
 
@@ -98,8 +128,16 @@ Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
   result->search_nodes = stats.search_nodes;
   result->candidate_sets_computed = stats.candidate_sets_computed;
   result->candidate_sets_reused = stats.candidate_sets_reused;
+  result->morsels_claimed = stats.morsels_claimed;
+  result->worker_idle_seconds = stats.worker_idle_seconds;
   result->total_seconds = total.Seconds();
   result->peak_rss_bytes = PeakRssBytes();
+
+  const MatchMetrics& m = MatchMetrics::Get();
+  m.queries.Increment();
+  m.read_seconds.Record(result->read_seconds);
+  m.plan_seconds.Record(result->plan_seconds);
+  m.enumerate_seconds.Record(result->enumerate_seconds);
   return Status::OK();
 }
 

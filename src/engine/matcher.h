@@ -62,6 +62,11 @@ struct MatchResult {
   uint64_t search_nodes = 0;
   uint64_t candidate_sets_computed = 0;
   uint64_t candidate_sets_reused = 0;
+  /// Morsel-parallel runs only (num_threads != 1): total non-empty
+  /// morsels claimed across workers, and total worker wall time spent
+  /// outside Executor::Run (load-imbalance indicator). Both 0 serially.
+  uint64_t morsels_claimed = 0;
+  double worker_idle_seconds = 0.0;
 
   // Plan/read diagnostics.
   SceStats sce;

@@ -1,0 +1,406 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace csce {
+namespace obs {
+
+double JsonValue::AsDouble() const {
+  switch (type_) {
+    case Type::kInt: return static_cast<double>(int_);
+    case Type::kUint: return static_cast<double>(uint_);
+    case Type::kDouble: return double_;
+    default: return 0.0;
+  }
+}
+
+int64_t JsonValue::AsInt() const {
+  switch (type_) {
+    case Type::kInt: return int_;
+    case Type::kUint: return static_cast<int64_t>(uint_);
+    case Type::kDouble: return static_cast<int64_t>(double_);
+    default: return 0;
+  }
+}
+
+uint64_t JsonValue::AsUint() const {
+  switch (type_) {
+    case Type::kInt: return static_cast<uint64_t>(int_);
+    case Type::kUint: return uint_;
+    case Type::kDouble: return static_cast<uint64_t>(double_);
+    default: return 0;
+  }
+}
+
+JsonValue& JsonValue::Set(std::string_view key, JsonValue value) {
+  type_ = Type::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return v;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+  return members_.back().second;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  type_ = Type::kArray;
+  items_.push_back(std::move(value));
+  return items_.back();
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpInto(const JsonValue& v, int indent, int depth, std::string* out) {
+  const bool pretty = indent > 0;
+  auto newline = [&](int d) {
+    if (pretty) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent) * d, ' ');
+    }
+  };
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out->append("null");
+      break;
+    case JsonValue::Type::kBool:
+      out->append(v.AsBool() ? "true" : "false");
+      break;
+    case JsonValue::Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(v.AsInt()));
+      out->append(buf);
+      break;
+    }
+    case JsonValue::Type::kUint: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(v.AsUint()));
+      out->append(buf);
+      break;
+    }
+    case JsonValue::Type::kDouble: {
+      double d = v.AsDouble();
+      // JSON has no NaN/Inf; observability values are measurements, so
+      // clamp to null rather than emit an unparsable token.
+      if (!std::isfinite(d)) {
+        out->append("null");
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      // Trim to the shortest representation that round-trips.
+      for (int prec = 1; prec < 17; ++prec) {
+        char shorter[40];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, d);
+        double back;
+        if (std::sscanf(shorter, "%lf", &back) == 1 && back == d) {
+          std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+          break;
+        }
+      }
+      out->append(buf);
+      break;
+    }
+    case JsonValue::Type::kString:
+      EscapeInto(v.AsString(), out);
+      break;
+    case JsonValue::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) out->append(pretty ? "," : ", ");
+        first = false;
+        newline(depth + 1);
+        DumpInto(item, indent, depth + 1, out);
+      }
+      if (!v.items().empty()) newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) out->append(pretty ? "," : ", ");
+        first = false;
+        newline(depth + 1);
+        EscapeInto(key, out);
+        out->append(": ");
+        DumpInto(value, indent, depth + 1, out);
+      }
+      if (!v.members().empty()) newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    CSCE_RETURN_IF_ERROR(ParseValue(out, 0));
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing garbage");
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const char* what) const {
+    return Status::InvalidArgument("json: " + std::string(what) +
+                                   " at offset " + std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        CSCE_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          *out = JsonValue(true);
+          return Status::OK();
+        }
+        return Error("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          *out = JsonValue(false);
+          return Status::OK();
+        }
+        return Error("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          *out = JsonValue();
+          return Status::OK();
+        }
+        return Error("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("bad escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (emitters only produce
+          // \u00xx control escapes; surrogate pairs are out of scope).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed below via the full-token scan
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return Error("bad number");
+    if (!is_double) {
+      if (token[0] == '-') {
+        int64_t value = 0;
+        auto [p, ec] = std::from_chars(token.begin(), token.end(), value);
+        if (ec == std::errc() && p == token.end()) {
+          *out = JsonValue(value);
+          return Status::OK();
+        }
+      } else {
+        uint64_t value = 0;
+        auto [p, ec] = std::from_chars(token.begin(), token.end(), value);
+        if (ec == std::errc() && p == token.end()) {
+          *out = JsonValue(value);
+          return Status::OK();
+        }
+      }
+    }
+    double value = 0;
+    if (std::sscanf(std::string(token).c_str(), "%lf", &value) != 1) {
+      return Error("bad number");
+    }
+    *out = JsonValue(value);
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    *out = JsonValue::Object();
+    SkipSpace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipSpace();
+      std::string key;
+      CSCE_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      CSCE_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Set(key, std::move(value));
+      SkipSpace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    *out = JsonValue::Array();
+    SkipSpace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      CSCE_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Append(std::move(value));
+      SkipSpace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpInto(*this, indent, 0, &out);
+  return out;
+}
+
+Status JsonParse(std::string_view text, JsonValue* out) {
+  return Parser(text).Parse(out);
+}
+
+}  // namespace obs
+}  // namespace csce

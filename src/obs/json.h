@@ -1,0 +1,111 @@
+#ifndef CSCE_OBS_JSON_H_
+#define CSCE_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace csce {
+namespace obs {
+
+/// A small owning JSON document tree. Every machine-readable artifact
+/// the observability layer emits (metrics snapshots, Chrome trace
+/// files, BENCH_*.json) is built as a JsonValue and serialized through
+/// one writer, so the emitters cannot produce invalid JSON by
+/// construction — and the schema tests parse the output back through
+/// the same type to prove it.
+///
+/// Numbers are stored as one of int64/uint64/double; `Dump` renders
+/// integers without a decimal point and doubles with enough precision
+/// to round-trip. Object keys are kept in insertion order so emitted
+/// documents are stable across runs (a requirement for golden tests).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
+                    kObject };
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}                // NOLINT
+  JsonValue(int64_t i) : type_(Type::kInt), int_(i) {}               // NOLINT
+  JsonValue(int i) : type_(Type::kInt), int_(i) {}                   // NOLINT
+  JsonValue(uint64_t u) : type_(Type::kUint), uint_(u) {}            // NOLINT
+  JsonValue(uint32_t u)                                              // NOLINT
+      : type_(Type::kUint), uint_(u) {}
+  JsonValue(double d) : type_(Type::kDouble), double_(d) {}          // NOLINT
+  JsonValue(std::string s)                                           // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}     // NOLINT
+
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kUint ||
+           type_ == Type::kDouble;
+  }
+
+  bool AsBool() const { return bool_; }
+  const std::string& AsString() const { return string_; }
+  /// Numeric accessors coerce across the three numeric storages.
+  double AsDouble() const;
+  int64_t AsInt() const;
+  uint64_t AsUint() const;
+
+  /// Object access. `Set` inserts or overwrites; `Find` returns nullptr
+  /// when the key is absent (or the value is not an object).
+  JsonValue& Set(std::string_view key, JsonValue value);
+  const JsonValue* Find(std::string_view key) const;
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Array access.
+  JsonValue& Append(JsonValue value);
+  const std::vector<JsonValue>& items() const { return items_; }
+  size_t size() const {
+    return type_ == Type::kArray ? items_.size() : members_.size();
+  }
+
+  /// Serializes the tree. `indent` 0 renders one line with ", " / ": "
+  /// separators; > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Strict recursive-descent parse of a complete JSON document (trailing
+/// whitespace allowed, trailing garbage rejected). Returns
+/// InvalidArgument with a byte offset on malformed input. Used by the
+/// schema tests to round-trip every emitted artifact.
+Status JsonParse(std::string_view text, JsonValue* out);
+
+}  // namespace obs
+}  // namespace csce
+
+#endif  // CSCE_OBS_JSON_H_

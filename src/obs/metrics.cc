@@ -1,0 +1,253 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace csce {
+namespace obs {
+namespace {
+
+std::atomic<uint64_t> g_next_epoch{1};
+
+/// Thread-local shard directory: one entry per (thread, registry) pair
+/// this thread has touched. Entries are validated by epoch, so a stale
+/// entry for a destroyed registry can never be confused with a new
+/// registry that happens to reuse the address.
+struct TlsEntry {
+  const void* registry;
+  uint64_t epoch;
+  void* shard;
+};
+thread_local std::vector<TlsEntry> t_shards;
+
+size_t BucketOf(double value) {
+  if (!(value > 1.0)) return 0;  // also catches NaN and negatives
+  int exp = static_cast<int>(std::ceil(std::log2(value)));
+  if (exp < 1) return 1;
+  if (exp >= static_cast<int>(HistogramData::kBuckets)) {
+    return HistogramData::kBuckets - 1;
+  }
+  return static_cast<size_t>(exp);
+}
+
+}  // namespace
+
+MetricRegistry::MetricRegistry()
+    : epoch_(g_next_epoch.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricRegistry::~MetricRegistry() = default;
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+uint32_t MetricRegistry::Register(std::string_view name, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    const MetricInfo& info = metrics_[it->second];
+    CSCE_CHECK(info.kind == kind)
+        << "metric '" << info.name << "' registered with two kinds";
+    return info.slot;
+  }
+  uint32_t slot = 0;
+  switch (kind) {
+    case Kind::kCounter:
+      CSCE_CHECK(next_counter_ < kMaxCounters) << "counter space exhausted";
+      slot = next_counter_++;
+      break;
+    case Kind::kGauge:
+      CSCE_CHECK(next_gauge_ < kMaxGauges) << "gauge space exhausted";
+      slot = next_gauge_++;
+      break;
+    case Kind::kHistogram:
+      CSCE_CHECK(next_histogram_ < kMaxHistograms)
+          << "histogram space exhausted";
+      slot = next_histogram_++;
+      break;
+  }
+  by_name_.emplace(std::string(name),
+                   static_cast<uint32_t>(metrics_.size()));
+  metrics_.push_back(MetricInfo{std::string(name), kind, slot});
+  return slot;
+}
+
+Counter MetricRegistry::counter(std::string_view name) {
+  return Counter(this, Register(name, Kind::kCounter));
+}
+
+Gauge MetricRegistry::gauge(std::string_view name) {
+  return Gauge(this, Register(name, Kind::kGauge));
+}
+
+Histogram MetricRegistry::histogram(std::string_view name) {
+  return Histogram(this, Register(name, Kind::kHistogram));
+}
+
+MetricRegistry::Shard* MetricRegistry::ShardForThisThread() {
+  for (const TlsEntry& entry : t_shards) {
+    if (entry.registry == this && entry.epoch == epoch_) {
+      return static_cast<Shard*>(entry.shard);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  t_shards.push_back(TlsEntry{this, epoch_, shard});
+  return shard;
+}
+
+void Counter::Add(uint64_t n) const {
+  if (registry_ == nullptr) return;
+  registry_->ShardForThisThread()->counters[slot_].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+void Gauge::Set(double value) const {
+  if (registry_ == nullptr) return;
+  registry_->gauge_values_[slot_].store(value, std::memory_order_relaxed);
+}
+
+void Gauge::SetMax(double value) const {
+  if (registry_ == nullptr) return;
+  std::atomic<double>& cell = registry_->gauge_values_[slot_];
+  double current = cell.load(std::memory_order_relaxed);
+  while (value > current &&
+         !cell.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Record(double value) const {
+  if (registry_ == nullptr) return;
+  MetricRegistry::HistogramCells& cells =
+      registry_->ShardForThisThread()->histograms[slot_];
+  // This thread is the only writer of its shard; relaxed load-modify-
+  // store is safe, the atomics only make the aggregator's reads legal.
+  uint64_t n = cells.count.load(std::memory_order_relaxed);
+  if (n == 0 || value < cells.min.load(std::memory_order_relaxed)) {
+    cells.min.store(value, std::memory_order_relaxed);
+  }
+  if (n == 0 || value > cells.max.load(std::memory_order_relaxed)) {
+    cells.max.store(value, std::memory_order_relaxed);
+  }
+  cells.count.store(n + 1, std::memory_order_relaxed);
+  cells.sum.store(cells.sum.load(std::memory_order_relaxed) + value,
+                  std::memory_order_relaxed);
+  cells.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const MetricInfo& info : metrics_) {
+    switch (info.kind) {
+      case Kind::kCounter: {
+        uint64_t total = 0;
+        for (const auto& shard : shards_) {
+          total += shard->counters[info.slot].load(std::memory_order_relaxed);
+        }
+        snapshot.counters[info.name] = total;
+        break;
+      }
+      case Kind::kGauge:
+        snapshot.gauges[info.name] =
+            gauge_values_[info.slot].load(std::memory_order_relaxed);
+        break;
+      case Kind::kHistogram: {
+        HistogramData data;
+        for (const auto& shard : shards_) {
+          const HistogramCells& cells = shard->histograms[info.slot];
+          uint64_t n = cells.count.load(std::memory_order_relaxed);
+          if (n == 0) continue;
+          double lo = cells.min.load(std::memory_order_relaxed);
+          double hi = cells.max.load(std::memory_order_relaxed);
+          if (data.count == 0 || lo < data.min) data.min = lo;
+          if (data.count == 0 || hi > data.max) data.max = hi;
+          data.count += n;
+          data.sum += cells.sum.load(std::memory_order_relaxed);
+          for (size_t b = 0; b < HistogramData::kBuckets; ++b) {
+            data.buckets[b] +=
+                cells.buckets[b].load(std::memory_order_relaxed);
+          }
+        }
+        snapshot.histograms[info.name] = data;
+        break;
+      }
+    }
+  }
+  return snapshot;
+}
+
+void MetricRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    for (auto& cell : shard->counters) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+    for (auto& cells : shard->histograms) {
+      cells.count.store(0, std::memory_order_relaxed);
+      cells.sum.store(0.0, std::memory_order_relaxed);
+      cells.min.store(0.0, std::memory_order_relaxed);
+      cells.max.store(0.0, std::memory_order_relaxed);
+      for (auto& bucket : cells.buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+  for (auto& gauge : gauge_values_) {
+    gauge.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+JsonValue MetricsSnapshot::ToJson(bool with_buckets) const {
+  JsonValue doc = JsonValue::Object();
+  JsonValue counters_json = JsonValue::Object();
+  for (const auto& [name, value] : counters) counters_json.Set(name, value);
+  doc.Set("counters", std::move(counters_json));
+
+  JsonValue gauges_json = JsonValue::Object();
+  for (const auto& [name, value] : gauges) gauges_json.Set(name, value);
+  doc.Set("gauges", std::move(gauges_json));
+
+  JsonValue histograms_json = JsonValue::Object();
+  for (const auto& [name, data] : histograms) {
+    JsonValue h = JsonValue::Object();
+    h.Set("count", data.count);
+    h.Set("sum", data.sum);
+    h.Set("mean", data.Mean());
+    h.Set("min", data.min);
+    h.Set("max", data.max);
+    if (with_buckets) {
+      // Sparse encoding: {"<bucket upper bound exponent>": count}.
+      JsonValue buckets = JsonValue::Object();
+      for (size_t b = 0; b < HistogramData::kBuckets; ++b) {
+        if (data.buckets[b] > 0) {
+          buckets.Set(std::to_string(b), data.buckets[b]);
+        }
+      }
+      h.Set("log2_buckets", std::move(buckets));
+    }
+    histograms_json.Set(name, std::move(h));
+  }
+  doc.Set("histograms", std::move(histograms_json));
+  return doc;
+}
+
+Status WriteMetricsFile(const MetricRegistry& registry,
+                        const std::string& path, bool with_buckets) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", "csce.metrics.v1");
+  doc.Set("metrics", registry.Snapshot().ToJson(with_buckets));
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open metrics file: " + path);
+  out << doc.Dump(1) << "\n";
+  if (!out) return Status::IOError("cannot write metrics file: " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace csce

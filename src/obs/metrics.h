@@ -1,0 +1,198 @@
+#ifndef CSCE_OBS_METRICS_H_
+#define CSCE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace csce {
+namespace obs {
+
+/// Aggregated state of one histogram metric. Values are bucketed by
+/// power of two: bucket i counts values in (2^(i-1), 2^i] (bucket 0 is
+/// values <= 1), which is coarse but cheap and enough to tell "SCE
+/// candidate sets are tiny" from "candidate sets explode at depth 3".
+struct HistogramData {
+  static constexpr size_t kBuckets = 64;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningful only when count > 0
+  double max = 0.0;
+  std::array<uint64_t, kBuckets> buckets{};
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// One aggregated view of a registry, taken under the registry lock but
+/// summed from per-thread shards without ever having blocked a writer.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// The machine-readable document: {"counters": {...}, "gauges":
+  /// {...}, "histograms": {name: {count, sum, mean, min, max}}}.
+  /// Histogram buckets are elided unless `with_buckets`.
+  JsonValue ToJson(bool with_buckets = false) const;
+};
+
+class MetricRegistry;
+
+/// Cheap copyable handle to a counter. `Add` is a thread-local bump
+/// (no lock, no shared cache line): each thread owns a shard of cells
+/// and only the aggregating `Snapshot()` reads across threads, with
+/// relaxed atomics so the hot path costs an indexed add.
+class Counter {
+ public:
+  Counter() = default;
+  void Add(uint64_t n = 1) const;
+  void Increment() const { Add(1); }
+
+ private:
+  friend class MetricRegistry;
+  Counter(MetricRegistry* registry, uint32_t slot)
+      : registry_(registry), slot_(slot) {}
+  MetricRegistry* registry_ = nullptr;
+  uint32_t slot_ = 0;
+};
+
+/// Last-write-wins instantaneous value. Gauges are set rarely (sizes,
+/// configuration), so they are a single shared atomic, not sharded.
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(double value) const;
+  /// Raise to `value` if it exceeds the current value (peak tracking).
+  void SetMax(double value) const;
+
+ private:
+  friend class MetricRegistry;
+  Gauge(MetricRegistry* registry, uint32_t slot)
+      : registry_(registry), slot_(slot) {}
+  MetricRegistry* registry_ = nullptr;
+  uint32_t slot_ = 0;
+};
+
+/// Sharded histogram handle; `Record` is a thread-local bucket bump
+/// plus sum/min/max updates, same cost class as Counter::Add.
+class Histogram {
+ public:
+  Histogram() = default;
+  void Record(double value) const;
+
+ private:
+  friend class MetricRegistry;
+  Histogram(MetricRegistry* registry, uint32_t slot)
+      : registry_(registry), slot_(slot) {}
+  MetricRegistry* registry_ = nullptr;
+  uint32_t slot_ = 0;
+};
+
+/// A namespace of named metrics with thread-local sharded storage.
+///
+/// Registration (`counter("engine.embeddings")`) is idempotent and
+/// mutex-protected; handles are then valid for the registry's lifetime
+/// and safe to use concurrently from any number of threads. Each thread
+/// lazily gets one shard per registry — flat arrays indexed by metric
+/// slot — that survives thread exit (shards are owned by the registry),
+/// so counts from finished worker threads are never lost.
+///
+/// `Global()` is the process-wide registry every subsystem reports
+/// into; tests that need exact values call `ResetForTesting()` first.
+class MetricRegistry {
+ public:
+  /// Fixed shard capacities; registering beyond them aborts. Generous
+  /// for a system that names its metrics statically (~40 today).
+  static constexpr uint32_t kMaxCounters = 256;
+  static constexpr uint32_t kMaxGauges = 64;
+  static constexpr uint32_t kMaxHistograms = 64;
+
+  MetricRegistry();
+  ~MetricRegistry();
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  static MetricRegistry& Global();
+
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name);
+
+  /// Sums every thread's shard. Concurrent writers are not blocked;
+  /// the snapshot is consistent per-cell (relaxed reads), which is the
+  /// right contract for monotone counters.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every cell of every shard and every gauge. Metric
+  /// registrations (names and handles) survive. Deterministic-counter
+  /// tests call this between runs; concurrent use with active writers
+  /// is allowed but the subsequent snapshot is then unspecified.
+  void ResetForTesting();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  /// Sharded histogram cells. The owning thread is the only writer
+  /// (plain relaxed stores); atomics exist so the aggregator may read
+  /// concurrently.
+  struct HistogramCells {
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+    std::array<std::atomic<uint64_t>, HistogramData::kBuckets> buckets{};
+  };
+
+  /// One thread's private slice of the registry.
+  struct Shard {
+    std::array<std::atomic<uint64_t>, kMaxCounters> counters{};
+    std::array<HistogramCells, kMaxHistograms> histograms{};
+  };
+
+  uint32_t Register(std::string_view name, Kind kind);
+  Shard* ShardForThisThread();
+
+  const uint64_t epoch_;  // process-unique, guards stale TLS entries
+
+  mutable std::mutex mu_;
+  // Name, kind and slot of every registered metric, in slot order per
+  // kind (snapshot iterates this).
+  struct MetricInfo {
+    std::string name;
+    Kind kind;
+    uint32_t slot;
+  };
+  std::vector<MetricInfo> metrics_;
+  std::map<std::string, uint32_t, std::less<>> by_name_;  // -> metrics_ index
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint32_t next_counter_ = 0;
+  uint32_t next_gauge_ = 0;
+  uint32_t next_histogram_ = 0;
+  std::array<std::atomic<double>, kMaxGauges> gauge_values_{};
+};
+
+/// Writes `registry`'s snapshot as the csce.metrics.v1 document:
+/// {"schema": "csce.metrics.v1", "metrics": {"counters": ..., "gauges":
+/// ..., "histograms": ...}}. The file the tools' --metrics-json flag
+/// produces and tests/trace_schema_test.cc validates.
+Status WriteMetricsFile(const MetricRegistry& registry,
+                        const std::string& path, bool with_buckets = true);
+
+}  // namespace obs
+}  // namespace csce
+
+#endif  // CSCE_OBS_METRICS_H_

@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace csce {
+namespace obs {
+namespace {
+
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+std::atomic<uint64_t> g_next_trace_epoch{1};
+
+struct TlsTrackEntry {
+  const void* recorder;
+  uint64_t epoch;
+  void* track;
+};
+thread_local std::vector<TlsTrackEntry> t_tracks;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : epoch_(g_next_trace_epoch.fetch_add(1, std::memory_order_relaxed)),
+      start_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() {
+  // Guard against a recorder destroyed while still installed.
+  TraceRecorder* expected = this;
+  g_recorder.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_acq_rel);
+}
+
+TraceRecorder* TraceRecorder::Current() {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+void TraceRecorder::Install(TraceRecorder* recorder) {
+  g_recorder.store(recorder, std::memory_order_release);
+}
+
+double TraceRecorder::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+TraceRecorder::ThreadTrack* TraceRecorder::TrackForThisThread() {
+  for (const TlsTrackEntry& entry : t_tracks) {
+    if (entry.recorder == this && entry.epoch == epoch_) {
+      return static_cast<ThreadTrack*>(entry.track);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto track = std::make_unique<ThreadTrack>();
+  track->tid = static_cast<uint32_t>(tracks_.size());
+  tracks_.push_back(std::move(track));
+  ThreadTrack* raw = tracks_.back().get();
+  t_tracks.push_back(TlsTrackEntry{this, epoch_, raw});
+  return raw;
+}
+
+void TraceRecorder::RecordSpan(std::string name, std::string category,
+                               double ts_us, double dur_us) {
+  ThreadTrack* track = TrackForThisThread();
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = track->tid;
+  // The track is appended to only by its owning thread; the lock exists
+  // for readers (ToChromeJson) that snapshot while threads still run.
+  std::lock_guard<std::mutex> lock(mu_);
+  track->events.push_back(std::move(event));
+}
+
+size_t TraceRecorder::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& track : tracks_) n += track->events.size();
+  return n;
+}
+
+JsonValue TraceRecorder::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue events = JsonValue::Array();
+  for (const auto& track : tracks_) {
+    JsonValue meta = JsonValue::Object();
+    meta.Set("name", "thread_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", 1);
+    meta.Set("tid", track->tid);
+    JsonValue args = JsonValue::Object();
+    args.Set("name", track->tid == 0
+                         ? std::string("main")
+                         : "worker-" + std::to_string(track->tid));
+    meta.Set("args", std::move(args));
+    events.Append(std::move(meta));
+
+    // Chrome sorts internally, but ordered output keeps the artifact
+    // deterministic for golden tests.
+    std::vector<const TraceEvent*> ordered;
+    ordered.reserve(track->events.size());
+    for (const TraceEvent& e : track->events) ordered.push_back(&e);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+                return a->dur_us > b->dur_us;  // parents before children
+              });
+    for (const TraceEvent* e : ordered) {
+      JsonValue event = JsonValue::Object();
+      event.Set("name", e->name);
+      event.Set("cat", e->category);
+      event.Set("ph", "X");
+      event.Set("ts", e->ts_us);
+      event.Set("dur", e->dur_us);
+      event.Set("pid", 1);
+      event.Set("tid", e->tid);
+      events.Append(std::move(event));
+    }
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ms");
+  return doc;
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open trace file: " + path);
+  out << ToChromeJson().Dump(1) << "\n";
+  if (!out) return Status::IOError("cannot write trace file: " + path);
+  return Status::OK();
+}
+
+Span::Span(const char* name, const char* category)
+    : recorder_(TraceRecorder::Current()), name_(name), category_(category) {
+  if (recorder_ != nullptr) start_us_ = recorder_->NowMicros();
+}
+
+Span::~Span() {
+  // Report to the recorder captured at construction so a span that
+  // crosses an uninstall still lands in the file it started in.
+  if (recorder_ == nullptr || TraceRecorder::Current() != recorder_) return;
+  double end_us = recorder_->NowMicros();
+  recorder_->RecordSpan(name_, category_, start_us_, end_us - start_us_);
+}
+
+}  // namespace obs
+}  // namespace csce

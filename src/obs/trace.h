@@ -1,0 +1,101 @@
+#ifndef CSCE_OBS_TRACE_H_
+#define CSCE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace csce {
+namespace obs {
+
+/// One completed span: a named [ts, ts+dur] interval on one thread's
+/// track, in microseconds since the recorder was created.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  uint32_t tid = 0;
+};
+
+/// Records spans into per-thread buffers and serializes them as Chrome
+/// `chrome://tracing` / Perfetto JSON ("X" complete events, one track
+/// per worker thread, sequential tids in first-touch order).
+///
+/// Tracing is opt-in per process: nothing is recorded until a recorder
+/// is installed with `Install`, and an uninstalled process pays one
+/// relaxed atomic load per would-be span. Installation is not
+/// reference-counted — the caller owns the recorder and must
+/// `Install(nullptr)` before destroying it.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The process-wide recorder spans report to (nullptr = tracing off).
+  static TraceRecorder* Current();
+  static void Install(TraceRecorder* recorder);
+
+  /// Microseconds since this recorder was constructed.
+  double NowMicros() const;
+
+  /// Appends a completed span to the calling thread's track.
+  void RecordSpan(std::string name, std::string category, double ts_us,
+                  double dur_us);
+
+  size_t NumEvents() const;
+
+  /// The Chrome trace document: {"traceEvents": [...], "displayTimeUnit":
+  /// "ms"}. Events are ordered by track then begin time; every track
+  /// additionally carries a thread_name metadata event.
+  JsonValue ToChromeJson() const;
+
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct ThreadTrack {
+    uint32_t tid;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadTrack* TrackForThisThread();
+
+  const uint64_t epoch_;
+  const std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadTrack>> tracks_;
+};
+
+/// RAII span: times its own scope and reports to the installed
+/// recorder, if any. Construction with tracing off is a single relaxed
+/// load; names should be short static strings ("plan.make").
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "csce");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceRecorder* recorder_;  // nullptr: tracing was off at construction
+  const char* name_;
+  const char* category_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace csce
+
+#endif  // CSCE_OBS_TRACE_H_

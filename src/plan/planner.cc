@@ -4,6 +4,8 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/cost_model.h"
 #include "plan/descendants.h"
 #include "plan/gcf.h"
@@ -14,6 +16,28 @@
 
 namespace csce {
 namespace {
+
+struct PlanMetrics {
+  obs::Counter plans;
+  obs::Counter gcf_orders;
+  obs::Counter cost_based_orders;
+  obs::Counter ldsf_refinements;
+  obs::Counter nec_aliases;
+  obs::Histogram nec_class_size;
+
+  static const PlanMetrics& Get() {
+    static const PlanMetrics m = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return PlanMetrics{r.counter("plan.plans"),
+                         r.counter("plan.gcf_orders"),
+                         r.counter("plan.cost_based_orders"),
+                         r.counter("plan.ldsf_refinements"),
+                         r.counter("plan.nec_aliases"),
+                         r.histogram("plan.nec_class_size")};
+    }();
+    return m;
+  }
+};
 
 bool StarNonEmpty(const Ccsr* gc, Label a, Label b) {
   if (gc == nullptr) return true;
@@ -141,6 +165,9 @@ Status Planner::MakePlan(const Graph& pattern, MatchVariant variant,
         "pattern and data graph directedness differ");
   }
   WallTimer timer;
+  obs::Span span("plan.make");
+  const PlanMetrics& metrics = PlanMetrics::Get();
+  metrics.plans.Increment();
   Plan plan;
   plan.variant = variant;
   plan.use_sce = options.use_sce;
@@ -150,8 +177,10 @@ Status Planner::MakePlan(const Graph& pattern, MatchVariant variant,
   std::vector<VertexId> initial;
   const bool cost_based = options.use_cost_based && data_ != nullptr;
   if (cost_based) {
+    metrics.cost_based_orders.Increment();
     initial = CostBasedOrder(pattern, *data_, options.cost_beam_width);
   } else if (options.use_gcf) {
+    metrics.gcf_orders.Increment();
     GcfOptions gcf;
     gcf.use_cluster_tiebreak = options.use_cluster_tiebreak;
     initial = GreatestConstraintFirstOrder(pattern, data_, gcf);
@@ -166,6 +195,7 @@ Status Planner::MakePlan(const Graph& pattern, MatchVariant variant,
   // Step 3: LDSF fine-tuning (Algorithms 3 and 4). Cost-based orders
   // are kept verbatim: reordering would invalidate their cost estimate.
   if (options.use_ldsf && !cost_based) {
+    metrics.ldsf_refinements.Increment();
     std::vector<uint32_t> descendant_sizes = ComputeDescendantSizes(dag);
     plan.order = LargestDescendantFirstOrder(
         dag, pattern, options.use_cluster_tiebreak ? data_ : nullptr,
@@ -228,7 +258,16 @@ Status Planner::MakePlan(const Graph& pattern, MatchVariant variant,
                            ? plan.positions[i].cache_alias
                            : static_cast<int32_t>(i);
         plan.positions[j].cache_alias = root;
+        metrics.nec_aliases.Increment();
         break;
+      }
+    }
+    // NEC class-size distribution over the pattern's vertices.
+    std::vector<uint32_t> class_count(n, 0);
+    for (VertexId u = 0; u < n; ++u) ++class_count[nec[u]];
+    for (uint32_t c = 0; c < n; ++c) {
+      if (class_count[c] > 0) {
+        metrics.nec_class_size.Record(class_count[c]);
       }
     }
   }

@@ -4,12 +4,33 @@
 #include <atomic>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stop_token.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace csce {
 namespace {
+
+struct RuntimeMetricsReg {
+  obs::Counter parallel_runs;
+  // Same named counter the executor flushes into (registration is
+  // idempotent): the probe's root candidate computation is real work
+  // merged stats count, so the metric must count it too.
+  obs::Counter sce_recomputes;
+  obs::Histogram worker_idle_seconds;
+
+  static const RuntimeMetricsReg& Get() {
+    static const RuntimeMetricsReg m = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return RuntimeMetricsReg{r.counter("runtime.parallel_runs"),
+                               r.counter("engine.sce_recomputes"),
+                               r.histogram("runtime.worker_idle_seconds")};
+    }();
+    return m;
+  }
+};
 
 // Auto morsel sizing: aim for ~8 claims per worker so stragglers with
 // heavy subtrees get rebalanced, floored at 1 (tiny candidate sets) and
@@ -86,6 +107,7 @@ Status ParallelExecutor::Run(const ExecOptions& options,
     for (uint32_t t = 0; t < threads; ++t) {
       pool.Submit([this, t, &worker_options, &worker_stats, &worker_status,
                    &broadcast] {
+        obs::Span span("runtime.worker");
         Executor ex(gc_, qc_, plan_);
         worker_status[t] = ex.Run(worker_options, &worker_stats[t]);
         // A worker that hit the embedding cap or its deadline has
@@ -102,13 +124,16 @@ Status ParallelExecutor::Run(const ExecOptions& options,
   // The probe's root candidate computation is real work the serial
   // path would also count.
   merged.candidate_sets_computed = 1;
+  double busy_seconds = 0.0;
   for (uint32_t t = 0; t < threads; ++t) {
     CSCE_RETURN_IF_ERROR(worker_status[t]);
     merged.embeddings += worker_stats[t].embeddings;
     merged.search_nodes += worker_stats[t].search_nodes;
     merged.candidate_sets_computed += worker_stats[t].candidate_sets_computed;
     merged.candidate_sets_reused += worker_stats[t].candidate_sets_reused;
+    merged.morsels_claimed += worker_stats[t].morsels_claimed;
     merged.timed_out |= worker_stats[t].timed_out;
+    busy_seconds += worker_stats[t].seconds;
   }
   if (limit > 0 && merged.embeddings >= limit) {
     merged.embeddings = limit;
@@ -118,7 +143,17 @@ Status ParallelExecutor::Run(const ExecOptions& options,
   // not cancellations; only the caller's token is.
   merged.cancelled = options.stop != nullptr && options.stop->StopRequested();
   merged.seconds = wall.Seconds();
+  // Load-imbalance indicator: total worker wall time not spent inside
+  // Executor::Run (pool spin-up, claim contention, straggler waits).
+  merged.worker_idle_seconds =
+      std::max(0.0, static_cast<double>(threads) * merged.seconds -
+                        busy_seconds);
   *stats = merged;
+
+  const RuntimeMetricsReg& m = RuntimeMetricsReg::Get();
+  m.parallel_runs.Increment();
+  m.sce_recomputes.Increment();  // the probe's share of merged stats
+  m.worker_idle_seconds.Record(merged.worker_idle_seconds);
   return Status::OK();
 }
 

@@ -1,7 +1,28 @@
 #include "runtime/query_runtime.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace csce {
 namespace {
+
+struct ServiceMetrics {
+  obs::Counter admissions;
+  obs::Counter deadline_queue_expired;
+  obs::Counter batches;
+  obs::Histogram queue_wait_seconds;
+
+  static const ServiceMetrics& Get() {
+    static const ServiceMetrics m = [] {
+      obs::MetricRegistry& r = obs::MetricRegistry::Global();
+      return ServiceMetrics{r.counter("runtime.admissions"),
+                            r.counter("runtime.deadline_queue_expired"),
+                            r.counter("runtime.batches"),
+                            r.histogram("runtime.queue_wait_seconds")};
+    }();
+    return m;
+  }
+};
 
 RuntimeOptions Normalize(RuntimeOptions options) {
   if (options.worker_threads == 0) {
@@ -25,6 +46,8 @@ QueryRuntime::QueryRuntime(const Ccsr* data, const RuntimeOptions& options)
 Status QueryRuntime::RunBatch(const std::vector<QueryJob>& jobs,
                               std::vector<QueryOutcome>* outcomes) {
   std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  obs::Span span("runtime.batch");
+  ServiceMetrics::Get().batches.Increment();
   outcomes->assign(jobs.size(), QueryOutcome{});
   WallTimer batch_timer;
   {
@@ -71,6 +94,11 @@ void QueryRuntime::RunOne(const QueryJob& job, double submit_seconds,
   if (deadline > 0 && outcome->queue_wait_seconds >= deadline) {
     outcome->result.timed_out = true;
     outcome->total_seconds = batch_timer.Seconds() - submit_seconds;
+    ServiceMetrics::Get().deadline_queue_expired.Increment();
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      ++metrics_.deadline_queue_expired;
+    }
     Release();
     Account(*outcome);
     return;
@@ -107,6 +135,9 @@ void QueryRuntime::Admit(double* queue_wait, double submit_seconds,
     return;
   }
   ++inflight_;
+  const ServiceMetrics& m = ServiceMetrics::Get();
+  m.admissions.Increment();
+  m.queue_wait_seconds.Record(*queue_wait);
 }
 
 void QueryRuntime::Release() {
@@ -151,6 +182,27 @@ void QueryRuntime::Account(const QueryOutcome& outcome) {
 RuntimeMetrics QueryRuntime::metrics() const {
   std::lock_guard<std::mutex> lock(metrics_mu_);
   return metrics_;
+}
+
+obs::JsonValue RuntimeMetrics::ToJson() const {
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("queries", submitted);
+  doc.Set("completed", completed);
+  doc.Set("failed", failed);
+  doc.Set("timed_out", timed_out);
+  doc.Set("deadline_queue_expired", deadline_queue_expired);
+  doc.Set("limit_reached", limit_reached);
+  doc.Set("cancelled", cancelled);
+  doc.Set("embeddings", embeddings);
+  doc.Set("queue_wait_seconds", queue_wait_seconds);
+  doc.Set("exec_seconds", exec_seconds);
+  doc.Set("read_seconds", read_seconds);
+  doc.Set("plan_seconds", plan_seconds);
+  doc.Set("enumerate_seconds", enumerate_seconds);
+  doc.Set("wall_seconds", wall_seconds);
+  doc.Set("cluster_cache_hits", cluster_cache_hits);
+  doc.Set("cluster_cache_misses", cluster_cache_misses);
+  return doc;
 }
 
 }  // namespace csce

@@ -11,6 +11,7 @@
 #include "ccsr/cluster_cache.h"
 #include "engine/matcher.h"
 #include "graph/graph.h"
+#include "obs/json.h"
 #include "util/status.h"
 #include "util/stop_token.h"
 #include "util/thread_pool.h"
@@ -64,6 +65,9 @@ struct RuntimeMetrics {
   uint64_t completed = 0;         // executed with status OK
   uint64_t failed = 0;            // non-OK status
   uint64_t timed_out = 0;         // includes deadline-expired-in-queue
+  /// Queries whose deadline expired while still waiting for an
+  /// admission slot — reported timed_out without ever executing.
+  uint64_t deadline_queue_expired = 0;
   uint64_t limit_reached = 0;
   uint64_t cancelled = 0;
   uint64_t embeddings = 0;
@@ -75,6 +79,10 @@ struct RuntimeMetrics {
   double wall_seconds = 0.0;       // sum of RunBatch wall times
   uint64_t cluster_cache_hits = 0;
   uint64_t cluster_cache_misses = 0;
+
+  /// All fields as a flat JSON object, keys matching the field names
+  /// (csce_serve's STATS reply and summary are built from this).
+  obs::JsonValue ToJson() const;
 };
 
 /// Multi-query session service over one shared Ccsr: a worker pool

@@ -14,6 +14,8 @@
 #include "ccsr/ccsr.h"
 #include "engine/matcher.h"
 #include "graph/isomorphism.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tests/test_util.h"
 
 namespace csce {
@@ -164,6 +166,57 @@ TEST_P(LargePatternAgreementTest, CsceAgreesWithBacktracking) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LargePatternAgreementTest,
                          ::testing::Range<uint64_t>(0, 12));
+
+// Observability is a pure observer: running the same query with trace
+// recording installed (and the metric registry freshly reset) must
+// produce exactly the same embeddings and ExecStats-level counters as
+// an uninstrumented run, for every variant.
+class InstrumentationInvarianceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InstrumentationInvarianceTest, TracingDoesNotPerturbExecution) {
+  Rng rng(GetParam() * 2654435761u + 5);
+  Graph data = testing::RandomGraph(rng, 20, 0.25, 3, 2, false);
+  Graph pattern = testing::RandomGraph(rng, 5, 0.5, 3, 2, false);
+  Ccsr gc = Ccsr::Build(data);
+  CsceMatcher csce(&gc);
+
+  for (auto variant :
+       {MatchVariant::kEdgeInduced, MatchVariant::kVertexInduced,
+        MatchVariant::kHomomorphic}) {
+    SCOPED_TRACE(VariantName(variant));
+    MatchOptions options;
+    options.variant = variant;
+
+    MatchResult plain;
+    ASSERT_TRUE(csce.Match(pattern, options, &plain).ok());
+
+    obs::MetricRegistry::Global().ResetForTesting();
+    obs::TraceRecorder recorder;
+    obs::TraceRecorder::Install(&recorder);
+    MatchResult traced;
+    Status st = csce.Match(pattern, options, &traced);
+    obs::TraceRecorder::Install(nullptr);
+    ASSERT_TRUE(st.ok());
+    EXPECT_GT(recorder.NumEvents(), 0u);
+
+    EXPECT_EQ(traced.embeddings, plain.embeddings);
+    EXPECT_EQ(traced.search_nodes, plain.search_nodes);
+    EXPECT_EQ(traced.candidate_sets_computed, plain.candidate_sets_computed);
+    EXPECT_EQ(traced.candidate_sets_reused, plain.candidate_sets_reused);
+    EXPECT_EQ(traced.timed_out, plain.timed_out);
+    EXPECT_EQ(traced.limit_reached, plain.limit_reached);
+    EXPECT_EQ(traced.clusters_read, plain.clusters_read);
+
+    // And the flushed counters agree with the run they observed.
+    obs::MetricsSnapshot snap = obs::MetricRegistry::Global().Snapshot();
+    EXPECT_EQ(snap.counters["engine.embeddings"], traced.embeddings);
+    EXPECT_EQ(snap.counters["engine.search_nodes"], traced.search_nodes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InstrumentationInvarianceTest,
+                         ::testing::Range<uint64_t>(0, 6));
 
 }  // namespace
 }  // namespace csce

@@ -214,5 +214,39 @@ TEST(EngineTest, ExplainPlanExposesOrder) {
   EXPECT_EQ(plan.order.size(), 4u);
 }
 
+TEST(EngineTest, FailedRunZeroesStatsOnReusedExecutor) {
+  // Regression: Run used to write `*stats` only on success, so a failed
+  // Run on a reused executor left the previous run's counters in the
+  // caller's struct — which then looked like a (wrong) completed run.
+  Ccsr gc = Ccsr::Build(testing::Clique(5));
+  Graph pattern = testing::Cycle(3);
+  QueryClusters qc;
+  ASSERT_TRUE(
+      ReadClusters(gc, pattern, MatchVariant::kEdgeInduced, &qc).ok());
+  Planner planner(&gc);
+  Plan plan;
+  ASSERT_TRUE(
+      planner.MakePlan(pattern, MatchVariant::kEdgeInduced, PlanOptions{},
+                       &plan)
+          .ok());
+  Executor executor(gc, qc, plan);
+
+  ExecStats stats;
+  ASSERT_TRUE(executor.Run(ExecOptions{}, &stats).ok());
+  EXPECT_EQ(stats.embeddings, 60u);
+  EXPECT_GT(stats.search_nodes, 0u);
+
+  ExecOptions bad;
+  bad.restrictions = {{99, 98}};  // out of range: Prepare fails
+  EXPECT_FALSE(executor.Run(bad, &stats).ok());
+  EXPECT_EQ(stats.embeddings, 0u);
+  EXPECT_EQ(stats.search_nodes, 0u);
+  EXPECT_EQ(stats.candidate_sets_computed, 0u);
+
+  // The executor stays reusable after the failure.
+  ASSERT_TRUE(executor.Run(ExecOptions{}, &stats).ok());
+  EXPECT_EQ(stats.embeddings, 60u);
+}
+
 }  // namespace
 }  // namespace csce

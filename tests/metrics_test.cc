@@ -1,0 +1,230 @@
+// The observability layer's load-bearing guarantee: metrics are pure
+// observers. The registry must aggregate exactly (unit tests below),
+// and the engine counters it exposes must equal the uninstrumented
+// ExecStats — serially with exact golden values, and at 8 threads with
+// the same totals (the deterministic-counter contract the trace/bench
+// pipeline rests on). The multithreaded cases double as the TSan proof
+// that thread-local sharding is race-free.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "ccsr/ccsr.h"
+#include "engine/matcher.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
+
+namespace csce {
+namespace obs {
+namespace {
+
+TEST(MetricRegistryTest, CounterAddsAndSnapshots) {
+  MetricRegistry registry;
+  Counter c = registry.counter("test.counter");
+  c.Increment();
+  c.Add(41);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.count("test.counter"), 1u);
+  EXPECT_EQ(snap.counters["test.counter"], 42u);
+}
+
+TEST(MetricRegistryTest, RegistrationIsIdempotent) {
+  // Two call sites registering the same name share one slot — the
+  // mechanism the parallel executor uses to flush its probe into the
+  // executor's counter.
+  MetricRegistry registry;
+  Counter a = registry.counter("shared");
+  Counter b = registry.counter("shared");
+  a.Add(2);
+  b.Add(3);
+  EXPECT_EQ(registry.Snapshot().counters["shared"], 5u);
+}
+
+TEST(MetricRegistryTest, GaugeSetAndSetMax) {
+  MetricRegistry registry;
+  Gauge g = registry.gauge("test.gauge");
+  g.Set(7.5);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().gauges["test.gauge"], 7.5);
+  g.SetMax(3.0);  // below current: no change
+  EXPECT_DOUBLE_EQ(registry.Snapshot().gauges["test.gauge"], 7.5);
+  g.SetMax(9.0);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().gauges["test.gauge"], 9.0);
+}
+
+TEST(MetricRegistryTest, HistogramAggregates) {
+  MetricRegistry registry;
+  Histogram h = registry.histogram("test.hist");
+  h.Record(1.0);   // bucket 0: <= 1
+  h.Record(3.0);   // bucket 2: (2, 4]
+  h.Record(3.5);   // bucket 2
+  h.Record(100.0); // bucket 7: (64, 128]
+  HistogramData data = registry.Snapshot().histograms["test.hist"];
+  EXPECT_EQ(data.count, 4u);
+  EXPECT_DOUBLE_EQ(data.sum, 107.5);
+  EXPECT_DOUBLE_EQ(data.Mean(), 107.5 / 4);
+  EXPECT_DOUBLE_EQ(data.min, 1.0);
+  EXPECT_DOUBLE_EQ(data.max, 100.0);
+  EXPECT_EQ(data.buckets[0], 1u);
+  EXPECT_EQ(data.buckets[2], 2u);
+  EXPECT_EQ(data.buckets[7], 1u);
+}
+
+TEST(MetricRegistryTest, ResetKeepsRegistrations) {
+  MetricRegistry registry;
+  Counter c = registry.counter("test.counter");
+  Histogram h = registry.histogram("test.hist");
+  c.Add(5);
+  h.Record(2.0);
+  registry.ResetForTesting();
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.count("test.counter"), 1u);
+  EXPECT_EQ(snap.counters["test.counter"], 0u);
+  EXPECT_EQ(snap.histograms["test.hist"].count, 0u);
+  c.Add(1);  // handles stay valid across resets
+  EXPECT_EQ(registry.Snapshot().counters["test.counter"], 1u);
+}
+
+TEST(MetricRegistryTest, ConcurrentCountersSumExactly) {
+  MetricRegistry registry;
+  Counter c = registry.counter("test.concurrent");
+  Histogram h = registry.histogram("test.concurrent_hist");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 50'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        c.Increment();
+        if (i % 1000 == 0) h.Record(static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // Shards are owned by the registry, so counts survive thread exit.
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters["test.concurrent"],
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(snap.histograms["test.concurrent_hist"].count,
+            static_cast<uint64_t>(kThreads) * (kIncrements / 1000));
+}
+
+TEST(MetricRegistryTest, SnapshotDuringConcurrentWrites) {
+  // Snapshotting must not block or race writers; totals are only
+  // checked after the join, but TSan watches the overlap.
+  MetricRegistry registry;
+  Counter c = registry.counter("test.live");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 20'000; ++i) c.Increment();
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    MetricsSnapshot snap = registry.Snapshot();
+    EXPECT_LE(snap.counters["test.live"], 80'000u);
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(registry.Snapshot().counters["test.live"], 80'000u);
+}
+
+// --- Deterministic engine counters ----------------------------------
+
+uint64_t GlobalCounter(const MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+TEST(EngineMetricsTest, SerialCountersMatchUninstrumentedStats) {
+  MetricRegistry::Global().ResetForTesting();
+  Ccsr gc = Ccsr::Build(testing::Clique(4));
+  CsceMatcher matcher(&gc);
+  MatchOptions options;
+  options.variant = MatchVariant::kEdgeInduced;
+  MatchResult result;
+  ASSERT_TRUE(matcher.Match(testing::Cycle(3), options, &result).ok());
+  // C(4,3) triangles * 3! mappings — a golden value, so a metrics bug
+  // cannot hide behind "both sides drifted together".
+  EXPECT_EQ(result.embeddings, 24u);
+
+  MetricsSnapshot snap = MetricRegistry::Global().Snapshot();
+  EXPECT_EQ(GlobalCounter(snap, "engine.runs"), 1u);
+  EXPECT_EQ(GlobalCounter(snap, "engine.embeddings"), result.embeddings);
+  EXPECT_EQ(GlobalCounter(snap, "engine.search_nodes"), result.search_nodes);
+  EXPECT_EQ(GlobalCounter(snap, "engine.sce_recomputes"),
+            result.candidate_sets_computed);
+  EXPECT_EQ(GlobalCounter(snap, "engine.sce_reuses"),
+            result.candidate_sets_reused);
+  EXPECT_EQ(GlobalCounter(snap, "engine.morsels_claimed"), 0u);
+  EXPECT_EQ(GlobalCounter(snap, "match.queries"), 1u);
+  EXPECT_GT(snap.histograms["engine.candidate_set_size"].count, 0u);
+}
+
+TEST(EngineMetricsTest, ParallelCountersMatchSerial) {
+  Ccsr gc = Ccsr::Build(testing::Clique(8));
+  CsceMatcher matcher(&gc);
+  Graph pattern = testing::Cycle(3);
+
+  MetricRegistry::Global().ResetForTesting();
+  MatchOptions serial;
+  serial.variant = MatchVariant::kEdgeInduced;
+  MatchResult serial_result;
+  ASSERT_TRUE(matcher.Match(pattern, serial, &serial_result).ok());
+  MetricsSnapshot serial_snap = MetricRegistry::Global().Snapshot();
+
+  MetricRegistry::Global().ResetForTesting();
+  MatchOptions parallel = serial;
+  parallel.num_threads = 8;
+  parallel.morsel_size = 2;
+  MatchResult parallel_result;
+  ASSERT_TRUE(matcher.Match(pattern, parallel, &parallel_result).ok());
+  MetricsSnapshot parallel_snap = MetricRegistry::Global().Snapshot();
+
+  // The work-defining counters are sharding-invariant...
+  EXPECT_EQ(parallel_result.embeddings, serial_result.embeddings);
+  EXPECT_EQ(GlobalCounter(parallel_snap, "engine.embeddings"),
+            GlobalCounter(serial_snap, "engine.embeddings"));
+  EXPECT_EQ(GlobalCounter(parallel_snap, "engine.search_nodes"),
+            GlobalCounter(serial_snap, "engine.search_nodes"));
+  EXPECT_EQ(GlobalCounter(parallel_snap, "engine.sce_recomputes") +
+                GlobalCounter(parallel_snap, "engine.sce_reuses"),
+            GlobalCounter(serial_snap, "engine.sce_recomputes") +
+                GlobalCounter(serial_snap, "engine.sce_reuses"));
+  // ...and the metrics mirror the run's own ExecStats exactly, even
+  // when eight workers flush concurrently.
+  EXPECT_EQ(GlobalCounter(parallel_snap, "engine.embeddings"),
+            parallel_result.embeddings);
+  EXPECT_EQ(GlobalCounter(parallel_snap, "engine.search_nodes"),
+            parallel_result.search_nodes);
+  EXPECT_EQ(GlobalCounter(parallel_snap, "engine.sce_recomputes"),
+            parallel_result.candidate_sets_computed);
+  EXPECT_EQ(GlobalCounter(parallel_snap, "engine.sce_reuses"),
+            parallel_result.candidate_sets_reused);
+  // 8 root candidates / morsel_size 2.
+  EXPECT_EQ(GlobalCounter(parallel_snap, "engine.morsels_claimed"), 4u);
+  EXPECT_EQ(parallel_result.morsels_claimed, 4u);
+  EXPECT_EQ(GlobalCounter(parallel_snap, "runtime.parallel_runs"), 1u);
+}
+
+TEST(EngineMetricsTest, RepeatedRunsAccumulate) {
+  MetricRegistry::Global().ResetForTesting();
+  Ccsr gc = Ccsr::Build(testing::Clique(4));
+  CsceMatcher matcher(&gc);
+  MatchOptions options;
+  options.variant = MatchVariant::kEdgeInduced;
+  for (int i = 0; i < 3; ++i) {
+    MatchResult result;
+    ASSERT_TRUE(matcher.Match(testing::Cycle(3), options, &result).ok());
+  }
+  MetricsSnapshot snap = MetricRegistry::Global().Snapshot();
+  EXPECT_EQ(GlobalCounter(snap, "engine.runs"), 3u);
+  EXPECT_EQ(GlobalCounter(snap, "engine.embeddings"), 72u);
+  EXPECT_EQ(GlobalCounter(snap, "match.queries"), 3u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace csce

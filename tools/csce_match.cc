@@ -6,15 +6,21 @@
 //              --time-limit=10 --max=100000 --explain --no-sce
 //
 // Prints the embedding count and the per-stage breakdown; --print=N
-// additionally streams the first N embeddings.
+// additionally streams the first N embeddings. Observability:
+// --metrics-json=FILE dumps the process metric registry as
+// csce.metrics.v1 JSON, --trace=FILE records phase spans as Chrome
+// chrome://tracing JSON (one track per worker thread).
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "ccsr/ccsr.h"
 #include "ccsr/ccsr_io.h"
 #include "engine/matcher.h"
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/plan_printer.h"
 #include "util/flags.h"
 
@@ -52,8 +58,19 @@ int main(int argc, char** argv) {
                  "--pattern=p.txt [--variant=edge|vertex|hom] "
                  "[--time-limit=s] [--max=n] [--print=n] [--threads=n] "
                  "[--explain] [--no-sce] [--no-nec] [--no-ldsf] "
-                 "[--no-tiebreak] [--cost-based] [--self-check]\n");
+                 "[--no-tiebreak] [--cost-based] [--self-check] "
+                 "[--metrics-json=f.json] [--trace=f.json]\n");
     return 2;
+  }
+
+  // Install tracing before the index build so ccsr.build spans land in
+  // the file too.
+  std::string metrics_path = flags.GetString("metrics-json", "");
+  std::string trace_path = flags.GetString("trace", "");
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!trace_path.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    obs::TraceRecorder::Install(recorder.get());
   }
 
   Ccsr index;
@@ -154,6 +171,22 @@ int main(int argc, char** argv) {
     std::printf(
         "self-check: verified=%llu mismatches=0\n",
         static_cast<unsigned long long>(result.embeddings_verified));
+  }
+
+  if (!metrics_path.empty()) {
+    if (Status wst = obs::WriteMetricsFile(obs::MetricRegistry::Global(),
+                                           metrics_path);
+        !wst.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", wst.ToString().c_str());
+      return 1;
+    }
+  }
+  if (recorder != nullptr) {
+    obs::TraceRecorder::Install(nullptr);
+    if (Status wst = recorder->WriteFile(trace_path); !wst.ok()) {
+      std::fprintf(stderr, "trace: %s\n", wst.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -12,8 +12,16 @@
 //   q_0.txt edge
 //   q_1.txt hom 100000 2.5
 //
+// A line consisting of the single word STATS is a directive, not a
+// query: the queries before it run as one batch, then the session's
+// cumulative runtime metrics are printed as a "STATS {...}" JSON line
+// before the next batch starts (a poor man's monitoring endpoint for
+// scripted sessions).
+//
 // --repeat=N serves the whole workload N times (load generation; with
 // view sharing the repeats hit the session's cluster cache).
+// --metrics-json=FILE additionally dumps the process metric registry
+// as csce.metrics.v1 JSON on exit.
 
 #include <cstdio>
 #include <fstream>
@@ -25,6 +33,7 @@
 #include "ccsr/ccsr.h"
 #include "ccsr/ccsr_io.h"
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
 #include "runtime/query_runtime.h"
 #include "util/flags.h"
 
@@ -44,7 +53,16 @@ bool ParseVariant(const std::string& name, csce::MatchVariant* out) {
   return true;
 }
 
-bool ParseWorkload(std::istream& in, std::vector<csce::QueryJob>* jobs) {
+/// One STATS-delimited slice of the workload: the jobs run as a batch,
+/// then a stats line is printed when `stats_after` (i.e. the segment
+/// was closed by a STATS directive rather than end-of-file).
+struct WorkloadSegment {
+  std::vector<csce::QueryJob> jobs;
+  bool stats_after = false;
+};
+
+bool ParseWorkload(std::istream& in, std::vector<WorkloadSegment>* segments) {
+  segments->emplace_back();
   std::string line;
   size_t lineno = 0;
   while (std::getline(in, line)) {
@@ -55,6 +73,11 @@ bool ParseWorkload(std::istream& in, std::vector<csce::QueryJob>* jobs) {
     std::istringstream fields(line);
     std::string path, variant;
     if (!(fields >> path)) continue;  // blank/comment line
+    if (path == "STATS") {
+      segments->back().stats_after = true;
+      segments->emplace_back();
+      continue;
+    }
     csce::QueryJob job;
     job.tag = path;
     if (fields >> variant && !ParseVariant(variant, &job.options.variant)) {
@@ -73,7 +96,7 @@ bool ParseWorkload(std::istream& in, std::vector<csce::QueryJob>* jobs) {
                    st.ToString().c_str());
       return false;
     }
-    jobs->push_back(std::move(job));
+    segments->back().jobs.push_back(std::move(job));
   }
   return true;
 }
@@ -95,7 +118,7 @@ int main(int argc, char** argv) {
                  "usage: csce_serve (--ccsr=x.ccsr | --graph=x.txt) "
                  "--queries=(workload.txt | -) [--threads=n] [--inflight=n] "
                  "[--threads-per-query=n] [--deadline=s] [--repeat=n] "
-                 "[--no-share-views] [--quiet]\n");
+                 "[--no-share-views] [--quiet] [--metrics-json=f.json]\n");
     return 2;
   }
 
@@ -114,7 +137,7 @@ int main(int argc, char** argv) {
     index = Ccsr::Build(g);
   }
 
-  std::vector<QueryJob> workload;
+  std::vector<WorkloadSegment> workload;
   if (queries_path == "-") {
     if (!ParseWorkload(std::cin, &workload)) return 2;
   } else {
@@ -137,62 +160,64 @@ int main(int argc, char** argv) {
   runtime_options.share_cluster_views = !flags.GetBool("no-share-views");
   int64_t repeat = flags.GetInt("repeat", 1);
   bool quiet = flags.GetBool("quiet");
+  std::string metrics_path = flags.GetString("metrics-json", "");
   for (const std::string& unused : flags.UnusedFlags()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", unused.c_str());
   }
 
-  std::vector<QueryJob> jobs;
-  for (int64_t r = 0; r < repeat; ++r) {
-    jobs.insert(jobs.end(), workload.begin(), workload.end());
-  }
-
   QueryRuntime runtime(&index, runtime_options);
-  std::vector<QueryOutcome> outcomes;
-  if (Status st = runtime.RunBatch(jobs, &outcomes); !st.ok()) {
-    std::fprintf(stderr, "run batch: %s\n", st.ToString().c_str());
-    return 1;
-  }
-
   int failures = 0;
-  for (size_t i = 0; i < outcomes.size(); ++i) {
-    const QueryOutcome& o = outcomes[i];
-    if (!o.status.ok()) ++failures;
-    if (quiet) continue;
-    std::printf(
-        "query=%s variant=%s status=%s embeddings=%llu wait=%.3fms "
-        "total=%.3fms%s%s%s%s\n",
-        o.tag.c_str(), VariantName(jobs[i].options.variant),
-        o.status.ok() ? "ok" : o.status.ToString().c_str(),
-        static_cast<unsigned long long>(o.result.embeddings),
-        o.queue_wait_seconds * 1e3, o.total_seconds * 1e3,
-        o.result.timed_out ? " timed_out" : "",
-        o.result.limit_reached ? " limit_reached" : "",
-        o.result.cancelled ? " cancelled" : "",
-        o.executed ? "" : " not_executed");
+  for (int64_t r = 0; r < repeat; ++r) {
+    for (const WorkloadSegment& segment : workload) {
+      std::vector<QueryOutcome> outcomes;
+      if (!segment.jobs.empty()) {
+        if (Status st = runtime.RunBatch(segment.jobs, &outcomes); !st.ok()) {
+          std::fprintf(stderr, "run batch: %s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+      for (size_t i = 0; i < outcomes.size(); ++i) {
+        const QueryOutcome& o = outcomes[i];
+        if (!o.status.ok()) ++failures;
+        if (quiet) continue;
+        std::printf(
+            "query=%s variant=%s status=%s embeddings=%llu wait=%.3fms "
+            "total=%.3fms%s%s%s%s\n",
+            o.tag.c_str(), VariantName(segment.jobs[i].options.variant),
+            o.status.ok() ? "ok" : o.status.ToString().c_str(),
+            static_cast<unsigned long long>(o.result.embeddings),
+            o.queue_wait_seconds * 1e3, o.total_seconds * 1e3,
+            o.result.timed_out ? " timed_out" : "",
+            o.result.limit_reached ? " limit_reached" : "",
+            o.result.cancelled ? " cancelled" : "",
+            o.executed ? "" : " not_executed");
+      }
+      if (segment.stats_after) {
+        std::printf("STATS %s\n",
+                    runtime.metrics().ToJson().Dump(0).c_str());
+        std::fflush(stdout);
+      }
+    }
   }
 
+  // Session summary: the runtime's cumulative metrics plus the session
+  // configuration, as a single JSON line (scripts parse this).
   const RuntimeMetrics m = runtime.metrics();
-  std::printf(
-      "{\"queries\": %llu, \"completed\": %llu, \"failed\": %llu, "
-      "\"timed_out\": %llu, \"limit_reached\": %llu, \"cancelled\": %llu, "
-      "\"embeddings\": %llu, \"wall_seconds\": %.6f, "
-      "\"queue_wait_seconds\": %.6f, \"exec_seconds\": %.6f, "
-      "\"read_seconds\": %.6f, \"plan_seconds\": %.6f, "
-      "\"enumerate_seconds\": %.6f, \"cache_hits\": %llu, "
-      "\"cache_misses\": %llu, \"worker_threads\": %u, "
-      "\"max_inflight\": %u, \"threads_per_query\": %u}\n",
-      static_cast<unsigned long long>(m.submitted),
-      static_cast<unsigned long long>(m.completed),
-      static_cast<unsigned long long>(m.failed),
-      static_cast<unsigned long long>(m.timed_out),
-      static_cast<unsigned long long>(m.limit_reached),
-      static_cast<unsigned long long>(m.cancelled),
-      static_cast<unsigned long long>(m.embeddings), m.wall_seconds,
-      m.queue_wait_seconds, m.exec_seconds, m.read_seconds, m.plan_seconds,
-      m.enumerate_seconds,
-      static_cast<unsigned long long>(m.cluster_cache_hits),
-      static_cast<unsigned long long>(m.cluster_cache_misses),
-      runtime.options().worker_threads, runtime.options().max_inflight,
-      runtime.options().threads_per_query);
+  obs::JsonValue summary = m.ToJson();
+  summary.Set("cache_hits", m.cluster_cache_hits);
+  summary.Set("cache_misses", m.cluster_cache_misses);
+  summary.Set("worker_threads", runtime.options().worker_threads);
+  summary.Set("max_inflight", runtime.options().max_inflight);
+  summary.Set("threads_per_query", runtime.options().threads_per_query);
+  std::printf("%s\n", summary.Dump(0).c_str());
+
+  if (!metrics_path.empty()) {
+    if (Status st = obs::WriteMetricsFile(obs::MetricRegistry::Global(),
+                                          metrics_path);
+        !st.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_baseline.json — the committed quick-mode perf snapshot.
+#
+# Runs bench_fig6_total_time and bench_parallel_scaling with
+# CSCE_BENCH_QUICK=1 and merges their BENCH_*.json artifacts into a
+# single csce.bench_baseline.v1 document at the repository root.
+#
+# Usage: tools/make_bench_baseline.sh [build-dir]    (default: build)
+set -eu
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$repo_root/$build_dir" ;;
+esac
+
+for bin in bench_fig6_total_time bench_parallel_scaling; do
+  if [ ! -x "$build_dir/bench/$bin" ]; then
+    echo "error: $build_dir/bench/$bin not built (cmake --build $build_dir --target $bin)" >&2
+    exit 1
+  fi
+done
+
+work_dir="$(mktemp -d)"
+trap 'rm -rf "$work_dir"' EXIT
+
+echo "== quick-mode fig6 =="
+(cd "$work_dir" && CSCE_BENCH_QUICK=1 "$build_dir/bench/bench_fig6_total_time")
+echo "== quick-mode parallel_scaling =="
+(cd "$work_dir" && CSCE_BENCH_QUICK=1 "$build_dir/bench/bench_parallel_scaling")
+
+out="$repo_root/BENCH_baseline.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$work_dir" "$out" << 'EOF'
+import glob, json, os, sys
+work_dir, out = sys.argv[1], sys.argv[2]
+benches = []
+for path in sorted(glob.glob(os.path.join(work_dir, "BENCH_*.json"))):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("schema") == "csce.bench.v1", path
+    benches.append(doc)
+doc = {"schema": "csce.bench_baseline.v1", "benches": benches}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print(f"wrote {out} ({len(benches)} benches)")
+EOF
+else
+  # No python3: concatenate by hand. The per-bench files are valid JSON
+  # documents, so wrapping them in an array keeps the result valid.
+  {
+    printf '{\n "schema": "csce.bench_baseline.v1",\n "benches": [\n'
+    first=1
+    for f in "$work_dir"/BENCH_*.json; do
+      [ "$first" = 1 ] || printf ',\n'
+      first=0
+      cat "$f"
+    done
+    printf '\n ]\n}\n'
+  } > "$out"
+  echo "wrote $out (python3 unavailable; skipped validation)"
+fi

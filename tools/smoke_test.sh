@@ -65,6 +65,7 @@ cat > "$WORK_DIR/queries.txt" <<EOF
 $WORK_DIR/q_0.txt edge
 $WORK_DIR/q_1.txt hom
 $WORK_DIR/q_1.txt vertex
+STATS
 EOF
 OUT_SERVE=$("$BIN_DIR/csce_serve" --ccsr="$WORK_DIR/g.ccsr" \
     --queries="$WORK_DIR/queries.txt" --threads=4 --inflight=2 --repeat=2)
@@ -78,6 +79,12 @@ SERVE_EDGE=$(printf '%s\n' "$OUT_SERVE" | \
     head -1)
 if [ "$SERVE_EDGE" != "$COUNT_CCSR" ]; then
   echo "FAIL: csce_serve edge count '$SERVE_EDGE' != csce_match '$COUNT_CCSR'"
+  exit 1
+fi
+# The STATS workload directive emits a cumulative metrics line per batch.
+STATS_LINES=$(printf '%s\n' "$OUT_SERVE" | grep -c '^STATS {' || true)
+if [ "$STATS_LINES" != "2" ]; then
+  echo "FAIL: expected 2 STATS lines (repeat=2), got '$STATS_LINES'"
   exit 1
 fi
 
@@ -108,6 +115,58 @@ for threads in 1 8; do
 done
 echo "PASS: Patent(18) self-check clean at 1 and 8 threads"
 
+# Observability artifacts: --metrics-json and --trace on the same
+# Patent(18) query at 1 and 8 threads must be well-formed, with the
+# embedding count unchanged by instrumentation and the deterministic
+# counters (embeddings, search nodes) identical across thread counts.
+for threads in 1 8; do
+  OUT_OBS=$("$BIN_DIR/csce_match" --ccsr="$WORK_DIR/patent.ccsr" \
+      --pattern="$WORK_DIR/pq_0.txt" --variant=edge --threads="$threads" \
+      --metrics-json="$WORK_DIR/metrics_$threads.json" \
+      --trace="$WORK_DIR/trace_$threads.json")
+  COUNT_OBS=$(printf '%s\n' "$OUT_OBS" | sed -n 's/.*embeddings=\([0-9]*\).*/\1/p')
+  OUT_PLAIN=$("$BIN_DIR/csce_match" --ccsr="$WORK_DIR/patent.ccsr" \
+      --pattern="$WORK_DIR/pq_0.txt" --variant=edge --threads="$threads")
+  COUNT_PLAIN=$(printf '%s\n' "$OUT_PLAIN" | sed -n 's/.*embeddings=\([0-9]*\).*/\1/p')
+  if [ -z "$COUNT_OBS" ] || [ "$COUNT_OBS" != "$COUNT_PLAIN" ]; then
+    echo "FAIL: instrumented run (threads=$threads) found '$COUNT_OBS', plain '$COUNT_PLAIN'"
+    exit 1
+  fi
+  for f in "$WORK_DIR/metrics_$threads.json" "$WORK_DIR/trace_$threads.json"; do
+    if [ ! -s "$f" ]; then
+      echo "FAIL: $f missing or empty"
+      exit 1
+    fi
+  done
+  grep -q '"schema": "csce.metrics.v1"' "$WORK_DIR/metrics_$threads.json" || {
+    echo "FAIL: metrics_$threads.json lacks the csce.metrics.v1 schema tag"
+    exit 1
+  }
+  grep -q '"traceEvents"' "$WORK_DIR/trace_$threads.json" || {
+    echo "FAIL: trace_$threads.json lacks traceEvents"
+    exit 1
+  }
+done
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$WORK_DIR" <<'EOF'
+import json, sys
+work = sys.argv[1]
+counters = {}
+for threads in (1, 8):
+    for kind in ("metrics", "trace"):
+        with open(f"{work}/{kind}_{threads}.json") as f:
+            doc = json.load(f)  # raises on malformed output
+    with open(f"{work}/metrics_{threads}.json") as f:
+        counters[threads] = json.load(f)["metrics"]["counters"]
+for key in ("engine.embeddings", "engine.search_nodes"):
+    if counters[1][key] != counters[8][key]:
+        sys.exit(f"FAIL: {key} differs: {counters[1][key]} vs {counters[8][key]}")
+print("PASS: metrics/trace JSON valid, counters thread-count invariant")
+EOF
+else
+  echo "PASS: metrics/trace artifacts present (python3 unavailable, shallow check)"
+fi
+
 # Optional TSan pass over the runtime subsystem's tests.
 if [ -n "${CSCE_TSAN:-}" ]; then
   SRC_DIR=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -116,7 +175,7 @@ if [ -n "${CSCE_TSAN:-}" ]; then
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build "$TSAN_DIR" --target csce_tests -j "$(nproc)" > /dev/null
   (cd "$TSAN_DIR" && ctest \
-      -R 'ThreadPool|StopToken|ParallelExecutor|QueryRuntime|ClusterCacheConcurrency' \
+      -R 'ThreadPool|StopToken|ParallelExecutor|QueryRuntime|ClusterCacheConcurrency|MetricRegistry|EngineMetrics' \
       --output-on-failure)
   echo "PASS: runtime tests clean under TSan"
 fi
