@@ -55,10 +55,19 @@ class ClusterView {
   bool HasArc(VertexId a, VertexId b) const { return out_.HasArc(a, b); }
 
   /// Distinct arc sources (undirected: all cluster vertices), sorted.
-  std::vector<VertexId> Sources() const { return out_.NonEmptyVertices(); }
-  /// Distinct arc targets, sorted.
-  std::vector<VertexId> Targets() const {
-    return id_.directed ? in_.NonEmptyVertices() : out_.NonEmptyVertices();
+  /// A view into precomputed index storage — no copy; valid while the
+  /// view lives and safe to read concurrently.
+  std::span<const VertexId> Sources() const { return out_.NonEmptySpan(); }
+  /// Distinct arc targets, sorted (same lifetime contract).
+  std::span<const VertexId> Targets() const {
+    return id_.directed ? in_.NonEmptySpan() : out_.NonEmptySpan();
+  }
+
+  /// Longest Out(v) / In(v) row — upper bounds for intersection results
+  /// that include a row of this cluster (executor scratch sizing).
+  size_t MaxOutRowLength() const { return out_.MaxRowLength(); }
+  size_t MaxInRowLength() const {
+    return id_.directed ? in_.MaxRowLength() : out_.MaxRowLength();
   }
 
   size_t SizeBytes() const { return out_.SizeBytes() + in_.SizeBytes(); }

@@ -38,7 +38,26 @@ CsrIndex CsrIndex::FromCompressed(const CompressedRowIndex& rows,
       out.sparse_rows_.push_back(end);
     });
   }
+  out.ComputeRowStats();
   return out;
+}
+
+void CsrIndex::ComputeRowStats() {
+  max_row_length_ = 0;
+  if (dense_) {
+    dense_non_empty_.clear();
+    for (size_t v = 0; v + 1 < dense_rows_.size(); ++v) {
+      uint64_t len = dense_rows_[v + 1] - dense_rows_[v];
+      if (len == 0) continue;
+      dense_non_empty_.push_back(static_cast<VertexId>(v));
+      if (len > max_row_length_) max_row_length_ = static_cast<size_t>(len);
+    }
+  } else {
+    for (size_t i = 0; i + 1 < sparse_rows_.size(); ++i) {
+      uint64_t len = sparse_rows_[i + 1] - sparse_rows_[i];
+      if (len > max_row_length_) max_row_length_ = static_cast<size_t>(len);
+    }
+  }
 }
 
 CsrIndex CsrIndex::FromArcs(uint32_t num_vertices,
@@ -56,14 +75,8 @@ CsrIndex CsrIndex::FromArcs(uint32_t num_vertices,
 }
 
 std::vector<VertexId> CsrIndex::NonEmptyVertices() const {
-  if (!dense_) return sparse_vertices_;
-  std::vector<VertexId> out;
-  for (size_t v = 0; v + 1 < dense_rows_.size(); ++v) {
-    if (dense_rows_[v + 1] > dense_rows_[v]) {
-      out.push_back(static_cast<VertexId>(v));
-    }
-  }
-  return out;
+  std::span<const VertexId> view = NonEmptySpan();
+  return std::vector<VertexId>(view.begin(), view.end());
 }
 
 }  // namespace csce

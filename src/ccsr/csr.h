@@ -60,23 +60,45 @@ class CsrIndex {
   uint64_t NumArcs() const { return cols_.size(); }
   bool dense() const { return dense_; }
 
-  /// The distinct vertices with at least one arc, sorted.
+  /// The distinct vertices with at least one arc, sorted. Copying
+  /// convenience used by tests and diagnostics; hot paths use
+  /// NonEmptySpan.
   std::vector<VertexId> NonEmptyVertices() const;
+
+  /// Same set without the copy: a view into index-owned storage,
+  /// precomputed at decompress time (the sparse layout's vertex list,
+  /// or a dedicated array for dense clusters). Valid while the index
+  /// lives; safe to read from any number of threads.
+  std::span<const VertexId> NonEmptySpan() const {
+    return dense_ ? std::span<const VertexId>(dense_non_empty_)
+                  : std::span<const VertexId>(sparse_vertices_);
+  }
+
+  /// Length of the longest neighbor row, precomputed at decompress
+  /// time. An upper bound on any intersection result that includes one
+  /// of this index's rows — the executor sizes its zero-allocation
+  /// scratch buffers from it.
+  size_t MaxRowLength() const { return max_row_length_; }
 
   /// Approximate heap footprint in bytes.
   size_t SizeBytes() const {
     return dense_rows_.size() * sizeof(uint64_t) +
            sparse_vertices_.size() * sizeof(VertexId) +
            sparse_rows_.size() * sizeof(uint64_t) +
+           dense_non_empty_.size() * sizeof(VertexId) +
            cols_.size() * sizeof(VertexId);
   }
 
  private:
+  void ComputeRowStats();
+
   bool dense_ = true;
   std::vector<uint64_t> dense_rows_;       // dense layout: |V|+1 offsets
   std::vector<VertexId> sparse_vertices_;  // sparse layout: sorted vertices
   std::vector<uint64_t> sparse_rows_;      // sparse layout: k+1 offsets
+  std::vector<VertexId> dense_non_empty_;  // dense layout: sorted vertices
   std::vector<VertexId> cols_;
+  size_t max_row_length_ = 0;
 };
 
 }  // namespace csce

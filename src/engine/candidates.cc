@@ -2,83 +2,33 @@
 
 #include <algorithm>
 
+#include "engine/setops/setops.h"
+
 namespace csce {
-namespace {
-
-// Size ratio beyond which galloping beats the linear merge.
-constexpr size_t kGallopRatio = 32;
-
-// Galloping intersection: for each element of the small list, locate it
-// in the large list with an exponentially advancing lower_bound.
-void GallopIntersect(std::span<const VertexId> small_list,
-                     std::span<const VertexId> large_list,
-                     std::vector<VertexId>* out) {
-  const VertexId* lo = large_list.data();
-  const VertexId* end = large_list.data() + large_list.size();
-  for (VertexId x : small_list) {
-    // Exponential probe from the current frontier.
-    size_t step = 1;
-    const VertexId* probe = lo;
-    while (probe + step < end && *(probe + step) < x) {
-      probe += step;
-      step <<= 1;
-    }
-    const VertexId* hi = std::min(probe + step + 1, end);
-    lo = std::lower_bound(probe, hi, x);
-    if (lo == end) return;
-    if (*lo == x) out->push_back(x);
-  }
-}
-
-}  // namespace
 
 void IntersectSorted(std::span<const VertexId> a, std::span<const VertexId> b,
                      std::vector<VertexId>* out) {
-  out->clear();
-  if (a.empty() || b.empty()) return;
-  if (a.size() > b.size()) std::swap(a, b);
-  out->reserve(a.size());
-  if (b.size() / a.size() >= kGallopRatio) {
-    GallopIntersect(a, b, out);
-    return;
-  }
-  const VertexId* pa = a.data();
-  const VertexId* ea = a.data() + a.size();
-  const VertexId* pb = b.data();
-  const VertexId* eb = b.data() + b.size();
-  while (pa != ea && pb != eb) {
-    if (*pa < *pb) {
-      ++pa;
-    } else if (*pb < *pa) {
-      ++pb;
-    } else {
-      out->push_back(*pa);
-      ++pa;
-      ++pb;
-    }
-  }
+  // Sized to the kernel contract (max result + SIMD store pad), shrunk
+  // to the true length afterwards.
+  out->resize(std::min(a.size(), b.size()) + setops::kOutPad);
+  out->resize(setops::Intersect(a, b, out->data()));
 }
 
 void IntersectInPlace(std::vector<VertexId>* acc,
                       std::span<const VertexId> b) {
   if (acc->empty()) return;
-  std::vector<VertexId> result;
-  IntersectSorted(*acc, b, &result);
+  // Intersect forbids aliasing; round-trip through a scratch vector.
+  std::vector<VertexId> result(std::min(acc->size(), b.size()) +
+                               setops::kOutPad);
+  result.resize(setops::Intersect(*acc, b, result.data()));
   acc->swap(result);
 }
 
 void DifferenceInPlace(std::vector<VertexId>* acc,
                        std::span<const VertexId> b) {
   if (acc->empty() || b.empty()) return;
-  auto write = acc->begin();
-  const VertexId* pb = b.data();
-  const VertexId* eb = b.data() + b.size();
-  for (VertexId x : *acc) {
-    while (pb != eb && *pb < x) ++pb;
-    if (pb != eb && *pb == x) continue;  // drop x
-    *write++ = x;
-  }
-  acc->erase(write, acc->end());
+  // Difference is in-place safe and never writes past acc->size().
+  acc->resize(setops::Difference(*acc, b, acc->data()));
 }
 
 }  // namespace csce

@@ -8,8 +8,13 @@
 
 namespace csce {
 
-/// out = a ∩ b. Inputs are sorted unique; output likewise. Switches to
-/// galloping (doubling binary search) when sizes are lopsided.
+/// Convenience std::vector front-ends over the dispatched kernels in
+/// engine/setops/ (SIMD when the CPU has it, scalar otherwise). These
+/// allocate on resize like any vector code and exist for callers off
+/// the enumeration hot path — baselines, benches, tests. The executor
+/// itself calls setops directly on preallocated VertexScratch buffers.
+
+/// out = a ∩ b. Inputs are sorted unique; output likewise.
 void IntersectSorted(std::span<const VertexId> a, std::span<const VertexId> b,
                      std::vector<VertexId>* out);
 

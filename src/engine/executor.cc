@@ -1,8 +1,9 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <limits>
 
-#include "engine/candidates.h"
+#include "engine/setops/setops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -47,6 +48,28 @@ struct EngineMetrics {
 Executor::Executor(const Ccsr& gc, const QueryClusters& qc, const Plan& plan)
     : gc_(gc), qc_(qc), plan_(plan) {}
 
+size_t Executor::CandidateBound(uint32_t depth) const {
+  const PlanPosition& pos = plan_.positions[depth];
+  if (edges_[depth].empty()) {
+    if (pos.seed_valid) {
+      const ClusterView* view = qc_.Find(pos.seed_cluster);
+      if (view == nullptr) return 0;
+      return pos.seed_use_sources ? view->Sources().size()
+                                  : view->Targets().size();
+    }
+    return gc_.LabelFrequency(pos.label);
+  }
+  size_t bound = std::numeric_limits<size_t>::max();
+  for (const ResolvedEdge& e : edges_[depth]) {
+    size_t rows = e.view == nullptr
+                      ? 0
+                      : (e.incoming ? e.view->MaxInRowLength()
+                                    : e.view->MaxOutRowLength());
+    bound = std::min(bound, rows);
+  }
+  return bound;
+}
+
 Status Executor::Prepare(const ExecOptions& options) {
   const size_t n = plan_.positions.size();
   options_ = &options;
@@ -59,7 +82,21 @@ Status Executor::Prepare(const ExecOptions& options) {
   negs_.assign(n, {});
   restrictions_.assign(n, {});
   cache_slot_.assign(n, 0);
-  caches_.assign(n, CandidateCache{});
+  // CandidateCache holds a VertexScratch (move-only); keep the buffers
+  // across reuse of the same executor and just invalidate the entries.
+  if (caches_.size() != n) {
+    caches_.clear();
+    caches_.resize(n);
+  }
+  for (CandidateCache& c : caches_) {
+    c.valid = false;
+    c.candidates.clear();
+  }
+  if (temp_.size() != n) {
+    temp_.clear();
+    temp_.resize(n);
+  }
+  cand_bound_.assign(n, 0);
   mapping_by_pos_.assign(n, kInvalidVertex);
   mapping_by_vertex_.assign(n, kInvalidVertex);
   used_.Resize(gc_.NumVertices());
@@ -94,10 +131,49 @@ Status Executor::Prepare(const ExecOptions& options) {
     }
     // NEC cache sharing is only safe together with SCE reuse: an
     // aliased position recomputing into a shared slot would clobber the
-    // vector an outer recursion level is iterating.
+    // buffer an outer recursion level is iterating.
     cache_slot_[j] = (plan_.use_sce && pos.cache_alias >= 0)
                          ? static_cast<uint32_t>(pos.cache_alias)
                          : j;
+  }
+
+  // Zero-allocation setup: size every hot-path buffer to its worst
+  // case now, so ComputeCandidates never grows anything.
+  size_t max_bound = 0;
+  size_t max_lists = 0;
+  size_t max_removals = 0;
+  for (uint32_t j = 0; j < n; ++j) {
+    cand_bound_[j] = CandidateBound(j);
+    max_bound = std::max(max_bound, cand_bound_[j]);
+    max_lists = std::max(max_lists, edges_[j].size());
+    // Chained intersections ping-pong between the output buffer and the
+    // depth's partner; single-list and seeded paths need no partner.
+    if (edges_[j].size() >= 2) {
+      temp_[j].Reserve(cand_bound_[j] + setops::kOutPad);
+    }
+    size_t removals = 0;
+    for (const ResolvedNegation& rn : negs_[j]) removals += rn.removals.size();
+    max_removals = std::max(max_removals, removals);
+  }
+  for (uint32_t j = 0; j < n; ++j) {
+    // Reserve only grows, so a shared (NEC-aliased) slot ends up sized
+    // for the largest of its positions.
+    CandidateCache& c = caches_[cache_slot_[j]];
+    c.candidates.Reserve(cand_bound_[j] + setops::kOutPad);
+  }
+  for (uint32_t j = 0; j < n; ++j) {
+    caches_[j].dep_snapshot.reserve(plan_.positions[j].deps.size());
+  }
+  lists_.clear();
+  lists_.reserve(max_lists);
+  neg_lists_.clear();
+  neg_lists_.reserve(max_removals);
+  if (max_removals > 0) {
+    neg_marks_.Resize(gc_.NumVertices());
+    neg_marks_.Reset();
+  }
+  if (options.verify_sce) {
+    sce_oracle_scratch_.Reserve(max_bound + setops::kOutPad);
   }
 
   for (const auto& [a, b] : options.restrictions) {
@@ -141,10 +217,15 @@ bool Executor::PassesRestrictions(uint32_t depth, VertexId v) const {
   return true;
 }
 
-void Executor::ComputeCandidates(uint32_t depth, std::vector<VertexId>* out) {
+void Executor::ComputeCandidates(uint32_t depth,
+                                 setops::VertexScratch* out) {
   ++stats_.candidate_sets_computed;
   out->clear();
   const PlanPosition& pos = plan_.positions[depth];
+  // Normally a no-op compare: Prepare reserved this bound. Growing here
+  // trips the VertexScratch hot-growth counter the allocation test
+  // watches.
+  out->EnsureCapacity(cand_bound_[depth] + setops::kOutPad);
 
   if (edges_[depth].empty()) {
     // Seeded position: distinct endpoints of the smallest incident
@@ -152,7 +233,7 @@ void Executor::ComputeCandidates(uint32_t depth, std::vector<VertexId>* out) {
     if (pos.seed_valid) {
       const ClusterView* view = qc_.Find(pos.seed_cluster);
       if (view == nullptr) return;
-      std::vector<VertexId> endpoints =
+      std::span<const VertexId> endpoints =
           pos.seed_use_sources ? view->Sources() : view->Targets();
       for (VertexId v : endpoints) {
         if (gc_.VertexLabel(v) == pos.label) out->push_back(v);
@@ -164,53 +245,101 @@ void Executor::ComputeCandidates(uint32_t depth, std::vector<VertexId>* out) {
     }
   } else {
     // Gather the neighbor lists and intersect smallest-first.
-    std::vector<std::span<const VertexId>> lists;
-    lists.reserve(edges_[depth].size());
+    lists_.clear();
     for (const ResolvedEdge& e : edges_[depth]) {
       if (e.view == nullptr) return;  // empty cluster: no candidates
       VertexId w = mapping_by_pos_[e.pos];
-      lists.push_back(e.incoming ? e.view->In(w) : e.view->Out(w));
-      if (lists.back().empty()) return;
+      lists_.push_back(e.incoming ? e.view->In(w) : e.view->Out(w));
+      if (lists_.back().empty()) return;
     }
-    std::sort(lists.begin(), lists.end(),
-              [](std::span<const VertexId> a, std::span<const VertexId> b) {
-                return a.size() < b.size();
-              });
-    out->assign(lists[0].begin(), lists[0].end());
-    for (size_t i = 1; i < lists.size() && !out->empty(); ++i) {
-      IntersectInPlace(out, lists[i]);
+    // Insertion sort by size: the list count is the pattern vertex's
+    // back-degree (almost always <= 8), where this beats std::sort's
+    // dispatch overhead and allocates nothing.
+    for (size_t i = 1; i < lists_.size(); ++i) {
+      std::span<const VertexId> key = lists_[i];
+      size_t j = i;
+      for (; j > 0 && lists_[j - 1].size() > key.size(); --j) {
+        lists_[j] = lists_[j - 1];
+      }
+      lists_[j] = key;
+    }
+    if (lists_.size() == 1) {
+      out->Assign(lists_[0]);
+    } else {
+      // The kernels cannot write in place, so chained intersections
+      // ping-pong between the depth's partner buffer and `out`, phased
+      // so the last round lands in `out`.
+      setops::VertexScratch& tmp = temp_[depth];
+      tmp.EnsureCapacity(cand_bound_[depth] + setops::kOutPad);
+      const size_t rounds = lists_.size() - 1;
+      setops::VertexScratch* bufs[2] = {&tmp, out};
+      size_t cur = rounds % 2;  // odd round count: start (and end) at out
+      setops::VertexScratch* dst = bufs[cur];
+      dst->set_size(setops::Intersect(lists_[0], lists_[1], dst->data()));
+      for (size_t i = 2; i < lists_.size() && !dst->empty(); ++i) {
+        setops::VertexScratch* src = dst;
+        cur ^= 1;
+        dst = bufs[cur];
+        dst->set_size(
+            setops::Intersect(src->span(), lists_[i], dst->data()));
+      }
+      // An early exit (empty intermediate) can strand the result in the
+      // partner buffer; it is empty either way.
+      if (dst != out) {
+        CSCE_DCHECK(dst->empty());
+        out->clear();
+      }
     }
   }
 
   // LDF degree filter (injective variants): a candidate must be able
   // to host distinct images of all the pattern vertex's neighbors.
   if (pos.min_out_degree > 1 || pos.min_in_degree > 1) {
-    auto write = out->begin();
-    for (VertexId v : *out) {
+    VertexId* data = out->data();
+    size_t kept = 0;
+    for (size_t i = 0; i < out->size(); ++i) {
+      VertexId v = data[i];
       if (gc_.OutDegree(v) >= pos.min_out_degree &&
           gc_.InDegree(v) >= pos.min_in_degree) {
-        *write++ = v;
+        data[kept++] = v;
       }
     }
-    out->erase(write, out->end());
+    out->set_size(kept);
   }
 
   // Vertex-induced negation: subtract the data-neighbors of every
   // earlier non-neighbor mapping.
-  for (const ResolvedNegation& rn : negs_[depth]) {
-    if (out->empty()) break;
-    VertexId w = mapping_by_pos_[rn.pos];
-    for (const auto& [view, use_out] : rn.removals) {
-      DifferenceInPlace(out, use_out ? view->Out(w) : view->In(w));
-      if (out->empty()) break;
+  if (!negs_[depth].empty() && !out->empty()) {
+    neg_lists_.clear();
+    size_t total_removals = 0;
+    for (const ResolvedNegation& rn : negs_[depth]) {
+      VertexId w = mapping_by_pos_[rn.pos];
+      for (const auto& [view, use_out] : rn.removals) {
+        std::span<const VertexId> list = use_out ? view->Out(w) : view->In(w);
+        if (!list.empty()) {
+          neg_lists_.push_back(list);
+          total_removals += list.size();
+        }
+      }
+    }
+    if (setops::UseBitmapDifference(out->size(), neg_lists_.size(),
+                                    total_removals)) {
+      // Dense path: mark all removal lists once, filter in one pass.
+      out->set_size(setops::DifferenceManyBitmap(out->data(), out->size(),
+                                                 neg_lists_, &neg_marks_));
+    } else {
+      for (std::span<const VertexId> list : neg_lists_) {
+        // Difference is in-place safe (writes trail reads).
+        out->set_size(setops::Difference(out->span(), list, out->data()));
+        if (out->empty()) break;
+      }
     }
   }
 
-  EngineMetrics::Get().candidate_set_size.Record(
-      static_cast<double>(out->size()));
+  stats_.candidate_set_size.RecordCount(out->size());
 }
 
-const std::vector<VertexId>& Executor::Candidates(uint32_t depth) {
+std::span<const VertexId> Executor::Candidates(uint32_t depth) {
   uint32_t slot = cache_slot_[depth];
   CandidateCache& cache = caches_[slot];
   const std::vector<uint32_t>& deps = plan_.positions[slot].deps;
@@ -227,14 +356,14 @@ const std::vector<VertexId>& Executor::Candidates(uint32_t depth) {
           << "): cached " << cache.candidates.size()
           << " candidates, recomputed " << sce_oracle_scratch_.size();
     }
-    return cache.candidates;
+    return cache.candidates.span();
   }
   ComputeCandidates(depth, &cache.candidates);
   cache.Store(deps, mapping_by_pos_);
   if (depth == options_->poison_sce_position && !cache.candidates.empty()) {
     cache.candidates.pop_back();  // test-only fault injection, see header
   }
-  return cache.candidates;
+  return cache.candidates.span();
 }
 
 bool Executor::Emit() {
@@ -327,6 +456,7 @@ Status Executor::Run(const ExecOptions& options, ExecStats* stats) {
   m.sce_recomputes.Add(stats_.candidate_sets_computed);
   m.sce_reuses.Add(stats_.candidate_sets_reused);
   m.morsels_claimed.Add(stats_.morsels_claimed);
+  m.candidate_set_size.Merge(stats_.candidate_set_size);
   m.run_seconds.Record(stats_.seconds);
   return Status::OK();
 }
@@ -335,7 +465,14 @@ Status Executor::ComputeRootCandidates(const ExecOptions& options,
                                        std::vector<VertexId>* out) {
   CSCE_RETURN_IF_ERROR(Prepare(options));
   out->clear();
-  if (!plan_.positions.empty()) ComputeCandidates(0, out);
+  if (!plan_.positions.empty()) {
+    // Computed into the root's (still invalid) cache buffer, then
+    // copied out: this is setup work, not the enumeration hot path.
+    setops::VertexScratch& root = caches_[cache_slot_[0]].candidates;
+    ComputeCandidates(0, &root);
+    out->assign(root.data(), root.data() + root.size());
+    root.clear();
+  }
   return Status::OK();
 }
 

@@ -9,6 +9,8 @@
 
 #include "ccsr/ccsr.h"
 #include "engine/sce_cache.h"
+#include "engine/setops/vertex_scratch.h"
+#include "obs/metrics.h"
 #include "plan/planner.h"
 #include "util/bitset.h"
 #include "util/status.h"
@@ -80,6 +82,11 @@ struct ExecStats {
   /// runtime's merged stats sum to exactly ceil(roots / morsel_size)
   /// on an uninterrupted run — a deterministic-counter test anchor.
   uint64_t morsels_claimed = 0;
+  /// Per-run size distribution of the computed candidate sets,
+  /// accumulated locally (plain array bumps) and flushed into the
+  /// global "engine.candidate_set_size" histogram once at the end of
+  /// Run — the hot path never touches the metric registry.
+  obs::LocalHistogram candidate_set_size;
   double seconds = 0.0;
   /// Filled by ParallelExecutor only: total worker wall time not spent
   /// inside Executor::Run, i.e. threads * wall - sum(worker seconds).
@@ -90,6 +97,14 @@ struct ExecStats {
 /// embeddings one pattern vertex at a time along the plan order,
 /// computing each position's candidates by intersecting cluster
 /// neighbor lists and reusing them via SCE caches.
+///
+/// Allocation discipline: Prepare() computes a worst-case candidate
+/// bound per position (the shortest incident cluster row, the seed
+/// endpoint count, or the label frequency) and reserves every scratch
+/// buffer once — the per-slot cache storage, a per-depth ping-pong
+/// partner for chained intersections, and the negation mark bitmap.
+/// After Prepare() the enumeration performs no heap allocation; the
+/// VertexScratch hot-growth counter is the test hook proving it.
 class Executor {
  public:
   /// `gc` provides vertex labels, `qc` the decompressed clusters, and
@@ -126,10 +141,14 @@ class Executor {
   };
 
   Status Prepare(const ExecOptions& options);
+  /// Worst-case result size of ComputeCandidates at `depth`, used to
+  /// pre-size scratch. Seeded: endpoint count; label scan: label
+  /// frequency; edges: shortest incident cluster row.
+  size_t CandidateBound(uint32_t depth) const;
   bool Enumerate(uint32_t depth);  // false: abort (timeout/limit/callback)
   bool EnumerateOver(uint32_t depth, std::span<const VertexId> candidates);
-  const std::vector<VertexId>& Candidates(uint32_t depth);
-  void ComputeCandidates(uint32_t depth, std::vector<VertexId>* out);
+  std::span<const VertexId> Candidates(uint32_t depth);
+  void ComputeCandidates(uint32_t depth, setops::VertexScratch* out);
   bool PassesRestrictions(uint32_t depth, VertexId v) const;
   bool Emit();
   bool CheckDeadline();
@@ -149,7 +168,12 @@ class Executor {
   std::vector<std::vector<Restriction>> restrictions_;  // per position
   std::vector<uint32_t> cache_slot_;                    // per position
   std::vector<CandidateCache> caches_;
-  std::vector<VertexId> sce_oracle_scratch_;  // verify_sce recompute buffer
+  std::vector<size_t> cand_bound_;           // per position, see above
+  std::vector<setops::VertexScratch> temp_;  // per-depth ping-pong partner
+  std::vector<std::span<const VertexId>> lists_;      // gather buffer
+  std::vector<std::span<const VertexId>> neg_lists_;  // gather buffer
+  DynamicBitset neg_marks_;  // bitmap-difference scratch, all-zero at rest
+  setops::VertexScratch sce_oracle_scratch_;  // verify_sce recompute buffer
   std::vector<VertexId> mapping_by_pos_;
   std::vector<VertexId> mapping_by_vertex_;
   DynamicBitset used_;

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "engine/setops/vertex_scratch.h"
 #include "graph/graph.h"
 
 namespace csce {
@@ -15,8 +16,14 @@ namespace csce {
 /// set is reusable — verbatim in homomorphic matching, minus the
 /// already-used vertices (enforced at consumption time) in the
 /// injective variants.
+///
+/// `candidates` is a VertexScratch, not a std::vector: the executor
+/// sizes it once in Prepare() (worst-case candidate bound + SIMD store
+/// pad) and the set-operation kernels then write into it directly, so
+/// recomputations allocate nothing. `dep_snapshot` is likewise
+/// pre-reserved to the slot's dependency count.
 struct CandidateCache {
-  std::vector<VertexId> candidates;
+  setops::VertexScratch candidates;
   std::vector<VertexId> dep_snapshot;
   bool valid = false;
 

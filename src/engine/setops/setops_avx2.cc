@@ -1,0 +1,197 @@
+// AVX2 set-operation kernels. This translation unit is compiled with
+// -mavx2 (see src/CMakeLists.txt) and must only be reached through the
+// runtime dispatch in setops.cc, which checks cpu support first.
+//
+// Algorithm (the shuffle/gallop hybrid): lopsided inputs delegate to
+// the scalar galloping path — doubling binary search is memory-bound
+// and SIMD buys nothing. Comparable sizes run a block merge: load 8
+// elements of each side, compare A's block against all 8 rotations of
+// B's block (all-pairs equality in 8 cmp+or), and accumulate a per-lane
+// match mask for the current A block across as many B blocks as overlap
+// it. When B's frontier passes A's block maximum the verdict for every
+// A lane is final: the block is emitted with one table-driven
+// compress-permute (matches for intersection, non-matches for
+// difference) and the mask resets. All loads/stores are unaligned
+// (loadu/storeu) — no alignment UB — and stores write full 8-lane
+// vectors, which is why setops.h's kOutPad slack exists.
+
+#include "engine/setops/kernels.h"
+
+#ifdef CSCE_SETOPS_X86
+
+#include <immintrin.h>
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+namespace csce {
+namespace setops {
+namespace internal {
+namespace {
+
+// kCompress8.perm[mask] maps the set lanes of an 8-bit mask to the
+// front (order-preserving); unset lanes follow so the permute result's
+// tail is deterministic garbage inside the kOutPad slack.
+struct Compress8Table {
+  alignas(32) uint32_t perm[256][8];
+};
+
+constexpr Compress8Table MakeCompress8Table() {
+  Compress8Table t{};
+  for (uint32_t mask = 0; mask < 256; ++mask) {
+    uint32_t k = 0;
+    for (uint32_t lane = 0; lane < 8; ++lane) {
+      if ((mask >> lane) & 1) t.perm[mask][k++] = lane;
+    }
+    for (uint32_t lane = 0; lane < 8; ++lane) {
+      if (!((mask >> lane) & 1)) t.perm[mask][k++] = lane;
+    }
+  }
+  return t;
+}
+
+constexpr Compress8Table kCompress8 = MakeCompress8Table();
+
+// Lane mask of A-block elements equal to *some* element of the B block:
+// compare against every rotation of B. The 8 rotations are independent
+// permutes (no serial dependency chain), then an OR tree and a single
+// movemask.
+inline uint32_t MatchMask8(__m256i va, __m256i vb) {
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  const __m256i rot2 = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+  const __m256i rot3 = _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2);
+  const __m256i rot4 = _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3);
+  const __m256i rot5 = _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4);
+  const __m256i rot6 = _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5);
+  const __m256i rot7 = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+  __m256i m0 = _mm256_cmpeq_epi32(va, vb);
+  __m256i m1 = _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot1));
+  __m256i m2 = _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot2));
+  __m256i m3 = _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot3));
+  __m256i m4 = _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot4));
+  __m256i m5 = _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot5));
+  __m256i m6 = _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot6));
+  __m256i m7 = _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot7));
+  __m256i m = _mm256_or_si256(
+      _mm256_or_si256(_mm256_or_si256(m0, m1), _mm256_or_si256(m2, m3)),
+      _mm256_or_si256(_mm256_or_si256(m4, m5), _mm256_or_si256(m6, m7)));
+  return static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(m)));
+}
+
+inline void CompressStore8(VertexId* dst, __m256i va, uint32_t mask) {
+  __m256i perm = _mm256_load_si256(
+      reinterpret_cast<const __m256i*>(kCompress8.perm[mask]));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                      _mm256_permutevar8x32_epi32(va, perm));
+}
+
+}  // namespace
+
+size_t IntersectAvx2(const VertexId* a, size_t na, const VertexId* b,
+                     size_t nb, VertexId* out) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na == 0) return 0;
+  if (nb / na >= kGallopRatio) return IntersectScalar(a, na, b, nb, out);
+
+  size_t i = 0, j = 0, k = 0;
+  uint32_t amask = 0;  // matches found for a[i..i+8) in b[0..j)
+  while (i + 8 <= na && j + 8 <= nb) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    amask |= MatchMask8(va, vb);
+    VertexId a_max = a[i + 7];
+    VertexId b_max = b[j + 7];
+    if (a_max <= b_max) {
+      // Every later B element exceeds a_max: the block's verdict is
+      // final. Emit the matched lanes and move on.
+      CompressStore8(out + k, va, amask);
+      k += static_cast<size_t>(__builtin_popcount(amask));
+      amask = 0;
+      i += 8;
+    }
+    if (b_max <= a_max) j += 8;
+  }
+
+  // Scalar tail. `amask` (if non-zero) carries verdicts of the current
+  // A block against all of b[0..j); a set lane is a confirmed match
+  // whose B partner was already consumed.
+  size_t lane = 0;
+  while (i < na && j < nb) {
+    if (lane < 8 && ((amask >> lane) & 1)) {
+      out[k++] = a[i++];
+      ++lane;
+    } else if (a[i] < b[j]) {
+      ++i;
+      ++lane;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[k++] = a[i++];
+      ++lane;
+      ++j;
+    }
+  }
+  while (i < na && lane < 8) {
+    if ((amask >> lane) & 1) out[k++] = a[i];
+    ++i;
+    ++lane;
+  }
+  return k;
+}
+
+size_t DifferenceAvx2(const VertexId* a, size_t na, const VertexId* b,
+                      size_t nb, VertexId* out) {
+  if (na == 0 || nb == 0) return DifferenceScalar(a, na, b, nb, out);
+  if (nb / na >= kGallopRatio) return DifferenceScalar(a, na, b, nb, out);
+
+  size_t i = 0, j = 0, k = 0;
+  uint32_t amask = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    amask |= MatchMask8(va, vb);
+    VertexId a_max = a[i + 7];
+    VertexId b_max = b[j + 7];
+    if (a_max <= b_max) {
+      uint32_t keep = ~amask & 0xFFu;
+      CompressStore8(out + k, va, keep);
+      k += static_cast<size_t>(__builtin_popcount(keep));
+      amask = 0;
+      i += 8;
+    }
+    if (b_max <= a_max) j += 8;
+  }
+
+  size_t lane = 0;
+  while (i < na && j < nb) {
+    if (lane < 8 && ((amask >> lane) & 1)) {
+      ++i;  // confirmed present in b: dropped
+      ++lane;
+    } else if (a[i] < b[j]) {
+      out[k++] = a[i++];
+      ++lane;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++i;
+      ++lane;
+      ++j;
+    }
+  }
+  while (i < na) {
+    if (!(lane < 8 && ((amask >> lane) & 1))) out[k++] = a[i];
+    ++i;
+    ++lane;
+  }
+  return k;
+}
+
+}  // namespace internal
+}  // namespace setops
+}  // namespace csce
+
+#endif  // CSCE_SETOPS_X86

@@ -1,0 +1,173 @@
+// SSE (SSSE3) set-operation kernels: the 4-lane analogue of the AVX2
+// block merge in setops_avx2.cc — same emit-on-A-advance scheme, same
+// gallop delegation, 4×4 all-pairs compare via three _mm_shuffle_epi32
+// rotations and a 16-entry byte-shuffle compress table. Compiled with
+// -mssse3 (see src/CMakeLists.txt); reached only through runtime
+// dispatch.
+
+#include "engine/setops/kernels.h"
+
+#ifdef CSCE_SETOPS_X86
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace csce {
+namespace setops {
+namespace internal {
+namespace {
+
+// Byte-level shuffle masks: for each 4-bit lane mask, move the set
+// lanes (4 bytes each) to the front, order preserved; tail lanes are
+// copies of lane 0 (harmless — they land in the kOutPad slack).
+struct Compress4Table {
+  alignas(16) uint8_t shuf[16][16];
+};
+
+constexpr Compress4Table MakeCompress4Table() {
+  Compress4Table t{};
+  for (uint32_t mask = 0; mask < 16; ++mask) {
+    uint32_t k = 0;
+    for (uint32_t lane = 0; lane < 4; ++lane) {
+      if ((mask >> lane) & 1) {
+        for (uint32_t byte = 0; byte < 4; ++byte) {
+          t.shuf[mask][k * 4 + byte] = static_cast<uint8_t>(lane * 4 + byte);
+        }
+        ++k;
+      }
+    }
+    for (; k < 4; ++k) {
+      for (uint32_t byte = 0; byte < 4; ++byte) {
+        t.shuf[mask][k * 4 + byte] = static_cast<uint8_t>(byte);
+      }
+    }
+  }
+  return t;
+}
+
+constexpr Compress4Table kCompress4 = MakeCompress4Table();
+
+inline uint32_t MatchMask4(__m128i va, __m128i vb) {
+  __m128i m0 = _mm_cmpeq_epi32(va, vb);
+  __m128i m1 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x39));  // 0,3,2,1
+  __m128i m2 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x4E));  // 1,0,3,2
+  __m128i m3 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x93));  // 2,1,0,3
+  __m128i m = _mm_or_si128(_mm_or_si128(m0, m1), _mm_or_si128(m2, m3));
+  return static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(m)));
+}
+
+inline void CompressStore4(VertexId* dst, __m128i va, uint32_t mask) {
+  __m128i shuf =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kCompress4.shuf[mask]));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                   _mm_shuffle_epi8(va, shuf));
+}
+
+}  // namespace
+
+size_t IntersectSse(const VertexId* a, size_t na, const VertexId* b,
+                    size_t nb, VertexId* out) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na == 0) return 0;
+  if (nb / na >= kGallopRatio) return IntersectScalar(a, na, b, nb, out);
+
+  size_t i = 0, j = 0, k = 0;
+  uint32_t amask = 0;  // matches found for a[i..i+4) in b[0..j)
+  while (i + 4 <= na && j + 4 <= nb) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    amask |= MatchMask4(va, vb);
+    VertexId a_max = a[i + 3];
+    VertexId b_max = b[j + 3];
+    if (a_max <= b_max) {
+      CompressStore4(out + k, va, amask);
+      k += static_cast<size_t>(__builtin_popcount(amask));
+      amask = 0;
+      i += 4;
+    }
+    if (b_max <= a_max) j += 4;
+  }
+
+  // Scalar tail; `amask` carries final verdicts for the current A block
+  // against all of b[0..j) (see setops_avx2.cc).
+  size_t lane = 0;
+  while (i < na && j < nb) {
+    if (lane < 4 && ((amask >> lane) & 1)) {
+      out[k++] = a[i++];
+      ++lane;
+    } else if (a[i] < b[j]) {
+      ++i;
+      ++lane;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[k++] = a[i++];
+      ++lane;
+      ++j;
+    }
+  }
+  while (i < na && lane < 4) {
+    if ((amask >> lane) & 1) out[k++] = a[i];
+    ++i;
+    ++lane;
+  }
+  return k;
+}
+
+size_t DifferenceSse(const VertexId* a, size_t na, const VertexId* b,
+                     size_t nb, VertexId* out) {
+  if (na == 0 || nb == 0) return DifferenceScalar(a, na, b, nb, out);
+  if (nb / na >= kGallopRatio) return DifferenceScalar(a, na, b, nb, out);
+
+  size_t i = 0, j = 0, k = 0;
+  uint32_t amask = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    amask |= MatchMask4(va, vb);
+    VertexId a_max = a[i + 3];
+    VertexId b_max = b[j + 3];
+    if (a_max <= b_max) {
+      uint32_t keep = ~amask & 0xFu;
+      CompressStore4(out + k, va, keep);
+      k += static_cast<size_t>(__builtin_popcount(keep));
+      amask = 0;
+      i += 4;
+    }
+    if (b_max <= a_max) j += 4;
+  }
+
+  size_t lane = 0;
+  while (i < na && j < nb) {
+    if (lane < 4 && ((amask >> lane) & 1)) {
+      ++i;  // confirmed present in b: dropped
+      ++lane;
+    } else if (a[i] < b[j]) {
+      out[k++] = a[i++];
+      ++lane;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++i;
+      ++lane;
+      ++j;
+    }
+  }
+  while (i < na) {
+    if (!(lane < 4 && ((amask >> lane) & 1))) out[k++] = a[i];
+    ++i;
+    ++lane;
+  }
+  return k;
+}
+
+}  // namespace internal
+}  // namespace setops
+}  // namespace csce
+
+#endif  // CSCE_SETOPS_X86

@@ -1,0 +1,133 @@
+#ifndef CSCE_ENGINE_SETOPS_VERTEX_SCRATCH_H_
+#define CSCE_ENGINE_SETOPS_VERTEX_SCRATCH_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "graph/graph.h"
+#include "util/logging.h"
+
+namespace csce {
+namespace setops {
+
+/// Fixed-capacity vertex buffer for the enumeration hot path.
+///
+/// Unlike std::vector it never value-initializes on growth and never
+/// grows implicitly: capacity is established up front (Reserve, during
+/// Executor::Prepare) and the hot path only asserts it (EnsureCapacity,
+/// normally a compare). The SIMD set-operation kernels write straight
+/// into data() up to a caller-announced length — legal here because the
+/// storage is a raw array, with no container bookkeeping to violate
+/// (std::vector under -D_GLIBCXX_SANITIZE would flag writes past
+/// size()).
+///
+/// The allocation-counting hook: any EnsureCapacity call that actually
+/// has to grow bumps a process-wide counter. The zero-allocation
+/// discipline test runs the engine corpus and asserts the counter never
+/// moves — proving the Prepare-time bounds really cover every
+/// intersection the run performs. Reserve (setup-time) growth is not
+/// counted.
+class VertexScratch {
+ public:
+  VertexScratch() = default;
+
+  VertexScratch(VertexScratch&&) = default;
+  VertexScratch& operator=(VertexScratch&&) = default;
+  VertexScratch(const VertexScratch&) = delete;
+  VertexScratch& operator=(const VertexScratch&) = delete;
+
+  /// Setup-time growth (not counted by the hot-path hook). Keeps the
+  /// existing allocation when it is already big enough; contents are
+  /// discarded either way (callers Reserve before producing data).
+  void Reserve(size_t capacity) {
+    if (capacity > capacity_) Grow(capacity);
+    size_ = 0;
+  }
+
+  /// Hot-path capacity guarantee: almost always a compare. Growing here
+  /// means a Prepare-time bound was too small — still correct (the
+  /// buffer grows), but counted so tests can flag the regression.
+  void EnsureCapacity(size_t capacity) {
+    if (capacity > capacity_) {
+      hot_growths_.fetch_add(1, std::memory_order_relaxed);
+      Grow(capacity);
+    }
+  }
+
+  VertexId* data() { return data_.get(); }
+  const VertexId* data() const { return data_.get(); }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Announces how many elements a kernel wrote into data().
+  void set_size(size_t n) {
+    CSCE_DCHECK(n <= capacity_);
+    size_ = n;
+  }
+
+  void clear() { size_ = 0; }
+
+  /// Capacity-checked only in debug builds: callers EnsureCapacity an
+  /// upper bound before a push loop.
+  void push_back(VertexId v) {
+    CSCE_DCHECK(size_ < capacity_);
+    data_[size_++] = v;
+  }
+
+  void pop_back() {
+    CSCE_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  VertexId operator[](size_t i) const {
+    CSCE_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  std::span<const VertexId> span() const { return {data_.get(), size_}; }
+  std::span<VertexId> mutable_span() { return {data_.get(), size_}; }
+
+  void Assign(std::span<const VertexId> values) {
+    EnsureCapacity(values.size());
+    std::copy(values.begin(), values.end(), data_.get());
+    size_ = values.size();
+  }
+
+  friend bool operator==(const VertexScratch& a, const VertexScratch& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.data_.get(), a.data_.get() + a.size_, b.data_.get());
+  }
+
+  /// Total hot-path growths since process start (or the last reset).
+  static uint64_t HotGrowthCountForTesting() {
+    return hot_growths_.load(std::memory_order_relaxed);
+  }
+  static void ResetHotGrowthCountForTesting() {
+    hot_growths_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void Grow(size_t capacity) {
+    std::unique_ptr<VertexId[]> grown =
+        std::make_unique_for_overwrite<VertexId[]>(capacity);
+    std::copy(data_.get(), data_.get() + size_, grown.get());
+    data_ = std::move(grown);
+    capacity_ = capacity;
+  }
+
+  inline static std::atomic<uint64_t> hot_growths_{0};
+
+  std::unique_ptr<VertexId[]> data_;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace setops
+}  // namespace csce
+
+#endif  // CSCE_ENGINE_SETOPS_VERTEX_SCRATCH_H_

@@ -22,7 +22,9 @@ struct TlsEntry {
 };
 thread_local std::vector<TlsEntry> t_shards;
 
-size_t BucketOf(double value) {
+}  // namespace
+
+size_t HistogramData::BucketOf(double value) {
   if (!(value > 1.0)) return 0;  // also catches NaN and negatives
   int exp = static_cast<int>(std::ceil(std::log2(value)));
   if (exp < 1) return 1;
@@ -31,8 +33,6 @@ size_t BucketOf(double value) {
   }
   return static_cast<size_t>(exp);
 }
-
-}  // namespace
 
 MetricRegistry::MetricRegistry()
     : epoch_(g_next_epoch.fetch_add(1, std::memory_order_relaxed)) {}
@@ -137,7 +137,30 @@ void Histogram::Record(double value) const {
   cells.count.store(n + 1, std::memory_order_relaxed);
   cells.sum.store(cells.sum.load(std::memory_order_relaxed) + value,
                   std::memory_order_relaxed);
-  cells.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  cells.buckets[HistogramData::BucketOf(value)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Histogram::Merge(const LocalHistogram& local) const {
+  if (registry_ == nullptr || local.count == 0) return;
+  MetricRegistry::HistogramCells& cells =
+      registry_->ShardForThisThread()->histograms[slot_];
+  uint64_t n = cells.count.load(std::memory_order_relaxed);
+  if (n == 0 || local.min < cells.min.load(std::memory_order_relaxed)) {
+    cells.min.store(local.min, std::memory_order_relaxed);
+  }
+  if (n == 0 || local.max > cells.max.load(std::memory_order_relaxed)) {
+    cells.max.store(local.max, std::memory_order_relaxed);
+  }
+  cells.count.store(n + local.count, std::memory_order_relaxed);
+  cells.sum.store(cells.sum.load(std::memory_order_relaxed) + local.sum,
+                  std::memory_order_relaxed);
+  for (size_t b = 0; b < local.buckets.size(); ++b) {
+    if (local.buckets[b] > 0) {
+      cells.buckets[b].fetch_add(local.buckets[b],
+                                 std::memory_order_relaxed);
+    }
+  }
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {

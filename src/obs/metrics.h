@@ -30,6 +30,58 @@ struct HistogramData {
   std::array<uint64_t, kBuckets> buckets{};
 
   double Mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  /// The bucket a value lands in; shared by every recording path so
+  /// local accumulation and direct Record calls agree exactly.
+  static size_t BucketOf(double value);
+  /// Branch-light integer fast path (sizes, counts): same bucket as
+  /// BucketOf(double(n)) for every n.
+  static size_t BucketOfCount(uint64_t n) {
+    if (n <= 1) return 0;
+    size_t b = static_cast<size_t>(64 - __builtin_clzll(n - 1));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+};
+
+/// Unsynchronized histogram accumulator for hot paths that must not
+/// touch the (thread-local, but still indirected) registry shards per
+/// sample. Code records into a LocalHistogram it owns — e.g. one
+/// embedded in ExecStats — and flushes once via Histogram::Merge, so
+/// the aggregate is sample-exact while the hot path costs an array
+/// bump. Plain struct: copy/merge freely, zero-initialized.
+struct LocalHistogram {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningful only when count > 0
+  double max = 0.0;
+  std::array<uint64_t, HistogramData::kBuckets> buckets{};
+
+  void Record(double value) {
+    if (count == 0 || value < min) min = value;
+    if (count == 0 || value > max) max = value;
+    ++count;
+    sum += value;
+    ++buckets[HistogramData::BucketOf(value)];
+  }
+
+  /// Integer fast path: no log2 on the hot path.
+  void RecordCount(uint64_t n) {
+    double value = static_cast<double>(n);
+    if (count == 0 || value < min) min = value;
+    if (count == 0 || value > max) max = value;
+    ++count;
+    sum += value;
+    ++buckets[HistogramData::BucketOfCount(n)];
+  }
+
+  void Merge(const LocalHistogram& other) {
+    if (other.count == 0) return;
+    if (count == 0 || other.min < min) min = other.min;
+    if (count == 0 || other.max > max) max = other.max;
+    count += other.count;
+    sum += other.sum;
+    for (size_t b = 0; b < buckets.size(); ++b) buckets[b] += other.buckets[b];
+  }
 };
 
 /// One aggregated view of a registry, taken under the registry lock but
@@ -88,6 +140,9 @@ class Histogram {
  public:
   Histogram() = default;
   void Record(double value) const;
+  /// Adds a locally accumulated batch of samples in one shard update —
+  /// the flush half of the LocalHistogram contract (see above).
+  void Merge(const LocalHistogram& local) const;
 
  private:
   friend class MetricRegistry;

@@ -19,6 +19,9 @@ struct RuntimeMetricsReg {
   // idempotent): the probe's root candidate computation is real work
   // merged stats count, so the metric must count it too.
   obs::Counter sce_recomputes;
+  // Likewise the probe's root candidate-set sample (the workers flush
+  // their own samples when their Run ends).
+  obs::Histogram candidate_set_size;
   obs::Histogram worker_idle_seconds;
 
   static const RuntimeMetricsReg& Get() {
@@ -26,6 +29,7 @@ struct RuntimeMetricsReg {
       obs::MetricRegistry& r = obs::MetricRegistry::Global();
       return RuntimeMetricsReg{r.counter("runtime.parallel_runs"),
                                r.counter("engine.sce_recomputes"),
+                               r.histogram("engine.candidate_set_size"),
                                r.histogram("runtime.worker_idle_seconds")};
     }();
     return m;
@@ -124,6 +128,7 @@ Status ParallelExecutor::Run(const ExecOptions& options,
   // The probe's root candidate computation is real work the serial
   // path would also count.
   merged.candidate_sets_computed = 1;
+  merged.candidate_set_size.RecordCount(roots.size());
   double busy_seconds = 0.0;
   for (uint32_t t = 0; t < threads; ++t) {
     CSCE_RETURN_IF_ERROR(worker_status[t]);
@@ -132,6 +137,7 @@ Status ParallelExecutor::Run(const ExecOptions& options,
     merged.candidate_sets_computed += worker_stats[t].candidate_sets_computed;
     merged.candidate_sets_reused += worker_stats[t].candidate_sets_reused;
     merged.morsels_claimed += worker_stats[t].morsels_claimed;
+    merged.candidate_set_size.Merge(worker_stats[t].candidate_set_size);
     merged.timed_out |= worker_stats[t].timed_out;
     busy_seconds += worker_stats[t].seconds;
   }
@@ -153,6 +159,7 @@ Status ParallelExecutor::Run(const ExecOptions& options,
   const RuntimeMetricsReg& m = RuntimeMetricsReg::Get();
   m.parallel_runs.Increment();
   m.sce_recomputes.Increment();  // the probe's share of merged stats
+  m.candidate_set_size.Record(static_cast<double>(roots.size()));
   m.worker_idle_seconds.Record(merged.worker_idle_seconds);
   return Status::OK();
 }
