@@ -1,0 +1,171 @@
+// Sharded-execution scaling: enumerate the same pattern workload on
+// the single-node engine and on in-process shard clusters of 1/2/4
+// shards, and report per-config time, speedup over single-node, and
+// the distributed round-loop shape (EXTEND rounds, cross-shard tasks
+// routed). Embedding counts are CHECKed equal across every config —
+// a bench run doubles as a distributed-equals-serial cross-check.
+//
+// The 1-shard row isolates the wire-protocol + coordinator overhead
+// (it routes nothing); the 2/4-shard rows add real boundary traffic.
+// Workers here are threads, not processes, so rows measure protocol
+// and partition cost, not interconnect cost.
+//
+// Environment knobs:
+//   CSCE_BENCH_PATTERNS      patterns per workload (default 3)
+//   CSCE_SHARD_SIZE          pattern vertices (default 6)
+//   CSCE_SHARD_REPEATS       timed repetitions per config (default 3)
+//   CSCE_SHARD_LABELS        vertex labels of the Patent graph (default 18)
+//   CSCE_SHARD_SEED          pattern sampling seed (default 42)
+//   CSCE_SHARD_THREADS       worker threads per shard (default 2)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "gen/datasets.h"
+#include "gen/pattern_gen.h"
+#include "shard/coordinator.h"
+#include "util/timer.h"
+
+namespace csce {
+namespace {
+
+uint32_t EnvOr(const char* name, uint32_t fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? static_cast<uint32_t>(std::atoi(env)) : fallback;
+}
+
+struct WorkloadStats {
+  double seconds = 0.0;
+  uint64_t embeddings = 0;
+  uint64_t rounds = 0;
+  uint64_t tasks_routed = 0;
+};
+
+WorkloadStats RunSingleNode(const CsceMatcher& matcher,
+                            const std::vector<Graph>& patterns) {
+  WorkloadStats stats;
+  WallTimer timer;
+  for (const Graph& p : patterns) {
+    MatchOptions options;
+    options.variant = MatchVariant::kEdgeInduced;
+    MatchResult r;
+    Status st = matcher.Match(p, options, &r);
+    CSCE_CHECK(st.ok());
+    stats.embeddings += r.embeddings;
+  }
+  stats.seconds = timer.Seconds();
+  return stats;
+}
+
+WorkloadStats RunSharded(shard::ShardCoordinator& coordinator,
+                         const std::vector<Graph>& patterns) {
+  WorkloadStats stats;
+  WallTimer timer;
+  for (const Graph& p : patterns) {
+    shard::CoordinatorOptions options;
+    options.variant = MatchVariant::kEdgeInduced;
+    shard::ShardResult r;
+    Status st = coordinator.Execute(p, options, &r);
+    CSCE_CHECK(st.ok());
+    stats.embeddings += r.embeddings;
+    stats.rounds += r.rounds;
+    stats.tasks_routed += r.tasks_routed;
+  }
+  stats.seconds = timer.Seconds();
+  return stats;
+}
+
+}  // namespace
+
+int Main() {
+  const bool quick = bench::QuickMode();
+  const uint32_t size = EnvOr("CSCE_SHARD_SIZE", quick ? 5 : 6);
+  const uint32_t repeats = EnvOr("CSCE_SHARD_REPEATS", quick ? 1 : 3);
+  const uint32_t labels = EnvOr("CSCE_SHARD_LABELS", 18);
+  const uint32_t seed = EnvOr("CSCE_SHARD_SEED", 42);
+  const uint32_t threads = EnvOr("CSCE_SHARD_THREADS", quick ? 1 : 2);
+  const uint32_t count = bench::PatternsPerConfig();
+
+  bench::BenchJson json("shard_scaling");
+  json.Config("pattern_size", size);
+  json.Config("repeats", repeats);
+  json.Config("labels", labels);
+  json.Config("seed", seed);
+  json.Config("patterns", count);
+  json.Config("threads_per_worker", threads);
+  json.Config("hardware_threads", std::thread::hardware_concurrency());
+
+  Graph data = datasets::Patent(labels);
+  Ccsr full = Ccsr::Build(data);
+  CsceMatcher matcher(&full);
+
+  std::vector<Graph> patterns;
+  Status st = SamplePatterns(data, size, PatternDensity::kSparse, count, seed,
+                             &patterns);
+  CSCE_CHECK(st.ok());
+
+  std::printf("Shard scaling: patent(%u), %u edge patterns of %u vertices, "
+              "%u threads/worker, best of %u runs\n",
+              labels, count, size, threads, repeats);
+  std::printf("%12s %12s %10s %14s %8s %14s\n", "config", "seconds",
+              "speedup", "embeddings", "rounds", "tasks_routed");
+  bench::PrintRule(76);
+
+  WorkloadStats single;
+  for (uint32_t r = 0; r < repeats; ++r) {
+    WorkloadStats s = RunSingleNode(matcher, patterns);
+    if (r == 0 || s.seconds < single.seconds) single = s;
+  }
+  std::printf("%12s %12.4f %9.2fx %14llu %8s %14s\n", "single",
+              single.seconds, 1.0,
+              static_cast<unsigned long long>(single.embeddings), "-", "-");
+  {
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("mode", "single");
+    row.Set("shards", 0);
+    row.Set("seconds", single.seconds);
+    row.Set("speedup", 1.0);
+    row.Set("embeddings", single.embeddings);
+    json.AddRow(std::move(row));
+  }
+
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    std::unique_ptr<shard::InProcessCluster> cluster;
+    st = shard::InProcessCluster::Create(data, &full, shards,
+                                         shard::PartitionStrategy::kHash,
+                                         threads, &cluster);
+    CSCE_CHECK(st.ok());
+    WorkloadStats best;
+    for (uint32_t r = 0; r < repeats; ++r) {
+      WorkloadStats s = RunSharded(cluster->coordinator(), patterns);
+      CSCE_CHECK(s.embeddings == single.embeddings);  // sharded == serial
+      if (r == 0 || s.seconds < best.seconds) best = s;
+    }
+    char config[16];
+    std::snprintf(config, sizeof(config), "%u-shard", shards);
+    std::printf("%12s %12.4f %9.2fx %14llu %8llu %14llu\n", config,
+                best.seconds, single.seconds / best.seconds,
+                static_cast<unsigned long long>(best.embeddings),
+                static_cast<unsigned long long>(best.rounds),
+                static_cast<unsigned long long>(best.tasks_routed));
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("mode", "sharded");
+    row.Set("shards", shards);
+    row.Set("seconds", best.seconds);
+    row.Set("speedup", single.seconds / best.seconds);
+    row.Set("embeddings", best.embeddings);
+    row.Set("rounds", best.rounds);
+    row.Set("tasks_routed", best.tasks_routed);
+    json.AddRow(std::move(row));
+  }
+  return 0;
+}
+
+}  // namespace csce
+
+int main() { return csce::Main(); }

@@ -97,6 +97,7 @@ Status Executor::Prepare(const ExecOptions& options) {
     temp_.resize(n);
   }
   cand_bound_.assign(n, 0);
+  sharded_ = options.shard != nullptr;
   mapping_by_pos_.assign(n, kInvalidVertex);
   mapping_by_vertex_.assign(n, kInvalidVertex);
   used_.Resize(gc_.NumVertices());
@@ -174,6 +175,37 @@ Status Executor::Prepare(const ExecOptions& options) {
   }
   if (options.verify_sce) {
     sce_oracle_scratch_.Reserve(max_bound + setops::kOutPad);
+  }
+  if (sharded_) {
+    if (options.shard->owner.size() < gc_.NumVertices()) {
+      return Status::InvalidArgument("shard owner table smaller than graph");
+    }
+    if (owned_scratch_.size() != n) {
+      owned_scratch_.clear();
+      owned_scratch_.resize(n);
+    }
+    // The owned-filter buffers are per depth: the filtered list at
+    // depth d stays live while the recursion below d runs.
+    for (uint32_t j = 0; j < n; ++j) {
+      owned_scratch_[j].Reserve(cand_bound_[j] + setops::kOutPad);
+    }
+    // The ship-set intersection uses only the locally owned subset of a
+    // position's parent rows, so its bound is the largest single row —
+    // cand_bound_ (the min over all rows) can be smaller.
+    size_t ship_bound = 0;
+    for (uint32_t j = 0; j < n; ++j) {
+      for (const ResolvedEdge& e : edges_[j]) {
+        if (e.view == nullptr) continue;
+        ship_bound = std::max(
+            ship_bound, static_cast<size_t>(e.incoming
+                                                ? e.view->MaxInRowLength()
+                                                : e.view->MaxOutRowLength()));
+      }
+    }
+    ship_a_.Reserve(ship_bound + setops::kOutPad);
+    ship_b_.Reserve(ship_bound + setops::kOutPad);
+    ship_buckets_.resize(options.shard->num_shards);
+    for (std::vector<VertexId>& b : ship_buckets_) b.clear();
   }
 
   for (const auto& [a, b] : options.restrictions) {
@@ -384,7 +416,129 @@ bool Executor::Emit() {
 }
 
 bool Executor::Enumerate(uint32_t depth) {
+  if (sharded_) {
+    // Depth 0 is reached here only outside morsel mode: enumerate the
+    // owned slice (every shard covers its own roots).
+    return depth == 0 ? EnumerateOwned(0) : EnumerateSharded(depth);
+  }
   return EnumerateOver(depth, Candidates(depth));
+}
+
+bool Executor::EnumerateSharded(uint32_t depth) {
+  const ShardSpec& spec = *options_->shard;
+  if (edges_[depth].empty()) {
+    // The candidate set is mapping-independent (seed or label scan), so
+    // every shard holds the full set and enumerates its owned slice.
+    // The shard that owns this prefix broadcasts it once; kLocalOnly
+    // receivers enumerate without re-broadcasting, covering each slice
+    // exactly once.
+    for (uint32_t t = 0; t < spec.num_shards; ++t) {
+      if (t != spec.shard_id) {
+        EmitTask(ShardTask::Kind::kLocalOnly, t, depth, {});
+      }
+    }
+    return EnumerateOwned(depth);
+  }
+  bool local_pivot = false;
+  for (const ResolvedEdge& e : edges_[depth]) {
+    if (spec.owner[mapping_by_pos_[e.pos]] == spec.shard_id) {
+      local_pivot = true;
+      break;
+    }
+  }
+  if (!local_pivot) {
+    // Every parent row here may be incomplete (no parent mapping is
+    // owned locally), so hand the whole extension to the owner of the
+    // first parent — exclusively: enumerating nothing locally keeps
+    // every candidate handled exactly once.
+    EmitTask(ShardTask::Kind::kForward,
+             spec.owner[mapping_by_pos_[edges_[depth][0].pos]], depth, {});
+    return true;
+  }
+  ShipRemoteCandidates(depth);
+  return EnumerateOwned(depth);
+}
+
+bool Executor::EnumerateOwned(uint32_t depth) {
+  const ShardSpec& spec = *options_->shard;
+  std::span<const VertexId> base = Candidates(depth);
+  // Copied out of the (possibly NEC-shared) cache slot: the filtered
+  // list must survive the recursion below this depth.
+  setops::VertexScratch& own = owned_scratch_[depth];
+  own.EnsureCapacity(base.size());
+  own.clear();
+  for (VertexId v : base) {
+    if (spec.owner[v] == spec.shard_id) own.push_back(v);
+  }
+  return EnumerateOver(depth, own.span());
+}
+
+void Executor::ShipRemoteCandidates(uint32_t depth) {
+  const ShardSpec& spec = *options_->shard;
+  // Intersect only the rows of locally owned parent mappings: 1-hop
+  // replication makes exactly those rows complete, so the result is a
+  // superset of the true candidate set (each true candidate lies in
+  // every parent row, including the owned ones). The owner of each
+  // shipped candidate then intersects against its own complete local
+  // candidate set (kVerify), which removes the false positives and
+  // applies the degree filter and negations exactly.
+  lists_.clear();
+  for (const ResolvedEdge& e : edges_[depth]) {
+    VertexId w = mapping_by_pos_[e.pos];
+    if (spec.owner[w] != spec.shard_id) continue;
+    // An owned parent with no local view (or an empty row) means the
+    // edge does not exist anywhere: the true candidate set is empty.
+    if (e.view == nullptr) return;
+    std::span<const VertexId> row = e.incoming ? e.view->In(w) : e.view->Out(w);
+    if (row.empty()) return;
+    lists_.push_back(row);
+  }
+  CSCE_DCHECK(!lists_.empty());
+  for (size_t i = 1; i < lists_.size(); ++i) {
+    std::span<const VertexId> key = lists_[i];
+    size_t j = i;
+    for (; j > 0 && lists_[j - 1].size() > key.size(); --j) {
+      lists_[j] = lists_[j - 1];
+    }
+    lists_[j] = key;
+  }
+  std::span<const VertexId> ship = lists_[0];
+  if (lists_.size() > 1) {
+    setops::VertexScratch* bufs[2] = {&ship_a_, &ship_b_};
+    size_t cur = 0;
+    bufs[cur]->EnsureCapacity(std::min(lists_[0].size(), lists_[1].size()) +
+                              setops::kOutPad);
+    bufs[cur]->set_size(
+        setops::Intersect(lists_[0], lists_[1], bufs[cur]->data()));
+    for (size_t i = 2; i < lists_.size() && !bufs[cur]->empty(); ++i) {
+      size_t nxt = cur ^ 1;
+      bufs[nxt]->EnsureCapacity(bufs[cur]->size() + setops::kOutPad);
+      bufs[nxt]->set_size(
+          setops::Intersect(bufs[cur]->span(), lists_[i], bufs[nxt]->data()));
+      cur = nxt;
+    }
+    ship = bufs[cur]->span();
+  }
+  for (VertexId c : ship) {
+    uint32_t t = spec.owner[c];
+    if (t != spec.shard_id) ship_buckets_[t].push_back(c);
+  }
+  for (uint32_t t = 0; t < spec.num_shards; ++t) {
+    if (ship_buckets_[t].empty()) continue;
+    EmitTask(ShardTask::Kind::kVerify, t, depth, std::move(ship_buckets_[t]));
+    ship_buckets_[t].clear();  // moved-from: reset to a known state
+  }
+}
+
+void Executor::EmitTask(ShardTask::Kind kind, uint32_t target, uint32_t depth,
+                        std::vector<VertexId> candidates) {
+  ShardTask task;
+  task.kind = kind;
+  task.target_shard = target;
+  task.depth = depth;
+  task.mapping.assign(mapping_by_pos_.begin(), mapping_by_pos_.begin() + depth);
+  task.candidates = std::move(candidates);
+  options_->shard->emit(std::move(task));
 }
 
 bool Executor::EnumerateOver(uint32_t depth,
@@ -459,6 +613,135 @@ Status Executor::Run(const ExecOptions& options, ExecStats* stats) {
   m.candidate_set_size.Merge(stats_.candidate_set_size);
   m.run_seconds.Record(stats_.seconds);
   return Status::OK();
+}
+
+Status Executor::PrepareForTasks(const ExecOptions& options) {
+  return Prepare(options);
+}
+
+Status Executor::RunRootMorsels() {
+  if (options_ == nullptr) {
+    return Status::InvalidArgument("PrepareForTasks not called");
+  }
+  if (aborted_ || plan_.positions.empty() || !options_->root_claim) {
+    return Status::OK();
+  }
+  timer_.Restart();
+  std::span<const VertexId> morsel;
+  while (!aborted_ && !(morsel = options_->root_claim()).empty()) {
+    ++stats_.morsels_claimed;
+    if (!EnumerateOver(0, morsel)) break;
+  }
+  stats_.seconds += timer_.Seconds();
+  return Status::OK();
+}
+
+Status Executor::SeedPrefix(std::span<const VertexId> prefix) {
+  for (uint32_t j = 0; j < prefix.size(); ++j) {
+    VertexId v = prefix[j];
+    if (v >= gc_.NumVertices() || gc_.VertexLabel(v) != plan_.positions[j].label ||
+        (injective_ && used_.Test(v))) {
+      // Roll back the part already seeded and reject: prefixes arrive
+      // over the wire and must not be trusted.
+      ClearPrefix(prefix.subspan(0, j));
+      return Status::InvalidArgument("invalid shard task prefix");
+    }
+    mapping_by_pos_[j] = v;
+    mapping_by_vertex_[plan_.positions[j].u] = v;
+    if (injective_) used_.Set(v);
+  }
+  return Status::OK();
+}
+
+void Executor::ClearPrefix(std::span<const VertexId> prefix) {
+  for (uint32_t j = 0; j < prefix.size(); ++j) {
+    if (injective_) used_.Clear(prefix[j]);
+    mapping_by_pos_[j] = kInvalidVertex;
+    mapping_by_vertex_[plan_.positions[j].u] = kInvalidVertex;
+  }
+}
+
+Status Executor::RunTask(const ShardTask& task) {
+  if (options_ == nullptr || !sharded_) {
+    return Status::InvalidArgument("PrepareForTasks not called in shard mode");
+  }
+  if (aborted_) return Status::OK();  // outcome decided: drain cheaply
+  const uint32_t depth = task.depth;
+  const size_t n = plan_.positions.size();
+  if (depth == 0 || depth >= n || task.mapping.size() != depth) {
+    return Status::InvalidArgument("malformed shard task");
+  }
+  const ShardSpec& spec = *options_->shard;
+  if (task.target_shard != spec.shard_id) {
+    return Status::InvalidArgument("shard task routed to wrong shard");
+  }
+  const bool edgeless = edges_[depth].empty();
+  if (task.kind == ShardTask::Kind::kLocalOnly ? !edgeless : edgeless) {
+    return Status::InvalidArgument("shard task kind inconsistent with plan");
+  }
+  if (task.kind == ShardTask::Kind::kVerify) {
+    VertexId prev = kInvalidVertex;
+    for (VertexId c : task.candidates) {
+      // Sorted unique (prev starts as the max sentinel; a first element
+      // equal to it would be out of range anyway), in range, and owned
+      // here — anything else is a protocol violation.
+      if (c >= gc_.NumVertices() || spec.owner[c] != spec.shard_id ||
+          (prev != kInvalidVertex && c <= prev)) {
+        return Status::InvalidArgument("bad shard task candidate list");
+      }
+      prev = c;
+    }
+  }
+  timer_.Restart();
+  CSCE_RETURN_IF_ERROR(SeedPrefix(task.mapping));
+  switch (task.kind) {
+    case ShardTask::Kind::kForward: {
+      bool pivot = false;
+      for (const ResolvedEdge& e : edges_[depth]) {
+        if (spec.owner[mapping_by_pos_[e.pos]] == spec.shard_id) {
+          pivot = true;
+          break;
+        }
+      }
+      if (!pivot) {
+        // Re-forwarding would bounce the task between shards forever;
+        // a forward must target the owner of a parent mapping.
+        ClearPrefix(task.mapping);
+        return Status::InvalidArgument("forward task target owns no parent");
+      }
+      EnumerateSharded(depth);
+      break;
+    }
+    case ShardTask::Kind::kLocalOnly:
+      EnumerateOwned(depth);
+      break;
+    case ShardTask::Kind::kVerify: {
+      std::span<const VertexId> local = Candidates(depth);
+      setops::VertexScratch& own = owned_scratch_[depth];
+      own.EnsureCapacity(
+          std::min(local.size(), task.candidates.size()) + setops::kOutPad);
+      own.set_size(setops::Intersect(local, task.candidates, own.data()));
+      EnumerateOver(depth, own.span());
+      break;
+    }
+  }
+  ClearPrefix(task.mapping);
+  stats_.seconds += timer_.Seconds();
+  return Status::OK();
+}
+
+void Executor::FinishTasks(ExecStats* stats) {
+  *stats = stats_;
+  const EngineMetrics& m = EngineMetrics::Get();
+  m.runs.Increment();
+  m.embeddings.Add(stats_.embeddings);
+  m.search_nodes.Add(stats_.search_nodes);
+  m.sce_recomputes.Add(stats_.candidate_sets_computed);
+  m.sce_reuses.Add(stats_.candidate_sets_reused);
+  m.morsels_claimed.Add(stats_.morsels_claimed);
+  m.candidate_set_size.Merge(stats_.candidate_set_size);
+  m.run_seconds.Record(stats_.seconds);
+  stats_ = ExecStats{};
 }
 
 Status Executor::ComputeRootCandidates(const ExecOptions& options,

@@ -30,6 +30,48 @@ using EmbeddingCallback = std::function<bool(std::span<const VertexId>)>;
 /// enumerating the whole root candidate set (see runtime/).
 using RootClaimFn = std::function<std::span<const VertexId>()>;
 
+/// One unit of resumable cross-shard work: a partial mapping (plan
+/// positions [0, depth)) that must continue on another shard. Emitted
+/// by a shard-mode executor when the next position's candidates leave
+/// the shard; consumed by Executor::RunTask on the target (see src/
+/// shard/ and the DESIGN.md "Sharded execution" section).
+struct ShardTask {
+  enum class Kind : uint8_t {
+    /// No locally owned parent mapping: the target (owner of the first
+    /// parent) computes the candidates, enumerates its owned ones and
+    /// re-ships the rest. Exclusive — the sender enumerates nothing at
+    /// this depth, so every candidate is handled exactly once.
+    kForward = 0,
+    /// `candidates` supplied, all owned by the target: the target
+    /// intersects them with its local candidate set (which is complete
+    /// for owned vertices) and enumerates the survivors.
+    kVerify = 1,
+    /// Edge-less (seed/label-scan) position broadcast: the target
+    /// enumerates its owned slice of the mapping-independent candidate
+    /// set and never re-broadcasts at this depth.
+    kLocalOnly = 2,
+  };
+  Kind kind = Kind::kForward;
+  uint32_t target_shard = 0;
+  uint32_t depth = 0;                  // position to extend next
+  std::vector<VertexId> mapping;       // by position, size == depth
+  std::vector<VertexId> candidates;    // kVerify only: sorted, owned
+};
+
+/// Receives tasks the executor emits for other shards. Called on the
+/// enumeration path; implementations should only buffer.
+using ShardEmitFn = std::function<void(ShardTask&&)>;
+
+/// Shard-mode configuration: this executor enumerates only candidates
+/// its shard owns and emits ShardTasks for the rest. `owner` maps every
+/// data vertex to its owning shard and must outlive the run.
+struct ShardSpec {
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
+  std::span<const uint32_t> owner;
+  ShardEmitFn emit;
+};
+
 struct ExecOptions {
   /// Stop after this many embeddings (0 = find all).
   uint64_t max_embeddings = 0;
@@ -59,6 +101,12 @@ struct ExecOptions {
   /// it costs exactly the speedup SCE buys; the oracle recomputations
   /// are not counted in candidate_sets_computed.
   bool verify_sce = false;
+  /// Shard-mode execution (nullptr = single-node). The executor then
+  /// enumerates only candidates owned by `shard->shard_id` and routes
+  /// the rest through `shard->emit`; correctness relies on the shard
+  /// CCSR holding every edge incident to an owned vertex (the 1-hop
+  /// replication ShardPlan::ExtractShard guarantees).
+  const ShardSpec* shard = nullptr;
   /// Test-only fault injection: after this position first stores its
   /// SCE cache entry, the cached candidate vector is corrupted (its
   /// last candidate is dropped). Later reuses then return wrong
@@ -123,6 +171,25 @@ class Executor {
   Status ComputeRootCandidates(const ExecOptions& options,
                                std::vector<VertexId>* out);
 
+  /// Task-mode lifecycle (shard workers): prepare once per query, then
+  /// accumulate any number of RunRootMorsels/RunTask calls into one
+  /// stats total collected by FinishTasks. Unlike Run, the per-call
+  /// entry points never flush engine metrics or zero the accumulated
+  /// counters, so a round-based driver can interleave them freely.
+  Status PrepareForTasks(const ExecOptions& options);
+  /// Drains `options.root_claim` morsels exactly like Run's morsel
+  /// loop (shard workers claim from their owned-root list).
+  Status RunRootMorsels();
+  /// Resumes enumeration from the task's partial mapping. Malformed
+  /// tasks (out-of-range vertices, wrong kind for the position, unsorted
+  /// or non-owned candidates) return InvalidArgument without crashing —
+  /// tasks arrive over the wire. After an aborted run (limit/timeout/
+  /// cancel) further tasks are drained as cheap no-ops.
+  Status RunTask(const ShardTask& task);
+  /// Copies out the accumulated task-mode stats and flushes them into
+  /// the process metric registry (once per query, mirroring Run).
+  void FinishTasks(ExecStats* stats);
+
  private:
   struct ResolvedEdge {
     uint32_t pos;
@@ -147,6 +214,19 @@ class Executor {
   size_t CandidateBound(uint32_t depth) const;
   bool Enumerate(uint32_t depth);  // false: abort (timeout/limit/callback)
   bool EnumerateOver(uint32_t depth, std::span<const VertexId> candidates);
+  /// Shard-mode extension at `depth`: enumerate owned candidates, ship
+  /// the rest (see ShardTask for the three routing cases).
+  bool EnumerateSharded(uint32_t depth);
+  /// Enumerates Candidates(depth) filtered to locally owned vertices.
+  bool EnumerateOwned(uint32_t depth);
+  /// Intersects the rows of locally owned parents (complete by 1-hop
+  /// replication), buckets the non-owned result by owner and emits one
+  /// kVerify task per non-empty bucket.
+  void ShipRemoteCandidates(uint32_t depth);
+  void EmitTask(ShardTask::Kind kind, uint32_t target, uint32_t depth,
+                std::vector<VertexId> candidates);
+  Status SeedPrefix(std::span<const VertexId> prefix);
+  void ClearPrefix(std::span<const VertexId> prefix);
   std::span<const VertexId> Candidates(uint32_t depth);
   void ComputeCandidates(uint32_t depth, setops::VertexScratch* out);
   bool PassesRestrictions(uint32_t depth, VertexId v) const;
@@ -173,6 +253,12 @@ class Executor {
   std::vector<std::span<const VertexId>> lists_;      // gather buffer
   std::vector<std::span<const VertexId>> neg_lists_;  // gather buffer
   DynamicBitset neg_marks_;  // bitmap-difference scratch, all-zero at rest
+  // Shard mode only (options_->shard != nullptr).
+  bool sharded_ = false;
+  std::vector<setops::VertexScratch> owned_scratch_;  // per depth
+  setops::VertexScratch ship_a_;  // ping-pong pair for the ship-set
+  setops::VertexScratch ship_b_;  // intersection of owned-parent rows
+  std::vector<std::vector<VertexId>> ship_buckets_;  // per target shard
   setops::VertexScratch sce_oracle_scratch_;  // verify_sce recompute buffer
   std::vector<VertexId> mapping_by_pos_;
   std::vector<VertexId> mapping_by_vertex_;

@@ -272,5 +272,109 @@ Status WriteMetricsFile(const MetricRegistry& registry,
   return Status::OK();
 }
 
+Status MergeMetricsDocuments(const std::vector<std::string>& docs,
+                             JsonValue* out) {
+  MetricsSnapshot merged;
+  for (const std::string& text : docs) {
+    JsonValue doc;
+    CSCE_RETURN_IF_ERROR(JsonParse(text, &doc));
+    const JsonValue* schema = doc.Find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->AsString() != "csce.metrics.v1") {
+      return Status::InvalidArgument(
+          "metrics merge: document is not csce.metrics.v1");
+    }
+    const JsonValue* metrics = doc.Find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) {
+      return Status::InvalidArgument(
+          "metrics merge: document has no metrics object");
+    }
+    if (const JsonValue* counters = metrics->Find("counters")) {
+      for (const auto& [name, value] : counters->members()) {
+        if (!value.is_number()) {
+          return Status::InvalidArgument("metrics merge: non-numeric counter");
+        }
+        merged.counters[name] += value.AsUint();
+      }
+    }
+    if (const JsonValue* gauges = metrics->Find("gauges")) {
+      for (const auto& [name, value] : gauges->members()) {
+        if (!value.is_number()) {
+          return Status::InvalidArgument("metrics merge: non-numeric gauge");
+        }
+        // Gauges are instantaneous values (peaks, sizes); the max is the
+        // only merge that stays meaningful across processes.
+        auto [it, inserted] = merged.gauges.emplace(name, value.AsDouble());
+        if (!inserted && value.AsDouble() > it->second) {
+          it->second = value.AsDouble();
+        }
+      }
+    }
+    if (const JsonValue* histograms = metrics->Find("histograms")) {
+      for (const auto& [name, h] : histograms->members()) {
+        if (!h.is_object()) {
+          return Status::InvalidArgument("metrics merge: malformed histogram");
+        }
+        const JsonValue* count = h.Find("count");
+        const JsonValue* sum = h.Find("sum");
+        const JsonValue* min = h.Find("min");
+        const JsonValue* max = h.Find("max");
+        if (count == nullptr || !count->is_number() || sum == nullptr ||
+            !sum->is_number() || min == nullptr || !min->is_number() ||
+            max == nullptr || !max->is_number()) {
+          return Status::InvalidArgument("metrics merge: malformed histogram");
+        }
+        HistogramData& into = merged.histograms[name];
+        uint64_t n = count->AsUint();
+        if (n > 0) {
+          if (into.count == 0 || min->AsDouble() < into.min) {
+            into.min = min->AsDouble();
+          }
+          if (into.count == 0 || max->AsDouble() > into.max) {
+            into.max = max->AsDouble();
+          }
+          into.count += n;
+          into.sum += sum->AsDouble();
+        }
+        if (const JsonValue* buckets = h.Find("log2_buckets")) {
+          for (const auto& [exp, c] : buckets->members()) {
+            if (!c.is_number()) {
+              return Status::InvalidArgument(
+                  "metrics merge: malformed histogram bucket");
+            }
+            size_t b = 0;
+            for (char ch : exp) {
+              if (ch < '0' || ch > '9') {
+                return Status::InvalidArgument(
+                    "metrics merge: malformed histogram bucket key");
+              }
+              b = b * 10 + static_cast<size_t>(ch - '0');
+              if (b >= HistogramData::kBuckets) break;
+            }
+            if (exp.empty() || b >= HistogramData::kBuckets) {
+              return Status::InvalidArgument(
+                  "metrics merge: histogram bucket key out of range");
+            }
+            into.buckets[b] += c.AsUint();
+          }
+        }
+      }
+    }
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", "csce.metrics.v1");
+  doc.Set("metrics", merged.ToJson(true));
+  *out = std::move(doc);
+  return Status::OK();
+}
+
+Status WriteMetricsDocument(const JsonValue& doc, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open metrics file: " + path);
+  out << doc.Dump(1) << "\n";
+  if (!out) return Status::IOError("cannot write metrics file: " + path);
+  return Status::OK();
+}
+
 }  // namespace obs
 }  // namespace csce

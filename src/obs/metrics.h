@@ -247,6 +247,19 @@ class MetricRegistry {
 Status WriteMetricsFile(const MetricRegistry& registry,
                         const std::string& path, bool with_buckets = true);
 
+/// Merges several csce.metrics.v1 documents (serialized JSON) into one:
+/// counters sum, gauges keep the max, histograms merge count/sum/min/
+/// max and their sparse log2 buckets, with the mean recomputed from the
+/// merged totals. The sharded coordinator uses this to fold per-worker-
+/// process registries into the single artifact --metrics-json promises.
+/// Documents must carry the csce.metrics.v1 schema tag; metrics missing
+/// from some documents merge as if absent there (zero contribution).
+Status MergeMetricsDocuments(const std::vector<std::string>& docs,
+                             JsonValue* out);
+
+/// Writes an already-built document the way WriteMetricsFile would.
+Status WriteMetricsDocument(const JsonValue& doc, const std::string& path);
+
 }  // namespace obs
 }  // namespace csce
 

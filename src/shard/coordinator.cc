@@ -1,0 +1,348 @@
+#include "shard/coordinator.h"
+
+#include <sstream>
+#include <utility>
+
+#include "ccsr/ccsr_io.h"
+#include "engine/embedding_verifier.h"
+#include "plan/validate.h"
+#include "shard/worker.h"
+#include "util/timer.h"
+
+namespace csce {
+namespace shard {
+namespace {
+
+/// Decodes an expected reply, surfacing kError frames as the Status
+/// they carry and anything else unexpected as Corruption.
+Status CheckReply(const wire::Frame& frame, wire::MsgType want) {
+  if (frame.type == static_cast<uint32_t>(wire::MsgType::kError)) {
+    wire::ErrorMsg err;
+    CSCE_RETURN_IF_ERROR(wire::DecodeError(frame.payload, &err));
+    return wire::ErrorToStatus(err);
+  }
+  if (frame.type != static_cast<uint32_t>(want)) {
+    return Status::Corruption("shard coordinator: unexpected reply type " +
+                              std::to_string(frame.type));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void ShardCoordinator::AttachWorker(std::unique_ptr<Transport> transport) {
+  workers_.push_back(std::move(transport));
+}
+
+Status ShardCoordinator::RoundTrip(const std::vector<uint32_t>& targets,
+                                   const std::vector<wire::Frame>& requests,
+                                   wire::MsgType want,
+                                   std::vector<wire::Frame>* replies) {
+  // All writes before any read: with fd transports the worker may block
+  // writing a large reply while we block writing the next request.
+  for (size_t i = 0; i < targets.size(); ++i) {
+    CSCE_RETURN_IF_ERROR(workers_[targets[i]]->Send(requests[i]));
+  }
+  replies->resize(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    CSCE_RETURN_IF_ERROR(workers_[targets[i]]->Recv(&(*replies)[i]));
+    CSCE_RETURN_IF_ERROR(CheckReply((*replies)[i], want));
+  }
+  return Status::OK();
+}
+
+Status ShardCoordinator::LoadFromFiles(const std::string& base_path,
+                                       uint32_t threads_per_worker) {
+  if (workers_.empty()) {
+    return Status::InvalidArgument("shard coordinator: no workers attached");
+  }
+  std::vector<uint32_t> targets;
+  std::vector<wire::Frame> requests;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    wire::LoadRequest req;
+    req.shard_id = s;
+    req.num_shards = num_shards();
+    req.num_threads = threads_per_worker;
+    req.inline_payload = false;
+    req.ccsr_path = ShardPlan::ShardCcsrPath(base_path, s);
+    req.plan_path = ShardPlan::PlanPath(base_path);
+    targets.push_back(s);
+    requests.push_back(
+        wire::Frame{static_cast<uint32_t>(wire::MsgType::kLoad),
+                    wire::EncodeLoadRequest(req)});
+  }
+  std::vector<wire::Frame> replies;
+  CSCE_RETURN_IF_ERROR(
+      RoundTrip(targets, requests, wire::MsgType::kOk, &replies));
+  loaded_ = true;
+  return Status::OK();
+}
+
+Status ShardCoordinator::LoadInline(const std::vector<uint32_t>& owner,
+                                    const std::vector<std::string>& ccsr_blobs,
+                                    uint32_t threads_per_worker) {
+  if (workers_.empty()) {
+    return Status::InvalidArgument("shard coordinator: no workers attached");
+  }
+  if (ccsr_blobs.size() != workers_.size()) {
+    return Status::InvalidArgument(
+        "shard coordinator: need one ccsr blob per worker");
+  }
+  std::vector<uint32_t> targets;
+  std::vector<wire::Frame> requests;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    wire::LoadRequest req;
+    req.shard_id = s;
+    req.num_shards = num_shards();
+    req.num_threads = threads_per_worker;
+    req.inline_payload = true;
+    req.ccsr_blob = ccsr_blobs[s];
+    req.owner = owner;
+    targets.push_back(s);
+    requests.push_back(
+        wire::Frame{static_cast<uint32_t>(wire::MsgType::kLoad),
+                    wire::EncodeLoadRequest(req)});
+  }
+  std::vector<wire::Frame> replies;
+  CSCE_RETURN_IF_ERROR(
+      RoundTrip(targets, requests, wire::MsgType::kOk, &replies));
+  loaded_ = true;
+  return Status::OK();
+}
+
+Status ShardCoordinator::Execute(const Graph& pattern,
+                                 const CoordinatorOptions& options,
+                                 ShardResult* out) {
+  *out = ShardResult{};
+  if (!loaded_) {
+    return Status::InvalidArgument("shard coordinator: Execute before Load");
+  }
+
+  // Compile once, against the FULL graph's statistics — every worker
+  // must run the identical plan or cross-shard mappings are garbage.
+  Plan plan;
+  CSCE_RETURN_IF_ERROR(
+      Planner(full_).MakePlan(pattern, options.variant, options.plan, &plan));
+  out->plan_seconds = plan.plan_seconds;
+  if (options.self_check) {
+    CSCE_RETURN_IF_ERROR(ValidatePlan(full_, pattern, plan));
+  }
+
+  WallTimer wall;
+  wire::PlanRequest preq;
+  preq.pattern = pattern;
+  preq.plan = plan;
+  preq.variant = options.variant;
+  preq.verify_sce = options.self_check;
+  preq.emit_embeddings = options.collect_embeddings || options.self_check;
+  preq.time_limit_seconds = options.time_limit_seconds;
+  wire::Frame plan_frame{static_cast<uint32_t>(wire::MsgType::kPlan),
+                         wire::EncodePlanRequest(preq)};
+
+  std::vector<uint32_t> all(num_shards());
+  for (uint32_t s = 0; s < num_shards(); ++s) all[s] = s;
+  std::vector<wire::Frame> plan_frames(num_shards(), plan_frame);
+  std::vector<wire::Frame> replies;
+  CSCE_RETURN_IF_ERROR(
+      RoundTrip(all, plan_frames, wire::MsgType::kOk, &replies));
+
+  // Root round, then BSP extend rounds until no shard emits anything.
+  wire::Frame root_frame{static_cast<uint32_t>(wire::MsgType::kRoot), {}};
+  std::vector<wire::Frame> root_frames(num_shards(), root_frame);
+  CSCE_RETURN_IF_ERROR(
+      RoundTrip(all, root_frames, wire::MsgType::kTaskBatch, &replies));
+
+  std::vector<wire::TaskBatch> buckets(num_shards());
+  auto route = [&](std::vector<wire::Frame>& frames) -> Status {
+    for (wire::Frame& f : frames) {
+      wire::TaskBatch emitted;
+      CSCE_RETURN_IF_ERROR(wire::DecodeTaskBatch(f.payload, &emitted));
+      for (ShardTask& task : emitted.tasks) {
+        if (task.target_shard >= num_shards()) {
+          return Status::Corruption(
+              "shard coordinator: task routed to nonexistent shard");
+        }
+        ++out->tasks_routed;
+        buckets[task.target_shard].tasks.push_back(std::move(task));
+      }
+    }
+    return Status::OK();
+  };
+  CSCE_RETURN_IF_ERROR(route(replies));
+
+  // Every extend round strictly deepens some partial mapping or ends a
+  // forwarding chain, so the round count is bounded by a small multiple
+  // of the plan depth; exceeding the cap means routing is cycling.
+  const uint32_t max_rounds =
+      8 + 4 * static_cast<uint32_t>(plan.positions.size());
+  for (;;) {
+    std::vector<uint32_t> targets;
+    std::vector<wire::Frame> requests;
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      if (buckets[s].tasks.empty()) continue;
+      targets.push_back(s);
+      requests.push_back(
+          wire::Frame{static_cast<uint32_t>(wire::MsgType::kExtend),
+                      wire::EncodeTaskBatch(buckets[s])});
+      buckets[s].tasks.clear();
+    }
+    if (targets.empty()) break;
+    if (++out->rounds > max_rounds) {
+      return Status::Corruption(
+          "shard coordinator: extend rounds exceeded bound (routing cycle)");
+    }
+    CSCE_RETURN_IF_ERROR(
+        RoundTrip(targets, requests, wire::MsgType::kTaskBatch, &replies));
+    CSCE_RETURN_IF_ERROR(route(replies));
+  }
+
+  // Finish: merge every worker's totals.
+  wire::Frame finish_frame{static_cast<uint32_t>(wire::MsgType::kFinish), {}};
+  std::vector<wire::Frame> finish_frames(num_shards(), finish_frame);
+  CSCE_RETURN_IF_ERROR(
+      RoundTrip(all, finish_frames, wire::MsgType::kResult, &replies));
+  out->per_shard.resize(num_shards());
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    wire::ResultMsg& res = out->per_shard[s];
+    CSCE_RETURN_IF_ERROR(wire::DecodeResultMsg(replies[s].payload, &res));
+    out->embeddings += res.embeddings;
+    out->search_nodes += res.search_nodes;
+    out->candidate_sets_computed += res.candidate_sets_computed;
+    out->candidate_sets_reused += res.candidate_sets_reused;
+    out->morsels_claimed += res.morsels_claimed;
+    out->timed_out |= res.timed_out;
+    out->cancelled |= res.cancelled;
+    out->limit_reached |= res.limit_reached;
+    out->worker_busy_seconds += res.seconds;
+  }
+  out->enumerate_seconds = wall.Seconds();
+
+  if (preq.emit_embeddings) {
+    out->embedding_width = pattern.NumVertices();
+    for (const wire::ResultMsg& res : out->per_shard) {
+      if (res.embeddings > 0 && res.embedding_width != out->embedding_width) {
+        return Status::Corruption(
+            "shard coordinator: worker embedding width mismatch");
+      }
+      out->embedding_data.insert(out->embedding_data.end(),
+                                 res.embedding_data.begin(),
+                                 res.embedding_data.end());
+    }
+    if (out->embedding_width > 0 &&
+        out->embedding_data.size() !=
+            out->embeddings * out->embedding_width) {
+      return Status::Corruption(
+          "shard coordinator: embedding rows do not match merged count");
+    }
+  }
+
+  if (options.self_check) {
+    // Verify against the FULL graph: cross-shard embeddings contain
+    // arcs no single shard CCSR holds.
+    EmbeddingVerifier verifier(*full_, pattern, options.variant);
+    const size_t width = out->embedding_width;
+    for (size_t off = 0; off + width <= out->embedding_data.size();
+         off += width) {
+      CSCE_RETURN_IF_ERROR(verifier.Verify(
+          std::span<const VertexId>(out->embedding_data.data() + off, width)));
+    }
+    out->embeddings_verified = verifier.verified();
+    if (out->embeddings_verified != out->embeddings) {
+      return Status::Corruption(
+          "shard coordinator: self-check verified " +
+          std::to_string(out->embeddings_verified) + " of " +
+          std::to_string(out->embeddings) + " embeddings");
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardCoordinator::CollectMetrics(std::vector<std::string>* docs) {
+  docs->clear();
+  if (workers_.empty()) return Status::OK();
+  std::vector<uint32_t> all(num_shards());
+  for (uint32_t s = 0; s < num_shards(); ++s) all[s] = s;
+  std::vector<wire::Frame> requests(
+      num_shards(),
+      wire::Frame{static_cast<uint32_t>(wire::MsgType::kStats), {}});
+  std::vector<wire::Frame> replies;
+  CSCE_RETURN_IF_ERROR(
+      RoundTrip(all, requests, wire::MsgType::kStatsResult, &replies));
+  for (wire::Frame& f : replies) {
+    wire::StatsResult res;
+    CSCE_RETURN_IF_ERROR(wire::DecodeStatsResult(f.payload, &res));
+    docs->push_back(std::move(res.metrics_json));
+  }
+  return Status::OK();
+}
+
+void ShardCoordinator::Shutdown() {
+  wire::Frame bye{static_cast<uint32_t>(wire::MsgType::kShutdown), {}};
+  for (std::unique_ptr<Transport>& t : workers_) {
+    if (t == nullptr) continue;
+    if (t->Send(bye).ok()) {
+      wire::Frame reply;
+      (void)t->Recv(&reply);  // best-effort drain of the kOk
+    }
+    t->Close();
+  }
+  loaded_ = false;
+}
+
+InProcessCluster::InProcessCluster(Passkey) {}
+
+Status InProcessCluster::Create(const Graph& g, const Ccsr* full,
+                                uint32_t num_shards,
+                                PartitionStrategy strategy,
+                                uint32_t threads_per_worker,
+                                std::unique_ptr<InProcessCluster>* out) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("in-process cluster: need >= 1 shard");
+  }
+  auto cluster = std::make_unique<InProcessCluster>(Passkey{});
+  ShardPlanOptions popts;
+  popts.num_shards = num_shards;
+  popts.strategy = strategy;
+  cluster->shard_plan_ = ShardPlan::Build(g, popts);
+
+  std::vector<std::string> blobs(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    Graph shard_graph;
+    CSCE_RETURN_IF_ERROR(
+        cluster->shard_plan_.ExtractShard(g, s, &shard_graph));
+    Ccsr shard_ccsr = Ccsr::Build(shard_graph);
+    std::ostringstream blob;
+    CSCE_RETURN_IF_ERROR(SaveCcsrToStream(shard_ccsr, blob));
+    blobs[s] = std::move(blob).str();
+  }
+
+  cluster->coordinator_ = std::make_unique<ShardCoordinator>(full);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    std::unique_ptr<Transport> near;
+    std::unique_ptr<Transport> far;
+    MakeLoopbackPair(&near, &far);
+    cluster->coordinator_->AttachWorker(std::move(near));
+    cluster->worker_impls_.push_back(std::make_unique<ShardWorker>());
+    ShardWorker* worker = cluster->worker_impls_.back().get();
+    cluster->worker_threads_.emplace_back(
+        [worker, t = std::move(far)]() mutable {
+          // Transport failure just ends the worker; the coordinator end
+          // observes it as IOError on its next call.
+          (void)worker->Serve(*t);
+        });
+  }
+  CSCE_RETURN_IF_ERROR(cluster->coordinator_->LoadInline(
+      cluster->shard_plan_.owners(), blobs, threads_per_worker));
+  *out = std::move(cluster);
+  return Status::OK();
+}
+
+InProcessCluster::~InProcessCluster() {
+  if (coordinator_ != nullptr) coordinator_->Shutdown();
+  for (std::thread& t : worker_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace shard
+}  // namespace csce

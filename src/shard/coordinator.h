@@ -1,0 +1,177 @@
+#ifndef CSCE_SHARD_COORDINATOR_H_
+#define CSCE_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ccsr/ccsr.h"
+#include "graph/graph.h"
+#include "graph/variant.h"
+#include "plan/planner.h"
+#include "shard/shard_plan.h"
+#include "shard/transport.h"
+#include "shard/wire.h"
+#include "util/status.h"
+
+namespace csce {
+namespace shard {
+
+/// Options for one distributed query (the sharded subset of
+/// MatchOptions: embedding limits and cooperative cancellation are not
+/// routed across shards yet — csce_serve warns and ignores them).
+struct CoordinatorOptions {
+  MatchVariant variant = MatchVariant::kEdgeInduced;
+  PlanOptions plan;
+  double time_limit_seconds = 0.0;
+  /// Ship every embedding back to the coordinator (required by
+  /// self_check; otherwise only counts cross the wire).
+  bool collect_embeddings = false;
+  /// Ground-truth mode: ValidatePlan on the compiled plan, verify_sce in
+  /// every worker, and every shipped embedding re-verified against the
+  /// FULL data graph. (Workers cannot verify embeddings themselves — an
+  /// embedding may close an edge between two vertices neither of which
+  /// the worker owns, and its shard CCSR lacks that arc by design.)
+  bool self_check = false;
+};
+
+/// Merged outcome of one distributed query.
+struct ShardResult {
+  uint64_t embeddings = 0;
+  bool timed_out = false;
+  bool cancelled = false;
+  bool limit_reached = false;
+
+  uint64_t search_nodes = 0;
+  uint64_t candidate_sets_computed = 0;
+  uint64_t candidate_sets_reused = 0;
+  uint64_t morsels_claimed = 0;
+
+  double plan_seconds = 0.0;       // coordinator-side compile
+  double enumerate_seconds = 0.0;  // wall time of the round loop
+  double worker_busy_seconds = 0.0;  // sum of per-executor busy time
+
+  /// Round-loop shape: EXTEND rounds driven and cross-shard tasks routed
+  /// (both 0 when every embedding stayed shard-local).
+  uint32_t rounds = 0;
+  uint64_t tasks_routed = 0;
+
+  uint64_t embeddings_verified = 0;  // self_check only
+
+  /// Collected embeddings when CoordinatorOptions::collect_embeddings:
+  /// `embeddings * embedding_width` vertex ids, indexed by pattern
+  /// vertex per row. Shard-interleaved order, not sorted.
+  uint32_t embedding_width = 0;
+  std::vector<VertexId> embedding_data;
+
+  /// Per-shard finish messages, for scaling diagnostics.
+  std::vector<wire::ResultMsg> per_shard;
+};
+
+/// Drives N shard workers through the wire protocol: LOAD once, then
+/// per query PLAN -> ROOT -> EXTEND rounds (BSP: all emissions of round
+/// k are routed before round k+1 starts) -> FINISH merge.
+///
+/// The coordinator keeps the FULL data graph's CCSR: plans are compiled
+/// once against global statistics and shipped to every worker, and the
+/// self-check verifies shipped embeddings against the complete graph.
+/// Workers may be threads (loopback transports, see InProcessCluster)
+/// or forked processes (fd transports, see csce_serve --workers).
+class ShardCoordinator {
+ public:
+  /// `full` is the complete (unsharded) CCSR; must outlive the
+  /// coordinator.
+  explicit ShardCoordinator(const Ccsr* full) : full_(full) {}
+
+  /// Worker `i` of the eventual cluster; attach all workers before
+  /// Load*. Transport must be connected to a serving ShardWorker.
+  void AttachWorker(std::unique_ptr<Transport> transport);
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// LOADs every worker from on-disk artifacts produced by
+  /// `csce_build --shards=N` (base path + ".shardplan" / ".shard<k>").
+  Status LoadFromFiles(const std::string& base_path,
+                       uint32_t threads_per_worker);
+  /// LOADs every worker with an inline serialized shard CCSR + the
+  /// ownership table (in-process clusters; no filesystem round trip).
+  Status LoadInline(const std::vector<uint32_t>& owner,
+                    const std::vector<std::string>& ccsr_blobs,
+                    uint32_t threads_per_worker);
+
+  /// Runs one query to completion across all workers.
+  Status Execute(const Graph& pattern, const CoordinatorOptions& options,
+                 ShardResult* out);
+
+  /// Fetches each worker's csce.metrics.v1 document (kStats). In
+  /// multi-process clusters these are distinct registries to merge; in
+  /// in-process clusters all workers share this process's registry.
+  Status CollectMetrics(std::vector<std::string>* docs);
+
+  /// Sends kShutdown everywhere and closes the transports. Idempotent;
+  /// best-effort (a dead worker is not an error here).
+  void Shutdown();
+
+ private:
+  /// Sends `requests[i]` to worker `targets[i]` (all writes first, then
+  /// all reads — the fd transports would deadlock otherwise once a
+  /// pipe buffer fills), expecting `want` replies. kError replies
+  /// surface as the carried Status.
+  Status RoundTrip(const std::vector<uint32_t>& targets,
+                   const std::vector<wire::Frame>& requests,
+                   wire::MsgType want, std::vector<wire::Frame>* replies);
+
+  const Ccsr* full_;
+  std::vector<std::unique_ptr<Transport>> workers_;
+  bool loaded_ = false;
+};
+
+class ShardWorker;  // worker.h is a coordinator.cc-only dependency
+
+/// A self-contained sharded engine inside one process: partitions the
+/// graph, builds per-shard CCSRs, runs one ShardWorker thread per shard
+/// over loopback transports and wires a coordinator to them. The
+/// cross-check tests and csce_serve --shards (without --workers) run on
+/// this.
+class InProcessCluster {
+ public:
+  /// `g` is the original data graph, `full` its complete CCSR (both
+  /// must outlive the cluster). Builds the ShardPlan, extracts and
+  /// CCSR-builds every shard, spawns the worker threads and LOADs them.
+  static Status Create(const Graph& g, const Ccsr* full, uint32_t num_shards,
+                       PartitionStrategy strategy,
+                       uint32_t threads_per_worker,
+                       std::unique_ptr<InProcessCluster>* out);
+
+  ~InProcessCluster();
+
+  InProcessCluster(const InProcessCluster&) = delete;
+  InProcessCluster& operator=(const InProcessCluster&) = delete;
+
+  ShardCoordinator& coordinator() { return *coordinator_; }
+  const ShardPlan& shard_plan() const { return shard_plan_; }
+
+  /// Constructor passkey: only Create() can instantiate (make_unique
+  /// needs a public constructor).
+  struct Passkey {
+   private:
+    friend class InProcessCluster;
+    Passkey() = default;
+  };
+  explicit InProcessCluster(Passkey);
+
+ private:
+
+  ShardPlan shard_plan_;
+  std::unique_ptr<ShardCoordinator> coordinator_;
+  std::vector<std::unique_ptr<ShardWorker>> worker_impls_;
+  std::vector<std::thread> worker_threads_;
+};
+
+}  // namespace shard
+}  // namespace csce
+
+#endif  // CSCE_SHARD_COORDINATOR_H_

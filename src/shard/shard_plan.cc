@@ -1,0 +1,289 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+
+#include "graph/graph_builder.h"
+
+namespace csce {
+namespace shard {
+namespace {
+
+constexpr uint32_t kPlanMagic = 0x4C505343;  // "CSPL" little-endian
+constexpr uint32_t kPlanVersion = 1;
+// Same allocation-bomb guard philosophy as ccsr_io: counts in the file
+// must be backed by actual bytes before anything is resized to them.
+constexpr uint32_t kMaxPlausibleShards = 1u << 16;
+
+uint64_t Mix64(uint64_t x) {
+  // splitmix64 finalizer: cheap, well-distributed, and stable across
+  // platforms (the hash partition must be deterministic everywhere).
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.good();
+}
+
+std::vector<uint32_t> HashPartition(uint32_t n, uint32_t shards) {
+  std::vector<uint32_t> owner(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    owner[v] = static_cast<uint32_t>(Mix64(v) % shards);
+  }
+  return owner;
+}
+
+std::vector<uint32_t> LabelAwarePartition(const Graph& g, uint32_t shards) {
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> owner(n, shards);  // `shards` = unassigned
+  // Highest degree first: the hubs whose placement matters most are
+  // assigned while every shard still has room, and the long tail of
+  // low-degree vertices then follows its neighbors. Ties break by id,
+  // keeping the whole assignment deterministic.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+  Label max_label = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    max_label = std::max(max_label, g.VertexLabel(v));
+  }
+  const double capacity =
+      static_cast<double>(n) / shards * 1.05 + 1.0;  // 5% imbalance slack
+  std::vector<uint64_t> load(shards, 0);
+  std::vector<uint64_t> label_count(static_cast<size_t>(shards) *
+                                    (max_label + 1));
+  std::vector<uint64_t> neighbor_count(shards);
+  for (VertexId v : order) {
+    std::fill(neighbor_count.begin(), neighbor_count.end(), 0);
+    for (const Neighbor& nb : g.OutNeighbors(v)) {
+      if (owner[nb.v] < shards) ++neighbor_count[owner[nb.v]];
+    }
+    if (g.directed()) {
+      for (const Neighbor& nb : g.InNeighbors(v)) {
+        if (owner[nb.v] < shards) ++neighbor_count[owner[nb.v]];
+      }
+    }
+    const Label lv = g.VertexLabel(v);
+    uint32_t best = 0;
+    double best_score = -1.0;
+    for (uint32_t s = 0; s < shards; ++s) {
+      if (static_cast<double>(load[s]) >= capacity) continue;
+      // LDG: neighbor affinity discounted by fill, so a nearly full
+      // shard stops attracting vertices. The label term (worth at most
+      // one neighbor) nudges same-label vertices together, keeping
+      // cluster rows local, without overriding real adjacency.
+      double affinity =
+          1.0 + static_cast<double>(neighbor_count[s]) +
+          static_cast<double>(label_count[static_cast<size_t>(s) *
+                                              (max_label + 1) +
+                                          lv]) /
+              (static_cast<double>(load[s]) + 1.0);
+      double score = affinity * (1.0 - static_cast<double>(load[s]) / capacity);
+      if (score > best_score) {
+        best_score = score;
+        best = s;
+      }
+    }
+    owner[v] = best;
+    ++load[best];
+    ++label_count[static_cast<size_t>(best) * (max_label + 1) + lv];
+  }
+  return owner;
+}
+
+}  // namespace
+
+const char* StrategyName(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kHash:
+      return "hash";
+    case PartitionStrategy::kLabelAware:
+      return "label";
+  }
+  return "unknown";
+}
+
+bool ParseStrategy(const std::string& name, PartitionStrategy* out) {
+  if (name == "hash") {
+    *out = PartitionStrategy::kHash;
+  } else if (name == "label" || name == "label-aware") {
+    *out = PartitionStrategy::kLabelAware;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ShardPlan ShardPlan::Build(const Graph& g, const ShardPlanOptions& options) {
+  ShardPlan plan;
+  plan.num_shards_ = std::max<uint32_t>(options.num_shards, 1);
+  plan.strategy_ = options.strategy;
+  if (plan.num_shards_ == 1) {
+    plan.owner_.assign(g.NumVertices(), 0);
+  } else if (options.strategy == PartitionStrategy::kHash) {
+    plan.owner_ = HashPartition(g.NumVertices(), plan.num_shards_);
+  } else {
+    plan.owner_ = LabelAwarePartition(g, plan.num_shards_);
+  }
+  plan.FinishTables(g);
+  return plan;
+}
+
+void ShardPlan::FinishTables(const Graph& g) {
+  owned_counts_.assign(num_shards_, 0);
+  for (uint32_t s : owner_) ++owned_counts_[s];
+  boundary_edges_ = 0;
+  // A vertex is a replica of shard s when a boundary edge pulls it into
+  // s's subgraph; dedupe with one mark pass per shard list.
+  std::vector<std::vector<VertexId>> reps(num_shards_);
+  g.ForEachEdge([&](const Edge& e) {
+    uint32_t so = owner_[e.src];
+    uint32_t to = owner_[e.dst];
+    if (so == to) return;
+    ++boundary_edges_;
+    reps[so].push_back(e.dst);
+    reps[to].push_back(e.src);
+  });
+  replicas_.assign(num_shards_, {});
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    std::sort(reps[s].begin(), reps[s].end());
+    reps[s].erase(std::unique(reps[s].begin(), reps[s].end()), reps[s].end());
+    replicas_[s] = std::move(reps[s]);
+  }
+}
+
+Status ShardPlan::ExtractShard(const Graph& g, uint32_t s, Graph* out) const {
+  if (s >= num_shards_) return Status::InvalidArgument("shard out of range");
+  if (g.NumVertices() != owner_.size()) {
+    return Status::InvalidArgument("graph does not match the shard plan");
+  }
+  GraphBuilder builder(g.directed());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    builder.AddVertex(g.VertexLabel(v));
+  }
+  g.ForEachEdge([&](const Edge& e) {
+    if (owner_[e.src] == s || owner_[e.dst] == s) {
+      builder.AddEdge(e.src, e.dst, e.elabel);
+    }
+  });
+  return builder.Build(out);
+}
+
+std::string ShardPlan::PlanPath(const std::string& base) {
+  return base + ".shardplan";
+}
+
+std::string ShardPlan::ShardCcsrPath(const std::string& base, uint32_t s) {
+  return base + ".shard" + std::to_string(s);
+}
+
+Status ShardPlan::Save(std::ostream& out) const {
+  WritePod(out, kPlanMagic);
+  WritePod(out, kPlanVersion);
+  WritePod(out, num_shards_);
+  WritePod(out, static_cast<uint8_t>(strategy_));
+  WritePod(out, static_cast<uint32_t>(owner_.size()));
+  out.write(reinterpret_cast<const char*>(owner_.data()),
+            static_cast<std::streamsize>(owner_.size() * sizeof(uint32_t)));
+  WritePod(out, boundary_edges_);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    WritePod(out, static_cast<uint32_t>(replicas_[s].size()));
+    out.write(
+        reinterpret_cast<const char*>(replicas_[s].data()),
+        static_cast<std::streamsize>(replicas_[s].size() * sizeof(VertexId)));
+  }
+  if (!out.good()) return Status::IOError("shard plan write failed");
+  return Status::OK();
+}
+
+Status ShardPlan::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  CSCE_RETURN_IF_ERROR(Save(out));
+  out.flush();
+  if (!out.good()) return Status::IOError("flush failed for " + path);
+  return Status::OK();
+}
+
+Status ShardPlan::Load(std::istream& in, ShardPlan* out) {
+  *out = ShardPlan();
+  uint32_t magic = 0, version = 0, num_vertices = 0;
+  uint8_t strategy = 0;
+  if (!ReadPod(in, &magic) || magic != kPlanMagic) {
+    return Status::Corruption("not a shard plan file (bad magic)");
+  }
+  if (!ReadPod(in, &version) || version != kPlanVersion) {
+    return Status::Corruption("unsupported shard plan version");
+  }
+  if (!ReadPod(in, &out->num_shards_) || out->num_shards_ == 0 ||
+      out->num_shards_ > kMaxPlausibleShards) {
+    return Status::Corruption("implausible shard count");
+  }
+  if (!ReadPod(in, &strategy) || strategy > 1) {
+    return Status::Corruption("unknown partition strategy");
+  }
+  out->strategy_ = static_cast<PartitionStrategy>(strategy);
+  if (!ReadPod(in, &num_vertices) || num_vertices > (1u << 28)) {
+    // The cap bounds the resize below: a corrupt count must not become
+    // a multi-gigabyte allocation before the read fails.
+    return Status::Corruption("truncated or implausible shard plan header");
+  }
+  out->owner_.resize(num_vertices);
+  in.read(reinterpret_cast<char*>(out->owner_.data()),
+          static_cast<std::streamsize>(num_vertices * sizeof(uint32_t)));
+  if (!in.good()) return Status::Corruption("truncated owner table");
+  out->owned_counts_.assign(out->num_shards_, 0);
+  for (uint32_t s : out->owner_) {
+    if (s >= out->num_shards_) {
+      return Status::Corruption("owner table entry out of range");
+    }
+    ++out->owned_counts_[s];
+  }
+  if (!ReadPod(in, &out->boundary_edges_)) {
+    return Status::Corruption("truncated shard plan");
+  }
+  out->replicas_.assign(out->num_shards_, {});
+  for (uint32_t s = 0; s < out->num_shards_; ++s) {
+    uint32_t count = 0;
+    if (!ReadPod(in, &count) || count > num_vertices) {
+      return Status::Corruption("implausible replica count");
+    }
+    out->replicas_[s].resize(count);
+    in.read(reinterpret_cast<char*>(out->replicas_[s].data()),
+            static_cast<std::streamsize>(count * sizeof(VertexId)));
+    if (!in.good()) return Status::Corruption("truncated replica table");
+    for (size_t i = 0; i < count; ++i) {
+      VertexId v = out->replicas_[s][i];
+      if (v >= num_vertices || (i > 0 && v <= out->replicas_[s][i - 1])) {
+        return Status::Corruption("replica table not sorted/in range");
+      }
+      if (out->owner_[v] == s) {
+        return Status::Corruption("replica owned by its own shard");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardPlan::LoadFromFile(const std::string& path, ShardPlan* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return Load(in, out);
+}
+
+}  // namespace shard
+}  // namespace csce

@@ -1,0 +1,143 @@
+#include "shard/transport.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace csce {
+namespace shard {
+namespace {
+
+/// Shared state of a loopback pair: two directed frame queues. End A
+/// sends into queue[0] and receives from queue[1]; end B the reverse.
+struct LoopbackState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<wire::Frame> queue[2];
+  bool closed = false;
+};
+
+class LoopbackEnd : public Transport {
+ public:
+  LoopbackEnd(std::shared_ptr<LoopbackState> state, int send_index)
+      : state_(std::move(state)), send_index_(send_index) {}
+
+  ~LoopbackEnd() override { Close(); }
+
+  Status Send(const wire::Frame& frame) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->closed) return Status::IOError("loopback transport closed");
+    state_->queue[send_index_].push_back(frame);
+    state_->cv.notify_all();
+    return Status::OK();
+  }
+
+  Status Recv(wire::Frame* frame) override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    std::deque<wire::Frame>& q = state_->queue[send_index_ ^ 1];
+    state_->cv.wait(lock, [&] { return !q.empty() || state_->closed; });
+    if (q.empty()) return Status::IOError("loopback transport closed");
+    *frame = std::move(q.front());
+    q.pop_front();
+    return Status::OK();
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->closed = true;
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<LoopbackState> state_;
+  int send_index_;
+};
+
+class FdTransport : public Transport {
+ public:
+  explicit FdTransport(int fd) : fd_(fd) {}
+
+  ~FdTransport() override { Close(); }
+
+  Status Send(const wire::Frame& frame) override {
+    std::string bytes;
+    CSCE_RETURN_IF_ERROR(wire::EncodeFrame(frame, &bytes));
+    return WriteAll(bytes.data(), bytes.size());
+  }
+
+  Status Recv(wire::Frame* frame) override {
+    char header[wire::kFrameHeaderBytes];
+    CSCE_RETURN_IF_ERROR(ReadAll(header, sizeof(header)));
+    uint64_t payload_len = 0;
+    CSCE_RETURN_IF_ERROR(wire::DecodeFrameHeader(
+        std::string_view(header, sizeof(header)), &frame->type, &payload_len));
+    frame->payload.resize(static_cast<size_t>(payload_len));
+    if (payload_len > 0) {
+      CSCE_RETURN_IF_ERROR(
+          ReadAll(frame->payload.data(), frame->payload.size()));
+    }
+    return Status::OK();
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  Status WriteAll(const char* data, size_t n) {
+    if (fd_ < 0) return Status::IOError("fd transport closed");
+    while (n > 0) {
+      ssize_t w = ::write(fd_, data, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("transport write: ") +
+                               std::strerror(errno));
+      }
+      data += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status ReadAll(char* data, size_t n) {
+    if (fd_ < 0) return Status::IOError("fd transport closed");
+    while (n > 0) {
+      ssize_t r = ::read(fd_, data, n);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("transport read: ") +
+                               std::strerror(errno));
+      }
+      if (r == 0) return Status::IOError("transport peer closed");
+      data += r;
+      n -= static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  int fd_;
+};
+
+}  // namespace
+
+void MakeLoopbackPair(std::unique_ptr<Transport>* a,
+                      std::unique_ptr<Transport>* b) {
+  auto state = std::make_shared<LoopbackState>();
+  *a = std::make_unique<LoopbackEnd>(state, 0);
+  *b = std::make_unique<LoopbackEnd>(state, 1);
+}
+
+std::unique_ptr<Transport> MakeFdTransport(int fd) {
+  return std::make_unique<FdTransport>(fd);
+}
+
+}  // namespace shard
+}  // namespace csce

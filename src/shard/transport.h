@@ -1,0 +1,45 @@
+#ifndef CSCE_SHARD_TRANSPORT_H_
+#define CSCE_SHARD_TRANSPORT_H_
+
+#include <memory>
+
+#include "shard/wire.h"
+#include "util/status.h"
+
+namespace csce {
+namespace shard {
+
+/// One end of a bidirectional, ordered frame channel between the
+/// coordinator and a shard worker. Send and Recv each block until the
+/// frame is fully transferred; a closed peer surfaces as IOError.
+/// One thread per direction at most — the protocol is strictly
+/// request/reply, so neither side ever needs concurrent calls.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Status Send(const wire::Frame& frame) = 0;
+  virtual Status Recv(wire::Frame* frame) = 0;
+  /// Unblocks the peer's pending Recv with IOError. Idempotent.
+  virtual void Close() = 0;
+};
+
+/// Creates a connected in-process pair (mutex + condvar queues): frames
+/// sent on one end arrive at the other. Both ends outlive each other
+/// safely (shared state). The unit-test and in-process-cluster
+/// transport.
+void MakeLoopbackPair(std::unique_ptr<Transport>* a,
+                      std::unique_ptr<Transport>* b);
+
+/// Byte-stream transport over a file descriptor (a Unix-domain
+/// socketpair between csce_serve and its forked workers, or any
+/// connected stream socket). Frames are serialized with wire::
+/// EncodeFrame; incoming headers are validated before the payload is
+/// read, so a corrupt peer yields Corruption, not unbounded allocation.
+/// Takes ownership of `fd`.
+std::unique_ptr<Transport> MakeFdTransport(int fd);
+
+}  // namespace shard
+}  // namespace csce
+
+#endif  // CSCE_SHARD_TRANSPORT_H_

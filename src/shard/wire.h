@@ -1,0 +1,195 @@
+#ifndef CSCE_SHARD_WIRE_H_
+#define CSCE_SHARD_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/executor.h"
+#include "graph/graph.h"
+#include "graph/variant.h"
+#include "plan/planner.h"
+#include "util/status.h"
+
+namespace csce {
+namespace shard {
+namespace wire {
+
+/// Length-prefixed framing for the coordinator/worker protocol:
+///
+///   magic "CSWF" (u32) | type (u32) | payload length (u64) | payload
+///
+/// little-endian throughout. Every decoder in this file is defensive:
+/// all counts are bounds-checked against the remaining bytes before any
+/// allocation, and malformed input returns Corruption — never crashes —
+/// because frames cross process boundaries (the fuzz test hammers this
+/// contract).
+inline constexpr uint32_t kFrameMagic = 0x46575343;  // "CSWF"
+inline constexpr size_t kFrameHeaderBytes = 16;
+/// Upper bound on a payload; a header claiming more is rejected before
+/// anything is allocated.
+inline constexpr uint64_t kMaxFramePayload = 1ull << 30;
+
+/// Frame types. Requests flow coordinator -> worker, replies back.
+enum class MsgType : uint32_t {
+  // Requests.
+  kLoad = 1,      // LoadRequest: adopt a shard (CCSR + owner table)
+  kPlan = 2,      // PlanRequest: compile-once plan for the next query
+  kRoot = 3,      // empty: enumerate owned root candidates
+  kExtend = 4,    // TaskBatch: run routed shard tasks
+  kFinish = 5,    // empty: query done, return merged stats
+  kStats = 6,     // empty: return a csce.metrics.v1 snapshot
+  kShutdown = 7,  // empty: leave the serve loop
+  // Replies.
+  kOk = 100,           // empty ack (kLoad, kPlan, kShutdown)
+  kTaskBatch = 101,    // TaskBatch: emissions of a kRoot/kExtend round
+  kResult = 102,       // ResultMsg (kFinish)
+  kStatsResult = 103,  // StatsResult (kStats)
+  kError = 104,        // ErrorMsg: Status carried back
+};
+
+struct Frame {
+  uint32_t type = 0;
+  std::string payload;
+};
+
+/// Serializes header + payload (refuses oversized payloads).
+Status EncodeFrame(const Frame& frame, std::string* out);
+/// Validates a 16-byte header; returns the type and payload length.
+Status DecodeFrameHeader(std::string_view header, uint32_t* type,
+                         uint64_t* payload_len);
+/// One-shot decode of a complete frame from a byte buffer (tests /
+/// loopback). `*consumed` gets the total frame size on success.
+Status DecodeFrame(std::string_view bytes, Frame* out, size_t* consumed);
+
+/// Append-only payload builder (little-endian, no alignment).
+class PayloadWriter {
+ public:
+  void U8(uint8_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F64(double v);
+  void Str(std::string_view s);                  // u64 length + bytes
+  void VecU32(const std::vector<uint32_t>& v);   // u32 count + entries
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked payload reader: every accessor fails with Corruption
+/// instead of reading past the end, and element counts are validated
+/// against the remaining bytes before the destination is sized.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status F64(double* v);
+  Status Str(std::string* s, uint64_t max_len = kMaxFramePayload);
+  Status VecU32(std::vector<uint32_t>* v);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  /// The payload must be fully consumed (trailing garbage = corruption).
+  Status ExpectEnd() const;
+
+ private:
+  Status Need(size_t n) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// --- Message payloads -------------------------------------------------
+
+struct LoadRequest {
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
+  uint32_t num_threads = 1;
+  /// false: `ccsr_path`/`plan_path` name artifacts the worker reads
+  /// itself (multi-process over a shared filesystem); true: `ccsr_blob`
+  /// is a serialized CCSR and `owner` the ownership table, shipped
+  /// inline (in-process clusters, --graph mode).
+  bool inline_payload = false;
+  std::string ccsr_path;
+  std::string plan_path;
+  std::string ccsr_blob;
+  std::vector<uint32_t> owner;
+};
+
+struct PlanRequest {
+  Graph pattern;
+  Plan plan;
+  MatchVariant variant = MatchVariant::kEdgeInduced;
+  bool verify_sce = false;
+  /// Ship every embedding back in the kFinish result (self-check and
+  /// embedding collection; counts stay wire-cheap otherwise).
+  bool emit_embeddings = false;
+  double time_limit_seconds = 0.0;
+};
+
+struct TaskBatch {
+  std::vector<ShardTask> tasks;
+};
+
+/// Per-worker totals returned by kFinish.
+struct ResultMsg {
+  uint64_t embeddings = 0;
+  uint64_t search_nodes = 0;
+  uint64_t candidate_sets_computed = 0;
+  uint64_t candidate_sets_reused = 0;
+  uint64_t morsels_claimed = 0;
+  bool timed_out = false;
+  bool cancelled = false;
+  bool limit_reached = false;
+  double seconds = 0.0;
+  /// Present when PlanRequest::emit_embeddings; each entry is indexed
+  /// by pattern vertex (EmbeddingCallback convention).
+  uint32_t embedding_width = 0;
+  std::vector<VertexId> embedding_data;  // count * width entries
+};
+
+struct StatsResult {
+  std::string metrics_json;  // a csce.metrics.v1 document
+};
+
+struct ErrorMsg {
+  uint32_t code = 0;  // StatusCode
+  std::string message;
+};
+
+std::string EncodeLoadRequest(const LoadRequest& msg);
+Status DecodeLoadRequest(std::string_view payload, LoadRequest* out);
+
+std::string EncodePlanRequest(const PlanRequest& msg);
+Status DecodePlanRequest(std::string_view payload, PlanRequest* out);
+
+std::string EncodeTaskBatch(const TaskBatch& msg);
+Status DecodeTaskBatch(std::string_view payload, TaskBatch* out);
+
+std::string EncodeResultMsg(const ResultMsg& msg);
+Status DecodeResultMsg(std::string_view payload, ResultMsg* out);
+
+std::string EncodeStatsResult(const StatsResult& msg);
+Status DecodeStatsResult(std::string_view payload, StatsResult* out);
+
+std::string EncodeError(const Status& status);
+Status DecodeError(std::string_view payload, ErrorMsg* out);
+/// Reconstructs the Status an ErrorMsg carries.
+Status ErrorToStatus(const ErrorMsg& msg);
+
+/// Pattern graphs travel inside PlanRequest; exposed for tests.
+void EncodeGraph(const Graph& g, PayloadWriter* w);
+Status DecodeGraph(PayloadReader* r, Graph* out);
+void EncodePlan(const Plan& plan, PayloadWriter* w);
+Status DecodePlan(PayloadReader* r, Plan* out);
+
+}  // namespace wire
+}  // namespace shard
+}  // namespace csce
+
+#endif  // CSCE_SHARD_WIRE_H_

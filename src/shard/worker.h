@@ -1,0 +1,77 @@
+#ifndef CSCE_SHARD_WORKER_H_
+#define CSCE_SHARD_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ccsr/ccsr.h"
+#include "engine/executor.h"
+#include "graph/graph.h"
+#include "plan/planner.h"
+#include "shard/shard_plan.h"
+#include "shard/transport.h"
+#include "shard/wire.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace csce {
+namespace shard {
+
+/// A shard-local execution server: owns one shard's CCSR plus the
+/// ownership table and serves the coordinator protocol over a
+/// Transport. One worker per shard, in a thread (loopback transport)
+/// or a forked process (fd transport).
+///
+/// Enumeration wraps the existing Executor in task mode: per LOAD
+/// thread count, each worker thread gets a private Executor whose
+/// ShardSpec::emit buffers outgoing ShardTasks; a round (kRoot or
+/// kExtend) drains its input through the thread pool and replies with
+/// everything the executors emitted. SCE candidate caches live inside
+/// the per-thread executors, so reuse never crosses a shard boundary.
+class ShardWorker {
+ public:
+  ShardWorker() = default;
+
+  /// Serves until kShutdown (returns OK) or transport failure (returns
+  /// the transport error — the coordinator vanishing is not a crash).
+  /// Handler-level failures are reported to the peer as kError frames
+  /// and the loop keeps serving.
+  Status Serve(Transport& transport);
+
+ private:
+  Status HandleLoad(const wire::LoadRequest& req);
+  Status HandlePlan(const wire::PlanRequest& req);
+  Status RunRound(const wire::TaskBatch* in, wire::TaskBatch* out);
+  Status HandleFinish(wire::ResultMsg* out);
+  wire::StatsResult CollectStats() const;
+
+  bool loaded_ = false;
+  uint32_t shard_id_ = 0;
+  uint32_t num_shards_ = 1;
+  uint32_t num_threads_ = 1;
+  Ccsr ccsr_;
+  std::vector<uint32_t> owner_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Per-query state, rebuilt by each kPlan.
+  bool query_active_ = false;
+  Graph pattern_;
+  Plan plan_;
+  QueryClusters qc_;
+  std::vector<VertexId> owned_roots_;
+  size_t root_morsel_ = 1;
+  std::atomic<size_t> root_next_{0};
+  std::atomic<size_t> task_next_{0};
+  std::vector<ShardSpec> specs_;
+  std::vector<ExecOptions> exec_options_;
+  std::vector<std::unique_ptr<Executor>> executors_;
+  std::vector<std::vector<ShardTask>> emit_buf_;       // per thread
+  std::vector<std::vector<VertexId>> embedding_buf_;   // per thread, flat
+};
+
+}  // namespace shard
+}  // namespace csce
+
+#endif  // CSCE_SHARD_WORKER_H_

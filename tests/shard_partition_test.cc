@@ -1,0 +1,194 @@
+// ShardPlan contract tests: every vertex has exactly one owning shard,
+// every edge is materialized in exactly the shards owning an endpoint,
+// boundary replicas are flagged exactly, owned vertices keep complete
+// adjacency (the property the sharded executor's routing relies on),
+// and the whole partition is deterministic and round-trips through its
+// binary format.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "shard/shard_plan.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace csce {
+namespace shard {
+namespace {
+
+std::vector<Graph> TestGraphs() {
+  std::vector<Graph> graphs;
+  graphs.push_back(datasets::Yeast());
+  Rng rng(42);
+  graphs.push_back(csce::testing::RandomGraph(rng, 200, 0.05, 5, 2, false));
+  graphs.push_back(csce::testing::RandomGraph(rng, 150, 0.04, 4, 2, true));
+  return graphs;
+}
+
+const uint32_t kShardCounts[] = {1, 2, 4};
+const PartitionStrategy kStrategies[] = {PartitionStrategy::kHash,
+                                         PartitionStrategy::kLabelAware};
+
+TEST(ShardPlanTest, EveryVertexOwnedByExactlyOneShard) {
+  for (const Graph& g : TestGraphs()) {
+    for (uint32_t shards : kShardCounts) {
+      for (PartitionStrategy strategy : kStrategies) {
+        ShardPlanOptions options{shards, strategy};
+        ShardPlan plan = ShardPlan::Build(g, options);
+        ASSERT_EQ(plan.NumVertices(), g.NumVertices());
+        ASSERT_EQ(plan.num_shards(), shards);
+        std::vector<uint64_t> counts(shards, 0);
+        for (VertexId v = 0; v < g.NumVertices(); ++v) {
+          ASSERT_LT(plan.Owner(v), shards);
+          ++counts[plan.Owner(v)];
+        }
+        uint64_t total = 0;
+        for (uint32_t s = 0; s < shards; ++s) {
+          EXPECT_EQ(plan.OwnedCount(s), counts[s]);
+          total += counts[s];
+        }
+        EXPECT_EQ(total, g.NumVertices());
+      }
+    }
+  }
+}
+
+TEST(ShardPlanTest, DeterministicAcrossRepeatedBuilds) {
+  for (const Graph& g : TestGraphs()) {
+    for (uint32_t shards : kShardCounts) {
+      for (PartitionStrategy strategy : kStrategies) {
+        ShardPlanOptions options{shards, strategy};
+        ShardPlan a = ShardPlan::Build(g, options);
+        ShardPlan b = ShardPlan::Build(g, options);
+        EXPECT_TRUE(a == b);
+      }
+    }
+  }
+}
+
+TEST(ShardPlanTest, BoundaryReplicasFlaggedExactly) {
+  for (const Graph& g : TestGraphs()) {
+    for (uint32_t shards : kShardCounts) {
+      ShardPlanOptions options{shards, PartitionStrategy::kLabelAware};
+      ShardPlan plan = ShardPlan::Build(g, options);
+
+      // Ground truth from the graph: shard s replicates exactly the
+      // non-owned endpoints of edges it owns an endpoint of, and a
+      // boundary edge is one whose endpoints live on different shards.
+      std::vector<std::set<VertexId>> expected(shards);
+      uint64_t boundary = 0;
+      g.ForEachEdge([&](const Edge& e) {
+        uint32_t so = plan.Owner(e.src);
+        uint32_t to = plan.Owner(e.dst);
+        if (so != to) {
+          ++boundary;
+          expected[so].insert(e.dst);
+          expected[to].insert(e.src);
+        }
+      });
+      EXPECT_EQ(plan.boundary_edges(), boundary);
+      ASSERT_EQ(plan.replicas().size(), shards);
+      for (uint32_t s = 0; s < shards; ++s) {
+        const std::vector<VertexId>& got = plan.replicas()[s];
+        EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+        std::vector<VertexId> want(expected[s].begin(), expected[s].end());
+        EXPECT_EQ(got, want) << "shard " << s << " of " << shards;
+        for (VertexId v : got) EXPECT_NE(plan.Owner(v), s);
+      }
+      if (shards == 1) {
+        EXPECT_EQ(plan.boundary_edges(), 0u);
+        EXPECT_TRUE(plan.replicas()[0].empty());
+      }
+    }
+  }
+}
+
+TEST(ShardPlanTest, ExtractShardKeepsOwnedAdjacencyComplete) {
+  for (const Graph& g : TestGraphs()) {
+    for (uint32_t shards : kShardCounts) {
+      ShardPlanOptions options{shards, PartitionStrategy::kHash};
+      ShardPlan plan = ShardPlan::Build(g, options);
+      uint64_t edges_across_shards = 0;
+      for (uint32_t s = 0; s < shards; ++s) {
+        Graph shard_graph;
+        ASSERT_TRUE(plan.ExtractShard(g, s, &shard_graph).ok());
+        // Global ids: every vertex present, labels unchanged.
+        ASSERT_EQ(shard_graph.NumVertices(), g.NumVertices());
+        ASSERT_EQ(shard_graph.directed(), g.directed());
+        for (VertexId v = 0; v < g.NumVertices(); ++v) {
+          EXPECT_EQ(shard_graph.VertexLabel(v), g.VertexLabel(v));
+        }
+        // Edge set == edges incident to an owned endpoint, exactly.
+        uint64_t expected_edges = 0;
+        g.ForEachEdge([&](const Edge& e) {
+          bool incident =
+              plan.Owner(e.src) == s || plan.Owner(e.dst) == s;
+          if (incident) ++expected_edges;
+          EXPECT_EQ(shard_graph.HasEdge(e.src, e.dst, e.elabel), incident);
+        });
+        EXPECT_EQ(shard_graph.NumEdges(), expected_edges);
+        edges_across_shards += expected_edges;
+        // 1-hop replication: owned vertices keep their full degrees.
+        for (VertexId v = 0; v < g.NumVertices(); ++v) {
+          if (plan.Owner(v) != s) continue;
+          EXPECT_EQ(shard_graph.OutDegree(v), g.OutDegree(v));
+          EXPECT_EQ(shard_graph.InDegree(v), g.InDegree(v));
+        }
+      }
+      // Each edge lands once per endpoint-owning shard: interior edges
+      // once, boundary edges twice.
+      EXPECT_EQ(edges_across_shards, g.NumEdges() + plan.boundary_edges());
+    }
+  }
+}
+
+TEST(ShardPlanTest, SaveLoadRoundTrip) {
+  Rng rng(7);
+  Graph g = csce::testing::RandomGraph(rng, 120, 0.06, 3, 2, false);
+  for (PartitionStrategy strategy : kStrategies) {
+    ShardPlanOptions options{4, strategy};
+    ShardPlan plan = ShardPlan::Build(g, options);
+    std::ostringstream out;
+    ASSERT_TRUE(plan.Save(out).ok());
+    std::istringstream in(out.str());
+    ShardPlan loaded;
+    ASSERT_TRUE(ShardPlan::Load(in, &loaded).ok());
+    EXPECT_TRUE(plan == loaded);
+  }
+}
+
+TEST(ShardPlanTest, LoadRejectsCorruptedBytes) {
+  Rng rng(7);
+  Graph g = csce::testing::RandomGraph(rng, 60, 0.08, 3, 2, false);
+  ShardPlan plan = ShardPlan::Build(g, ShardPlanOptions{2,
+                                    PartitionStrategy::kHash});
+  std::ostringstream out;
+  ASSERT_TRUE(plan.Save(out).ok());
+  std::string bytes = out.str();
+  // Every truncation either fails or (never) succeeds silently wrong.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::istringstream in(bytes.substr(0, len));
+    ShardPlan loaded;
+    EXPECT_FALSE(ShardPlan::Load(in, &loaded).ok()) << "len=" << len;
+  }
+  // Bad magic.
+  std::string bad = bytes;
+  bad[0] ^= 0xFF;
+  std::istringstream in(bad);
+  ShardPlan loaded;
+  EXPECT_FALSE(ShardPlan::Load(in, &loaded).ok());
+}
+
+TEST(ShardPlanTest, PathHelpers) {
+  EXPECT_EQ(ShardPlan::PlanPath("g.ccsr"), "g.ccsr.shardplan");
+  EXPECT_EQ(ShardPlan::ShardCcsrPath("g.ccsr", 3), "g.ccsr.shard3");
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace csce

@@ -1,0 +1,353 @@
+// Wire-protocol hardening corpus, in the io_fuzz_corpus_test mold:
+// frames and payloads cross process boundaries, so every decoder must
+// turn arbitrary damage — truncation, bad magic, oversized length
+// prefixes, single-byte flips — into a Status, never a crash, an
+// abort, or an unbounded allocation. The sanitizer CI runs this file
+// under ASan/UBSan.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ccsr/ccsr.h"
+#include "gen/datasets.h"
+#include "plan/planner.h"
+#include "shard/wire.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace csce {
+namespace shard {
+namespace wire {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference messages (valid by construction).
+
+LoadRequest MakeLoadRequest() {
+  LoadRequest msg;
+  msg.shard_id = 2;
+  msg.num_shards = 4;
+  msg.num_threads = 3;
+  msg.inline_payload = true;
+  msg.ccsr_blob = std::string("\x01\x02\x03\x00\x7f", 5);
+  msg.owner = {0, 1, 2, 3, 0, 1};
+  return msg;
+}
+
+struct PlannedQuery {
+  Graph pattern;
+  Plan plan;
+};
+
+PlannedQuery MakePlannedQuery() {
+  PlannedQuery q;
+  Graph data = datasets::Yeast();
+  Ccsr index = Ccsr::Build(data);
+  Rng rng(11);
+  q.pattern = csce::testing::RandomGraph(rng, 5, 0.7, 3, 1, false);
+  Status st = Planner(&index).MakePlan(
+      q.pattern, MatchVariant::kEdgeInduced, PlanOptions{}, &q.plan);
+  CSCE_CHECK(st.ok());
+  return q;
+}
+
+PlanRequest MakePlanRequest() {
+  PlannedQuery q = MakePlannedQuery();
+  PlanRequest msg;
+  msg.pattern = q.pattern;
+  msg.plan = q.plan;
+  msg.variant = MatchVariant::kEdgeInduced;
+  msg.verify_sce = true;
+  msg.emit_embeddings = true;
+  msg.time_limit_seconds = 1.5;
+  return msg;
+}
+
+TaskBatch MakeTaskBatch() {
+  TaskBatch msg;
+  ShardTask verify;
+  verify.kind = ShardTask::Kind::kVerify;
+  verify.target_shard = 1;
+  verify.depth = 2;
+  verify.mapping = {7, 9};
+  verify.candidates = {1, 4, 8};
+  msg.tasks.push_back(verify);
+  ShardTask forward;
+  forward.kind = ShardTask::Kind::kForward;
+  forward.target_shard = 3;
+  forward.depth = 1;
+  forward.mapping = {12};
+  msg.tasks.push_back(forward);
+  ShardTask local;
+  local.kind = ShardTask::Kind::kLocalOnly;
+  local.target_shard = 0;
+  local.depth = 3;
+  local.mapping = {1, 2, 3};
+  msg.tasks.push_back(local);
+  return msg;
+}
+
+ResultMsg MakeResultMsg() {
+  ResultMsg msg;
+  msg.embeddings = 2;
+  msg.search_nodes = 17;
+  msg.candidate_sets_computed = 5;
+  msg.candidate_sets_reused = 3;
+  msg.morsels_claimed = 4;
+  msg.timed_out = false;
+  msg.limit_reached = true;
+  msg.seconds = 0.25;
+  msg.embedding_width = 3;
+  msg.embedding_data = {1, 2, 3, 9, 8, 7};
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips: the decoders accept what the encoders produce, exactly.
+
+TEST(ShardWireTest, FrameRoundTrip) {
+  Frame frame{static_cast<uint32_t>(MsgType::kExtend), "payload-bytes"};
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrame(frame, &bytes).ok());
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + frame.payload.size());
+  Frame decoded;
+  size_t consumed = 0;
+  ASSERT_TRUE(DecodeFrame(bytes, &decoded, &consumed).ok());
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(decoded.type, frame.type);
+  EXPECT_EQ(decoded.payload, frame.payload);
+}
+
+TEST(ShardWireTest, LoadRequestRoundTrip) {
+  LoadRequest msg = MakeLoadRequest();
+  LoadRequest out;
+  ASSERT_TRUE(DecodeLoadRequest(EncodeLoadRequest(msg), &out).ok());
+  EXPECT_EQ(out.shard_id, msg.shard_id);
+  EXPECT_EQ(out.num_shards, msg.num_shards);
+  EXPECT_EQ(out.num_threads, msg.num_threads);
+  EXPECT_EQ(out.inline_payload, msg.inline_payload);
+  EXPECT_EQ(out.ccsr_blob, msg.ccsr_blob);
+  EXPECT_EQ(out.owner, msg.owner);
+}
+
+TEST(ShardWireTest, PlanRequestRoundTrip) {
+  PlanRequest msg = MakePlanRequest();
+  PlanRequest out;
+  ASSERT_TRUE(DecodePlanRequest(EncodePlanRequest(msg), &out).ok());
+  EXPECT_EQ(out.variant, msg.variant);
+  EXPECT_EQ(out.verify_sce, msg.verify_sce);
+  EXPECT_EQ(out.emit_embeddings, msg.emit_embeddings);
+  EXPECT_EQ(out.time_limit_seconds, msg.time_limit_seconds);
+  EXPECT_EQ(out.pattern.NumVertices(), msg.pattern.NumVertices());
+  EXPECT_EQ(out.pattern.NumEdges(), msg.pattern.NumEdges());
+  ASSERT_EQ(out.plan.order, msg.plan.order);
+  ASSERT_EQ(out.plan.positions.size(), msg.plan.positions.size());
+  for (size_t j = 0; j < out.plan.positions.size(); ++j) {
+    const PlanPosition& a = out.plan.positions[j];
+    const PlanPosition& b = msg.plan.positions[j];
+    EXPECT_EQ(a.u, b.u);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.edges, b.edges);
+    EXPECT_EQ(a.negations, b.negations);
+    EXPECT_EQ(a.deps, b.deps);
+    EXPECT_EQ(a.cache_alias, b.cache_alias);
+    EXPECT_EQ(a.seed_valid, b.seed_valid);
+    EXPECT_EQ(a.min_out_degree, b.min_out_degree);
+    EXPECT_EQ(a.min_in_degree, b.min_in_degree);
+  }
+}
+
+TEST(ShardWireTest, TaskBatchRoundTrip) {
+  TaskBatch msg = MakeTaskBatch();
+  TaskBatch out;
+  ASSERT_TRUE(DecodeTaskBatch(EncodeTaskBatch(msg), &out).ok());
+  ASSERT_EQ(out.tasks.size(), msg.tasks.size());
+  for (size_t i = 0; i < out.tasks.size(); ++i) {
+    EXPECT_EQ(out.tasks[i].kind, msg.tasks[i].kind);
+    EXPECT_EQ(out.tasks[i].target_shard, msg.tasks[i].target_shard);
+    EXPECT_EQ(out.tasks[i].depth, msg.tasks[i].depth);
+    EXPECT_EQ(out.tasks[i].mapping, msg.tasks[i].mapping);
+    EXPECT_EQ(out.tasks[i].candidates, msg.tasks[i].candidates);
+  }
+}
+
+TEST(ShardWireTest, ResultMsgRoundTrip) {
+  ResultMsg msg = MakeResultMsg();
+  ResultMsg out;
+  ASSERT_TRUE(DecodeResultMsg(EncodeResultMsg(msg), &out).ok());
+  EXPECT_EQ(out.embeddings, msg.embeddings);
+  EXPECT_EQ(out.search_nodes, msg.search_nodes);
+  EXPECT_EQ(out.candidate_sets_computed, msg.candidate_sets_computed);
+  EXPECT_EQ(out.candidate_sets_reused, msg.candidate_sets_reused);
+  EXPECT_EQ(out.morsels_claimed, msg.morsels_claimed);
+  EXPECT_EQ(out.limit_reached, msg.limit_reached);
+  EXPECT_EQ(out.seconds, msg.seconds);
+  EXPECT_EQ(out.embedding_width, msg.embedding_width);
+  EXPECT_EQ(out.embedding_data, msg.embedding_data);
+}
+
+TEST(ShardWireTest, ErrorRoundTrip) {
+  Status original = Status::NotFound("no such shard artifact");
+  ErrorMsg msg;
+  ASSERT_TRUE(DecodeError(EncodeError(original), &msg).ok());
+  Status restored = ErrorToStatus(msg);
+  EXPECT_EQ(restored.code(), original.code());
+  EXPECT_EQ(restored.ToString(), original.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Framing damage.
+
+TEST(ShardWireFuzzTest, TruncatedFramesRejected) {
+  Frame frame{static_cast<uint32_t>(MsgType::kExtend),
+              EncodeTaskBatch(MakeTaskBatch())};
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrame(frame, &bytes).ok());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Frame out;
+    size_t consumed = 0;
+    EXPECT_FALSE(DecodeFrame(bytes.substr(0, len), &out, &consumed).ok())
+        << "len=" << len;
+  }
+}
+
+TEST(ShardWireFuzzTest, BadMagicRejected) {
+  Frame frame{static_cast<uint32_t>(MsgType::kRoot), ""};
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrame(frame, &bytes).ok());
+  for (size_t i = 0; i < 4; ++i) {
+    std::string bad = bytes;
+    bad[i] ^= 0xFF;
+    Frame out;
+    size_t consumed = 0;
+    EXPECT_FALSE(DecodeFrame(bad, &out, &consumed).ok()) << "byte " << i;
+  }
+}
+
+TEST(ShardWireFuzzTest, OversizedLengthPrefixRejectedBeforeAllocation) {
+  // A header claiming a payload beyond the cap must be rejected from
+  // the 16 header bytes alone — long before any buffer is sized.
+  std::string header(kFrameHeaderBytes, '\0');
+  uint32_t magic = kFrameMagic;
+  uint32_t type = static_cast<uint32_t>(MsgType::kExtend);
+  uint64_t huge = kMaxFramePayload + 1;
+  std::memcpy(&header[0], &magic, 4);
+  std::memcpy(&header[4], &type, 4);
+  std::memcpy(&header[8], &huge, 8);
+  uint32_t got_type = 0;
+  uint64_t got_len = 0;
+  EXPECT_FALSE(DecodeFrameHeader(header, &got_type, &got_len).ok());
+
+  uint64_t absurd = ~0ull;
+  std::memcpy(&header[8], &absurd, 8);
+  EXPECT_FALSE(DecodeFrameHeader(header, &got_type, &got_len).ok());
+}
+
+TEST(ShardWireFuzzTest, PayloadCountsValidatedAgainstRemainingBytes) {
+  // A vector claiming 2^31 entries inside a 16-byte payload must fail
+  // without resizing the destination ("allocation bomb").
+  PayloadWriter w;
+  w.U32(0x7FFFFFFFu);  // element count
+  w.U32(1);
+  std::string payload = w.Take();
+  PayloadReader r(payload);
+  std::vector<uint32_t> out;
+  EXPECT_FALSE(r.VecU32(&out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Payload damage sweeps: truncate at every length and flip every byte;
+// the decoders must return (any) Status or decode something — and
+// never crash. ASan/UBSan turn latent over-reads into test failures.
+
+void SweepPayload(const std::string& payload,
+                  const std::function<Status(std::string_view)>& decode) {
+  for (size_t len = 0; len < payload.size(); ++len) {
+    (void)decode(std::string_view(payload).substr(0, len));
+  }
+  for (size_t i = 0; i < payload.size(); ++i) {
+    std::string bad = payload;
+    bad[i] ^= 0xFF;
+    (void)decode(bad);
+  }
+  for (size_t i = 0; i < payload.size(); ++i) {
+    std::string bad = payload;
+    bad[i] ^= 0x01;  // low-bit flips catch off-by-one count damage
+    (void)decode(bad);
+  }
+  // The undamaged payload still decodes after the sweep (the decoder
+  // has no hidden state).
+  EXPECT_TRUE(decode(payload).ok());
+}
+
+TEST(ShardWireFuzzTest, LoadRequestSweep) {
+  SweepPayload(EncodeLoadRequest(MakeLoadRequest()),
+               [](std::string_view bytes) {
+                 LoadRequest out;
+                 return DecodeLoadRequest(bytes, &out);
+               });
+}
+
+TEST(ShardWireFuzzTest, PlanRequestSweep) {
+  SweepPayload(EncodePlanRequest(MakePlanRequest()),
+               [](std::string_view bytes) {
+                 PlanRequest out;
+                 return DecodePlanRequest(bytes, &out);
+               });
+}
+
+TEST(ShardWireFuzzTest, TaskBatchSweep) {
+  SweepPayload(EncodeTaskBatch(MakeTaskBatch()),
+               [](std::string_view bytes) {
+                 TaskBatch out;
+                 return DecodeTaskBatch(bytes, &out);
+               });
+}
+
+TEST(ShardWireFuzzTest, ResultMsgSweep) {
+  SweepPayload(EncodeResultMsg(MakeResultMsg()),
+               [](std::string_view bytes) {
+                 ResultMsg out;
+                 return DecodeResultMsg(bytes, &out);
+               });
+}
+
+TEST(ShardWireFuzzTest, ErrorMsgSweep) {
+  SweepPayload(EncodeError(Status::Corruption("payload damage sweep")),
+               [](std::string_view bytes) {
+                 ErrorMsg out;
+                 return DecodeError(bytes, &out);
+               });
+}
+
+TEST(ShardWireFuzzTest, RandomBytesNeverCrashAnyDecoder) {
+  Rng rng(1234);
+  for (int round = 0; round < 200; ++round) {
+    size_t len = rng.Uniform(256);
+    std::string junk(len, '\0');
+    for (char& c : junk) c = static_cast<char>(rng.Uniform(256));
+    LoadRequest lr;
+    (void)DecodeLoadRequest(junk, &lr);
+    PlanRequest pr;
+    (void)DecodePlanRequest(junk, &pr);
+    TaskBatch tb;
+    (void)DecodeTaskBatch(junk, &tb);
+    ResultMsg res;
+    (void)DecodeResultMsg(junk, &res);
+    ErrorMsg err;
+    (void)DecodeError(junk, &err);
+    Frame frame;
+    size_t consumed = 0;
+    (void)DecodeFrame(junk, &frame, &consumed);
+  }
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace shard
+}  // namespace csce

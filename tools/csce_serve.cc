@@ -21,13 +21,44 @@
 // --repeat=N serves the whole workload N times (load generation; with
 // view sharing the repeats hit the session's cluster cache).
 // --metrics-json=FILE additionally dumps the process metric registry
-// as csce.metrics.v1 JSON on exit.
+// as csce.metrics.v1 JSON on exit — including exits forced by SIGINT/
+// SIGTERM, so interrupted sessions still leave their observability
+// artifact behind.
+//
+// Sharded execution (see DESIGN.md "Sharded execution"):
+//   --shards=N       partition the data graph across N shard workers
+//                    and run every query through the distributed
+//                    coordinator. With --graph the partition is built
+//                    in memory; with --ccsr the artifacts written by
+//                    `csce_build --shards=N` (<ccsr>.shardplan,
+//                    <ccsr>.shard<k>) are loaded instead.
+//   --workers=N      run the N shard workers as forked child processes
+//                    over Unix-domain socketpairs (requires --ccsr
+//                    artifacts and N == --shards). Without it the
+//                    workers are in-process threads.
+//   --threads-per-query=T   threads inside each shard worker.
+//   --shard-strategy=hash|label   partition strategy for --graph mode.
+//   --self-check     distributed ground-truth mode: plan validation,
+//                    SCE verification in every worker, and every
+//                    embedding re-verified against the full graph.
+// Sharded sessions ignore per-query max-embeddings limits (results
+// would depend on cross-shard arrival order) and print the same
+// per-query lines plus shard routing detail.
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ccsr/ccsr.h"
@@ -35,7 +66,12 @@
 #include "graph/graph_io.h"
 #include "obs/metrics.h"
 #include "runtime/query_runtime.h"
+#include "shard/coordinator.h"
+#include "shard/shard_plan.h"
+#include "shard/transport.h"
+#include "shard/worker.h"
 #include "util/flags.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -101,6 +137,214 @@ bool ParseWorkload(std::istream& in, std::vector<WorkloadSegment>* segments) {
   return true;
 }
 
+// --- SIGINT/SIGTERM flush ---------------------------------------------
+//
+// The signals are blocked in every thread (mask set before any thread
+// or worker exists and inherited by all of them); one detached watcher
+// sigwait()s, flushes the metrics artifact, reaps forked workers and
+// exits with the conventional 128+sig. This keeps the flush off the
+// async-signal-unsafe minefield — the watcher is a normal thread.
+
+std::string g_signal_metrics_path;     // set before the watcher starts
+std::vector<pid_t> g_worker_pids;      // populated before the watcher starts
+
+sigset_t ExitSignalSet() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  return set;
+}
+
+void BlockExitSignals() {
+  sigset_t set = ExitSignalSet();
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+}
+
+void StartSignalWatcher() {
+  std::thread([] {
+    sigset_t set = ExitSignalSet();
+    int sig = 0;
+    if (sigwait(&set, &sig) != 0) return;
+    if (!g_signal_metrics_path.empty()) {
+      (void)csce::obs::WriteMetricsFile(csce::obs::MetricRegistry::Global(),
+                                        g_signal_metrics_path);
+    }
+    for (pid_t pid : g_worker_pids) kill(pid, SIGTERM);
+    for (pid_t pid : g_worker_pids) waitpid(pid, nullptr, 0);
+    _exit(128 + sig);
+  }).detach();
+}
+
+// --- Sharded session --------------------------------------------------
+
+/// In-process shard workers: one serve thread per shard over loopback
+/// transports. Joined on destruction (the coordinator's Shutdown ends
+/// every serve loop first).
+struct LocalWorkerSet {
+  std::vector<std::unique_ptr<csce::shard::ShardWorker>> impls;
+  std::vector<std::thread> threads;
+
+  ~LocalWorkerSet() {
+    for (std::thread& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  void Spawn(csce::shard::ShardCoordinator* coordinator, uint32_t count) {
+    for (uint32_t s = 0; s < count; ++s) {
+      std::unique_ptr<csce::shard::Transport> near, far;
+      csce::shard::MakeLoopbackPair(&near, &far);
+      coordinator->AttachWorker(std::move(near));
+      impls.push_back(std::make_unique<csce::shard::ShardWorker>());
+      csce::shard::ShardWorker* worker = impls.back().get();
+      threads.emplace_back([worker, t = std::move(far)]() mutable {
+        (void)worker->Serve(*t);
+      });
+    }
+  }
+};
+
+/// Forked worker child: unblock the exit signals again (the child
+/// should die on SIGTERM from the parent's watcher), serve the shard
+/// over the inherited socket, and _exit without running parent-state
+/// destructors.
+[[noreturn]] void RunForkedWorker(int fd) {
+  sigset_t set = ExitSignalSet();
+  pthread_sigmask(SIG_UNBLOCK, &set, nullptr);
+  std::unique_ptr<csce::shard::Transport> transport =
+      csce::shard::MakeFdTransport(fd);
+  csce::shard::ShardWorker worker;
+  csce::Status st = worker.Serve(*transport);
+  // A vanished coordinator (IOError) is the normal teardown when the
+  // parent dies early; only protocol-level trouble is noisy.
+  if (!st.ok() && st.code() != csce::StatusCode::kIOError) {
+    std::fprintf(stderr, "shard worker: %s\n", st.ToString().c_str());
+    _exit(3);
+  }
+  _exit(0);
+}
+
+struct ShardedSessionTotals {
+  uint64_t queries = 0;
+  uint64_t failures = 0;
+  uint64_t embeddings = 0;
+  uint64_t rounds = 0;
+  uint64_t tasks_routed = 0;
+  uint64_t embeddings_verified = 0;
+  double enumerate_seconds = 0.0;
+  double worker_busy_seconds = 0.0;
+
+  csce::obs::JsonValue ToJson() const {
+    csce::obs::JsonValue doc = csce::obs::JsonValue::Object();
+    doc.Set("queries", queries);
+    doc.Set("failures", failures);
+    doc.Set("embeddings", embeddings);
+    doc.Set("rounds", rounds);
+    doc.Set("tasks_routed", tasks_routed);
+    doc.Set("embeddings_verified", embeddings_verified);
+    doc.Set("enumerate_seconds", enumerate_seconds);
+    doc.Set("worker_busy_seconds", worker_busy_seconds);
+    return doc;
+  }
+};
+
+int RunShardedSession(csce::shard::ShardCoordinator& coordinator,
+                      const std::vector<WorkloadSegment>& workload,
+                      int64_t repeat, bool quiet, bool self_check) {
+  using namespace csce;
+  ShardedSessionTotals totals;
+  bool warned_limit = false;
+  for (int64_t r = 0; r < repeat; ++r) {
+    for (const WorkloadSegment& segment : workload) {
+      for (const QueryJob& job : segment.jobs) {
+        if (job.options.max_embeddings != 0 && !warned_limit) {
+          std::fprintf(stderr,
+                       "warning: sharded sessions ignore per-query "
+                       "max-embeddings limits\n");
+          warned_limit = true;
+        }
+        shard::CoordinatorOptions options;
+        options.variant = job.options.variant;
+        options.plan = job.options.plan;
+        options.time_limit_seconds = job.options.time_limit_seconds;
+        options.self_check = self_check;
+        shard::ShardResult result;
+        WallTimer timer;
+        Status st = coordinator.Execute(job.pattern, options, &result);
+        double total_seconds = timer.Seconds();
+        ++totals.queries;
+        if (!st.ok()) ++totals.failures;
+        totals.embeddings += result.embeddings;
+        totals.rounds += result.rounds;
+        totals.tasks_routed += result.tasks_routed;
+        totals.embeddings_verified += result.embeddings_verified;
+        totals.enumerate_seconds += result.enumerate_seconds;
+        totals.worker_busy_seconds += result.worker_busy_seconds;
+        if (quiet) continue;
+        std::printf(
+            "query=%s variant=%s status=%s embeddings=%llu wait=0.000ms "
+            "total=%.3fms shards=%u rounds=%u tasks_routed=%llu%s%s\n",
+            job.tag.c_str(), VariantName(job.options.variant),
+            st.ok() ? "ok" : st.ToString().c_str(),
+            static_cast<unsigned long long>(result.embeddings),
+            total_seconds * 1e3, coordinator.num_shards(), result.rounds,
+            static_cast<unsigned long long>(result.tasks_routed),
+            result.timed_out ? " timed_out" : "",
+            self_check ? " self_checked" : "");
+        if (!st.ok()) {
+          // One failed distributed query does not invalidate the
+          // session; the coordinator left the workers drained.
+          std::fflush(stdout);
+        }
+      }
+      if (segment.stats_after) {
+        std::printf("STATS %s\n", totals.ToJson().Dump(0).c_str());
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("%s\n", totals.ToJson().Dump(0).c_str());
+  return totals.failures == 0 ? 0 : 1;
+}
+
+/// End-of-session metrics artifact for the sharded modes. In-process
+/// workers share this process's registry, so the normal dump is already
+/// complete; forked workers each carry their own registry, which the
+/// coordinator collects over the wire and merges with the parent's
+/// (planning, io) document.
+int WriteShardedMetrics(csce::shard::ShardCoordinator& coordinator,
+                        const std::string& path, bool multi_process) {
+  using namespace csce;
+  if (!multi_process) {
+    if (Status st = obs::WriteMetricsFile(obs::MetricRegistry::Global(), path);
+        !st.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  std::vector<std::string> docs;
+  if (Status st = coordinator.CollectMetrics(&docs); !st.ok()) {
+    std::fprintf(stderr, "metrics collect: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  obs::JsonValue parent = obs::JsonValue::Object();
+  parent.Set("schema", "csce.metrics.v1");
+  parent.Set("metrics", obs::MetricRegistry::Global().Snapshot().ToJson(true));
+  docs.push_back(parent.Dump(0));
+  obs::JsonValue merged;
+  if (Status st = obs::MergeMetricsDocuments(docs, &merged); !st.ok()) {
+    std::fprintf(stderr, "metrics merge: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (Status st = obs::WriteMetricsDocument(merged, path); !st.ok()) {
+    std::fprintf(stderr, "metrics: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,23 +362,95 @@ int main(int argc, char** argv) {
                  "usage: csce_serve (--ccsr=x.ccsr | --graph=x.txt) "
                  "--queries=(workload.txt | -) [--threads=n] [--inflight=n] "
                  "[--threads-per-query=n] [--deadline=s] [--repeat=n] "
-                 "[--no-share-views] [--quiet] [--metrics-json=f.json]\n");
+                 "[--no-share-views] [--quiet] [--metrics-json=f.json] "
+                 "[--shards=n [--workers=n] [--shard-strategy=hash|label] "
+                 "[--self-check]]\n");
+    return 2;
+  }
+  int64_t shards = flags.GetInt("shards", 0);
+  int64_t forked_workers = flags.GetInt("workers", 0);
+  std::string strategy_name = flags.GetString("shard-strategy", "hash");
+  bool self_check = flags.GetBool("self-check");
+  std::string metrics_path = flags.GetString("metrics-json", "");
+  int64_t repeat = flags.GetInt("repeat", 1);
+  bool quiet = flags.GetBool("quiet");
+  uint32_t threads_per_query =
+      static_cast<uint32_t>(flags.GetInt("threads-per-query", 1));
+
+  if (shards < 0 || shards > 1024) {
+    std::fprintf(stderr, "--shards must be in [0, 1024]\n");
+    return 2;
+  }
+  if (forked_workers != 0) {
+    if (shards == 0 || forked_workers != shards) {
+      std::fprintf(stderr, "--workers requires --shards=N with workers==N\n");
+      return 2;
+    }
+    if (ccsr_path.empty()) {
+      std::fprintf(stderr,
+                   "--workers needs --ccsr artifacts from "
+                   "`csce_build --shards=N` (forked workers load shards "
+                   "from disk)\n");
+      return 2;
+    }
+  }
+  shard::PartitionStrategy strategy;
+  if (!shard::ParseStrategy(strategy_name, &strategy)) {
+    std::fprintf(stderr, "unknown --shard-strategy=%s (hash|label)\n",
+                 strategy_name.c_str());
     return 2;
   }
 
+  // Exit signals are blocked before any worker (thread or fork) exists
+  // so every child inherits the mask; the watcher that flushes
+  // --metrics-json starts once the paths are known.
+  BlockExitSignals();
+  g_signal_metrics_path = metrics_path;
+
+  // Fork shard workers before the full CCSR is loaded: each child only
+  // ever maps its own shard artifact.
+  std::vector<pid_t> child_pids;
+  std::vector<int> child_fds;
+  if (forked_workers > 0) {
+    for (int64_t s = 0; s < forked_workers; ++s) {
+      int fds[2];
+      if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        std::fprintf(stderr, "socketpair failed\n");
+        return 1;
+      }
+      pid_t pid = fork();
+      if (pid < 0) {
+        std::fprintf(stderr, "fork failed\n");
+        return 1;
+      }
+      if (pid == 0) {
+        close(fds[0]);
+        for (int fd : child_fds) close(fd);  // other workers' parent ends
+        RunForkedWorker(fds[1]);
+      }
+      close(fds[1]);
+      child_pids.push_back(pid);
+      child_fds.push_back(fds[0]);
+    }
+    g_worker_pids = child_pids;
+  }
+  StartSignalWatcher();
+
   Ccsr index;
+  Graph source_graph;  // kept alive only for --graph sharded partitioning
+  bool have_graph = false;
   if (!ccsr_path.empty()) {
     if (Status st = LoadCcsrFromFile(ccsr_path, &index); !st.ok()) {
       std::fprintf(stderr, "load ccsr: %s\n", st.ToString().c_str());
       return 1;
     }
   } else {
-    Graph g;
-    if (Status st = LoadGraphFromFile(graph_path, &g); !st.ok()) {
+    if (Status st = LoadGraphFromFile(graph_path, &source_graph); !st.ok()) {
       std::fprintf(stderr, "load graph: %s\n", st.ToString().c_str());
       return 1;
     }
-    index = Ccsr::Build(g);
+    index = Ccsr::Build(source_graph);
+    have_graph = true;
   }
 
   std::vector<WorkloadSegment> workload;
@@ -149,18 +465,64 @@ int main(int argc, char** argv) {
     if (!ParseWorkload(in, &workload)) return 2;
   }
 
+  if (shards > 0) {
+    for (const std::string& unused : flags.UnusedFlags()) {
+      std::fprintf(stderr, "warning: unknown flag --%s\n", unused.c_str());
+    }
+    int rc;
+    std::unique_ptr<shard::InProcessCluster> cluster;
+    std::unique_ptr<shard::ShardCoordinator> coordinator;
+    LocalWorkerSet local_workers;
+    if (forked_workers > 0) {
+      coordinator = std::make_unique<shard::ShardCoordinator>(&index);
+      for (int fd : child_fds) {
+        coordinator->AttachWorker(shard::MakeFdTransport(fd));
+      }
+      if (Status st = coordinator->LoadFromFiles(ccsr_path, threads_per_query);
+          !st.ok()) {
+        std::fprintf(stderr, "shard load: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    } else if (have_graph) {
+      if (Status st = shard::InProcessCluster::Create(
+              source_graph, &index, static_cast<uint32_t>(shards), strategy,
+              threads_per_query, &cluster);
+          !st.ok()) {
+        std::fprintf(stderr, "shard cluster: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    } else {
+      // --ccsr + in-process workers: serve threads load the on-disk
+      // shard artifacts themselves.
+      coordinator = std::make_unique<shard::ShardCoordinator>(&index);
+      local_workers.Spawn(coordinator.get(), static_cast<uint32_t>(shards));
+      if (Status st = coordinator->LoadFromFiles(ccsr_path, threads_per_query);
+          !st.ok()) {
+        std::fprintf(stderr, "shard load: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    shard::ShardCoordinator& coord =
+        cluster != nullptr ? cluster->coordinator() : *coordinator;
+    rc = RunShardedSession(coord, workload, repeat, quiet, self_check);
+    if (!metrics_path.empty()) {
+      int mrc = WriteShardedMetrics(coord, metrics_path, forked_workers > 0);
+      if (rc == 0) rc = mrc;
+    }
+    coord.Shutdown();
+    cluster.reset();  // joins in-process worker threads
+    for (pid_t pid : child_pids) waitpid(pid, nullptr, 0);
+    return rc;
+  }
+
   RuntimeOptions runtime_options;
   runtime_options.worker_threads =
       static_cast<uint32_t>(flags.GetInt("threads", 0));
   runtime_options.max_inflight =
       static_cast<uint32_t>(flags.GetInt("inflight", 0));
-  runtime_options.threads_per_query =
-      static_cast<uint32_t>(flags.GetInt("threads-per-query", 1));
+  runtime_options.threads_per_query = threads_per_query;
   runtime_options.default_deadline_seconds = flags.GetDouble("deadline", 0);
   runtime_options.share_cluster_views = !flags.GetBool("no-share-views");
-  int64_t repeat = flags.GetInt("repeat", 1);
-  bool quiet = flags.GetBool("quiet");
-  std::string metrics_path = flags.GetString("metrics-json", "");
   for (const std::string& unused : flags.UnusedFlags()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", unused.c_str());
   }
@@ -171,7 +533,11 @@ int main(int argc, char** argv) {
     for (const WorkloadSegment& segment : workload) {
       std::vector<QueryOutcome> outcomes;
       if (!segment.jobs.empty()) {
-        if (Status st = runtime.RunBatch(segment.jobs, &outcomes); !st.ok()) {
+        std::vector<QueryJob> jobs = segment.jobs;
+        if (self_check) {
+          for (QueryJob& job : jobs) job.options.self_check = true;
+        }
+        if (Status st = runtime.RunBatch(jobs, &outcomes); !st.ok()) {
           std::fprintf(stderr, "run batch: %s\n", st.ToString().c_str());
           return 1;
         }

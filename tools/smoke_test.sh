@@ -167,6 +167,69 @@ else
   echo "PASS: metrics/trace artifacts present (python3 unavailable, shallow check)"
 fi
 
+# Sharded execution: partition the yeast graph into 4 shards at build
+# time, then serve the same query with 4 forked worker processes. The
+# coordinator must report the exact embedding count the single-node
+# tools produced, and the merged per-worker metrics must be a valid
+# csce.metrics.v1 document.
+"$BIN_DIR/csce_build" --graph="$WORK_DIR/g.txt" --out="$WORK_DIR/gs.ccsr" \
+    --shards=4 --shard-strategy=label --verbose
+[ -s "$WORK_DIR/gs.ccsr.shardplan" ] || {
+  echo "FAIL: csce_build --shards=4 left no shard plan"
+  exit 1
+}
+for s in 0 1 2 3; do
+  [ -s "$WORK_DIR/gs.ccsr.shard$s" ] || {
+    echo "FAIL: csce_build --shards=4 left no shard $s CCSR"
+    exit 1
+  }
+done
+cat > "$WORK_DIR/shard_queries.txt" <<EOF
+$WORK_DIR/q_0.txt edge
+EOF
+OUT_SHARD=$("$BIN_DIR/csce_serve" --ccsr="$WORK_DIR/gs.ccsr" \
+    --shards=4 --workers=4 --self-check \
+    --queries="$WORK_DIR/shard_queries.txt" \
+    --metrics-json="$WORK_DIR/metrics_shard.json")
+SHARD_EDGE=$(printf '%s\n' "$OUT_SHARD" | \
+    sed -n 's/.*q_0.txt variant=edge-induced status=ok embeddings=\([0-9]*\).*/\1/p' | \
+    head -1)
+if [ -z "$SHARD_EDGE" ] || [ "$SHARD_EDGE" != "$COUNT_CCSR" ]; then
+  echo "FAIL: sharded serve found '$SHARD_EDGE', csce_match found '$COUNT_CCSR'"
+  exit 1
+fi
+grep -q '"schema": "csce.metrics.v1"' "$WORK_DIR/metrics_shard.json" || {
+  echo "FAIL: merged shard metrics lack the csce.metrics.v1 schema tag"
+  exit 1
+}
+echo "PASS: 4 forked shard workers match csce_match ($SHARD_EDGE embeddings)"
+
+# SIGINT mid-session still flushes --metrics-json: hold stdin open via
+# a fifo so the session never sees EOF, deliver SIGINT, and expect exit
+# 130 plus a well-formed metrics artifact.
+rm -f "$WORK_DIR/sig.fifo"
+mkfifo "$WORK_DIR/sig.fifo"
+"$BIN_DIR/csce_serve" --ccsr="$WORK_DIR/g.ccsr" --queries=- \
+    --metrics-json="$WORK_DIR/metrics_sig.json" \
+    < "$WORK_DIR/sig.fifo" > "$WORK_DIR/sig.out" 2>&1 &
+SERVE_PID=$!
+exec 3> "$WORK_DIR/sig.fifo"
+printf '%s edge\n' "$WORK_DIR/q_0.txt" >&3
+sleep 1
+kill -INT "$SERVE_PID"
+SIG_RC=0
+wait "$SERVE_PID" || SIG_RC=$?
+exec 3>&-
+if [ "$SIG_RC" != "130" ]; then
+  echo "FAIL: csce_serve exit on SIGINT was '$SIG_RC', want 130"
+  exit 1
+fi
+grep -q '"schema": "csce.metrics.v1"' "$WORK_DIR/metrics_sig.json" || {
+  echo "FAIL: SIGINT-flushed metrics missing the csce.metrics.v1 schema tag"
+  exit 1
+}
+echo "PASS: SIGINT flushed csce.metrics.v1 before exit $SIG_RC"
+
 # Optional TSan pass over the runtime subsystem's tests.
 if [ -n "${CSCE_TSAN:-}" ]; then
   SRC_DIR=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
