@@ -10,7 +10,7 @@ Status ReadClustersImpl(const Ccsr& gc, const Graph& pattern,
 
 std::shared_ptr<const ClusterView> ClusterCache::Get(const ClusterId& id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = views_.find(id);
     if (it != views_.end()) {
       ++hits_;
@@ -24,14 +24,14 @@ std::shared_ptr<const ClusterView> ClusterCache::Get(const ClusterId& id) {
   // same cluster both decompress; the first insert wins and the loser's
   // copy is dropped (both are correct, the work is wasted once).
   std::shared_ptr<const ClusterView> view = DecompressCluster(*c);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = views_.emplace(id, view);
   ++misses_;
   return it->second;
 }
 
 size_t ClusterCache::CachedBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t total = 0;
   for (const auto& [id, view] : views_) total += view->SizeBytes();
   return total;

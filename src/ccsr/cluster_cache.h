@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "ccsr/ccsr.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace csce {
 
@@ -32,40 +33,43 @@ class ClusterCache {
 
   /// The decompressed view of `id`, decompressing on first use;
   /// nullptr when the cluster is empty/absent.
-  std::shared_ptr<const ClusterView> Get(const ClusterId& id);
+  std::shared_ptr<const ClusterView> Get(const ClusterId& id)
+      CSCE_EXCLUDES(mu_);
 
-  size_t CachedViews() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t CachedViews() const CSCE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return views_.size();
   }
-  size_t CachedBytes() const;
-  uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t CachedBytes() const CSCE_EXCLUDES(mu_);
+  uint64_t hits() const CSCE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return hits_;
   }
-  uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t misses() const CSCE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return misses_;
   }
 
   /// Drops all cached views (e.g. after Ccsr::InsertEdges /
   /// RemoveEdges invalidated the underlying clusters). Views still
   /// co-owned by live QueryClusters stay valid.
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() CSCE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     views_.clear();
   }
 
   const Ccsr& ccsr() const { return *gc_; }
 
  private:
-  const Ccsr* gc_;
-  mutable std::mutex mu_;
+  /// Const after construction; the Ccsr's own immutability-during-
+  /// queries contract is documented above.
+  const Ccsr* gc_ CSCE_NOT_GUARDED;
+  mutable Mutex mu_;
   std::unordered_map<ClusterId, std::shared_ptr<const ClusterView>,
                      ClusterIdHash>
-      views_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+      views_ CSCE_GUARDED_BY(mu_);
+  uint64_t hits_ CSCE_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ CSCE_GUARDED_BY(mu_) = 0;
 };
 
 /// Algorithm 1 backed by the shared cache: like ReadClusters but views

@@ -163,7 +163,9 @@ Status Executor::Prepare(const ExecOptions& options) {
     c.candidates.Reserve(cand_bound_[j] + setops::kOutPad);
   }
   for (uint32_t j = 0; j < n; ++j) {
-    caches_[j].dep_snapshot.reserve(plan_.positions[j].deps.size());
+    // Sized here, only overwritten by Store: the snapshot write on the
+    // hot path is a plain element copy, never a (re)allocation.
+    caches_[j].dep_snapshot.resize(plan_.positions[j].deps.size());
   }
   lists_.clear();
   lists_.reserve(max_lists);

@@ -15,6 +15,7 @@
 #include "util/bitset.h"
 #include "util/status.h"
 #include "util/stop_token.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace csce {
@@ -179,13 +180,13 @@ class Executor {
   Status PrepareForTasks(const ExecOptions& options);
   /// Drains `options.root_claim` morsels exactly like Run's morsel
   /// loop (shard workers claim from their owned-root list).
-  Status RunRootMorsels();
+  CSCE_HOT_PATH Status RunRootMorsels();
   /// Resumes enumeration from the task's partial mapping. Malformed
   /// tasks (out-of-range vertices, wrong kind for the position, unsorted
   /// or non-owned candidates) return InvalidArgument without crashing —
   /// tasks arrive over the wire. After an aborted run (limit/timeout/
   /// cancel) further tasks are drained as cheap no-ops.
-  Status RunTask(const ShardTask& task);
+  CSCE_HOT_PATH Status RunTask(const ShardTask& task);
   /// Copies out the accumulated task-mode stats and flushes them into
   /// the process metric registry (once per query, mirroring Run).
   void FinishTasks(ExecStats* stats);
@@ -212,26 +213,34 @@ class Executor {
   /// pre-size scratch. Seeded: endpoint count; label scan: label
   /// frequency; edges: shortest incident cluster row.
   size_t CandidateBound(uint32_t depth) const;
-  bool Enumerate(uint32_t depth);  // false: abort (timeout/limit/callback)
-  bool EnumerateOver(uint32_t depth, std::span<const VertexId> candidates);
+  CSCE_HOT_PATH bool Enumerate(
+      uint32_t depth);  // false: abort (timeout/limit/callback)
+  CSCE_HOT_PATH bool EnumerateOver(uint32_t depth,
+                                   std::span<const VertexId> candidates);
   /// Shard-mode extension at `depth`: enumerate owned candidates, ship
   /// the rest (see ShardTask for the three routing cases).
-  bool EnumerateSharded(uint32_t depth);
+  CSCE_HOT_PATH bool EnumerateSharded(uint32_t depth);
   /// Enumerates Candidates(depth) filtered to locally owned vertices.
-  bool EnumerateOwned(uint32_t depth);
+  CSCE_HOT_PATH bool EnumerateOwned(uint32_t depth);
   /// Intersects the rows of locally owned parents (complete by 1-hop
   /// replication), buckets the non-owned result by owner and emits one
   /// kVerify task per non-empty bucket.
-  void ShipRemoteCandidates(uint32_t depth);
-  void EmitTask(ShardTask::Kind kind, uint32_t target, uint32_t depth,
-                std::vector<VertexId> candidates);
+  /// Allocates by design (per-shard routing buckets can outgrow any
+  /// Prepare-time bound): cross-shard routing is outside the single-
+  /// node zero-allocation contract, so it is exempted rather than hot.
+  CSCE_ALLOC_OK void ShipRemoteCandidates(uint32_t depth);
+  /// Allocates by design (the emitted task owns its mapping copy).
+  CSCE_ALLOC_OK void EmitTask(ShardTask::Kind kind, uint32_t target,
+                              uint32_t depth,
+                              std::vector<VertexId> candidates);
   Status SeedPrefix(std::span<const VertexId> prefix);
   void ClearPrefix(std::span<const VertexId> prefix);
-  std::span<const VertexId> Candidates(uint32_t depth);
-  void ComputeCandidates(uint32_t depth, setops::VertexScratch* out);
-  bool PassesRestrictions(uint32_t depth, VertexId v) const;
-  bool Emit();
-  bool CheckDeadline();
+  CSCE_HOT_PATH std::span<const VertexId> Candidates(uint32_t depth);
+  CSCE_HOT_PATH void ComputeCandidates(uint32_t depth,
+                                       setops::VertexScratch* out);
+  CSCE_HOT_PATH bool PassesRestrictions(uint32_t depth, VertexId v) const;
+  CSCE_HOT_PATH bool Emit();
+  CSCE_HOT_PATH bool CheckDeadline();
 
   const Ccsr& gc_;
   const QueryClusters& qc_;

@@ -1,7 +1,6 @@
 #include "engine/matcher.h"
 
 #include <memory>
-#include <mutex>
 
 #include "engine/embedding_verifier.h"
 #include "obs/metrics.h"
@@ -9,6 +8,7 @@
 #include "plan/validate.h"
 #include "runtime/parallel_executor.h"
 #include "util/memory.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace csce {
@@ -82,7 +82,7 @@ Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
   // wrapper must be thread-safe — the parallel runtime invokes the
   // callback concurrently from its workers.
   std::unique_ptr<EmbeddingVerifier> verifier;
-  std::mutex self_check_mu;
+  Mutex self_check_mu;
   Status self_check_error;
   if (options.self_check) {
     CSCE_RETURN_IF_ERROR(ValidatePlan(&data, pattern, plan));
@@ -93,7 +93,7 @@ Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
                         std::span<const VertexId> mapping) -> bool {
       Status st = verifier->Verify(mapping);
       if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(self_check_mu);
+        MutexLock lock(self_check_mu);
         if (self_check_error.ok()) self_check_error = std::move(st);
         return false;
       }

@@ -6,6 +6,7 @@
 
 #include "engine/setops/vertex_scratch.h"
 #include "graph/graph.h"
+#include "util/thread_annotations.h"
 
 namespace csce {
 
@@ -20,16 +21,18 @@ namespace csce {
 /// `candidates` is a VertexScratch, not a std::vector: the executor
 /// sizes it once in Prepare() (worst-case candidate bound + SIMD store
 /// pad) and the set-operation kernels then write into it directly, so
-/// recomputations allocate nothing. `dep_snapshot` is likewise
-/// pre-reserved to the slot's dependency count.
+/// recomputations allocate nothing. `dep_snapshot` is likewise sized by
+/// Prepare to the slot's dependency count; Store only overwrites it, so
+/// the whole struct is allocation-free on the enumeration path
+/// (hot-path-no-alloc checks this).
 struct CandidateCache {
   setops::VertexScratch candidates;
   std::vector<VertexId> dep_snapshot;
   bool valid = false;
 
   /// True if the snapshot matches the current mappings at `deps`.
-  bool Fresh(std::span<const uint32_t> deps,
-             std::span<const VertexId> mapping_by_pos) const {
+  CSCE_HOT_PATH bool Fresh(std::span<const uint32_t> deps,
+                           std::span<const VertexId> mapping_by_pos) const {
     if (!valid) return false;
     for (size_t i = 0; i < deps.size(); ++i) {
       if (mapping_by_pos[deps[i]] != dep_snapshot[i]) return false;
@@ -37,9 +40,9 @@ struct CandidateCache {
     return true;
   }
 
-  void Store(std::span<const uint32_t> deps,
-             std::span<const VertexId> mapping_by_pos) {
-    dep_snapshot.resize(deps.size());
+  CSCE_HOT_PATH void Store(std::span<const uint32_t> deps,
+                           std::span<const VertexId> mapping_by_pos) {
+    CSCE_DCHECK(dep_snapshot.size() == deps.size());
     for (size_t i = 0; i < deps.size(); ++i) {
       dep_snapshot[i] = mapping_by_pos[deps[i]];
     }

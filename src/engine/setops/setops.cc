@@ -188,10 +188,15 @@ bool KernelSupported(Kernel kernel) {
 }
 
 Kernel ChooseKernelFromEnv() {
+  // getenv is mt-unsafe only against concurrent setenv; the dispatch
+  // runs once from a static initializer before any worker thread
+  // exists, and nothing in the process ever calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* force = std::getenv("CSCE_FORCE_SCALAR");
   if (force != nullptr && force[0] != '\0' && force[0] != '0') {
     return Kernel::kScalar;
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- same single-threaded init
   if (const char* name = std::getenv("CSCE_SETOPS"); name != nullptr) {
     if (std::strcmp(name, "scalar") == 0) return Kernel::kScalar;
     if (std::strcmp(name, "sse") == 0) return Kernel::kSse;

@@ -7,6 +7,7 @@
 
 #include "graph/graph.h"
 #include "util/bitset.h"
+#include "util/thread_annotations.h"
 
 namespace csce {
 namespace setops {
@@ -57,15 +58,15 @@ void SetKernelForTesting(Kernel kernel);
 
 /// out = a ∩ b. `out` must not alias either input; see kOutPad for the
 /// required capacity. Returns the result length.
-size_t Intersect(std::span<const VertexId> a, std::span<const VertexId> b,
-                 VertexId* out);
+CSCE_HOT_PATH size_t Intersect(std::span<const VertexId> a,
+                               std::span<const VertexId> b, VertexId* out);
 
 /// out = a \ b. Unlike Intersect, in-place use (out == a.data()) is
 /// allowed — every kernel's writes trail its reads — and no write ever
 /// lands past a.size() elements, so an in-place caller needs no pad.
 /// A non-aliasing `out` still follows the kOutPad capacity contract.
-size_t Difference(std::span<const VertexId> a, std::span<const VertexId> b,
-                  VertexId* out);
+CSCE_HOT_PATH size_t Difference(std::span<const VertexId> a,
+                                std::span<const VertexId> b, VertexId* out);
 
 /// Fixed-kernel entry points (differential tests, microbenches).
 /// `kernel` must be supported (KernelSupported).
@@ -81,16 +82,17 @@ size_t DifferenceWith(Kernel kernel, std::span<const VertexId> a,
 /// versus Σ(|acc| + |list|) for repeated merge subtraction. Returns the
 /// new accumulator length. `marks` must be all-zero on entry and is
 /// all-zero again on return.
-size_t DifferenceManyBitmap(VertexId* acc, size_t acc_size,
-                            std::span<const std::span<const VertexId>> lists,
-                            DynamicBitset* marks);
+CSCE_HOT_PATH size_t DifferenceManyBitmap(
+    VertexId* acc, size_t acc_size,
+    std::span<const std::span<const VertexId>> lists, DynamicBitset* marks);
 
 /// Cost-model switch for the dense path: true when marking all removal
 /// lists once beats scanning the accumulator per list. Break-even is
 /// (lists - 1)·|acc| > Σ|list| with a floor that keeps tiny
 /// accumulators on the merge path (see DESIGN.md).
-inline bool UseBitmapDifference(size_t acc_size, size_t num_lists,
-                                size_t total_removals) {
+CSCE_HOT_PATH inline bool UseBitmapDifference(size_t acc_size,
+                                              size_t num_lists,
+                                              size_t total_removals) {
   return num_lists >= 2 && acc_size >= 64 &&
          (num_lists - 1) * acc_size > total_removals;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace csce {
 namespace obs {
@@ -69,8 +70,10 @@ class JsonValue {
   uint64_t AsUint() const;
 
   /// Object access. `Set` inserts or overwrites; `Find` returns nullptr
-  /// when the key is absent (or the value is not an object).
-  JsonValue& Set(std::string_view key, JsonValue value);
+  /// when the key is absent (or the value is not an object). Allocates
+  /// by design (JSON documents are built in reporting paths only, never
+  /// during enumeration), hence the hot-path exemption.
+  CSCE_ALLOC_OK JsonValue& Set(std::string_view key, JsonValue value);
   const JsonValue* Find(std::string_view key) const;
   bool Has(std::string_view key) const { return Find(key) != nullptr; }
   const std::vector<std::pair<std::string, JsonValue>>& members() const {

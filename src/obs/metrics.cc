@@ -45,7 +45,7 @@ MetricRegistry& MetricRegistry::Global() {
 }
 
 uint32_t MetricRegistry::Register(std::string_view name, Kind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_name_.find(name);
   if (it != by_name_.end()) {
     const MetricInfo& info = metrics_[it->second];
@@ -93,7 +93,7 @@ MetricRegistry::Shard* MetricRegistry::ShardForThisThread() {
       return static_cast<Shard*>(entry.shard);
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   shards_.push_back(std::make_unique<Shard>());
   Shard* shard = shards_.back().get();
   t_shards.push_back(TlsEntry{this, epoch_, shard});
@@ -164,7 +164,7 @@ void Histogram::Merge(const LocalHistogram& local) const {
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   for (const MetricInfo& info : metrics_) {
     switch (info.kind) {
@@ -206,7 +206,7 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
 }
 
 void MetricRegistry::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& shard : shards_) {
     for (auto& cell : shard->counters) {
       cell.store(0, std::memory_order_relaxed);

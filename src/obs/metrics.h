@@ -6,13 +6,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/json.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace csce {
 namespace obs {
@@ -179,20 +180,20 @@ class MetricRegistry {
 
   static MetricRegistry& Global();
 
-  Counter counter(std::string_view name);
-  Gauge gauge(std::string_view name);
-  Histogram histogram(std::string_view name);
+  Counter counter(std::string_view name) CSCE_EXCLUDES(mu_);
+  Gauge gauge(std::string_view name) CSCE_EXCLUDES(mu_);
+  Histogram histogram(std::string_view name) CSCE_EXCLUDES(mu_);
 
   /// Sums every thread's shard. Concurrent writers are not blocked;
   /// the snapshot is consistent per-cell (relaxed reads), which is the
   /// right contract for monotone counters.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const CSCE_EXCLUDES(mu_);
 
   /// Zeroes every cell of every shard and every gauge. Metric
   /// registrations (names and handles) survive. Deterministic-counter
   /// tests call this between runs; concurrent use with active writers
   /// is allowed but the subsequent snapshot is then unspecified.
-  void ResetForTesting();
+  void ResetForTesting() CSCE_EXCLUDES(mu_);
 
  private:
   friend class Counter;
@@ -218,12 +219,14 @@ class MetricRegistry {
     std::array<HistogramCells, kMaxHistograms> histograms{};
   };
 
-  uint32_t Register(std::string_view name, Kind kind);
-  Shard* ShardForThisThread();
+  uint32_t Register(std::string_view name, Kind kind) CSCE_EXCLUDES(mu_);
+  Shard* ShardForThisThread() CSCE_EXCLUDES(mu_);
 
-  const uint64_t epoch_;  // process-unique, guards stale TLS entries
+  /// Const after construction (process-unique, guards stale TLS
+  /// entries).
+  const uint64_t epoch_ CSCE_NOT_GUARDED;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Name, kind and slot of every registered metric, in slot order per
   // kind (snapshot iterates this).
   struct MetricInfo {
@@ -231,13 +234,19 @@ class MetricRegistry {
     Kind kind;
     uint32_t slot;
   };
-  std::vector<MetricInfo> metrics_;
-  std::map<std::string, uint32_t, std::less<>> by_name_;  // -> metrics_ index
-  std::vector<std::unique_ptr<Shard>> shards_;
-  uint32_t next_counter_ = 0;
-  uint32_t next_gauge_ = 0;
-  uint32_t next_histogram_ = 0;
-  std::array<std::atomic<double>, kMaxGauges> gauge_values_{};
+  std::vector<MetricInfo> metrics_ CSCE_GUARDED_BY(mu_);
+  std::map<std::string, uint32_t, std::less<>> by_name_
+      CSCE_GUARDED_BY(mu_);  // -> metrics_ index
+  /// The vector (growth) is guarded; the pointed-to Shards are each
+  /// written lock-free by their owning thread (atomic cells — see
+  /// ShardForThisThread), which the analysis cannot express per-element.
+  std::vector<std::unique_ptr<Shard>> shards_ CSCE_GUARDED_BY(mu_);
+  uint32_t next_counter_ CSCE_GUARDED_BY(mu_) = 0;
+  uint32_t next_gauge_ CSCE_GUARDED_BY(mu_) = 0;
+  uint32_t next_histogram_ CSCE_GUARDED_BY(mu_) = 0;
+  /// Atomic cells written directly by Gauge handles; no lock involved.
+  std::array<std::atomic<double>, kMaxGauges> gauge_values_
+      CSCE_NOT_GUARDED{};
 };
 
 /// Writes `registry`'s snapshot as the csce.metrics.v1 document:

@@ -50,7 +50,7 @@ TraceRecorder::ThreadTrack* TraceRecorder::TrackForThisThread() {
       return static_cast<ThreadTrack*>(entry.track);
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto track = std::make_unique<ThreadTrack>();
   track->tid = static_cast<uint32_t>(tracks_.size());
   tracks_.push_back(std::move(track));
@@ -70,19 +70,19 @@ void TraceRecorder::RecordSpan(std::string name, std::string category,
   event.tid = track->tid;
   // The track is appended to only by its owning thread; the lock exists
   // for readers (ToChromeJson) that snapshot while threads still run.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   track->events.push_back(std::move(event));
 }
 
 size_t TraceRecorder::NumEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
   for (const auto& track : tracks_) n += track->events.size();
   return n;
 }
 
 JsonValue TraceRecorder::ToChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue events = JsonValue::Array();
   for (const auto& track : tracks_) {
     JsonValue meta = JsonValue::Object();

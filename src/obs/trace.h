@@ -5,12 +5,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/json.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace csce {
 namespace obs {
@@ -51,14 +52,14 @@ class TraceRecorder {
 
   /// Appends a completed span to the calling thread's track.
   void RecordSpan(std::string name, std::string category, double ts_us,
-                  double dur_us);
+                  double dur_us) CSCE_EXCLUDES(mu_);
 
-  size_t NumEvents() const;
+  size_t NumEvents() const CSCE_EXCLUDES(mu_);
 
   /// The Chrome trace document: {"traceEvents": [...], "displayTimeUnit":
   /// "ms"}. Events are ordered by track then begin time; every track
   /// additionally carries a thread_name metadata event.
-  JsonValue ToChromeJson() const;
+  JsonValue ToChromeJson() const CSCE_EXCLUDES(mu_);
 
   Status WriteFile(const std::string& path) const;
 
@@ -68,13 +69,16 @@ class TraceRecorder {
     std::vector<TraceEvent> events;
   };
 
-  ThreadTrack* TrackForThisThread();
+  ThreadTrack* TrackForThisThread() CSCE_EXCLUDES(mu_);
 
-  const uint64_t epoch_;
-  const std::chrono::steady_clock::time_point start_;
+  /// Both const after construction.
+  const uint64_t epoch_ CSCE_NOT_GUARDED;
+  const std::chrono::steady_clock::time_point start_ CSCE_NOT_GUARDED;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<ThreadTrack>> tracks_;
+  mutable Mutex mu_;
+  /// Growth and every events append/read happen under mu_; a track's
+  /// tid is immutable once created and may be read lock-free.
+  std::vector<std::unique_ptr<ThreadTrack>> tracks_ CSCE_GUARDED_BY(mu_);
 };
 
 /// RAII span: times its own scope and reports to the installed

@@ -54,6 +54,10 @@ class ParallelExecutor {
              ExecStats* stats);
 
  private:
+  // Mutex-free by design: workers share only the atomic morsel counter
+  // and a StopToken (both local to Run); everything else is per-worker
+  // state joined at the pool barrier, so there is nothing for the
+  // thread-safety analysis to guard here.
   const Ccsr& gc_;
   const QueryClusters& qc_;
   const Plan& plan_;

@@ -45,13 +45,13 @@ QueryRuntime::QueryRuntime(const Ccsr* data, const RuntimeOptions& options)
 
 Status QueryRuntime::RunBatch(const std::vector<QueryJob>& jobs,
                               std::vector<QueryOutcome>* outcomes) {
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  MutexLock batch_lock(batch_mu_);
   obs::Span span("runtime.batch");
   ServiceMetrics::Get().batches.Increment();
   outcomes->assign(jobs.size(), QueryOutcome{});
   WallTimer batch_timer;
   {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
+    MutexLock lock(metrics_mu_);
     metrics_.submitted += jobs.size();
   }
   for (size_t i = 0; i < jobs.size(); ++i) {
@@ -64,7 +64,7 @@ Status QueryRuntime::RunBatch(const std::vector<QueryJob>& jobs,
   }
   pool_.Wait();
   {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
+    MutexLock lock(metrics_mu_);
     metrics_.wall_seconds += batch_timer.Seconds();
     metrics_.cluster_cache_hits = cache_.hits();
     metrics_.cluster_cache_misses = cache_.misses();
@@ -96,7 +96,7 @@ void QueryRuntime::RunOne(const QueryJob& job, double submit_seconds,
     outcome->total_seconds = batch_timer.Seconds() - submit_seconds;
     ServiceMetrics::Get().deadline_queue_expired.Increment();
     {
-      std::lock_guard<std::mutex> lock(metrics_mu_);
+      MutexLock lock(metrics_mu_);
       ++metrics_.deadline_queue_expired;
     }
     Release();
@@ -125,10 +125,10 @@ void QueryRuntime::RunOne(const QueryJob& job, double submit_seconds,
 void QueryRuntime::Admit(double* queue_wait, double submit_seconds,
                          const WallTimer& batch_timer,
                          bool* cancelled_in_queue) {
-  std::unique_lock<std::mutex> lock(admit_mu_);
-  admit_cv_.wait(lock, [this] {
-    return inflight_ < options_.max_inflight || session_stop_.StopRequested();
-  });
+  MutexLock lock(admit_mu_);
+  while (inflight_ >= options_.max_inflight && !session_stop_.StopRequested()) {
+    admit_cv_.Wait(admit_mu_);
+  }
   *queue_wait = batch_timer.Seconds() - submit_seconds;
   if (session_stop_.StopRequested()) {
     *cancelled_in_queue = true;
@@ -142,24 +142,24 @@ void QueryRuntime::Admit(double* queue_wait, double submit_seconds,
 
 void QueryRuntime::Release() {
   {
-    std::lock_guard<std::mutex> lock(admit_mu_);
+    MutexLock lock(admit_mu_);
     --inflight_;
   }
-  admit_cv_.notify_one();
+  admit_cv_.NotifyOne();
 }
 
 void QueryRuntime::CancelAll() {
   {
-    std::lock_guard<std::mutex> lock(admit_mu_);
+    MutexLock lock(admit_mu_);
     session_stop_.RequestStop();
   }
-  admit_cv_.notify_all();
+  admit_cv_.NotifyAll();
 }
 
 void QueryRuntime::ResetCancellation() { session_stop_.Reset(); }
 
 void QueryRuntime::Account(const QueryOutcome& outcome) {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  MutexLock lock(metrics_mu_);
   metrics_.queue_wait_seconds += outcome.queue_wait_seconds;
   metrics_.exec_seconds +=
       outcome.total_seconds - outcome.queue_wait_seconds;
@@ -180,7 +180,7 @@ void QueryRuntime::Account(const QueryOutcome& outcome) {
 }
 
 RuntimeMetrics QueryRuntime::metrics() const {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  MutexLock lock(metrics_mu_);
   return metrics_;
 }
 

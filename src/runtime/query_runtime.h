@@ -1,9 +1,7 @@
 #ifndef CSCE_RUNTIME_QUERY_RUNTIME_H_
 #define CSCE_RUNTIME_QUERY_RUNTIME_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,8 +10,10 @@
 #include "engine/matcher.h"
 #include "graph/graph.h"
 #include "obs/json.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/stop_token.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -105,42 +105,52 @@ class QueryRuntime {
   /// Returns OK even when individual jobs fail (see their statuses);
   /// per-job failures never abort the batch.
   Status RunBatch(const std::vector<QueryJob>& jobs,
-                  std::vector<QueryOutcome>* outcomes);
+                  std::vector<QueryOutcome>* outcomes)
+      CSCE_EXCLUDES(batch_mu_, admit_mu_, metrics_mu_);
 
   /// Requests cooperative cancellation of all queued and in-flight
   /// queries. Queued jobs are dropped (executed=false); running ones
   /// unwind at their next poll with result.cancelled set. The flag is
   /// sticky: reset it with ResetCancellation() before the next batch.
-  void CancelAll();
+  void CancelAll() CSCE_EXCLUDES(admit_mu_);
   void ResetCancellation();
   bool cancel_requested() const { return session_stop_.StopRequested(); }
 
-  RuntimeMetrics metrics() const;
+  RuntimeMetrics metrics() const CSCE_EXCLUDES(metrics_mu_);
   ClusterCache& cluster_cache() { return cache_; }
   const RuntimeOptions& options() const { return options_; }
 
  private:
   void RunOne(const QueryJob& job, double submit_seconds,
-              const WallTimer& batch_timer, QueryOutcome* outcome);
+              const WallTimer& batch_timer, QueryOutcome* outcome)
+      CSCE_EXCLUDES(admit_mu_, metrics_mu_);
   void Admit(double* queue_wait, double submit_seconds,
-             const WallTimer& batch_timer, bool* cancelled_in_queue);
-  void Release();
-  void Account(const QueryOutcome& outcome);
+             const WallTimer& batch_timer, bool* cancelled_in_queue)
+      CSCE_EXCLUDES(admit_mu_);
+  void Release() CSCE_EXCLUDES(admit_mu_);
+  void Account(const QueryOutcome& outcome) CSCE_EXCLUDES(metrics_mu_);
 
-  const Ccsr* data_;
-  RuntimeOptions options_;
-  ClusterCache cache_;
-  ThreadPool pool_;
-  StopToken session_stop_;
+  /// Const after construction; the Ccsr's no-mutation-while-in-flight
+  /// contract is documented on the constructor.
+  const Ccsr* data_ CSCE_NOT_GUARDED;
+  RuntimeOptions options_ CSCE_NOT_GUARDED;  // const after construction
+  ClusterCache cache_ CSCE_NOT_GUARDED;      // internally synchronized
+  ThreadPool pool_ CSCE_NOT_GUARDED;         // internally synchronized
+  /// All-atomic. CancelAll sets it under admit_mu_ only so the write
+  /// pairs with admit_cv_ wakeups (a waiter cannot miss the request).
+  StopToken session_stop_ CSCE_NOT_GUARDED;
 
-  std::mutex batch_mu_;  // serializes RunBatch
+  /// Lock order (DESIGN.md): batch_mu_ -> admit_mu_ -> metrics_mu_.
+  /// Never acquired together in practice, but nested acquisition must
+  /// follow this order.
+  Mutex batch_mu_;  // serializes RunBatch; guards no members
 
-  std::mutex admit_mu_;
-  std::condition_variable admit_cv_;
-  uint32_t inflight_ = 0;
+  Mutex admit_mu_;
+  CondVar admit_cv_;
+  uint32_t inflight_ CSCE_GUARDED_BY(admit_mu_) = 0;
 
-  mutable std::mutex metrics_mu_;
-  RuntimeMetrics metrics_;
+  mutable Mutex metrics_mu_;
+  RuntimeMetrics metrics_ CSCE_GUARDED_BY(metrics_mu_);
 };
 
 }  // namespace csce

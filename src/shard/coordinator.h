@@ -124,6 +124,9 @@ class ShardCoordinator {
                    const std::vector<wire::Frame>& requests,
                    wire::MsgType want, std::vector<wire::Frame>* replies);
 
+  // Mutex-free by design: the coordinator is driven by one thread (the
+  // strictly sequential RoundTrip is what prevents fd-transport
+  // deadlock), so none of this state is ever shared.
   const Ccsr* full_;
   std::vector<std::unique_ptr<Transport>> workers_;
   bool loaded_ = false;

@@ -3,23 +3,39 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace csce {
 namespace shard {
 namespace {
 
+/// strerror(3) keeps a static buffer; use the thread-safe variant so
+/// concurrent transports (one per worker) cannot race on it. Handles
+/// both the XSI and GNU strerror_r signatures.
+std::string ErrnoString(int err) {
+  char buf[128] = {0};
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  return std::string(strerror_r(err, buf, sizeof(buf)));
+#else
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    return "errno " + std::to_string(err);
+  }
+  return std::string(buf);
+#endif
+}
+
 /// Shared state of a loopback pair: two directed frame queues. End A
 /// sends into queue[0] and receives from queue[1]; end B the reverse.
 struct LoopbackState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<wire::Frame> queue[2];
-  bool closed = false;
+  Mutex mu;
+  CondVar cv;
+  std::deque<wire::Frame> queue[2] CSCE_GUARDED_BY(mu);
+  bool closed CSCE_GUARDED_BY(mu) = false;
 };
 
 class LoopbackEnd : public Transport {
@@ -30,17 +46,17 @@ class LoopbackEnd : public Transport {
   ~LoopbackEnd() override { Close(); }
 
   Status Send(const wire::Frame& frame) override {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     if (state_->closed) return Status::IOError("loopback transport closed");
     state_->queue[send_index_].push_back(frame);
-    state_->cv.notify_all();
+    state_->cv.NotifyAll();
     return Status::OK();
   }
 
   Status Recv(wire::Frame* frame) override {
-    std::unique_lock<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     std::deque<wire::Frame>& q = state_->queue[send_index_ ^ 1];
-    state_->cv.wait(lock, [&] { return !q.empty() || state_->closed; });
+    while (q.empty() && !state_->closed) state_->cv.Wait(state_->mu);
     if (q.empty()) return Status::IOError("loopback transport closed");
     *frame = std::move(q.front());
     q.pop_front();
@@ -48,12 +64,14 @@ class LoopbackEnd : public Transport {
   }
 
   void Close() override {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     state_->closed = true;
-    state_->cv.notify_all();
+    state_->cv.NotifyAll();
   }
 
  private:
+  /// The shared_ptr itself is set once at construction; the pointed-to
+  /// state synchronizes via its own mu.
   std::shared_ptr<LoopbackState> state_;
   int send_index_;
 };
@@ -98,8 +116,7 @@ class FdTransport : public Transport {
       ssize_t w = ::write(fd_, data, n);
       if (w < 0) {
         if (errno == EINTR) continue;
-        return Status::IOError(std::string("transport write: ") +
-                               std::strerror(errno));
+        return Status::IOError("transport write: " + ErrnoString(errno));
       }
       data += w;
       n -= static_cast<size_t>(w);
@@ -113,8 +130,7 @@ class FdTransport : public Transport {
       ssize_t r = ::read(fd_, data, n);
       if (r < 0) {
         if (errno == EINTR) continue;
-        return Status::IOError(std::string("transport read: ") +
-                               std::strerror(errno));
+        return Status::IOError("transport read: " + ErrnoString(errno));
       }
       if (r == 0) return Status::IOError("transport peer closed");
       data += r;

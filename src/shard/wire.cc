@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "graph/graph_builder.h"
+#include "util/thread_annotations.h"
 
 namespace csce {
 namespace shard {
@@ -19,7 +20,9 @@ constexpr uint64_t kMaxPatternEdges = 1u << 20;
 constexpr uint32_t kMaxLabelValue = 1u << 20;
 constexpr uint32_t kMaxTasks = 1u << 24;
 
-void AppendPod(std::string* buf, const void* p, size_t n) {
+// The one writer-side raw-byte primitive (wire-bounded-reads exempts
+// only marked functions from the no-raw-buffer-access rule).
+CSCE_WIRE_PRIMITIVE void AppendPod(std::string* buf, const void* p, size_t n) {
   buf->append(reinterpret_cast<const char*>(p), n);
 }
 
@@ -40,8 +43,9 @@ Status EncodeFrame(const Frame& frame, std::string* out) {
   return Status::OK();
 }
 
-Status DecodeFrameHeader(std::string_view header, uint32_t* type,
-                         uint64_t* payload_len) {
+CSCE_WIRE_PRIMITIVE Status DecodeFrameHeader(std::string_view header,
+                                             uint32_t* type,
+                                             uint64_t* payload_len) {
   if (header.size() < kFrameHeaderBytes) {
     return Status::Corruption("truncated frame header");
   }
@@ -93,27 +97,27 @@ Status PayloadReader::Need(size_t n) const {
   return Status::OK();
 }
 
-Status PayloadReader::U8(uint8_t* v) {
+CSCE_WIRE_PRIMITIVE Status PayloadReader::U8(uint8_t* v) {
   CSCE_RETURN_IF_ERROR(Need(1));
   *v = static_cast<uint8_t>(data_[pos_++]);
   return Status::OK();
 }
 
-Status PayloadReader::U32(uint32_t* v) {
+CSCE_WIRE_PRIMITIVE Status PayloadReader::U32(uint32_t* v) {
   CSCE_RETURN_IF_ERROR(Need(4));
   std::memcpy(v, data_.data() + pos_, 4);
   pos_ += 4;
   return Status::OK();
 }
 
-Status PayloadReader::U64(uint64_t* v) {
+CSCE_WIRE_PRIMITIVE Status PayloadReader::U64(uint64_t* v) {
   CSCE_RETURN_IF_ERROR(Need(8));
   std::memcpy(v, data_.data() + pos_, 8);
   pos_ += 8;
   return Status::OK();
 }
 
-Status PayloadReader::F64(double* v) {
+CSCE_WIRE_PRIMITIVE Status PayloadReader::F64(double* v) {
   CSCE_RETURN_IF_ERROR(Need(8));
   std::memcpy(v, data_.data() + pos_, 8);
   pos_ += 8;
@@ -130,7 +134,7 @@ Status PayloadReader::Str(std::string* s, uint64_t max_len) {
   return Status::OK();
 }
 
-Status PayloadReader::VecU32(std::vector<uint32_t>* v) {
+CSCE_WIRE_PRIMITIVE Status PayloadReader::VecU32(std::vector<uint32_t>* v) {
   uint32_t count = 0;
   CSCE_RETURN_IF_ERROR(U32(&count));
   // The count must be backed by bytes before the vector is sized.

@@ -14,6 +14,7 @@
 #include "shard/transport.h"
 #include "shard/wire.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace csce {
@@ -55,7 +56,12 @@ class ShardWorker {
   std::vector<uint32_t> owner_;
   std::unique_ptr<ThreadPool> pool_;
 
-  // Per-query state, rebuilt by each kPlan.
+  // Per-query state, rebuilt by each kPlan. Mutex-free by design: the
+  // serve loop is single-threaded between rounds, a round's worker
+  // threads claim work via the two atomics below and otherwise touch
+  // only their own index of the per-thread vectors, and pool_->Wait()
+  // is the barrier that publishes their writes back to the serve loop
+  // (guarded-by-complete has nothing to check here — see DESIGN.md).
   bool query_active_ = false;
   Graph pattern_;
   Plan plan_;

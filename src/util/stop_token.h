@@ -3,6 +3,8 @@
 
 #include <atomic>
 
+#include "util/thread_annotations.h"
+
 namespace csce {
 
 /// Cooperative cancellation flag. A holder (session, runtime, worker
@@ -37,8 +39,12 @@ class StopToken {
   void SetParent(const StopToken* parent) { parent_ = parent; }
 
  private:
+  /// Lock-free by design: the flag is atomic and parent_ is frozen
+  /// during single-threaded setup (see SetParent's contract), so the
+  /// class owns no mutex and the thread-safety analysis has nothing to
+  /// track here.
   std::atomic<bool> stop_{false};
-  const StopToken* parent_ = nullptr;
+  const StopToken* parent_ CSCE_NOT_GUARDED = nullptr;
 };
 
 }  // namespace csce

@@ -1,0 +1,67 @@
+#ifndef CSCE_UTIL_THREAD_ANNOTATIONS_H_
+#define CSCE_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety analysis annotations plus the marker macros the
+/// csce_lint checks key on. Under compilers without the attributes
+/// (GCC) every macro expands to nothing, so the annotations are pure
+/// documentation there; the CI static-analysis job builds with Clang
+/// and -Wthread-safety -Werror, where they become compiler-checked
+/// proofs. Conventions are documented in DESIGN.md ("Static
+/// analysis"); the short version:
+///
+///  - Use csce::Mutex / csce::MutexLock (util/mutex.h), never a bare
+///    std::mutex: the analysis only follows annotated types.
+///  - Every non-atomic member written under a mutex gets
+///    CSCE_GUARDED_BY(mu_); members that are intentionally unguarded
+///    in a mutex-owning class get CSCE_NOT_GUARDED with a comment.
+///  - Private helpers called with the lock held get
+///    CSCE_REQUIRES(mu_); public entry points that must NOT be called
+///    with the lock held get CSCE_EXCLUDES(mu_).
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CSCE_TSA(x) __attribute__((x))
+#else
+#define CSCE_TSA(x)  // no-op under GCC/MSVC
+#endif
+
+#define CSCE_CAPABILITY(x) CSCE_TSA(capability(x))
+#define CSCE_SCOPED_CAPABILITY CSCE_TSA(scoped_lockable)
+#define CSCE_GUARDED_BY(x) CSCE_TSA(guarded_by(x))
+#define CSCE_PT_GUARDED_BY(x) CSCE_TSA(pt_guarded_by(x))
+#define CSCE_ACQUIRE(...) CSCE_TSA(acquire_capability(__VA_ARGS__))
+#define CSCE_RELEASE(...) CSCE_TSA(release_capability(__VA_ARGS__))
+#define CSCE_REQUIRES(...) CSCE_TSA(requires_capability(__VA_ARGS__))
+#define CSCE_EXCLUDES(...) CSCE_TSA(locks_excluded(__VA_ARGS__))
+#define CSCE_RETURN_CAPABILITY(x) CSCE_TSA(lock_returned(x))
+#define CSCE_ASSERT_CAPABILITY(x) CSCE_TSA(assert_capability(x))
+#define CSCE_NO_THREAD_SAFETY_ANALYSIS CSCE_TSA(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------
+// csce_lint markers. These expand to nothing everywhere; the linter
+// (tools/csce_lint) matches them textually.
+
+/// hot-path-no-alloc: the marked function and everything it
+/// transitively calls within the project must not allocate (PR 4's
+/// zero-allocation contract, enforced statically instead of only via
+/// the VertexScratch hot-growth counter).
+#define CSCE_HOT_PATH
+
+/// Exempts one function from hot-path-no-alloc: it may allocate even
+/// when reached from a CSCE_HOT_PATH root. Reserved for cold slow
+/// paths (e.g. setops::VertexScratch::Grow, which the runtime counter
+/// still observes) — every use needs a comment saying why it is cold.
+#define CSCE_ALLOC_OK
+
+/// guarded-by-complete: marks a member of a mutex-owning class as
+/// intentionally unguarded (atomic-free setup-phase data, const-after-
+/// construction pointers, self-synchronizing handles). Every use needs
+/// a comment giving the synchronization argument.
+#define CSCE_NOT_GUARDED
+
+/// wire-bounded-reads: marks one of the bounded accessor primitives in
+/// src/shard/wire.cc. Only functions carrying this marker may touch
+/// frame payload bytes through memcpy / pointer arithmetic; decoders
+/// must go through them.
+#define CSCE_WIRE_PRIMITIVE
+
+#endif  // CSCE_UTIL_THREAD_ANNOTATIONS_H_

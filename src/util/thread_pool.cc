@@ -17,40 +17,41 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || running_ > 0) idle_cv_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.lock();
   for (;;) {
-    work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // shutdown with a drained queue
+    while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
+    if (queue_.empty()) break;  // shutdown with a drained queue
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     ++running_;
-    lock.unlock();
+    mu_.unlock();
     task();
-    lock.lock();
+    mu_.lock();
     --running_;
-    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    if (queue_.empty() && running_ == 0) idle_cv_.NotifyAll();
   }
+  mu_.unlock();
 }
 
 }  // namespace csce

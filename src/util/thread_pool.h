@@ -1,13 +1,14 @@
 #ifndef CSCE_UTIL_THREAD_POOL_H_
 #define CSCE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace csce {
 
@@ -24,16 +25,16 @@ class ThreadPool {
  public:
   /// `num_threads` == 0 picks std::thread::hardware_concurrency().
   explicit ThreadPool(uint32_t num_threads = 0);
-  ~ThreadPool();
+  ~ThreadPool() CSCE_EXCLUDES(mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) CSCE_EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has finished. New tasks
   /// submitted concurrently extend the wait.
-  void Wait();
+  void Wait() CSCE_EXCLUDES(mu_);
 
   uint32_t size() const { return static_cast<uint32_t>(threads_.size()); }
 
@@ -41,15 +42,17 @@ class ThreadPool {
   static uint32_t DefaultThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() CSCE_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers: queue non-empty or stop
-  std::condition_variable idle_cv_;   // Wait(): queue empty and none running
-  std::deque<std::function<void()>> queue_;
-  uint32_t running_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_;
+  CondVar work_cv_;  // workers: queue non-empty or stop
+  CondVar idle_cv_;  // Wait(): queue empty and none running
+  std::deque<std::function<void()>> queue_ CSCE_GUARDED_BY(mu_);
+  uint32_t running_ CSCE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ CSCE_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, joined only by the destructor;
+  /// no worker touches it.
+  std::vector<std::thread> threads_ CSCE_NOT_GUARDED;
 };
 
 }  // namespace csce

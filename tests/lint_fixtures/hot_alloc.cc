@@ -1,0 +1,25 @@
+// Negative fixture for csce_lint's hot-path-no-alloc: a CSCE_HOT_PATH
+// function reaches a std::vector::push_back through one level of
+// indirection. Never compiled into the build — the lint self-test
+// asserts the checker flags the push_back call.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#define CSCE_HOT_PATH
+
+namespace fixture {
+
+std::vector<uint32_t>* Sink();
+
+void Accumulate(uint32_t v) {
+  // No project class defines push_back in this fixture's model, so the
+  // member call is judged as the allocating std container method.
+  Sink()->push_back(v);
+}
+
+CSCE_HOT_PATH void Enumerate(const uint32_t* xs, size_t n) {
+  for (size_t i = 0; i < n; ++i) Accumulate(xs[i]);
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Negative fixture for csce_lint's signal-discipline: installs an
+// asynchronous signal handler with signal(). The sanctioned shape is
+// the blocked-signal + sigwait watcher thread in csce_serve. Never
+// compiled into the build.
+#include <csignal>
+
+namespace fixture {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+void Install() {
+  std::signal(SIGINT, OnSignal);  // banned: async handler registration
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Negative fixture for csce_lint's guarded-by-complete: a class owning
+// a mutex with a plain member that carries neither CSCE_GUARDED_BY nor
+// CSCE_NOT_GUARDED. Never compiled into the build.
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Add(uint64_t v);
+  uint64_t total() const;
+
+ private:
+  std::mutex mu_;
+  uint64_t total_ = 0;  // missing annotation
+};
+
+}  // namespace fixture

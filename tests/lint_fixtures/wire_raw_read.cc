@@ -1,0 +1,20 @@
+// Negative fixture for csce_lint's wire-bounded-reads: a decoder in a
+// wire translation unit reads payload bytes with raw memcpy instead of
+// the bounded PayloadReader accessors, and is not marked
+// CSCE_WIRE_PRIMITIVE. Never compiled into the build.
+#include <cstdint>
+#include <cstring>
+
+namespace fixture {
+
+struct Frame {
+  const uint8_t* payload;
+};
+
+uint32_t DecodeCount(const Frame& f) {
+  uint32_t count;
+  std::memcpy(&count, f.payload, sizeof(count));  // unbounded read
+  return count;
+}
+
+}  // namespace fixture

@@ -1,0 +1,224 @@
+#include "checks.h"
+
+#include <algorithm>
+#include <set>
+
+namespace csce_lint {
+namespace {
+
+/// External APIs that always (or amortized-always) allocate. Method
+/// names double as std container methods: a member call that no project
+/// class shadows is assumed to be a std container and judged by name.
+bool IsAllocatingName(const std::string& n) {
+  static const std::set<std::string> deny = {
+      "new",          "malloc",       "calloc",
+      "realloc",      "strdup",       "aligned_alloc",
+      "make_unique",  "make_shared",  "make_unique_for_overwrite",
+      "to_string",    "substr",       "append",
+      "resize",       "reserve",      "emplace_back",
+      "push_back",    "insert",       "assign",
+      "emplace",      "stoi",         "stol",
+      "stoul",        "stod",
+  };
+  return deny.count(n) != 0;
+}
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+class HotPathCheck {
+ public:
+  explicit HotPathCheck(const SourceModel& m) : m_(m) {}
+
+  std::vector<Finding> Run() {
+    for (size_t i = 0; i < m_.functions.size(); ++i) {
+      const FunctionInfo& fn = m_.functions[i];
+      if (fn.hot && !fn.alloc_ok) {
+        chain_.push_back(fn.name);
+        Visit(i);
+        chain_.pop_back();
+      }
+    }
+    return std::move(findings_);
+  }
+
+ private:
+  /// Resolves one call site to project callees, or reports it when it
+  /// can only be an external allocating API. Resolution is deliberately
+  /// unsound in one direction: a member call whose name any project
+  /// class defines (x.push_back() where VertexScratch::push_back
+  /// exists) resolves to the project methods, so push-into-prereserved
+  /// std::vectors on the hot path are accepted. The zero-allocation
+  /// discipline test (VertexScratch::HotGrowthCountForTesting) is the
+  /// dynamic backstop for that gap.
+  void Resolve(const FunctionInfo& fn, const CallSite& c,
+               std::vector<size_t>* targets) {
+    targets->clear();
+    if (c.name == "new") {
+      Report(fn, c);
+      return;
+    }
+    if (c.qualifier == "std") {
+      if (IsAllocatingName(c.name)) Report(fn, c);
+      return;
+    }
+    auto range = m_.by_name.equal_range(c.name);
+    if (c.member_access) {
+      if (m_.class_method_names.count(c.name)) {
+        for (auto it = range.first; it != range.second; ++it) {
+          if (!m_.functions[it->second].cls.empty()) {
+            targets->push_back(it->second);
+          }
+        }
+      } else if (IsAllocatingName(c.name)) {
+        Report(fn, c);
+      }
+      return;
+    }
+    if (!c.qualifier.empty()) {
+      for (auto it = range.first; it != range.second; ++it) {
+        if (m_.functions[it->second].cls == c.qualifier) {
+          targets->push_back(it->second);
+        }
+      }
+      if (targets->empty()) {  // namespace qualifier, not a class
+        for (auto it = range.first; it != range.second; ++it) {
+          targets->push_back(it->second);
+        }
+      }
+      if (targets->empty() && IsAllocatingName(c.name)) Report(fn, c);
+      return;
+    }
+    // Bare call: same class first, then free functions.
+    for (auto it = range.first; it != range.second; ++it) {
+      if (m_.functions[it->second].cls == fn.cls) targets->push_back(it->second);
+    }
+    if (targets->empty()) {
+      for (auto it = range.first; it != range.second; ++it) {
+        if (m_.functions[it->second].cls.empty()) {
+          targets->push_back(it->second);
+        }
+      }
+    }
+    if (targets->empty() && IsAllocatingName(c.name)) Report(fn, c);
+  }
+
+  void Visit(size_t idx) {
+    if (!visited_.insert(idx).second) return;
+    const FunctionInfo& fn = m_.functions[idx];
+    if (fn.alloc_ok) return;  // explicitly exempted subtree
+    std::vector<size_t> targets;
+    for (const CallSite& c : fn.calls) {
+      Resolve(fn, c, &targets);
+      for (size_t t : targets) {
+        if (m_.functions[t].alloc_ok) continue;
+        chain_.push_back(m_.functions[t].name);
+        Visit(t);
+        chain_.pop_back();
+      }
+    }
+  }
+
+  void Report(const FunctionInfo& fn, const CallSite& c) {
+    std::string path;
+    for (const std::string& s : chain_) {
+      if (!path.empty()) path += " -> ";
+      path += s;
+    }
+    findings_.push_back(
+        {fn.file, c.line, "hot-path-no-alloc",
+         "allocating call '" + c.name + "' reachable from hot path (" +
+             path + "); hoist the allocation to Prepare() or mark the "
+             "callee CSCE_ALLOC_OK with a justification"});
+  }
+
+  const SourceModel& m_;
+  std::set<size_t> visited_;
+  std::vector<std::string> chain_;
+  std::vector<Finding> findings_;
+};
+
+std::vector<Finding> CheckWireBoundedReads(const SourceModel& m) {
+  std::vector<Finding> out;
+  for (const FunctionInfo& fn : m.functions) {
+    if (!fn.has_body || fn.wire_primitive) continue;
+    std::string base = Basename(fn.file);
+    if (base.find("wire") == std::string::npos ||
+        base.rfind(".cc") != base.size() - 3) {
+      continue;
+    }
+    for (const CallSite& raw : fn.raw_accesses) {
+      out.push_back({fn.file, raw.line, "wire-bounded-reads",
+                     "raw buffer access '" + raw.name + "' in '" + fn.name +
+                         "' outside a CSCE_WIRE_PRIMITIVE helper; decode "
+                         "through the bounded PayloadReader accessors"});
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> CheckGuardedByComplete(const SourceModel& m) {
+  std::vector<Finding> out;
+  for (const ClassInfo& cls : m.classes) {
+    if (!cls.has_mutex) continue;
+    for (const MemberInfo& member : cls.unannotated) {
+      out.push_back(
+          {cls.file, member.line, "guarded-by-complete",
+           "'" + cls.name + "' owns a mutex but member '" + member.name +
+               "' is neither CSCE_GUARDED_BY a lock nor explicitly "
+               "CSCE_NOT_GUARDED"});
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> CheckSignalDiscipline(const SourceModel& m) {
+  std::vector<Finding> out;
+  for (const FunctionInfo& fn : m.functions) {
+    for (const CallSite& c : fn.calls) {
+      if ((c.name == "signal" || c.name == "sigaction") &&
+          (c.qualifier.empty() || c.qualifier == "std") &&
+          !c.member_access) {
+        out.push_back({fn.file, c.line, "signal-discipline",
+                       "'" + c.name + "' installs an async signal handler; "
+                           "use the blocked-signal sigwait watcher pattern "
+                           "(see csce_serve) instead"});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> RunChecks(const SourceModel& model,
+                               const std::string& only) {
+  std::vector<Finding> out;
+  auto want = [&](const char* name) { return only.empty() || only == name; };
+  if (want("hot-path-no-alloc")) {
+    std::vector<Finding> f = HotPathCheck(model).Run();
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  if (want("wire-bounded-reads")) {
+    std::vector<Finding> f = CheckWireBoundedReads(model);
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  if (want("guarded-by-complete")) {
+    std::vector<Finding> f = CheckGuardedByComplete(model);
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  if (want("signal-discipline")) {
+    std::vector<Finding> f = CheckSignalDiscipline(model);
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+}  // namespace csce_lint

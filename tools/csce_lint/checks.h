@@ -1,0 +1,42 @@
+#ifndef CSCE_TOOLS_CSCE_LINT_CHECKS_H_
+#define CSCE_TOOLS_CSCE_LINT_CHECKS_H_
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace csce_lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string check;
+  std::string message;
+};
+
+/// Runs every check (or just `only` when non-empty) over the model and
+/// returns the findings sorted by file then line.
+///
+/// The four checks:
+///  - hot-path-no-alloc: no function transitively reachable from a
+///    CSCE_HOT_PATH root may call an allocating API; CSCE_ALLOC_OK
+///    nodes terminate the walk.
+///  - wire-bounded-reads: in wire decoder files (*wire*.cc), raw buffer
+///    access (memcpy, reinterpret_cast, pointer arithmetic on .data(),
+///    direct data_[] indexing) is confined to CSCE_WIRE_PRIMITIVE
+///    helpers; everything else must go through the bounded readers.
+///  - guarded-by-complete: a class owning a Mutex must annotate every
+///    plain member (CSCE_GUARDED_BY or an explicit CSCE_NOT_GUARDED);
+///    atomics, statics and the synchronization objects themselves are
+///    exempt.
+///  - signal-discipline: signal()/sigaction() handler registration is
+///    banned — handlers run async-signal-unsafe code sooner or later;
+///    the blocked-signal + sigwait watcher pattern (csce_serve) is the
+///    sanctioned shape.
+std::vector<Finding> RunChecks(const SourceModel& model,
+                               const std::string& only);
+
+}  // namespace csce_lint
+
+#endif  // CSCE_TOOLS_CSCE_LINT_CHECKS_H_

@@ -1,0 +1,126 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace csce_lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto advance = [&](size_t k) {
+    for (size_t j = 0; j < k && i < n; ++j, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Preprocessor directive: swallow to end of line, honouring
+    // backslash continuations. (Strings inside directives are skipped
+    // with the rest of the line; good enough for #include paths.)
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (src[i] == '\n') break;
+        advance(1);
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      advance(2);
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) advance(1);
+      advance(2);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t d = i + 2;
+      while (d < n && src[d] != '(') ++d;
+      std::string close = ")" + src.substr(i + 2, d - (i + 2)) + "\"";
+      int lit_line = line;
+      advance(d - i + 1);
+      size_t end = src.find(close, i);
+      advance((end == std::string::npos ? n : end + close.size()) - i);
+      out.push_back({TokKind::kLiteral, "", lit_line});
+      continue;
+    }
+    // String / char literal (escapes honoured, contents dropped).
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      int lit_line = line;
+      advance(1);
+      while (i < n && src[i] != quote) {
+        advance(src[i] == '\\' ? 2 : 1);
+      }
+      advance(1);
+      out.push_back({TokKind::kLiteral, "", lit_line});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      out.push_back({TokKind::kIdent, src.substr(start, i - start), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.' ||
+                       src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.push_back({TokKind::kNumber, src.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation. "::" and "->" are the only multi-char tokens the
+    // checks distinguish; ">>" deliberately lexes as two ">" so
+    // template-angle matching needs no special case.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.push_back({TokKind::kPunct, "::", line});
+      advance(2);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.push_back({TokKind::kPunct, "->", line});
+      advance(2);
+      continue;
+    }
+    out.push_back({TokKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return out;
+}
+
+}  // namespace csce_lint

@@ -1,0 +1,37 @@
+#ifndef CSCE_TOOLS_CSCE_LINT_LEXER_H_
+#define CSCE_TOOLS_CSCE_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace csce_lint {
+
+/// Token kinds the checks care about. Comments, string/char literals
+/// and preprocessor lines are stripped during lexing (literals collapse
+/// to one kLiteral token so "signal" inside a message never looks like
+/// a call); everything else keeps its spelling and line number.
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kPunct,    // single char, plus the two-char tokens "::" and "->"
+  kLiteral,  // string or char literal, text dropped
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+/// Tokenizes C++ source far enough for token-level analysis: this is
+/// not a conforming lexer (no digraphs, no UCNs), it is the smallest
+/// one whose output the csce_lint checks can trust. Preprocessor
+/// directives are skipped whole (including backslash continuations),
+/// so macro *definitions* never contribute tokens — macro *uses* like
+/// CSCE_HOT_PATH appear as ordinary identifiers, which is exactly how
+/// the checks match them.
+std::vector<Token> Lex(const std::string& source);
+
+}  // namespace csce_lint
+
+#endif  // CSCE_TOOLS_CSCE_LINT_LEXER_H_

@@ -1,0 +1,48 @@
+#!/bin/sh
+# csce_lint self-test: every negative fixture must be flagged by the
+# check it seeds a violation for, and the real tree must be clean. The
+# fixtures exist so the clean run is evidence, not vacuity — a checker
+# that cannot find the planted bug proves nothing by finding none.
+#
+#   lint_test.sh <csce_lint-binary> <repo-root> <build-dir>
+set -eu
+
+LINT="$1"
+ROOT="$2"
+BUILD="$3"
+FIXTURES="$ROOT/tests/lint_fixtures"
+
+fail() {
+  echo "lint_test: $1" >&2
+  exit 1
+}
+
+# One seeded violation per check; the fixture must trigger its check
+# (exit 1) and the finding must name it.
+expect_finding() {
+  fixture="$1"
+  check="$2"
+  out="$("$LINT" "--check=$check" "$FIXTURES/$fixture" 2>/dev/null)" \
+    && fail "$fixture: expected a $check finding, got a clean run"
+  echo "$out" | grep -q "\[$check\]" \
+    || fail "$fixture: no [$check] finding in output: $out"
+  echo "lint_test: $fixture -> [$check] OK"
+}
+
+expect_finding hot_alloc.cc hot-path-no-alloc
+expect_finding wire_raw_read.cc wire-bounded-reads
+expect_finding unguarded_member.cc guarded-by-complete
+expect_finding signal_handler.cc signal-discipline
+
+# All fixtures together: one finding each, all four checks firing.
+count="$("$LINT" "$FIXTURES"/*.cc 2>/dev/null | wc -l)" || true
+[ "$count" -eq 4 ] || fail "expected 4 findings across fixtures, got $count"
+
+# The real tree must be clean, using the compilation database exported
+# by the build that is running this test.
+[ -f "$BUILD/compile_commands.json" ] \
+  || fail "missing $BUILD/compile_commands.json"
+"$LINT" "--compdb=$BUILD/compile_commands.json" "--src=$ROOT/src" \
+  || fail "real tree has findings"
+
+echo "lint_test: OK"

@@ -1,0 +1,83 @@
+#ifndef CSCE_TOOLS_CSCE_LINT_MODEL_H_
+#define CSCE_TOOLS_CSCE_LINT_MODEL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace csce_lint {
+
+/// One syntactic call site inside a function body (or constructor
+/// initializer list — member initializers can allocate too).
+struct CallSite {
+  std::string name;       // callee identifier
+  std::string qualifier;  // token before "::" ("std", a class, a namespace)
+  bool member_access = false;  // preceded by '.' or '->'
+  int line = 0;
+};
+
+/// One project function, merged across its declarations and its
+/// definition: markers live on header declarations, bodies in the .cc.
+/// Overloads sharing a (class, name) key merge into one node — the
+/// checks resolve calls by name, so keeping them apart buys nothing.
+struct FunctionInfo {
+  std::string name;
+  std::string cls;  // enclosing class/struct, "" for free functions
+  std::string file;
+  int line = 0;
+  bool hot = false;             // CSCE_HOT_PATH
+  bool alloc_ok = false;        // CSCE_ALLOC_OK
+  bool wire_primitive = false;  // CSCE_WIRE_PRIMITIVE
+  bool has_body = false;
+  std::vector<CallSite> calls;
+  /// Raw-buffer access sites (memcpy, reinterpret_cast, ".data() +",
+  /// "data_["), recorded everywhere but only judged in wire decoders.
+  std::vector<CallSite> raw_accesses;
+};
+
+/// A member variable the guarded-by-complete check could not excuse:
+/// trailing-underscore name, non-atomic, non-static, not itself a
+/// synchronization object, and carrying no CSCE_GUARDED_BY /
+/// CSCE_NOT_GUARDED annotation.
+struct MemberInfo {
+  std::string name;
+  int line = 0;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::string file;
+  bool has_mutex = false;
+  std::vector<MemberInfo> unannotated;
+};
+
+/// Everything the checks need, aggregated across all input files.
+struct SourceModel {
+  std::vector<FunctionInfo> functions;
+  std::multimap<std::string, size_t> by_name;  // name -> functions index
+  std::vector<ClassInfo> classes;
+  /// Names defined as a method by at least one project class. A member
+  /// call x.foo() with foo in this set is resolved to the project
+  /// methods of that name — see checks.cc for why this deliberate
+  /// unsoundness is the right trade.
+  std::set<std::string> class_method_names;
+
+  /// Index of the (cls, name) node, creating it if absent.
+  size_t Intern(const std::string& cls, const std::string& name,
+                const std::string& file, int line);
+};
+
+/// Parses one file's tokens into the model. Token-level heuristics, not
+/// a grammar: function definitions are "identifier ( ... ) [qualifiers]
+/// { body }", class context comes from a brace-matched scope stack, and
+/// markers are read from the declaration prefix (everything since the
+/// previous ';', brace or access specifier).
+void ParseFile(const std::string& path, const std::string& text,
+               SourceModel* model);
+
+}  // namespace csce_lint
+
+#endif  // CSCE_TOOLS_CSCE_LINT_MODEL_H_

@@ -45,12 +45,16 @@
 // would depend on cross-shard arrival order) and print the same
 // per-query lines plus shard routing detail.
 
+#include <fcntl.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -71,6 +75,8 @@
 #include "shard/transport.h"
 #include "shard/worker.h"
 #include "util/flags.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace {
@@ -97,56 +103,101 @@ struct WorkloadSegment {
   bool stats_after = false;
 };
 
+bool ParseWorkloadLine(std::string line, size_t lineno,
+                       std::vector<WorkloadSegment>* segments) {
+  if (size_t hash = line.find('#'); hash != std::string::npos) {
+    line.erase(hash);
+  }
+  std::istringstream fields(line);
+  std::string path, variant;
+  if (!(fields >> path)) return true;  // blank/comment line
+  if (path == "STATS") {
+    segments->back().stats_after = true;
+    segments->emplace_back();
+    return true;
+  }
+  csce::QueryJob job;
+  job.tag = path;
+  if (fields >> variant && !ParseVariant(variant, &job.options.variant)) {
+    std::fprintf(stderr, "queries line %zu: unknown variant '%s'\n", lineno,
+                 variant.c_str());
+    return false;
+  }
+  double max_embeddings = 0, deadline = 0;
+  if (fields >> max_embeddings) {
+    job.options.max_embeddings = static_cast<uint64_t>(max_embeddings);
+  }
+  if (fields >> deadline) job.options.time_limit_seconds = deadline;
+  if (csce::Status st = csce::LoadGraphFromFile(path, &job.pattern); !st.ok()) {
+    std::fprintf(stderr, "queries line %zu: %s\n", lineno,
+                 st.ToString().c_str());
+    return false;
+  }
+  segments->back().jobs.push_back(std::move(job));
+  return true;
+}
+
 bool ParseWorkload(std::istream& in, std::vector<WorkloadSegment>* segments) {
   segments->emplace_back();
   std::string line;
   size_t lineno = 0;
   while (std::getline(in, line)) {
-    ++lineno;
-    if (size_t hash = line.find('#'); hash != std::string::npos) {
-      line.erase(hash);
-    }
-    std::istringstream fields(line);
-    std::string path, variant;
-    if (!(fields >> path)) continue;  // blank/comment line
-    if (path == "STATS") {
-      segments->back().stats_after = true;
-      segments->emplace_back();
-      continue;
-    }
-    csce::QueryJob job;
-    job.tag = path;
-    if (fields >> variant && !ParseVariant(variant, &job.options.variant)) {
-      std::fprintf(stderr, "queries line %zu: unknown variant '%s'\n", lineno,
-                   variant.c_str());
-      return false;
-    }
-    double max_embeddings = 0, deadline = 0;
-    if (fields >> max_embeddings) {
-      job.options.max_embeddings = static_cast<uint64_t>(max_embeddings);
-    }
-    if (fields >> deadline) job.options.time_limit_seconds = deadline;
-    if (csce::Status st = csce::LoadGraphFromFile(path, &job.pattern);
-        !st.ok()) {
-      std::fprintf(stderr, "queries line %zu: %s\n", lineno,
-                   st.ToString().c_str());
-      return false;
-    }
-    segments->back().jobs.push_back(std::move(job));
+    if (!ParseWorkloadLine(std::move(line), ++lineno, segments)) return false;
   }
   return true;
 }
 
-// --- SIGINT/SIGTERM flush ---------------------------------------------
+// --- SIGINT/SIGTERM graceful shutdown ---------------------------------
 //
-// The signals are blocked in every thread (mask set before any thread
-// or worker exists and inherited by all of them); one detached watcher
-// sigwait()s, flushes the metrics artifact, reaps forked workers and
-// exits with the conventional 128+sig. This keeps the flush off the
-// async-signal-unsafe minefield — the watcher is a normal thread.
+// The exit signals are blocked in every thread (mask set before any
+// thread or worker exists and inherited by all of them); one detached
+// watcher sigwait()s. No asynchronous signal handler is ever installed
+// (csce_lint's signal-discipline check bans signal()/sigaction()
+// registration), so there is no async-signal-safety minefield: the
+// watcher is a normal thread and may take locks.
+//
+// Division of labour: the watcher only *requests* shutdown — it records
+// the signal, cooperatively cancels the running batch and SIGTERMs
+// forked workers so blocked transport reads unwind. The metrics flush,
+// child reaping and exit all happen on the main thread, which checks
+// ExitRequested() between queries/batches; flushing from the watcher
+// would race the main thread mid-write and could emit a torn artifact.
+// A second signal skips the graceful path and _exit()s immediately (the
+// conventional double-ctrl-C force quit).
 
-std::string g_signal_metrics_path;     // set before the watcher starts
-std::vector<pid_t> g_worker_pids;      // populated before the watcher starts
+std::atomic<int> g_exit_signal{0};
+std::vector<pid_t> g_worker_pids;  // populated before the watcher starts
+
+// Self-pipe the watcher writes into after recording a signal, so the
+// main thread can poll() it alongside blocking fds (a fifo-fed stdin
+// never delivers EOF, and with the exit signals masked a blocked read
+// is not interrupted).
+int g_wake_pipe[2] = {-1, -1};
+
+csce::Mutex g_runtime_mu;
+csce::QueryRuntime* g_runtime CSCE_GUARDED_BY(g_runtime_mu) = nullptr;
+
+/// The signal that requested shutdown, or 0.
+int ExitRequested() {
+  return g_exit_signal.load(std::memory_order_acquire);
+}
+
+void SetSignalRuntime(csce::QueryRuntime* rt) {
+  csce::MutexLock lock(g_runtime_mu);
+  g_runtime = rt;
+}
+
+void CancelSignalRuntime() {
+  csce::MutexLock lock(g_runtime_mu);
+  if (g_runtime != nullptr) g_runtime->CancelAll();
+}
+
+/// Publishes `rt` as the watcher's cancellation target for the scope;
+/// clears it before the runtime can be destroyed.
+struct SignalRuntimeScope {
+  explicit SignalRuntimeScope(csce::QueryRuntime* rt) { SetSignalRuntime(rt); }
+  ~SignalRuntimeScope() { SetSignalRuntime(nullptr); }
+};
 
 sigset_t ExitSignalSet() {
   sigset_t set;
@@ -162,18 +213,71 @@ void BlockExitSignals() {
 }
 
 void StartSignalWatcher() {
+  if (pipe(g_wake_pipe) != 0) {
+    g_wake_pipe[0] = g_wake_pipe[1] = -1;
+  } else {
+    for (int fd : g_wake_pipe) fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
   std::thread([] {
     sigset_t set = ExitSignalSet();
     int sig = 0;
     if (sigwait(&set, &sig) != 0) return;
-    if (!g_signal_metrics_path.empty()) {
-      (void)csce::obs::WriteMetricsFile(csce::obs::MetricRegistry::Global(),
-                                        g_signal_metrics_path);
+    g_exit_signal.store(sig, std::memory_order_release);
+    if (g_wake_pipe[1] >= 0) {
+      ssize_t n = write(g_wake_pipe[1], "x", 1);
+      (void)n;
     }
+    CancelSignalRuntime();
     for (pid_t pid : g_worker_pids) kill(pid, SIGTERM);
-    for (pid_t pid : g_worker_pids) waitpid(pid, nullptr, 0);
-    _exit(128 + sig);
+    if (sigwait(&set, &sig) == 0) _exit(128 + sig);
   }).detach();
+}
+
+/// Reads the workload from stdin without blocking past a shutdown
+/// request: poll() watches fd 0 and the watcher's wake pipe together,
+/// and the stream is abandoned once a signal has been recorded. Returns
+/// false on parse or I/O errors.
+bool ParseWorkloadFromStdin(std::vector<WorkloadSegment>* segments) {
+  segments->emplace_back();
+  std::string buffer;
+  size_t lineno = 0;
+  char chunk[4096];
+  while (ExitRequested() == 0) {
+    struct pollfd fds[2];
+    fds[0] = {STDIN_FILENO, POLLIN, 0};
+    nfds_t nfds = 1;
+    if (g_wake_pipe[0] >= 0) {
+      fds[1] = {g_wake_pipe[0], POLLIN, 0};
+      nfds = 2;
+    }
+    if (poll(fds, nfds, -1) < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "poll on stdin failed\n");
+      return false;
+    }
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    ssize_t n = read(STDIN_FILENO, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "read on stdin failed\n");
+      return false;
+    }
+    if (n == 0) break;  // EOF
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl; (nl = buffer.find('\n', start)) != std::string::npos;
+         start = nl + 1) {
+      if (!ParseWorkloadLine(buffer.substr(start, nl - start), ++lineno,
+                             segments)) {
+        return false;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  if (ExitRequested() == 0 && !buffer.empty()) {
+    return ParseWorkloadLine(std::move(buffer), ++lineno, segments);
+  }
+  return true;
 }
 
 // --- Sharded session --------------------------------------------------
@@ -255,9 +359,11 @@ int RunShardedSession(csce::shard::ShardCoordinator& coordinator,
   using namespace csce;
   ShardedSessionTotals totals;
   bool warned_limit = false;
-  for (int64_t r = 0; r < repeat; ++r) {
+  for (int64_t r = 0; r < repeat && !ExitRequested(); ++r) {
     for (const WorkloadSegment& segment : workload) {
+      if (ExitRequested()) break;
       for (const QueryJob& job : segment.jobs) {
+        if (ExitRequested()) break;
         if (job.options.max_embeddings != 0 && !warned_limit) {
           std::fprintf(stderr,
                        "warning: sharded sessions ignore per-query "
@@ -402,10 +508,8 @@ int main(int argc, char** argv) {
   }
 
   // Exit signals are blocked before any worker (thread or fork) exists
-  // so every child inherits the mask; the watcher that flushes
-  // --metrics-json starts once the paths are known.
+  // so every child inherits the mask.
   BlockExitSignals();
-  g_signal_metrics_path = metrics_path;
 
   // Fork shard workers before the full CCSR is loaded: each child only
   // ever maps its own shard artifact.
@@ -455,7 +559,7 @@ int main(int argc, char** argv) {
 
   std::vector<WorkloadSegment> workload;
   if (queries_path == "-") {
-    if (!ParseWorkload(std::cin, &workload)) return 2;
+    if (!ParseWorkloadFromStdin(&workload)) return 2;
   } else {
     std::ifstream in(queries_path);
     if (!in) {
@@ -512,6 +616,7 @@ int main(int argc, char** argv) {
     coord.Shutdown();
     cluster.reset();  // joins in-process worker threads
     for (pid_t pid : child_pids) waitpid(pid, nullptr, 0);
+    if (int sig = ExitRequested()) return 128 + sig;
     return rc;
   }
 
@@ -528,9 +633,11 @@ int main(int argc, char** argv) {
   }
 
   QueryRuntime runtime(&index, runtime_options);
+  SignalRuntimeScope signal_scope(&runtime);
   int failures = 0;
-  for (int64_t r = 0; r < repeat; ++r) {
+  for (int64_t r = 0; r < repeat && !ExitRequested(); ++r) {
     for (const WorkloadSegment& segment : workload) {
+      if (ExitRequested()) break;
       std::vector<QueryOutcome> outcomes;
       if (!segment.jobs.empty()) {
         std::vector<QueryJob> jobs = segment.jobs;
@@ -585,5 +692,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // An interrupted session still flushed its metrics artifact above;
+  // report the signal exit code so callers can tell the two apart.
+  if (int sig = ExitRequested()) return 128 + sig;
   return failures == 0 ? 0 : 1;
 }
