@@ -8,7 +8,11 @@
 // The 1-shard row isolates the wire-protocol + coordinator overhead
 // (it routes nothing); the 2/4-shard rows add real boundary traffic.
 // Workers here are threads, not processes, so rows measure protocol
-// and partition cost, not interconnect cost.
+// and partition cost, not interconnect cost. Each shard count is
+// measured three times — over in-memory loopback queues, AF_UNIX
+// socketpairs, and real TCP loopback sockets — and the tcp row
+// reports its overhead vs the unix row (the same FdTransport syscall
+// path) so transport regressions are visible in the JSON.
 //
 // Environment knobs:
 //   CSCE_BENCH_PATTERNS      patterns per workload (default 3)
@@ -134,34 +138,61 @@ int Main() {
     json.AddRow(std::move(row));
   }
 
+  struct TransportRow {
+    shard::ClusterTransport transport;
+    const char* name;
+    const char* suffix;
+  };
+  const TransportRow kTransports[] = {
+      {shard::ClusterTransport::kLoopback, "loopback", ""},
+      {shard::ClusterTransport::kUnix, "unix", "-unix"},
+      {shard::ClusterTransport::kTcp, "tcp", "-tcp"},
+  };
   for (uint32_t shards : {1u, 2u, 4u}) {
-    std::unique_ptr<shard::InProcessCluster> cluster;
-    st = shard::InProcessCluster::Create(data, &full, shards,
-                                         shard::PartitionStrategy::kHash,
-                                         threads, &cluster);
-    CSCE_CHECK(st.ok());
-    WorkloadStats best;
-    for (uint32_t r = 0; r < repeats; ++r) {
-      WorkloadStats s = RunSharded(cluster->coordinator(), patterns);
-      CSCE_CHECK(s.embeddings == single.embeddings);  // sharded == serial
-      if (r == 0 || s.seconds < best.seconds) best = s;
+    double unix_seconds = 0.0;
+    for (const TransportRow& tr : kTransports) {
+      const bool tcp = tr.transport == shard::ClusterTransport::kTcp;
+      shard::InProcessClusterOptions opts;
+      opts.transport = tr.transport;
+      std::unique_ptr<shard::InProcessCluster> cluster;
+      st = shard::InProcessCluster::Create(data, &full, shards,
+                                           shard::PartitionStrategy::kHash,
+                                           threads, opts, &cluster);
+      CSCE_CHECK(st.ok());
+      WorkloadStats best;
+      for (uint32_t r = 0; r < repeats; ++r) {
+        WorkloadStats s = RunSharded(cluster->coordinator(), patterns);
+        CSCE_CHECK(s.embeddings == single.embeddings);  // sharded == serial
+        if (r == 0 || s.seconds < best.seconds) best = s;
+      }
+      if (tr.transport == shard::ClusterTransport::kUnix) {
+        unix_seconds = best.seconds;
+      }
+      const double tcp_overhead =
+          tcp && unix_seconds > 0.0 ? best.seconds / unix_seconds : 1.0;
+      char config[24];
+      std::snprintf(config, sizeof(config), "%u-shard%s", shards, tr.suffix);
+      std::printf("%12s %12.4f %9.2fx %14llu %8llu %14llu", config,
+                  best.seconds, single.seconds / best.seconds,
+                  static_cast<unsigned long long>(best.embeddings),
+                  static_cast<unsigned long long>(best.rounds),
+                  static_cast<unsigned long long>(best.tasks_routed));
+      if (tcp) {
+        std::printf("   tcp/unix %.2fx", tcp_overhead);
+      }
+      std::printf("\n");
+      obs::JsonValue row = obs::JsonValue::Object();
+      row.Set("mode", "sharded");
+      row.Set("transport", tr.name);
+      row.Set("shards", shards);
+      row.Set("seconds", best.seconds);
+      row.Set("speedup", single.seconds / best.seconds);
+      row.Set("embeddings", best.embeddings);
+      row.Set("rounds", best.rounds);
+      row.Set("tasks_routed", best.tasks_routed);
+      if (tcp) row.Set("tcp_overhead", tcp_overhead);
+      json.AddRow(std::move(row));
     }
-    char config[16];
-    std::snprintf(config, sizeof(config), "%u-shard", shards);
-    std::printf("%12s %12.4f %9.2fx %14llu %8llu %14llu\n", config,
-                best.seconds, single.seconds / best.seconds,
-                static_cast<unsigned long long>(best.embeddings),
-                static_cast<unsigned long long>(best.rounds),
-                static_cast<unsigned long long>(best.tasks_routed));
-    obs::JsonValue row = obs::JsonValue::Object();
-    row.Set("mode", "sharded");
-    row.Set("shards", shards);
-    row.Set("seconds", best.seconds);
-    row.Set("speedup", single.seconds / best.seconds);
-    row.Set("embeddings", best.embeddings);
-    row.Set("rounds", best.rounds);
-    row.Set("tasks_routed", best.tasks_routed);
-    json.AddRow(std::move(row));
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 #define CSCE_SHARD_COORDINATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -10,8 +11,11 @@
 #include "ccsr/ccsr.h"
 #include "graph/graph.h"
 #include "graph/variant.h"
+#include "obs/metrics.h"
 #include "plan/planner.h"
+#include "shard/fault.h"
 #include "shard/shard_plan.h"
+#include "shard/supervision.h"
 #include "shard/transport.h"
 #include "shard/wire.h"
 #include "util/status.h"
@@ -58,6 +62,12 @@ struct ShardResult {
   uint32_t rounds = 0;
   uint64_t tasks_routed = 0;
 
+  /// Supervision activity during this query: worker restarts performed
+  /// and request frames re-sent to a replacement. Both 0 on a healthy
+  /// run; the fault-injection tests assert they fire.
+  uint64_t worker_restarts = 0;
+  uint64_t frames_retried = 0;
+
   uint64_t embeddings_verified = 0;  // self_check only
 
   /// Collected embeddings when CoordinatorOptions::collect_embeddings:
@@ -70,6 +80,14 @@ struct ShardResult {
   std::vector<wire::ResultMsg> per_shard;
 };
 
+/// Produces a fresh, connected transport to a brand-new worker for
+/// `shard` — the deployment-specific half of recovery. In-process
+/// clusters spawn a new ShardWorker thread; csce_serve re-forks. A
+/// coordinator without a factory supervises (timeouts, structured
+/// errors) but cannot restart anyone.
+using WorkerFactory =
+    std::function<Status(uint32_t shard, std::unique_ptr<Transport>* out)>;
+
 /// Drives N shard workers through the wire protocol: LOAD once, then
 /// per query PLAN -> ROOT -> EXTEND rounds (BSP: all emissions of round
 /// k are routed before round k+1 starts) -> FINISH merge.
@@ -79,11 +97,22 @@ struct ShardResult {
 /// self-check verifies shipped embeddings against the complete graph.
 /// Workers may be threads (loopback transports, see InProcessCluster)
 /// or forked processes (fd transports, see csce_serve --workers).
+///
+/// Fault tolerance (see DESIGN.md "Fault tolerance"): every request
+/// frame whose reply has been consumed is journaled per worker. When a
+/// worker dies, hangs past a deadline, or answers garbage, the
+/// coordinator backs off, asks the WorkerFactory for a replacement,
+/// replays the journal into it (replies discarded — their emissions
+/// were already routed), then re-sends the in-flight frame and uses its
+/// reply. The dead incarnation's partial counts never reached the merge
+/// (only kFinish replies are merged, one per worker), so recovered runs
+/// stay byte-identical to single-node: exactly-once by deterministic
+/// replay.
 class ShardCoordinator {
  public:
   /// `full` is the complete (unsharded) CCSR; must outlive the
   /// coordinator.
-  explicit ShardCoordinator(const Ccsr* full) : full_(full) {}
+  explicit ShardCoordinator(const Ccsr* full);
 
   /// Worker `i` of the eventual cluster; attach all workers before
   /// Load*. Transport must be connected to a serving ShardWorker.
@@ -92,8 +121,19 @@ class ShardCoordinator {
     return static_cast<uint32_t>(workers_.size());
   }
 
+  /// Supervision knobs; call before Load* (the backoff state machines
+  /// are built from these at load time).
+  void set_supervision(const SupervisionOptions& opts) { sup_ = opts; }
+  const SupervisionOptions& supervision() const { return sup_; }
+  /// Enables worker restarts. Without a factory a failed worker is
+  /// terminal for the query (and counts into shard.workers_lost).
+  void set_worker_factory(WorkerFactory factory) {
+    factory_ = std::move(factory);
+  }
+
   /// LOADs every worker from on-disk artifacts produced by
   /// `csce_build --shards=N` (base path + ".shardplan" / ".shard<k>").
+  /// Performs the versioned kHello handshake with every worker first.
   Status LoadFromFiles(const std::string& base_path,
                        uint32_t threads_per_worker);
   /// LOADs every worker with an inline serialized shard CCSR + the
@@ -101,6 +141,17 @@ class ShardCoordinator {
   Status LoadInline(const std::vector<uint32_t>& owner,
                     const std::vector<std::string>& ccsr_blobs,
                     uint32_t threads_per_worker);
+
+  /// Synchronous kPing/kPong health probe of every worker, recovering
+  /// any that fail. Run automatically at the start of every Execute
+  /// when supervision is enabled.
+  Status PingWorkers();
+
+  /// Lifetime totals across load and every query (ShardResult carries
+  /// the per-query deltas; load/handshake-time recoveries only show up
+  /// here). Read from the coordinator's driving thread.
+  uint64_t restarts_total() const { return restarts_total_; }
+  uint64_t retries_total() const { return retries_total_; }
 
   /// Runs one query to completion across all workers.
   Status Execute(const Graph& pattern, const CoordinatorOptions& options,
@@ -116,29 +167,116 @@ class ShardCoordinator {
   void Shutdown();
 
  private:
+  /// Per-reply payload validation hook: decode the expected payload so
+  /// a byzantine reply (e.g. a truncated task batch) is classified as a
+  /// worker failure inside the recovery loop, not a hard Corruption at
+  /// the call site.
+  using PayloadCheck = std::function<Status(size_t index, wire::Frame* reply)>;
+
   /// Sends `requests[i]` to worker `targets[i]` (all writes first, then
   /// all reads — the fd transports would deadlock otherwise once a
   /// pipe buffer fills), expecting `want` replies. kError replies
-  /// surface as the carried Status.
+  /// surface as the carried Status; transport failures and garbage
+  /// replies go through recovery. `journal`: append each request to its
+  /// worker's replay journal once its reply has been consumed.
   Status RoundTrip(const std::vector<uint32_t>& targets,
                    const std::vector<wire::Frame>& requests,
-                   wire::MsgType want, std::vector<wire::Frame>* replies);
+                   wire::MsgType want, std::vector<wire::Frame>* replies,
+                   bool journal = false,
+                   const PayloadCheck& check = nullptr);
+
+  /// Receives worker `s`'s reply to `request`, recovering (restart +
+  /// replay + re-send) until it has a valid reply or the restart budget
+  /// is spent. Handler-level kError replies return immediately — the
+  /// worker is alive and deterministic, a restart would just repeat the
+  /// error.
+  Status AwaitReply(uint32_t s, const wire::Frame& request,
+                    wire::MsgType want,
+                    const std::function<Status(wire::Frame*)>& check,
+                    wire::Frame* reply);
+
+  /// Sends `frame` to worker `s`, restarting it until the send lands.
+  Status SendWithRecovery(uint32_t s, const wire::Frame& frame);
+
+  /// Backoff -> factory -> handshake -> journal replay; loops until a
+  /// replacement serves or the budget is exhausted (kGiveUp). `cause`
+  /// is the failure that triggered recovery, kept for the error text.
+  Status RestartWorker(uint32_t s, const Status& cause);
+
+  /// kHello/kHelloAck exchange with version check.
+  Status Handshake(uint32_t s);
+  Status HandshakeAll();
+
+  /// Re-sends worker `s`'s journal into a fresh replacement, discarding
+  /// replies (their emissions were routed before the failure).
+  Status ReplayJournal(uint32_t s);
+
+  void AppendJournal(uint32_t s, const wire::Frame& frame);
+
+  double Now() const;
+  void SleepFor(double seconds) const;
 
   // Mutex-free by design: the coordinator is driven by one thread (the
   // strictly sequential RoundTrip is what prevents fd-transport
-  // deadlock), so none of this state is ever shared.
+  // deadlock), so none of this state is ever shared. Recovery happens
+  // inline on the same thread.
   const Ccsr* full_;
   std::vector<std::unique_ptr<Transport>> workers_;
   bool loaded_ = false;
+
+  SupervisionOptions sup_;
+  WorkerFactory factory_;
+  std::vector<BackoffState> backoff_;
+  /// Replay journals: the kLoad prefix survives across queries; the
+  /// query part (kPlan + kRoot/kExtend frames) resets at each Execute.
+  std::vector<std::vector<wire::Frame>> load_journal_;
+  std::vector<std::vector<wire::Frame>> query_journal_;
+
+  /// Supervision activity, also mirrored into ShardResult per query.
+  uint64_t restarts_total_ = 0;
+  uint64_t retries_total_ = 0;
+
+  obs::Counter restarts_metric_;
+  obs::Counter retries_metric_;
+  obs::Counter heartbeat_timeouts_metric_;
+  obs::Counter workers_lost_metric_;
+  obs::Counter handshake_failures_metric_;
+  obs::Histogram round_seconds_metric_;
 };
 
 class ShardWorker;  // worker.h is a coordinator.cc-only dependency
 
+/// How InProcessCluster wires its worker threads to the coordinator.
+enum class ClusterTransport : uint8_t {
+  /// Environment-driven: CSCE_SHARD_TRANSPORT=tcp selects kTcp, any
+  /// other value (or unset) kLoopback. The CI shard-tcp leg runs the
+  /// whole suite over TCP this way without touching test code.
+  kAuto,
+  kLoopback,
+  /// AF_UNIX socketpair through the FdTransport syscall path — the
+  /// same wiring csce_serve uses for forked workers, minus the fork.
+  /// The bench baseline TCP overhead is measured against.
+  kUnix,
+  kTcp,
+};
+
+/// Optional knobs for InProcessCluster::Create.
+struct InProcessClusterOptions {
+  SupervisionOptions supervision;
+  /// Faults applied to the worker side of every transport (shared
+  /// across worker incarnations so one-shot faults never re-fire after
+  /// a restart). Null: no faults.
+  std::shared_ptr<FaultInjector> faults;
+  ClusterTransport transport = ClusterTransport::kAuto;
+};
+
 /// A self-contained sharded engine inside one process: partitions the
 /// graph, builds per-shard CCSRs, runs one ShardWorker thread per shard
-/// over loopback transports and wires a coordinator to them. The
-/// cross-check tests and csce_serve --shards (without --workers) run on
-/// this.
+/// over loopback (or TCP-loopback) transports and wires a supervised
+/// coordinator to them. The cross-check tests and csce_serve --shards
+/// (without --workers) run on this. Its WorkerFactory spawns
+/// replacement worker threads, so every recovery path is exercisable
+/// in-process.
 class InProcessCluster {
  public:
   /// `g` is the original data graph, `full` its complete CCSR (both
@@ -147,6 +285,11 @@ class InProcessCluster {
   static Status Create(const Graph& g, const Ccsr* full, uint32_t num_shards,
                        PartitionStrategy strategy,
                        uint32_t threads_per_worker,
+                       std::unique_ptr<InProcessCluster>* out);
+  static Status Create(const Graph& g, const Ccsr* full, uint32_t num_shards,
+                       PartitionStrategy strategy,
+                       uint32_t threads_per_worker,
+                       const InProcessClusterOptions& opts,
                        std::unique_ptr<InProcessCluster>* out);
 
   ~InProcessCluster();
@@ -167,7 +310,15 @@ class InProcessCluster {
   explicit InProcessCluster(Passkey);
 
  private:
+  /// Spawns a fresh ShardWorker thread for `shard` and returns the
+  /// coordinator-side transport; both the initial population and the
+  /// coordinator's WorkerFactory go through here. Old incarnations'
+  /// threads stay in worker_threads_ until destruction (they exit as
+  /// soon as their transport dies).
+  Status SpawnWorker(uint32_t shard, std::unique_ptr<Transport>* out);
 
+  ClusterTransport transport_ = ClusterTransport::kLoopback;
+  std::shared_ptr<FaultInjector> faults_;
   ShardPlan shard_plan_;
   std::unique_ptr<ShardCoordinator> coordinator_;
   std::vector<std::unique_ptr<ShardWorker>> worker_impls_;

@@ -1,0 +1,274 @@
+#include "shard/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "shard/wire.h"
+
+namespace csce {
+namespace shard {
+namespace {
+
+Status BadEntry(const std::string& entry, const char* why) {
+  return Status::InvalidArgument("fault-plan entry '" + entry + "': " + why);
+}
+
+Status ParseEntry(const std::string& entry, FaultSpec* out) {
+  size_t at = entry.find('@');
+  size_t colon = entry.find(':', at == std::string::npos ? 0 : at);
+  if (at == std::string::npos || colon == std::string::npos || colon < at) {
+    return BadEntry(entry, "expected kind@shard:arg");
+  }
+  std::string kind = entry.substr(0, at);
+  std::string shard_str = entry.substr(at + 1, colon - at - 1);
+  std::string arg_str = entry.substr(colon + 1);
+  if (kind == "kill") {
+    out->kind = FaultKind::kKillAfterFrames;
+  } else if (kind == "truncate") {
+    out->kind = FaultKind::kTruncateFrame;
+  } else if (kind == "delay") {
+    out->kind = FaultKind::kDelayResponse;
+  } else if (kind == "drop-ping") {
+    out->kind = FaultKind::kDropHeartbeat;
+  } else if (kind == "bad-hello") {
+    out->kind = FaultKind::kFailHandshake;
+  } else {
+    return BadEntry(entry, "unknown fault kind");
+  }
+  if (shard_str.empty() || arg_str.empty()) {
+    return BadEntry(entry, "expected kind@shard:arg");
+  }
+  char* end = nullptr;
+  unsigned long shard = std::strtoul(shard_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return BadEntry(entry, "shard is not a number");
+  }
+  unsigned long long arg = std::strtoull(arg_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return BadEntry(entry, "arg is not a number");
+  }
+  out->shard = static_cast<uint32_t>(shard);
+  out->arg = static_cast<uint64_t>(arg);
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKillAfterFrames:
+      return "kill";
+    case FaultKind::kTruncateFrame:
+      return "truncate";
+    case FaultKind::kDelayResponse:
+      return "delay";
+    case FaultKind::kDropHeartbeat:
+      return "drop-ping";
+    case FaultKind::kFailHandshake:
+      return "bad-hello";
+  }
+  return "unknown";
+}
+
+Status FaultInjector::Parse(const std::string& plan,
+                            std::shared_ptr<FaultInjector>* out) {
+  std::vector<FaultSpec> specs;
+  size_t pos = 0;
+  while (pos < plan.size()) {
+    size_t comma = plan.find(',', pos);
+    if (comma == std::string::npos) comma = plan.size();
+    std::string entry = plan.substr(pos, comma - pos);
+    pos = comma + 1;
+    // Trim surrounding whitespace so "kill@0:1, delay@1:200" parses.
+    size_t b = entry.find_first_not_of(" \t");
+    size_t e = entry.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    entry = entry.substr(b, e - b + 1);
+    FaultSpec spec;
+    CSCE_RETURN_IF_ERROR(ParseEntry(entry, &spec));
+    specs.push_back(spec);
+  }
+  *out = std::make_shared<FaultInjector>(std::move(specs));
+  return Status::OK();
+}
+
+FaultInjector::FaultInjector(std::vector<FaultSpec> specs)
+    : specs_(std::move(specs)) {
+  MutexLock lock(mu_);
+  fired_count_.assign(specs_.size(), 0);
+}
+
+uint64_t FaultInjector::fired_total() const {
+  MutexLock lock(mu_);
+  uint64_t total = 0;
+  for (uint64_t c : fired_count_) total += c;
+  return total;
+}
+
+uint64_t FaultInjector::fired(FaultKind kind) const {
+  MutexLock lock(mu_);
+  uint64_t total = 0;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].kind == kind) total += fired_count_[i];
+  }
+  return total;
+}
+
+/// The decorator. Lives in the shard namespace (not anonymous) so the
+/// FaultInjector friendship resolves; instantiated only through
+/// MakeFaultTransport.
+class FaultTransport : public Transport {
+ public:
+  FaultTransport(std::unique_ptr<Transport> inner,
+                 std::shared_ptr<FaultInjector> injector, uint32_t shard)
+      : inner_(std::move(inner)),
+        injector_(std::move(injector)),
+        shard_(shard) {}
+
+  ~FaultTransport() override { Close(); }
+
+  Status Send(const wire::Frame& frame) override {
+    Action act = Decide(frame.type);
+    switch (act.kind) {
+      case Action::kNone:
+        break;
+      case Action::kKill:
+        // The worker process "dies": the peer observes EOF/closed.
+        inner_->Close();
+        return Fail(MakeClosed(frame.type, "fault: killed"));
+      case Action::kTruncate: {
+        wire::Frame cut = frame;
+        cut.payload.resize(cut.payload.size() / 2);
+        Status st = inner_->Send(cut);
+        inner_->Close();
+        if (!st.ok()) return st;
+        return Fail(MakeClosed(frame.type, "fault: truncated"));
+      }
+      case Action::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(act.delay_ms));
+        break;
+      case Action::kDrop:
+        // Heartbeat reply swallowed; the coordinator's ping deadline
+        // must fire, not the worker.
+        return Status::OK();
+      case Action::kBadHello: {
+        wire::HelloMsg hello;
+        if (wire::DecodeHello(frame.payload, &hello).ok()) {
+          hello.protocol_version = wire::kProtocolVersion + 1;
+          wire::Frame bad = frame;
+          bad.payload = wire::EncodeHello(hello);
+          return inner_->Send(bad);
+        }
+        break;
+      }
+    }
+    Status st = inner_->Send(frame);
+    if (!st.ok()) last_error_ = inner_->last_error();
+    return st;
+  }
+
+  Status Recv(wire::Frame* frame) override {
+    Status st = inner_->Recv(frame);
+    if (!st.ok()) last_error_ = inner_->last_error();
+    return st;
+  }
+
+  void Close() override { inner_->Close(); }
+
+  void set_read_deadline(double seconds) override {
+    inner_->set_read_deadline(seconds);
+  }
+
+ private:
+  struct Action {
+    enum Kind { kNone, kKill, kTruncate, kDelay, kDrop, kBadHello };
+    Kind kind = kNone;
+    uint64_t delay_ms = 0;
+  };
+
+  static TransportError MakeClosed(uint32_t frame_type, const char* why) {
+    TransportError err;
+    err.fault = TransportFault::kClosed;
+    err.frame_type = frame_type;
+    err.context = why;
+    return err;
+  }
+
+  /// One decision per outgoing frame, taken under the injector's lock
+  /// but executed (send/sleep/close) outside it. First matching spec
+  /// for this shard wins; all counter updates happen here so the
+  /// schedule is a pure function of the frame sequence.
+  Action Decide(uint32_t frame_type) {
+    Action act;
+    if (injector_ == nullptr) return act;
+    FaultInjector& inj = *injector_;
+    MutexLock lock(inj.mu_);
+    if (shard_ >= inj.frames_sent_by_shard_.size()) {
+      inj.frames_sent_by_shard_.resize(shard_ + 1, 0);
+    }
+    const uint64_t ordinal = ++inj.frames_sent_by_shard_[shard_];  // 1-based
+    for (size_t i = 0; i < inj.specs_.size(); ++i) {
+      const FaultSpec& spec = inj.specs_[i];
+      if (spec.shard != shard_) continue;
+      uint64_t& fired = inj.fired_count_[i];
+      switch (spec.kind) {
+        case FaultKind::kKillAfterFrames:
+          if (fired == 0 && ordinal > spec.arg) {
+            fired = 1;
+            act.kind = Action::kKill;
+            return act;
+          }
+          break;
+        case FaultKind::kTruncateFrame:
+          if (fired == 0 && ordinal == spec.arg) {
+            fired = 1;
+            act.kind = Action::kTruncate;
+            return act;
+          }
+          break;
+        case FaultKind::kDelayResponse:
+          if (fired == 0) {
+            fired = 1;
+            act.kind = Action::kDelay;
+            act.delay_ms = spec.arg;
+            return act;
+          }
+          break;
+        case FaultKind::kDropHeartbeat:
+          if (fired < spec.arg &&
+              frame_type == static_cast<uint32_t>(wire::MsgType::kPong)) {
+            ++fired;
+            act.kind = Action::kDrop;
+            return act;
+          }
+          break;
+        case FaultKind::kFailHandshake:
+          if (fired < spec.arg &&
+              frame_type == static_cast<uint32_t>(wire::MsgType::kHelloAck)) {
+            ++fired;
+            act.kind = Action::kBadHello;
+            return act;
+          }
+          break;
+      }
+    }
+    return act;
+  }
+
+  std::unique_ptr<Transport> inner_;
+  std::shared_ptr<FaultInjector> injector_;
+  const uint32_t shard_;
+};
+
+std::unique_ptr<Transport> MakeFaultTransport(
+    std::unique_ptr<Transport> inner, std::shared_ptr<FaultInjector> injector,
+    uint32_t shard) {
+  if (injector == nullptr || injector->specs().empty()) return inner;
+  return std::make_unique<FaultTransport>(std::move(inner),
+                                          std::move(injector), shard);
+}
+
+}  // namespace shard
+}  // namespace csce

@@ -1,0 +1,98 @@
+#ifndef CSCE_SHARD_FAULT_H_
+#define CSCE_SHARD_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shard/transport.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace csce {
+namespace shard {
+
+/// Deterministic fault injection for the shard layer. Faults live in a
+/// decorator around the WORKER side of a transport — worker and
+/// coordinator code stay fault-free, and every supervision/recovery
+/// path is exercised by ordinary ctest cases instead of timing luck.
+///
+/// A fault plan is a comma-separated list of `kind@shard:arg` entries
+/// (csce_serve --fault-plan accepts the same grammar):
+///
+///   kill@1:3        close shard 1's transport after its 3rd sent frame
+///   truncate@0:2    truncate shard 0's 2nd reply payload, then close
+///   delay@2:500     stall shard 2's next reply by 500 ms (one-shot)
+///   drop-ping@1:2   swallow shard 1's first 2 heartbeat kPong replies
+///   bad-hello@0:1   mis-version shard 0's first kHelloAck
+///
+/// Every entry fires at an exact frame count, so a given plan produces
+/// the same failure sequence on every run and every transport. Each
+/// entry is one-shot: once fired it never re-fires, even across worker
+/// restarts — the injector is shared (shared_ptr) between a worker's
+/// successive in-process incarnations precisely so a restarted worker
+/// does not re-trip the same fault and recovery can be proven to
+/// converge.
+enum class FaultKind : uint8_t {
+  kKillAfterFrames,   // kill@s:n
+  kTruncateFrame,     // truncate@s:n
+  kDelayResponse,     // delay@s:ms
+  kDropHeartbeat,     // drop-ping@s:n
+  kFailHandshake,     // bad-hello@s:n
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kKillAfterFrames;
+  uint32_t shard = 0;
+  /// kill/truncate: 1-based outgoing frame ordinal; delay: milliseconds;
+  /// drop-ping / bad-hello: how many frames to corrupt.
+  uint64_t arg = 0;
+};
+
+class FaultInjector {
+ public:
+  /// Parses the --fault-plan grammar above. Unknown kinds, missing
+  /// fields, or non-numeric args yield InvalidArgument naming the bad
+  /// entry. An empty plan is valid (no faults).
+  static Status Parse(const std::string& plan,
+                      std::shared_ptr<FaultInjector>* out);
+
+  explicit FaultInjector(std::vector<FaultSpec> specs);
+
+  /// Total number of fault firings so far (all kinds, all shards).
+  uint64_t fired_total() const;
+  /// Firings of one kind (test assertions: "the kill actually fired").
+  uint64_t fired(FaultKind kind) const;
+
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+
+ private:
+  friend class FaultTransport;
+
+  /// Set once at construction, read-only afterwards.
+  const std::vector<FaultSpec> specs_ CSCE_NOT_GUARDED;
+
+  mutable Mutex mu_;
+  /// Per-spec firing counters, parallel to specs_. For one-shot kinds
+  /// (kill/truncate/delay) the counter saturates at 1; for counted
+  /// kinds (drop-ping/bad-hello) it runs up to spec.arg.
+  std::vector<uint64_t> fired_count_ CSCE_GUARDED_BY(mu_);
+  /// Outgoing frames sent per shard (indexed by spec, keyed on shard
+  /// inside FaultTransport); drives the @frame-ordinal triggers.
+  std::vector<uint64_t> frames_sent_by_shard_ CSCE_GUARDED_BY(mu_);
+};
+
+/// Wraps the worker-side end of a transport with the injector's faults
+/// for `shard`. Pass a null injector to get `inner` back unchanged.
+std::unique_ptr<Transport> MakeFaultTransport(
+    std::unique_ptr<Transport> inner, std::shared_ptr<FaultInjector> injector,
+    uint32_t shard);
+
+}  // namespace shard
+}  // namespace csce
+
+#endif  // CSCE_SHARD_FAULT_H_

@@ -1,0 +1,49 @@
+#include "shard/supervision.h"
+
+#include <chrono>
+#include <thread>
+
+namespace csce {
+namespace shard {
+
+BackoffState::Decision BackoffState::OnFailure(double now,
+                                               double* delay_seconds) {
+  if (ever_failed_ && reset_after_ > 0.0 &&
+      now - last_failure_at_ >= reset_after_) {
+    // The previous burst is ancient history; start fresh.
+    consecutive_ = 0;
+  }
+  ever_failed_ = true;
+  last_failure_at_ = now;
+  if (consecutive_ >= budget_) {
+    *delay_seconds = 0.0;
+    return Decision::kGiveUp;
+  }
+  // First retry waits initial_, each consecutive failure doubles it.
+  double delay = initial_;
+  for (uint32_t i = 0; i < consecutive_ && delay < max_; ++i) delay *= 2.0;
+  if (delay > max_) delay = max_;
+  ++consecutive_;
+  ++total_restarts_;
+  *delay_seconds = delay;
+  return Decision::kRestart;
+}
+
+void BackoffState::OnSuccess(double now) {
+  last_failure_at_ = now;
+  consecutive_ = 0;
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace shard
+}  // namespace csce

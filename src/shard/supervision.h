@@ -1,0 +1,98 @@
+#ifndef CSCE_SHARD_SUPERVISION_H_
+#define CSCE_SHARD_SUPERVISION_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace csce {
+namespace shard {
+
+/// Knobs for the coordinator's worker supervision. Defaults suit an
+/// interactive serve session; tests shrink every interval to
+/// milliseconds so injected faults resolve instantly.
+struct SupervisionOptions {
+  /// Master switch: false = any worker failure fails the query
+  /// immediately (the pre-supervision behavior, still the right call
+  /// when the deployment has no way to restart a worker).
+  bool enabled = true;
+
+  /// Read deadline applied to every reply the coordinator waits for
+  /// during a BSP round. A worker that exceeds it is treated as hung.
+  /// 0 = wait forever.
+  double round_timeout_seconds = 30.0;
+
+  /// Read deadline for the kPong answer to a heartbeat kPing. Pings
+  /// are synchronous probes sent between rounds (the transport is
+  /// strict request/reply, so there is no background pinger thread).
+  double heartbeat_timeout_seconds = 5.0;
+
+  /// Exponential backoff between restart attempts: first retry waits
+  /// `backoff_initial_seconds`, doubling per consecutive failure up to
+  /// `backoff_max_seconds`.
+  double backoff_initial_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+
+  /// A failure this long after the previous one starts a fresh burst
+  /// (the worker was healthy in between; don't punish it with the
+  /// accumulated backoff).
+  double backoff_reset_seconds = 30.0;
+
+  /// Consecutive failures tolerated per worker before the coordinator
+  /// gives up on the query. 0 = never restart.
+  uint32_t max_restarts = 3;
+
+  /// Injectable sleep so recovery tests don't wait real backoff time;
+  /// null = std::this_thread::sleep_for.
+  std::function<void(double seconds)> sleep_fn;
+  /// Injectable monotonic clock (seconds); null = steady_clock.
+  std::function<double()> clock_fn;
+};
+
+/// Per-worker backoff/restart state machine. Pure: time flows in as
+/// explicit `now` doubles, so unit tests drive it with a fake clock and
+/// never sleep. The coordinator owns one per shard.
+///
+/// States: healthy --OnFailure--> backing-off --OnSuccess--> healthy,
+/// with OnFailure returning kGiveUp once a burst exceeds max_restarts.
+class BackoffState {
+ public:
+  explicit BackoffState(const SupervisionOptions& opts)
+      : initial_(opts.backoff_initial_seconds),
+        max_(opts.backoff_max_seconds),
+        reset_after_(opts.backoff_reset_seconds),
+        budget_(opts.max_restarts) {}
+
+  enum class Decision : uint8_t { kRestart, kGiveUp };
+
+  /// The worker failed at time `now`. kRestart: wait *delay_seconds,
+  /// then restart (counted against the burst budget). kGiveUp: the
+  /// burst exhausted max_restarts; fail the query.
+  Decision OnFailure(double now, double* delay_seconds);
+
+  /// The worker completed a round/probe; ends the current burst.
+  void OnSuccess(double now);
+
+  uint32_t consecutive_failures() const { return consecutive_; }
+  uint64_t total_restarts() const { return total_restarts_; }
+
+ private:
+  const double initial_;
+  const double max_;
+  const double reset_after_;
+  const uint32_t budget_;
+
+  uint32_t consecutive_ = 0;
+  uint64_t total_restarts_ = 0;
+  double last_failure_at_ = 0.0;
+  bool ever_failed_ = false;
+};
+
+/// Real-clock helpers backing the injectable hooks: monotonic seconds
+/// and a blocking sleep.
+double MonotonicSeconds();
+void SleepSeconds(double seconds);
+
+}  // namespace shard
+}  // namespace csce
+
+#endif  // CSCE_SHARD_SUPERVISION_H_

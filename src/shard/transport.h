@@ -1,7 +1,9 @@
 #ifndef CSCE_SHARD_TRANSPORT_H_
 #define CSCE_SHARD_TRANSPORT_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 
 #include "shard/wire.h"
 #include "util/status.h"
@@ -9,11 +11,68 @@
 namespace csce {
 namespace shard {
 
+/// Structured cause of a transport failure. Supervision decisions
+/// (restart vs reject vs give up) and test assertions key off these
+/// fields — never off message text — so every transport failure in the
+/// shard layer is routed through one TransportError and stringified in
+/// exactly one place (ToStatus).
+enum class TransportFault : uint8_t {
+  kNone = 0,
+  /// The peer closed the connection (EOF, closed loopback, local
+  /// Close()). A dead worker process surfaces as this.
+  kClosed,
+  /// A configured connect/read/write deadline expired. A hung or
+  /// grossly slow worker surfaces as this.
+  kTimeout,
+  /// The byte stream decoded to garbage: bad magic, oversized length,
+  /// CRC mismatch. A buggy or byzantine peer surfaces as this.
+  kCorruption,
+  /// The versioned handshake failed (protocol mismatch or a non-Hello
+  /// first frame).
+  kHandshake,
+  /// A syscall failed; `sys_errno` carries the errno.
+  kSyscall,
+};
+
+const char* TransportFaultName(TransportFault fault);
+
+struct TransportError {
+  static constexpr uint32_t kNoShard = 0xFFFFFFFFu;
+
+  TransportFault fault = TransportFault::kNone;
+  /// errno of the failing syscall (kSyscall only; 0 otherwise).
+  int sys_errno = 0;
+  /// wire::MsgType of the frame being sent/received when the failure
+  /// hit, 0 when no frame was in flight (connect/accept/handshake).
+  uint32_t frame_type = 0;
+  /// Shard the transport was serving; filled by the supervisor (the
+  /// transport itself does not know), kNoShard until then.
+  uint32_t shard = kNoShard;
+  /// The failing operation: "read", "write", "connect", "accept", ...
+  std::string context;
+
+  bool ok() const { return fault == TransportFault::kNone; }
+
+  /// The single stringification point: Status{IOError|Corruption} whose
+  /// message includes the fault name, operation, errno text and shard.
+  Status ToStatus() const;
+};
+
+/// Deadlines applied by transports that can block indefinitely (fd and
+/// TCP; the loopback transport honors read deadlines only). 0 = wait
+/// forever, the pre-supervision behavior.
+struct TransportDeadlines {
+  double connect_seconds = 5.0;
+  double read_seconds = 0.0;
+  double write_seconds = 0.0;
+};
+
 /// One end of a bidirectional, ordered frame channel between the
 /// coordinator and a shard worker. Send and Recv each block until the
-/// frame is fully transferred; a closed peer surfaces as IOError.
-/// One thread per direction at most — the protocol is strictly
-/// request/reply, so neither side ever needs concurrent calls.
+/// frame is fully transferred or a deadline expires; a closed peer
+/// surfaces as IOError with last_error().fault == kClosed. One thread
+/// per direction at most — the protocol is strictly request/reply, so
+/// neither side ever needs concurrent calls.
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -22,6 +81,24 @@ class Transport {
   virtual Status Recv(wire::Frame* frame) = 0;
   /// Unblocks the peer's pending Recv with IOError. Idempotent.
   virtual void Close() = 0;
+
+  /// Structured cause of the most recent failed Send/Recv on this end.
+  /// Meaningful only after a non-OK return; reset by the next call.
+  const TransportError& last_error() const { return last_error_; }
+
+  /// Overrides the read deadline for subsequent Recv calls (seconds,
+  /// 0 = wait forever). The supervisor tightens this per round.
+  virtual void set_read_deadline(double seconds) = 0;
+
+ protected:
+  /// Records `err` as last_error() and returns its Status — the one
+  /// failure path every concrete transport funnels through.
+  Status Fail(TransportError err) {
+    last_error_ = std::move(err);
+    return last_error_.ToStatus();
+  }
+
+  TransportError last_error_;
 };
 
 /// Creates a connected in-process pair (mutex + condvar queues): frames
@@ -35,9 +112,62 @@ void MakeLoopbackPair(std::unique_ptr<Transport>* a,
 /// socketpair between csce_serve and its forked workers, or any
 /// connected stream socket). Frames are serialized with wire::
 /// EncodeFrame; incoming headers are validated before the payload is
-/// read, so a corrupt peer yields Corruption, not unbounded allocation.
+/// read and the payload CRC is verified after, so a corrupt peer yields
+/// Corruption, not unbounded allocation or a mis-decoded message.
 /// Takes ownership of `fd`.
-std::unique_ptr<Transport> MakeFdTransport(int fd);
+std::unique_ptr<Transport> MakeFdTransport(
+    int fd, const TransportDeadlines& deadlines = TransportDeadlines{});
+
+/// Listening TCP socket for multi-node deployment (csce_serve
+/// --listen). Accept() yields fd transports over accepted connections;
+/// binding to port 0 picks an ephemeral port, re-read via port().
+class TcpListener {
+ public:
+  /// `host` is a numeric IPv4 address ("0.0.0.0" for any interface,
+  /// "127.0.0.1" for loopback-only test clusters).
+  static Status Listen(const std::string& host, uint16_t port,
+                       std::unique_ptr<TcpListener>* out);
+
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Blocks up to `timeout_seconds` (0 = forever) for one connection;
+  /// the accepted transport gets `deadlines`. Timeout surfaces as
+  /// last_error().fault == kTimeout.
+  Status Accept(double timeout_seconds, const TransportDeadlines& deadlines,
+                std::unique_ptr<Transport>* out);
+
+  const TransportError& last_error() const { return last_error_; }
+
+  void Close();
+
+  struct Passkey {
+   private:
+    friend class TcpListener;
+    Passkey() = default;
+  };
+  TcpListener(Passkey, int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  TransportError last_error_;
+};
+
+/// Connects to a listening coordinator/worker endpoint with the
+/// configured connect deadline (nonblocking connect + poll). The
+/// resulting transport carries `deadlines` for read/write.
+Status ConnectTcp(const std::string& host, uint16_t port,
+                  const TransportDeadlines& deadlines,
+                  std::unique_ptr<Transport>* out);
+
+/// Splits "host:port" (e.g. "127.0.0.1:7600"); a bare ":7600" or
+/// "7600" means any-interface. Returns false on malformed specs.
+bool ParseHostPort(const std::string& spec, std::string* host,
+                   uint16_t* port);
 
 }  // namespace shard
 }  // namespace csce

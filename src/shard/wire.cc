@@ -26,7 +26,29 @@ CSCE_WIRE_PRIMITIVE void AppendPod(std::string* buf, const void* p, size_t n) {
   buf->append(reinterpret_cast<const char*>(p), n);
 }
 
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
 }  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  static const Crc32Table table;
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : bytes) {
+    crc = table.entries[(crc ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 Status EncodeFrame(const Frame& frame, std::string* out) {
   if (frame.payload.size() > kMaxFramePayload) {
@@ -36,16 +58,19 @@ Status EncodeFrame(const Frame& frame, std::string* out) {
   out->reserve(kFrameHeaderBytes + frame.payload.size());
   uint32_t magic = kFrameMagic;
   uint64_t len = frame.payload.size();
+  uint32_t crc = Crc32(frame.payload);
   AppendPod(out, &magic, sizeof(magic));
   AppendPod(out, &frame.type, sizeof(frame.type));
   AppendPod(out, &len, sizeof(len));
+  AppendPod(out, &crc, sizeof(crc));
   out->append(frame.payload);
   return Status::OK();
 }
 
 CSCE_WIRE_PRIMITIVE Status DecodeFrameHeader(std::string_view header,
                                              uint32_t* type,
-                                             uint64_t* payload_len) {
+                                             uint64_t* payload_len,
+                                             uint32_t* payload_crc) {
   if (header.size() < kFrameHeaderBytes) {
     return Status::Corruption("truncated frame header");
   }
@@ -56,6 +81,7 @@ CSCE_WIRE_PRIMITIVE Status DecodeFrameHeader(std::string_view header,
   }
   std::memcpy(type, header.data() + 4, sizeof(*type));
   std::memcpy(payload_len, header.data() + 8, sizeof(*payload_len));
+  std::memcpy(payload_crc, header.data() + 16, sizeof(*payload_crc));
   if (*payload_len > kMaxFramePayload) {
     return Status::Corruption("frame payload length exceeds limit");
   }
@@ -65,14 +91,35 @@ CSCE_WIRE_PRIMITIVE Status DecodeFrameHeader(std::string_view header,
 Status DecodeFrame(std::string_view bytes, Frame* out, size_t* consumed) {
   uint32_t type = 0;
   uint64_t len = 0;
-  CSCE_RETURN_IF_ERROR(DecodeFrameHeader(bytes, &type, &len));
+  uint32_t crc = 0;
+  CSCE_RETURN_IF_ERROR(DecodeFrameHeader(bytes, &type, &len, &crc));
   if (bytes.size() - kFrameHeaderBytes < len) {
     return Status::Corruption("truncated frame payload");
   }
   out->type = type;
   out->payload.assign(bytes.substr(kFrameHeaderBytes, len));
+  if (Crc32(out->payload) != crc) {
+    return Status::Corruption("frame payload crc mismatch");
+  }
   *consumed = kFrameHeaderBytes + static_cast<size_t>(len);
   return Status::OK();
+}
+
+// --- HelloMsg ---------------------------------------------------------
+
+std::string EncodeHello(const HelloMsg& msg) {
+  PayloadWriter w;
+  w.U32(msg.protocol_version);
+  w.Str(msg.peer_role);
+  return w.Take();
+}
+
+Status DecodeHello(std::string_view payload, HelloMsg* out) {
+  *out = HelloMsg{};
+  PayloadReader r(payload);
+  CSCE_RETURN_IF_ERROR(r.U32(&out->protocol_version));
+  CSCE_RETURN_IF_ERROR(r.Str(&out->peer_role, 1u << 10));
+  return r.ExpectEnd();
 }
 
 void PayloadWriter::U8(uint8_t v) { AppendPod(&buf_, &v, sizeof(v)); }

@@ -18,18 +18,34 @@ namespace wire {
 
 /// Length-prefixed framing for the coordinator/worker protocol:
 ///
-///   magic "CSWF" (u32) | type (u32) | payload length (u64) | payload
+///   magic "CSWF" (u32) | type (u32) | payload length (u64) |
+///   payload crc32 (u32) | payload
 ///
-/// little-endian throughout. Every decoder in this file is defensive:
-/// all counts are bounds-checked against the remaining bytes before any
-/// allocation, and malformed input returns Corruption — never crashes —
-/// because frames cross process boundaries (the fuzz test hammers this
-/// contract).
+/// little-endian throughout. The CRC covers the payload bytes only (the
+/// header fields are individually validated) and turns line noise on a
+/// real interconnect — the TCP transport — into Corruption instead of a
+/// silently mis-decoded task batch. Every decoder in this file is
+/// defensive: all counts are bounds-checked against the remaining bytes
+/// before any allocation, and malformed input returns Corruption —
+/// never crashes — because frames cross process boundaries (the fuzz
+/// test hammers this contract).
 inline constexpr uint32_t kFrameMagic = 0x46575343;  // "CSWF"
-inline constexpr size_t kFrameHeaderBytes = 16;
+inline constexpr size_t kFrameHeaderBytes = 20;
 /// Upper bound on a payload; a header claiming more is rejected before
 /// anything is allocated.
 inline constexpr uint64_t kMaxFramePayload = 1ull << 30;
+
+/// Protocol revision carried in the kHello handshake. Bump whenever a
+/// frame layout or message payload changes shape; peers with a
+/// different version refuse to talk (the coordinator restarts or
+/// rejects the worker instead of mis-decoding its frames).
+/// v2: CRC-carrying 20-byte frame header + handshake/heartbeat frames.
+inline constexpr uint32_t kProtocolVersion = 2;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
+/// Table-driven, byte-at-a-time: frames are small (task batches cap in
+/// the low megabytes) so simplicity beats a slicing-by-8 variant.
+uint32_t Crc32(std::string_view bytes);
 
 /// Frame types. Requests flow coordinator -> worker, replies back.
 enum class MsgType : uint32_t {
@@ -41,12 +57,16 @@ enum class MsgType : uint32_t {
   kFinish = 5,    // empty: query done, return merged stats
   kStats = 6,     // empty: return a csce.metrics.v1 snapshot
   kShutdown = 7,  // empty: leave the serve loop
+  kHello = 8,     // HelloMsg: versioned handshake (first frame sent)
+  kPing = 9,      // empty: heartbeat probe
   // Replies.
   kOk = 100,           // empty ack (kLoad, kPlan, kShutdown)
   kTaskBatch = 101,    // TaskBatch: emissions of a kRoot/kExtend round
   kResult = 102,       // ResultMsg (kFinish)
   kStatsResult = 103,  // StatsResult (kStats)
   kError = 104,        // ErrorMsg: Status carried back
+  kHelloAck = 105,     // HelloMsg: the worker's version, echoed back
+  kPong = 106,         // empty: heartbeat answer
 };
 
 struct Frame {
@@ -54,13 +74,16 @@ struct Frame {
   std::string payload;
 };
 
-/// Serializes header + payload (refuses oversized payloads).
+/// Serializes header (including the payload CRC) + payload (refuses
+/// oversized payloads).
 Status EncodeFrame(const Frame& frame, std::string* out);
-/// Validates a 16-byte header; returns the type and payload length.
+/// Validates a 20-byte header; returns the type, payload length and
+/// the expected payload CRC (verified once the payload has been read).
 Status DecodeFrameHeader(std::string_view header, uint32_t* type,
-                         uint64_t* payload_len);
+                         uint64_t* payload_len, uint32_t* payload_crc);
 /// One-shot decode of a complete frame from a byte buffer (tests /
-/// loopback). `*consumed` gets the total frame size on success.
+/// loopback), including CRC verification. `*consumed` gets the total
+/// frame size on success.
 Status DecodeFrame(std::string_view bytes, Frame* out, size_t* consumed);
 
 /// Append-only payload builder (little-endian, no alignment).
@@ -105,6 +128,18 @@ class PayloadReader {
 };
 
 // --- Message payloads -------------------------------------------------
+
+/// Versioned handshake, exchanged before any other frame: the
+/// coordinator sends kHello with its protocol version, the worker
+/// answers kHelloAck with its own. Either side refuses a peer whose
+/// version differs — a mismatched build must fail loudly at attach
+/// time, not corrupt a query half-way through.
+struct HelloMsg {
+  uint32_t protocol_version = kProtocolVersion;
+  /// "coordinator" / "worker"; free-form diagnostic, never dispatched
+  /// on.
+  std::string peer_role;
+};
 
 struct LoadRequest {
   uint32_t shard_id = 0;
@@ -161,6 +196,9 @@ struct ErrorMsg {
   uint32_t code = 0;  // StatusCode
   std::string message;
 };
+
+std::string EncodeHello(const HelloMsg& msg);
+Status DecodeHello(std::string_view payload, HelloMsg* out);
 
 std::string EncodeLoadRequest(const LoadRequest& msg);
 Status DecodeLoadRequest(std::string_view payload, LoadRequest* out);

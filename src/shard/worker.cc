@@ -73,6 +73,26 @@ Status ShardWorker::Serve(Transport& transport) {
         reply.payload = wire::EncodeStatsResult(CollectStats());
         break;
       }
+      case wire::MsgType::kHello: {
+        wire::HelloMsg msg;
+        hs = wire::DecodeHello(req.payload, &msg);
+        if (hs.ok() && msg.protocol_version != wire::kProtocolVersion) {
+          hs = Status::InvalidArgument(
+              "shard worker: protocol version mismatch: peer speaks v" +
+              std::to_string(msg.protocol_version) + ", this build v" +
+              std::to_string(wire::kProtocolVersion));
+        }
+        // Always answer with our own version; the coordinator decides.
+        wire::HelloMsg ack;
+        ack.peer_role = "worker";
+        reply.type = static_cast<uint32_t>(wire::MsgType::kHelloAck);
+        if (hs.ok()) reply.payload = wire::EncodeHello(ack);
+        break;
+      }
+      case wire::MsgType::kPing: {
+        reply.type = static_cast<uint32_t>(wire::MsgType::kPong);
+        break;
+      }
       case wire::MsgType::kShutdown: {
         reply.type = static_cast<uint32_t>(wire::MsgType::kOk);
         shutdown = true;

@@ -406,6 +406,98 @@ TEST(QueryRuntimeTest, CancelAllStopsQueuedAndRunningQueries) {
   EXPECT_FALSE(outcomes[0].result.cancelled);
 }
 
+// ------------------------------------------------ retry-aware outcomes
+//
+// The match_fn seam stands in for a flaky (e.g. sharded) backend so the
+// session-level retry accounting is driven by deterministic failures.
+
+TEST(QueryRuntimeTest, TransientFailureIsRetriedWithinBudget) {
+  Rng rng(41);
+  Graph data = testing::RandomGraph(rng, 20, 0.2, 2, 1, false);
+  Ccsr gc = Ccsr::Build(data);
+
+  std::atomic<int> attempts{0};
+  RuntimeOptions options;
+  options.worker_threads = 1;
+  options.max_query_retries = 3;
+  options.match_fn = [&attempts](const Graph&, const MatchOptions&,
+                                 MatchResult* result) {
+    if (attempts.fetch_add(1) < 2) {
+      return Status::IOError("transient backend failure");
+    }
+    result->embeddings = 7;
+    return Status::OK();
+  };
+  QueryRuntime runtime(&gc, options);
+
+  QueryJob job;
+  job.tag = "flaky";
+  job.pattern = testing::Path(3);
+  std::vector<QueryOutcome> outcomes;
+  ASSERT_TRUE(runtime.RunBatch({job}, &outcomes).ok());
+  ASSERT_TRUE(outcomes[0].status.ok()) << outcomes[0].status.ToString();
+  EXPECT_EQ(outcomes[0].retries, 2u);  // two failures, third attempt wins
+  EXPECT_EQ(outcomes[0].result.embeddings, 7u);
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_EQ(runtime.metrics().retries, 2u);
+  EXPECT_EQ(runtime.metrics().completed, 1u);
+  EXPECT_EQ(runtime.metrics().failed, 0u);
+}
+
+TEST(QueryRuntimeTest, RetryBudgetExhaustionReportsLastFailure) {
+  Rng rng(43);
+  Graph data = testing::RandomGraph(rng, 20, 0.2, 2, 1, false);
+  Ccsr gc = Ccsr::Build(data);
+
+  std::atomic<int> attempts{0};
+  RuntimeOptions options;
+  options.worker_threads = 1;
+  options.max_query_retries = 2;
+  options.match_fn = [&attempts](const Graph&, const MatchOptions&,
+                                 MatchResult*) {
+    attempts.fetch_add(1);
+    return Status::ResourceExhausted("worker pool drained");
+  };
+  QueryRuntime runtime(&gc, options);
+
+  QueryJob job;
+  job.pattern = testing::Path(3);
+  std::vector<QueryOutcome> outcomes;
+  ASSERT_TRUE(runtime.RunBatch({job}, &outcomes).ok());
+  EXPECT_FALSE(outcomes[0].status.ok());
+  EXPECT_EQ(outcomes[0].status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(outcomes[0].retries, 2u);
+  EXPECT_EQ(attempts.load(), 3);  // initial try + the full budget
+  EXPECT_EQ(runtime.metrics().failed, 1u);
+  EXPECT_EQ(runtime.metrics().retries, 2u);
+}
+
+TEST(QueryRuntimeTest, NonTransientFailuresAreNeverRetried) {
+  Rng rng(47);
+  Graph data = testing::RandomGraph(rng, 20, 0.2, 2, 1, false);
+  Ccsr gc = Ccsr::Build(data);
+
+  std::atomic<int> attempts{0};
+  RuntimeOptions options;
+  options.worker_threads = 1;
+  options.max_query_retries = 5;
+  options.match_fn = [&attempts](const Graph&, const MatchOptions&,
+                                 MatchResult*) {
+    attempts.fetch_add(1);
+    return Status::InvalidArgument("bad pattern");
+  };
+  QueryRuntime runtime(&gc, options);
+
+  QueryJob job;
+  job.pattern = testing::Path(3);
+  std::vector<QueryOutcome> outcomes;
+  ASSERT_TRUE(runtime.RunBatch({job}, &outcomes).ok());
+  EXPECT_FALSE(outcomes[0].status.ok());
+  EXPECT_EQ(outcomes[0].retries, 0u);
+  EXPECT_EQ(attempts.load(), 1);
+  EXPECT_EQ(runtime.metrics().retries, 0u);
+}
+
 // ------------------------------------------- cluster cache concurrency
 
 TEST(ClusterCacheConcurrencyTest, ConcurrentGetsShareOneViewPerCluster) {

@@ -44,6 +44,25 @@
 // Sharded sessions ignore per-query max-embeddings limits (results
 // would depend on cross-shard arrival order) and print the same
 // per-query lines plus shard routing detail.
+//
+// Multi-node deployment (see DESIGN.md "Fault tolerance"):
+//   --listen=H:P     coordinator side: accept --shards worker
+//                    connections on a TCP socket instead of spawning
+//                    local workers (requires --ccsr artifacts on a
+//                    filesystem the workers can read).
+//   --connect=H:P    worker side: connect to a listening coordinator
+//                    and serve one shard; no other flags required.
+// Supervision (on by default in every sharded mode):
+//   --no-supervision       fail the query on the first worker failure
+//   --max-restarts=N       per-worker restart budget (default 3)
+//   --round-timeout=S      per-round reply deadline, seconds (default 30)
+//   --heartbeat-timeout=S  kPing probe deadline, seconds (default 5)
+// Deterministic fault injection for recovery testing:
+//   --fault-plan=SPEC      comma-separated kind@shard:arg entries
+//                          (kill@0:3, truncate@1:2, delay@0:500,
+//                          drop-ping@0:1, bad-hello@0:1); faults fire in
+//                          the workers' transports at exact frame
+//                          counts, so runs are reproducible.
 
 #include <fcntl.h>
 #include <poll.h>
@@ -71,7 +90,9 @@
 #include "obs/metrics.h"
 #include "runtime/query_runtime.h"
 #include "shard/coordinator.h"
+#include "shard/fault.h"
 #include "shard/shard_plan.h"
+#include "shard/supervision.h"
 #include "shard/transport.h"
 #include "shard/worker.h"
 #include "util/flags.h"
@@ -284,8 +305,12 @@ bool ParseWorkloadFromStdin(std::vector<WorkloadSegment>* segments) {
 
 /// In-process shard workers: one serve thread per shard over loopback
 /// transports. Joined on destruction (the coordinator's Shutdown ends
-/// every serve loop first).
+/// every serve loop first). SpawnOne doubles as the coordinator's
+/// WorkerFactory, so a worker thread killed by fault injection is
+/// replaced by a fresh one; old threads stay in `threads` until the
+/// set is destroyed (they exit as soon as their transport dies).
 struct LocalWorkerSet {
+  std::shared_ptr<csce::shard::FaultInjector> faults;
   std::vector<std::unique_ptr<csce::shard::ShardWorker>> impls;
   std::vector<std::thread> threads;
 
@@ -295,16 +320,25 @@ struct LocalWorkerSet {
     }
   }
 
+  csce::Status SpawnOne(uint32_t shard,
+                        std::unique_ptr<csce::shard::Transport>* out) {
+    std::unique_ptr<csce::shard::Transport> near, far;
+    csce::shard::MakeLoopbackPair(&near, &far);
+    far = csce::shard::MakeFaultTransport(std::move(far), faults, shard);
+    impls.push_back(std::make_unique<csce::shard::ShardWorker>());
+    csce::shard::ShardWorker* worker = impls.back().get();
+    threads.emplace_back([worker, t = std::move(far)]() mutable {
+      (void)worker->Serve(*t);
+    });
+    *out = std::move(near);
+    return csce::Status::OK();
+  }
+
   void Spawn(csce::shard::ShardCoordinator* coordinator, uint32_t count) {
     for (uint32_t s = 0; s < count; ++s) {
-      std::unique_ptr<csce::shard::Transport> near, far;
-      csce::shard::MakeLoopbackPair(&near, &far);
+      std::unique_ptr<csce::shard::Transport> near;
+      (void)SpawnOne(s, &near);
       coordinator->AttachWorker(std::move(near));
-      impls.push_back(std::make_unique<csce::shard::ShardWorker>());
-      csce::shard::ShardWorker* worker = impls.back().get();
-      threads.emplace_back([worker, t = std::move(far)]() mutable {
-        (void)worker->Serve(*t);
-      });
     }
   }
 };
@@ -312,14 +346,33 @@ struct LocalWorkerSet {
 /// Forked worker child: unblock the exit signals again (the child
 /// should die on SIGTERM from the parent's watcher), serve the shard
 /// over the inherited socket, and _exit without running parent-state
-/// destructors.
-[[noreturn]] void RunForkedWorker(int fd) {
+/// destructors. A non-empty fault plan is parsed child-side (the
+/// injector cannot be shared across the fork) and its kill/truncate
+/// entries turn into a nonzero exit so the parent's reaper sees the
+/// simulated crash.
+[[noreturn]] void RunForkedWorker(int fd, uint32_t shard,
+                                  const std::string& fault_plan) {
   sigset_t set = ExitSignalSet();
   pthread_sigmask(SIG_UNBLOCK, &set, nullptr);
+  std::shared_ptr<csce::shard::FaultInjector> faults;
+  if (!fault_plan.empty()) {
+    if (csce::Status st = csce::shard::FaultInjector::Parse(fault_plan, &faults);
+        !st.ok()) {
+      std::fprintf(stderr, "shard worker: %s\n", st.ToString().c_str());
+      _exit(3);
+    }
+  }
   std::unique_ptr<csce::shard::Transport> transport =
       csce::shard::MakeFdTransport(fd);
+  transport =
+      csce::shard::MakeFaultTransport(std::move(transport), faults, shard);
   csce::shard::ShardWorker worker;
   csce::Status st = worker.Serve(*transport);
+  if (faults != nullptr &&
+      (faults->fired(csce::shard::FaultKind::kKillAfterFrames) > 0 ||
+       faults->fired(csce::shard::FaultKind::kTruncateFrame) > 0)) {
+    _exit(3);  // simulated crash: die abnormally like a real one would
+  }
   // A vanished coordinator (IOError) is the normal teardown when the
   // parent dies early; only protocol-level trouble is noisy.
   if (!st.ok() && st.code() != csce::StatusCode::kIOError) {
@@ -329,6 +382,81 @@ struct LocalWorkerSet {
   _exit(0);
 }
 
+/// Forked-mode bookkeeping for supervision: which child currently
+/// serves each shard, which pids were replaced by a restart (their
+/// abnormal deaths are expected), and the live parent-end fds a
+/// restart's fork must close in the child so stale descriptors cannot
+/// keep a dead worker's socket half-open.
+struct ForkedWorkerSet {
+  std::vector<pid_t> current;
+  std::vector<pid_t> superseded;
+  std::vector<int> parent_fds;
+};
+
+/// Reaps one child and reports abnormal exits. Returns true if the pid
+/// was actually reaped (always true for blocking calls that succeed).
+/// `expected_dead` suppresses the error accounting for pids whose
+/// demise is part of the plan (superseded by a restart, or torn down
+/// by a shutdown signal).
+bool ReapWorker(pid_t pid, int wait_flags, bool expected_dead,
+                int* abnormal_exits) {
+  int status = 0;
+  if (waitpid(pid, &status, wait_flags) != pid) return false;
+  if (expected_dead) return true;
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0) return true;
+  ++*abnormal_exits;
+  if (WIFSIGNALED(status)) {
+    std::fprintf(stderr, "error: shard worker pid %d killed by signal %d\n",
+                 static_cast<int>(pid), WTERMSIG(status));
+  } else {
+    std::fprintf(stderr, "error: shard worker pid %d exited with status %d\n",
+                 static_cast<int>(pid),
+                 WIFEXITED(status) ? WEXITSTATUS(status) : status);
+  }
+  return true;
+}
+
+/// Worker side of a multi-node deployment: connect to the listening
+/// coordinator and serve frames until shutdown. Runs before the signal
+/// mask is installed, so SIGTERM kills it with default disposition.
+int RunTcpWorker(const std::string& spec, csce::FlagParser& flags) {
+  using namespace csce;
+  std::string host;
+  uint16_t port = 0;
+  if (!shard::ParseHostPort(spec, &host, &port) || port == 0) {
+    std::fprintf(stderr, "--connect needs HOST:PORT\n");
+    return 2;
+  }
+  std::shared_ptr<shard::FaultInjector> faults;
+  std::string fault_plan = flags.GetString("fault-plan", "");
+  uint32_t fault_shard = static_cast<uint32_t>(flags.GetInt("fault-shard", 0));
+  if (!fault_plan.empty()) {
+    if (Status st = shard::FaultInjector::Parse(fault_plan, &faults);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
+  shard::TransportDeadlines deadlines;
+  deadlines.connect_seconds = flags.GetDouble("connect-timeout", 10.0);
+  std::unique_ptr<shard::Transport> transport;
+  if (Status st = shard::ConnectTcp(host, port, deadlines, &transport);
+      !st.ok()) {
+    std::fprintf(stderr, "connect %s: %s\n", spec.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  transport =
+      shard::MakeFaultTransport(std::move(transport), faults, fault_shard);
+  shard::ShardWorker worker;
+  Status st = worker.Serve(*transport);
+  if (!st.ok() && st.code() != StatusCode::kIOError) {
+    std::fprintf(stderr, "shard worker: %s\n", st.ToString().c_str());
+    return 3;
+  }
+  return 0;
+}
+
 struct ShardedSessionTotals {
   uint64_t queries = 0;
   uint64_t failures = 0;
@@ -336,6 +464,8 @@ struct ShardedSessionTotals {
   uint64_t rounds = 0;
   uint64_t tasks_routed = 0;
   uint64_t embeddings_verified = 0;
+  uint64_t worker_restarts = 0;
+  uint64_t frames_retried = 0;
   double enumerate_seconds = 0.0;
   double worker_busy_seconds = 0.0;
 
@@ -347,6 +477,8 @@ struct ShardedSessionTotals {
     doc.Set("rounds", rounds);
     doc.Set("tasks_routed", tasks_routed);
     doc.Set("embeddings_verified", embeddings_verified);
+    doc.Set("worker_restarts", worker_restarts);
+    doc.Set("frames_retried", frames_retried);
     doc.Set("enumerate_seconds", enumerate_seconds);
     doc.Set("worker_busy_seconds", worker_busy_seconds);
     return doc;
@@ -380,11 +512,17 @@ int RunShardedSession(csce::shard::ShardCoordinator& coordinator,
         Status st = coordinator.Execute(job.pattern, options, &result);
         double total_seconds = timer.Seconds();
         ++totals.queries;
-        if (!st.ok()) ++totals.failures;
+        if (!st.ok()) {
+          ++totals.failures;
+          std::fprintf(stderr, "error: sharded query %s failed: %s\n",
+                       job.tag.c_str(), st.ToString().c_str());
+        }
         totals.embeddings += result.embeddings;
         totals.rounds += result.rounds;
         totals.tasks_routed += result.tasks_routed;
         totals.embeddings_verified += result.embeddings_verified;
+        totals.worker_restarts += result.worker_restarts;
+        totals.frames_retried += result.frames_retried;
         totals.enumerate_seconds += result.enumerate_seconds;
         totals.worker_busy_seconds += result.worker_busy_seconds;
         if (quiet) continue;
@@ -432,8 +570,12 @@ int WriteShardedMetrics(csce::shard::ShardCoordinator& coordinator,
   }
   std::vector<std::string> docs;
   if (Status st = coordinator.CollectMetrics(&docs); !st.ok()) {
+    // A lost worker must not cost the session its observability
+    // artifact: degrade to the parent's own registry (which holds the
+    // workers_lost / worker_restarts accounting) instead of writing
+    // nothing.
     std::fprintf(stderr, "metrics collect: %s\n", st.ToString().c_str());
-    return 1;
+    docs.clear();
   }
   obs::JsonValue parent = obs::JsonValue::Object();
   parent.Set("schema", "csce.metrics.v1");
@@ -460,6 +602,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 2;
   }
+  // Worker side of a multi-node deployment: no workload or graph of
+  // its own, everything arrives over the wire.
+  if (std::string connect_spec = flags.GetString("connect", "");
+      !connect_spec.empty()) {
+    return RunTcpWorker(connect_spec, flags);
+  }
   std::string ccsr_path = flags.GetString("ccsr", "");
   std::string graph_path = flags.GetString("graph", "");
   std::string queries_path = flags.GetString("queries", "");
@@ -470,7 +618,11 @@ int main(int argc, char** argv) {
                  "[--threads-per-query=n] [--deadline=s] [--repeat=n] "
                  "[--no-share-views] [--quiet] [--metrics-json=f.json] "
                  "[--shards=n [--workers=n] [--shard-strategy=hash|label] "
-                 "[--self-check]]\n");
+                 "[--self-check] [--listen=h:p] [--fault-plan=spec] "
+                 "[--no-supervision] [--max-restarts=n] [--round-timeout=s] "
+                 "[--heartbeat-timeout=s]]\n"
+                 "       csce_serve --connect=h:p   (multi-node shard "
+                 "worker)\n");
     return 2;
   }
   int64_t shards = flags.GetInt("shards", 0);
@@ -482,10 +634,36 @@ int main(int argc, char** argv) {
   bool quiet = flags.GetBool("quiet");
   uint32_t threads_per_query =
       static_cast<uint32_t>(flags.GetInt("threads-per-query", 1));
+  std::string listen_spec = flags.GetString("listen", "");
+  std::string fault_plan = flags.GetString("fault-plan", "");
+  shard::SupervisionOptions supervision;
+  supervision.enabled = !flags.GetBool("no-supervision");
+  supervision.max_restarts =
+      static_cast<uint32_t>(flags.GetInt("max-restarts", 3));
+  supervision.round_timeout_seconds = flags.GetDouble("round-timeout", 30.0);
+  supervision.heartbeat_timeout_seconds =
+      flags.GetDouble("heartbeat-timeout", 5.0);
+  std::shared_ptr<shard::FaultInjector> injector;
+  if (!fault_plan.empty()) {
+    if (Status st = shard::FaultInjector::Parse(fault_plan, &injector);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
 
   if (shards < 0 || shards > 1024) {
     std::fprintf(stderr, "--shards must be in [0, 1024]\n");
     return 2;
+  }
+  if (!listen_spec.empty()) {
+    if (shards <= 0 || ccsr_path.empty() || forked_workers != 0) {
+      std::fprintf(stderr,
+                   "--listen needs --shards=N and --ccsr artifacts (remote "
+                   "workers load shards from the shared filesystem) and is "
+                   "exclusive with --workers\n");
+      return 2;
+    }
   }
   if (forked_workers != 0) {
     if (shards == 0 || forked_workers != shards) {
@@ -530,7 +708,7 @@ int main(int argc, char** argv) {
       if (pid == 0) {
         close(fds[0]);
         for (int fd : child_fds) close(fd);  // other workers' parent ends
-        RunForkedWorker(fds[1]);
+        RunForkedWorker(fds[1], static_cast<uint32_t>(s), fault_plan);
       }
       close(fds[1]);
       child_pids.push_back(pid);
@@ -576,11 +754,87 @@ int main(int argc, char** argv) {
     int rc;
     std::unique_ptr<shard::InProcessCluster> cluster;
     std::unique_ptr<shard::ShardCoordinator> coordinator;
+    std::unique_ptr<shard::TcpListener> listener;
     LocalWorkerSet local_workers;
+    local_workers.faults = injector;
+    ForkedWorkerSet forked;
     if (forked_workers > 0) {
+      forked.current = child_pids;
+      forked.parent_fds = child_fds;
       coordinator = std::make_unique<shard::ShardCoordinator>(&index);
+      coordinator->set_supervision(supervision);
       for (int fd : child_fds) {
         coordinator->AttachWorker(shard::MakeFdTransport(fd));
+      }
+      // Restarts re-fork: the replacement child serves the same shard
+      // over a fresh socketpair and runs fault-free (the plan already
+      // fired in the incarnation it killed). Replacements are not added
+      // to g_worker_pids — the watcher iterates that vector without a
+      // lock — they exit on their own once the parent's socket closes.
+      coordinator->set_worker_factory(
+          [&forked](uint32_t s, std::unique_ptr<shard::Transport>* out) {
+            forked.parent_fds[s] = -1;  // the coordinator closed the old fd
+            int fds[2];
+            if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+              return Status::IOError("socketpair for worker restart failed");
+            }
+            pid_t pid = fork();
+            if (pid < 0) {
+              close(fds[0]);
+              close(fds[1]);
+              return Status::IOError("fork for worker restart failed");
+            }
+            if (pid == 0) {
+              close(fds[0]);
+              for (int fd : forked.parent_fds) {
+                if (fd >= 0) close(fd);  // other workers' parent ends
+              }
+              RunForkedWorker(fds[1], s, "");
+            }
+            close(fds[1]);
+            forked.parent_fds[s] = fds[0];
+            forked.superseded.push_back(forked.current[s]);
+            forked.current[s] = pid;
+            *out = shard::MakeFdTransport(fds[0]);
+            return Status::OK();
+          });
+      if (Status st = coordinator->LoadFromFiles(ccsr_path, threads_per_query);
+          !st.ok()) {
+        std::fprintf(stderr, "shard load: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    } else if (!listen_spec.empty()) {
+      std::string host;
+      uint16_t port = 0;
+      if (!shard::ParseHostPort(listen_spec, &host, &port)) {
+        std::fprintf(stderr, "--listen needs HOST:PORT\n");
+        return 2;
+      }
+      if (Status st = shard::TcpListener::Listen(host, port, &listener);
+          !st.ok()) {
+        std::fprintf(stderr, "listen %s: %s\n", listen_spec.c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "csce_serve: listening on %s:%u, waiting for %lld shard "
+                   "workers\n",
+                   host.c_str(), listener->port(),
+                   static_cast<long long>(shards));
+      // No WorkerFactory: a remote worker cannot be re-forked from
+      // here, so losing one fails the query (after the workers_lost
+      // metric fires); supervision still provides heartbeats, round
+      // deadlines and structured transport errors.
+      coordinator = std::make_unique<shard::ShardCoordinator>(&index);
+      coordinator->set_supervision(supervision);
+      for (int64_t s = 0; s < shards; ++s) {
+        std::unique_ptr<shard::Transport> t;
+        if (Status st = listener->Accept(300.0, {}, &t); !st.ok()) {
+          std::fprintf(stderr, "accept worker %lld: %s\n",
+                       static_cast<long long>(s), st.ToString().c_str());
+          return 1;
+        }
+        coordinator->AttachWorker(std::move(t));
       }
       if (Status st = coordinator->LoadFromFiles(ccsr_path, threads_per_query);
           !st.ok()) {
@@ -588,9 +842,12 @@ int main(int argc, char** argv) {
         return 1;
       }
     } else if (have_graph) {
+      shard::InProcessClusterOptions cluster_options;
+      cluster_options.supervision = supervision;
+      cluster_options.faults = injector;
       if (Status st = shard::InProcessCluster::Create(
               source_graph, &index, static_cast<uint32_t>(shards), strategy,
-              threads_per_query, &cluster);
+              threads_per_query, cluster_options, &cluster);
           !st.ok()) {
         std::fprintf(stderr, "shard cluster: %s\n", st.ToString().c_str());
         return 1;
@@ -599,6 +856,12 @@ int main(int argc, char** argv) {
       // --ccsr + in-process workers: serve threads load the on-disk
       // shard artifacts themselves.
       coordinator = std::make_unique<shard::ShardCoordinator>(&index);
+      coordinator->set_supervision(supervision);
+      coordinator->set_worker_factory(
+          [&local_workers](uint32_t s,
+                           std::unique_ptr<shard::Transport>* out) {
+            return local_workers.SpawnOne(s, out);
+          });
       local_workers.Spawn(coordinator.get(), static_cast<uint32_t>(shards));
       if (Status st = coordinator->LoadFromFiles(ccsr_path, threads_per_query);
           !st.ok()) {
@@ -609,13 +872,47 @@ int main(int argc, char** argv) {
     shard::ShardCoordinator& coord =
         cluster != nullptr ? cluster->coordinator() : *coordinator;
     rc = RunShardedSession(coord, workload, repeat, quiet, self_check);
+    // Catch workers that died without the coordinator noticing (e.g. a
+    // crash after the last result was merged) before the metrics
+    // artifact is written, so workers_lost lands in it. Pids superseded
+    // by a successful restart are expected to be dead and don't count.
+    std::vector<char> reaped(forked.current.size(), 0);
+    if (!forked.current.empty() && ExitRequested() == 0) {
+      int lost = 0;
+      for (size_t i = 0; i < forked.current.size(); ++i) {
+        reaped[i] =
+            ReapWorker(forked.current[i], WNOHANG, false, &lost) ? 1 : 0;
+      }
+      if (lost > 0) {
+        obs::MetricRegistry::Global()
+            .counter("shard.workers_lost")
+            .Add(static_cast<uint64_t>(lost));
+        if (rc == 0) rc = 1;
+      }
+    }
     if (!metrics_path.empty()) {
       int mrc = WriteShardedMetrics(coord, metrics_path, forked_workers > 0);
       if (rc == 0) rc = mrc;
     }
     coord.Shutdown();
     cluster.reset();  // joins in-process worker threads
-    for (pid_t pid : child_pids) waitpid(pid, nullptr, 0);
+    // Final reap: Shutdown closed every transport, so remaining
+    // children see EOF and exit. They must exit cleanly unless the
+    // session was interrupted (the watcher SIGTERMs them); superseded
+    // pids died by design.
+    {
+      bool interrupted = ExitRequested() != 0;
+      int lost = 0;
+      for (size_t i = 0; i < forked.current.size(); ++i) {
+        if (!reaped[i]) {
+          (void)ReapWorker(forked.current[i], 0, interrupted, &lost);
+        }
+      }
+      for (pid_t pid : forked.superseded) {
+        (void)ReapWorker(pid, 0, true, &lost);
+      }
+      if (lost > 0 && rc == 0) rc = 1;
+    }
     if (int sig = ExitRequested()) return 128 + sig;
     return rc;
   }
@@ -628,6 +925,8 @@ int main(int argc, char** argv) {
   runtime_options.threads_per_query = threads_per_query;
   runtime_options.default_deadline_seconds = flags.GetDouble("deadline", 0);
   runtime_options.share_cluster_views = !flags.GetBool("no-share-views");
+  runtime_options.max_query_retries =
+      static_cast<uint32_t>(flags.GetInt("query-retries", 0));
   for (const std::string& unused : flags.UnusedFlags()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", unused.c_str());
   }

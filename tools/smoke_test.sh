@@ -204,6 +204,57 @@ grep -q '"schema": "csce.metrics.v1"' "$WORK_DIR/metrics_shard.json" || {
 }
 echo "PASS: 4 forked shard workers match csce_match ($SHARD_EDGE embeddings)"
 
+# Fault injection, recovery path: kill shard 0's worker process after
+# its second frame (mid-session, post-LOAD). Supervision must re-fork
+# the worker, replay its journal and re-dispatch, so the session exits
+# 0 with the exact single-node count and a nonzero restart counter in
+# the merged metrics document.
+OUT_FAULT=$("$BIN_DIR/csce_serve" --ccsr="$WORK_DIR/gs.ccsr" \
+    --shards=4 --workers=4 --fault-plan=kill@0:2 \
+    --queries="$WORK_DIR/shard_queries.txt" \
+    --metrics-json="$WORK_DIR/metrics_fault.json")
+FAULT_EDGE=$(printf '%s\n' "$OUT_FAULT" | \
+    sed -n 's/.*q_0.txt variant=edge-induced status=ok embeddings=\([0-9]*\).*/\1/p' | \
+    head -1)
+if [ -z "$FAULT_EDGE" ] || [ "$FAULT_EDGE" != "$COUNT_CCSR" ]; then
+  echo "FAIL: recovered sharded serve found '$FAULT_EDGE', csce_match found '$COUNT_CCSR'"
+  exit 1
+fi
+RESTARTS=$(sed -n 's/.*"shard\.worker_restarts": \([0-9]*\).*/\1/p' \
+    "$WORK_DIR/metrics_fault.json" | head -1)
+if [ -z "$RESTARTS" ] || [ "$RESTARTS" -lt 1 ]; then
+  echo "FAIL: shard.worker_restarts is '$RESTARTS' after kill@0:2, want >= 1"
+  exit 1
+fi
+echo "PASS: killed worker recovered ($FAULT_EDGE embeddings, $RESTARTS restart(s))"
+
+# Fault injection, failure path: same kill with supervision disabled.
+# The session must exit nonzero (a worker died and nothing recovered
+# it), report the loss on stderr, and still flush a metrics document
+# with a nonzero shard.workers_lost counter. Regression test: this
+# used to exit 0 and write nothing.
+LOST_RC=0
+"$BIN_DIR/csce_serve" --ccsr="$WORK_DIR/gs.ccsr" \
+    --shards=4 --workers=4 --fault-plan=kill@0:2 --no-supervision \
+    --queries="$WORK_DIR/shard_queries.txt" \
+    --metrics-json="$WORK_DIR/metrics_lost.json" \
+    > "$WORK_DIR/lost.out" 2> "$WORK_DIR/lost.err" || LOST_RC=$?
+if [ "$LOST_RC" = "0" ]; then
+  echo "FAIL: csce_serve exited 0 despite losing a worker with --no-supervision"
+  exit 1
+fi
+grep -q 'error:' "$WORK_DIR/lost.err" || {
+  echo "FAIL: lost-worker session printed no error on stderr"
+  exit 1
+}
+LOST=$(sed -n 's/.*"shard\.workers_lost": \([0-9]*\).*/\1/p' \
+    "$WORK_DIR/metrics_lost.json" | head -1)
+if [ -z "$LOST" ] || [ "$LOST" -lt 1 ]; then
+  echo "FAIL: shard.workers_lost is '$LOST' after unsupervised kill, want >= 1"
+  exit 1
+fi
+echo "PASS: unsupervised worker loss exits $LOST_RC with workers_lost=$LOST"
+
 # SIGINT mid-session still flushes --metrics-json: hold stdin open via
 # a fifo so the session never sees EOF, deliver SIGINT, and expect exit
 # 130 plus a well-formed metrics artifact.
