@@ -168,17 +168,34 @@ int Main() {
       if (tr.transport == shard::ClusterTransport::kUnix) {
         unix_seconds = best.seconds;
       }
+      // Quick-mode workloads can finish in ~0 ms; a ratio against such
+      // a denominator is noise (or inf/NaN). Skip the ratio — print "-"
+      // and leave the JSON key out — instead of emitting a bogus value.
+      constexpr double kMinRatioDenom = 1e-4;  // 0.1 ms
+      const bool have_speedup = best.seconds >= kMinRatioDenom;
+      const bool have_tcp_overhead = tcp && unix_seconds >= kMinRatioDenom;
       const double tcp_overhead =
-          tcp && unix_seconds > 0.0 ? best.seconds / unix_seconds : 1.0;
+          have_tcp_overhead ? best.seconds / unix_seconds : 0.0;
       char config[24];
       std::snprintf(config, sizeof(config), "%u-shard%s", shards, tr.suffix);
-      std::printf("%12s %12.4f %9.2fx %14llu %8llu %14llu", config,
-                  best.seconds, single.seconds / best.seconds,
+      char speedup_str[24];
+      if (have_speedup) {
+        std::snprintf(speedup_str, sizeof(speedup_str), "%.2fx",
+                      single.seconds / best.seconds);
+      } else {
+        std::snprintf(speedup_str, sizeof(speedup_str), "-");
+      }
+      std::printf("%12s %12.4f %10s %14llu %8llu %14llu", config,
+                  best.seconds, speedup_str,
                   static_cast<unsigned long long>(best.embeddings),
                   static_cast<unsigned long long>(best.rounds),
                   static_cast<unsigned long long>(best.tasks_routed));
       if (tcp) {
-        std::printf("   tcp/unix %.2fx", tcp_overhead);
+        if (have_tcp_overhead) {
+          std::printf("   tcp/unix %.2fx", tcp_overhead);
+        } else {
+          std::printf("   tcp/unix -");
+        }
       }
       std::printf("\n");
       obs::JsonValue row = obs::JsonValue::Object();
@@ -186,11 +203,11 @@ int Main() {
       row.Set("transport", tr.name);
       row.Set("shards", shards);
       row.Set("seconds", best.seconds);
-      row.Set("speedup", single.seconds / best.seconds);
+      if (have_speedup) row.Set("speedup", single.seconds / best.seconds);
       row.Set("embeddings", best.embeddings);
       row.Set("rounds", best.rounds);
       row.Set("tasks_routed", best.tasks_routed);
-      if (tcp) row.Set("tcp_overhead", tcp_overhead);
+      if (have_tcp_overhead) row.Set("tcp_overhead", tcp_overhead);
       json.AddRow(std::move(row));
     }
   }

@@ -1,0 +1,116 @@
+#ifndef CSCE_CCSR_ARRAY_VIEW_H_
+#define CSCE_CCSR_ARRAY_VIEW_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace csce {
+
+/// Storage for a CCSR array that is either heap-owned (a std::vector,
+/// the mutable in-memory representation) or borrowed (a read-only span
+/// into an mmap'd v2 artifact — see ccsr_mmap.h). The borrowed form is
+/// what makes a built v2 file loadable in O(1): no copy, no fixup, the
+/// OS pages bytes in on first touch.
+///
+/// Invariants:
+/// * borrowed() storage is never mutated; every mutating entry point
+///   first detaches (EnsureOwned copies the view into the vector), so
+///   callers that write through resize()/vec()/assign() are always
+///   operating on owned memory.
+/// * a borrowed view must outlive this object (the mapping owner —
+///   MmapCcsr — guarantees that for every array it hands out).
+/// * copies and moves are safe in both modes: the vector owns its heap
+///   buffer, and a borrowed span points at storage external to both
+///   source and destination.
+template <typename T>
+class ArrayOrView {
+ public:
+  ArrayOrView() = default;
+  ArrayOrView(const ArrayOrView&) = default;
+  ArrayOrView& operator=(const ArrayOrView&) = default;
+  ArrayOrView(ArrayOrView&&) noexcept = default;
+  ArrayOrView& operator=(ArrayOrView&&) noexcept = default;
+
+  ArrayOrView& operator=(std::vector<T> values) {
+    own_ = std::move(values);
+    view_ = {};
+    borrowed_ = false;
+    return *this;
+  }
+
+  /// Rebinds to external read-only storage. The previous contents are
+  /// dropped; the span must stay valid for this object's lifetime.
+  void Borrow(std::span<const T> view) {
+    own_.clear();
+    own_.shrink_to_fit();
+    view_ = view;
+    borrowed_ = true;
+  }
+
+  /// Detach-on-write: copies a borrowed view into owned storage. No-op
+  /// when already owned.
+  void EnsureOwned() {
+    if (!borrowed_) return;
+    own_.assign(view_.begin(), view_.end());
+    view_ = {};
+    borrowed_ = false;
+  }
+
+  bool borrowed() const { return borrowed_; }
+
+  std::span<const T> span() const {
+    return borrowed_ ? view_ : std::span<const T>(own_);
+  }
+  operator std::span<const T>() const { return span(); }  // NOLINT
+
+  size_t size() const { return borrowed_ ? view_.size() : own_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](size_t i) const {
+    return borrowed_ ? view_[i] : own_[i];
+  }
+  const T* data() const { return span().data(); }
+  auto begin() const { return span().begin(); }
+  auto end() const { return span().end(); }
+
+  /// Mutable access. All of these detach from a borrowed view first,
+  /// so writes never touch the mapping.
+  std::vector<T>& vec() {
+    EnsureOwned();
+    return own_;
+  }
+  void resize(size_t n) { vec().resize(n); }
+  void assign(size_t n, const T& value) {
+    view_ = {};
+    borrowed_ = false;
+    own_.assign(n, value);
+  }
+  void clear() {
+    view_ = {};
+    borrowed_ = false;
+    own_.clear();
+  }
+  T* data() { return vec().data(); }
+  /// Unchecked mutable element access: requires owned storage (callers
+  /// always resize()/assign() first, which detaches).
+  T& operator[](size_t i) { return own_[i]; }
+
+  friend bool operator==(const ArrayOrView& a, const ArrayOrView& b) {
+    std::span<const T> sa = a.span();
+    std::span<const T> sb = b.span();
+    if (sa.size() != sb.size()) return false;
+    for (size_t i = 0; i < sa.size(); ++i) {
+      if (!(sa[i] == sb[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<T> own_;
+  std::span<const T> view_;
+  bool borrowed_ = false;
+};
+
+}  // namespace csce
+
+#endif  // CSCE_CCSR_ARRAY_VIEW_H_

@@ -1,8 +1,17 @@
 #include "ccsr/ccsr.h"
 
-#include <algorithm>
-#include <iterator>
+#include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <memory>
+
+#include "ccsr/ccsr_io.h"
+#include "ccsr/ccsr_mmap.h"
 #include "ccsr/cluster_cache.h"
 
 #include "obs/metrics.h"
@@ -42,7 +51,7 @@ uint64_t LabelPairKey(Label a, Label b) {
 void BuildCompressedDirection(uint32_t num_vertices,
                               std::span<const Edge> sorted_arcs,
                               CompressedRowIndex* rows,
-                              std::vector<VertexId>* cols) {
+                              ArrayOrView<VertexId>* cols) {
   std::vector<uint64_t> row(num_vertices + 1, 0);
   cols->resize(sorted_arcs.size());
   for (size_t i = 0; i < sorted_arcs.size(); ++i) {
@@ -83,6 +92,35 @@ void PublishCcsrGauges(const Ccsr& ccsr) {
 bool FullyConnected(const Graph& pattern, VertexId a, VertexId b) {
   if (!pattern.directed()) return pattern.HasEdge(a, b);
   return pattern.HasEdge(a, b) && pattern.HasEdge(b, a);
+}
+
+// Test-suite hook (CSCE_CCSR_MMAP=1, the CI mmap leg): round-trip the
+// freshly built index through a v2 artifact and the mmap view, then
+// deep-copy back to owned storage so the mapping can be dropped and
+// mutation keeps working. Every Build call site in the suite becomes a
+// serialization + mapping cross-check — a v2 layout or span-binding bug
+// surfaces as ordinary test failures instead of only in the mmap tests.
+void MaybeMmapRoundTrip(Ccsr* out) {
+  static const bool enabled = [] {
+    const char* env = std::getenv("CSCE_CCSR_MMAP");
+    return env != nullptr && std::strcmp(env, "1") == 0;
+  }();
+  if (!enabled) return;
+  static std::atomic<uint64_t> counter{0};
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string path =
+      std::string(tmpdir != nullptr && tmpdir[0] != '\0' ? tmpdir : "/tmp") +
+      "/csce_mmap_roundtrip." + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1)) + ".ccsr";
+  Status st = SaveCcsrToFileV2(*out, path);
+  CSCE_CHECK(st.ok());
+  std::unique_ptr<MmapCcsr> mapped;
+  st = MmapCcsr::Open(path, &mapped);
+  CSCE_CHECK(st.ok());
+  Ccsr view = mapped->Release();
+  view.EnsureOwnedStorage();  // the mapping dies with this scope
+  *out = std::move(view);
+  std::remove(path.c_str());
 }
 
 }  // namespace
@@ -148,9 +186,24 @@ Ccsr Ccsr::Build(const Graph& g) {
               return a.id < b.id;
             });
   out.RebuildIndexes();
+  MaybeMmapRoundTrip(&out);
   CcsrMetrics::Get().builds.Increment();
   PublishCcsrGauges(out);
   return out;
+}
+
+void Ccsr::EnsureOwnedStorage() {
+  vlabels_.EnsureOwned();
+  vlabel_freq_.EnsureOwned();
+  out_degree_.EnsureOwned();
+  in_degree_.EnsureOwned();
+  for (CompressedCluster& c : clusters_) {
+    c.out_rows.EnsureOwned();
+    c.out_cols.EnsureOwned();
+    c.in_rows.EnsureOwned();
+    c.in_cols.EnsureOwned();
+  }
+  pager_ = nullptr;
 }
 
 void Ccsr::RebuildIndexes() {
@@ -213,6 +266,10 @@ void RebuildCluster(uint32_t num_vertices, std::vector<Edge> arcs,
 }  // namespace
 
 Status Ccsr::InsertEdges(const std::vector<Edge>& edges) {
+  if (mapped()) {
+    return Status::NotSupported(
+        "index is an mmap'd view; call EnsureOwnedStorage() before mutating");
+  }
   // Group new arcs by cluster.
   std::unordered_map<ClusterId, std::vector<Edge>, ClusterIdHash> delta;
   for (const Edge& e : edges) {
@@ -280,6 +337,10 @@ Status Ccsr::InsertEdges(const std::vector<Edge>& edges) {
 }
 
 Status Ccsr::RemoveEdges(const std::vector<Edge>& edges) {
+  if (mapped()) {
+    return Status::NotSupported(
+        "index is an mmap'd view; call EnsureOwnedStorage() before mutating");
+  }
   std::unordered_map<ClusterId, std::vector<Edge>, ClusterIdHash> delta;
   for (const Edge& e : edges) {
     if (e.src >= NumVertices() || e.dst >= NumVertices()) {
@@ -352,10 +413,10 @@ namespace {
 // direction's arcs (src -> dst as stored) to `arcs_out` for the
 // caller's transpose/symmetry check.
 Status ValidateClusterDirection(const CompressedCluster& c, bool incoming,
-                                const std::vector<Label>& vlabels,
+                                std::span<const Label> vlabels,
                                 std::vector<Edge>* arcs_out) {
   const CompressedRowIndex& rows = incoming ? c.in_rows : c.out_rows;
-  const std::vector<VertexId>& cols = incoming ? c.in_cols : c.out_cols;
+  const ArrayOrView<VertexId>& cols = incoming ? c.in_cols : c.out_cols;
   const std::string where =
       c.id.ToString() + (incoming ? " incoming" : " outgoing");
   // Directed clusters orient (src_label, dst_label) along the arc; the
@@ -449,7 +510,7 @@ Status Ccsr::Validate() const {
   }
   std::vector<uint32_t> freq(vlabel_freq_.size(), 0);
   for (Label l : vlabels_) ++freq[l];
-  if (freq != vlabel_freq_) {
+  if (!std::ranges::equal(freq, vlabel_freq_.span())) {
     return Status::Corruption("label frequency table does not match the "
                               "vertex labels");
   }
@@ -597,10 +658,17 @@ size_t QueryClusters::DecompressedBytes() const {
 
 std::shared_ptr<const ClusterView> DecompressCluster(
     const CompressedCluster& cluster) {
-  CsrIndex fwd = CsrIndex::FromCompressed(cluster.out_rows, cluster.out_cols);
+  // Mapped clusters keep their column arrays zero-copy: the view borrows
+  // the mmap'd payload (stable for the MmapCcsr's lifetime) instead of
+  // duplicating it on the heap.
+  const bool borrow = cluster.mapped();
+  CsrIndex fwd =
+      CsrIndex::FromCompressed(cluster.out_rows, cluster.out_cols.span(),
+                               borrow);
   CsrIndex bwd;
   if (cluster.id.directed) {
-    bwd = CsrIndex::FromCompressed(cluster.in_rows, cluster.in_cols);
+    bwd = CsrIndex::FromCompressed(cluster.in_rows, cluster.in_cols.span(),
+                                   borrow);
   }
   return std::make_shared<const ClusterView>(cluster.id, cluster.num_edges,
                                              std::move(fwd), std::move(bwd));

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ccsr/array_view.h"
 #include "ccsr/cluster_id.h"
 #include "ccsr/compressed_row.h"
 #include "ccsr/csr.h"
@@ -20,18 +21,39 @@ namespace csce {
 /// (dst -> src) — so both neighbor directions are O(1)/O(log k) at query
 /// time; undirected clusters store each edge in both orientations in a
 /// single CSR (paper Section IV).
+///
+/// Runs and columns live in ArrayOrView storage: heap vectors for an
+/// in-memory (mutable) index, read-only spans into the mapping for a
+/// CCSR v2 artifact opened through MmapCcsr.
 struct CompressedCluster {
   ClusterId id;
   uint64_t num_edges = 0;  // cluster size == |I_C| of one CSR
   CompressedRowIndex out_rows;
-  std::vector<VertexId> out_cols;
-  CompressedRowIndex in_rows;         // directed clusters only
-  std::vector<VertexId> in_cols;      // directed clusters only
+  ArrayOrView<VertexId> out_cols;
+  CompressedRowIndex in_rows;          // directed clusters only
+  ArrayOrView<VertexId> in_cols;       // directed clusters only
+
+  /// True when this cluster's arrays alias an mmap'd artifact (stable
+  /// storage a ClusterView may borrow instead of copying).
+  bool mapped() const { return out_cols.borrowed(); }
 
   size_t SizeBytes() const {
     return out_rows.SizeBytes() + out_cols.size() * sizeof(VertexId) +
            in_rows.SizeBytes() + in_cols.size() * sizeof(VertexId);
   }
+};
+
+/// Paging hooks behind a mapped Ccsr (implemented by MmapCcsr). The
+/// matcher calls these with the plan's cluster access order so the
+/// kernel can prefetch (madvise WILLNEED) the clusters enumeration is
+/// about to touch and, under a memory cap, drop (madvise DONTNEED)
+/// clusters behind the frontier. All methods must be thread-safe; for
+/// an in-memory Ccsr there is no pager and the hooks are no-ops.
+class CcsrPager {
+ public:
+  virtual ~CcsrPager() = default;
+  virtual void AdviseClusters(std::span<const ClusterId> ids) const = 0;
+  virtual void AdviseDone() const = 0;
 };
 
 /// A decompressed, query-ready cluster.
@@ -94,18 +116,42 @@ class Ccsr {
     return static_cast<uint32_t>(vlabels_.size());
   }
   uint64_t NumEdges() const { return num_edges_; }
-  Label VertexLabel(VertexId v) const { return vlabels_[v]; }
-  const std::vector<Label>& vertex_labels() const { return vlabels_; }
+  Label VertexLabel(VertexId v) const { return vlabels_.span()[v]; }
+  std::span<const Label> vertex_labels() const { return vlabels_.span(); }
   uint32_t LabelFrequency(Label l) const {
-    return l < vlabel_freq_.size() ? vlabel_freq_[l] : 0;
+    std::span<const uint32_t> freq = vlabel_freq_.span();
+    return l < freq.size() ? freq[l] : 0;
   }
 
   /// Per-vertex degrees of the original graph, kept for candidate
   /// degree filtering (for undirected graphs in == out == degree).
-  uint32_t OutDegree(VertexId v) const { return out_degree_[v]; }
+  uint32_t OutDegree(VertexId v) const { return out_degree_.span()[v]; }
   uint32_t InDegree(VertexId v) const {
-    return directed_ ? in_degree_[v] : out_degree_[v];
+    return directed_ ? in_degree_.span()[v] : out_degree_.span()[v];
   }
+
+  /// True when this index is a view over an mmap'd v2 artifact. Mapped
+  /// indexes are immutable (InsertEdges/RemoveEdges refuse) and valid
+  /// only while the owning MmapCcsr lives.
+  bool mapped() const { return pager_ != nullptr; }
+
+  /// Plan-driven paging hints; no-ops for in-memory indexes. The
+  /// matcher passes the clusters the matching order will touch, in
+  /// order, before reading them, and calls AdviseQueryDone once
+  /// enumeration finishes (under a memory cap this drops the advised
+  /// window). Correctness never depends on these: madvise only moves
+  /// page-cache residency.
+  void AdviseQueryClusters(std::span<const ClusterId> ids) const {
+    if (pager_ != nullptr) pager_->AdviseClusters(ids);
+  }
+  void AdviseQueryDone() const {
+    if (pager_ != nullptr) pager_->AdviseDone();
+  }
+
+  /// Deep-copies any borrowed (mmap-backed) storage into owned heap
+  /// memory and detaches from the pager, making the index independent
+  /// of the mapping's lifetime. No-op for in-memory indexes.
+  void EnsureOwnedStorage();
 
   size_t NumClusters() const { return clusters_.size(); }
   const std::vector<CompressedCluster>& clusters() const { return clusters_; }
@@ -151,15 +197,19 @@ class Ccsr {
 
  private:
   friend Status LoadCcsrFromStream(std::istream&, Ccsr*);
+  friend class MmapCcsr;
 
   void RebuildIndexes();
 
   bool directed_ = false;
   uint64_t num_edges_ = 0;
-  std::vector<Label> vlabels_;
-  std::vector<uint32_t> vlabel_freq_;
-  std::vector<uint32_t> out_degree_;
-  std::vector<uint32_t> in_degree_;  // empty for undirected graphs
+  ArrayOrView<Label> vlabels_;
+  ArrayOrView<uint32_t> vlabel_freq_;
+  ArrayOrView<uint32_t> out_degree_;
+  ArrayOrView<uint32_t> in_degree_;  // empty for undirected graphs
+  // Null for in-memory indexes; a mapped index's paging hooks, owned by
+  // the MmapCcsr the arrays alias (so it outlives every borrowed span).
+  const CcsrPager* pager_ = nullptr;
   std::vector<CompressedCluster> clusters_;
   std::unordered_map<ClusterId, size_t, ClusterIdHash> index_;
   // (min label, max label) -> cluster indices, for negation lookups.

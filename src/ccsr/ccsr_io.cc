@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 
+#include "ccsr/ccsr_mmap.h"
+#include "ccsr/ccsr_v2_format.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
 namespace csce {
 namespace {
 
-constexpr uint32_t kMagic = 0x43435352;  // "CCSR"
+constexpr uint32_t kMagic = kV1Magic;  // "CCSR": the v1 stream format
 // Label values are histogram indexes; cap them so corrupted artifacts
 // cannot trigger multi-gigabyte allocations before deep validation runs.
 constexpr Label kMaxPlausibleLabel = 1u << 20;
@@ -47,8 +53,29 @@ bool CountPlausible(std::istream& in, uint64_t count, size_t element_size) {
   return count <= remaining / element_size;
 }
 
+// Reads a sized array section, checking the stream state AND the byte
+// count actually transferred: a stream truncated mid-array leaves
+// in.read() with a short gcount, and without this check the tail of the
+// destination buffer would silently keep stale/zero bytes. Failures
+// name the section and report expected vs received bytes.
+Status ReadArray(std::istream& in, const char* section, void* dest,
+                 uint64_t count, size_t element_size) {
+  if (count == 0) return Status::OK();
+  const uint64_t want = count * element_size;
+  in.read(reinterpret_cast<char*>(dest),
+          static_cast<std::streamsize>(want));
+  const std::streamsize got = in.gcount();
+  if (!in || static_cast<uint64_t>(got) != want) {
+    return Status::Corruption(
+        std::string("truncated ") + section + ": expected " +
+        std::to_string(want) + " bytes, got " +
+        std::to_string(got < 0 ? 0 : got));
+  }
+  return Status::OK();
+}
+
 void WriteCompressedCsr(std::ostream& out, const CompressedRowIndex& rows,
-                        const std::vector<VertexId>& cols) {
+                        const ArrayOrView<VertexId>& cols) {
   WriteScalar<uint64_t>(out, rows.num_runs());
   for (const RleRun& r : rows.runs()) {
     WriteScalar<uint64_t>(out, r.value);
@@ -64,7 +91,7 @@ void WriteCompressedCsr(std::ostream& out, const CompressedRowIndex& rows,
 
 Status ReadCompressedCsr(std::istream& in, uint32_t num_vertices,
                          CompressedRowIndex* rows,
-                         std::vector<VertexId>* cols) {
+                         ArrayOrView<VertexId>* cols) {
   uint64_t num_runs = 0;
   if (!ReadScalar(in, &num_runs)) return Status::Corruption("truncated runs");
   if (!CountPlausible(in, num_runs, sizeof(uint64_t) + sizeof(uint32_t))) {
@@ -101,11 +128,8 @@ Status ReadCompressedCsr(std::istream& in, uint32_t num_vertices,
   }
   rows->set_uncompressed_length(uncompressed);
   cols->resize(num_cols);
-  if (num_cols > 0) {
-    in.read(reinterpret_cast<char*>(cols->data()),
-            static_cast<std::streamsize>(num_cols * sizeof(VertexId)));
-    if (!in) return Status::Corruption("truncated columns");
-  }
+  CSCE_RETURN_IF_ERROR(
+      ReadArray(in, "columns", cols->data(), num_cols, sizeof(VertexId)));
   for (VertexId c : *cols) {
     if (c >= num_vertices) return Status::Corruption("column out of range");
   }
@@ -160,11 +184,25 @@ Status SaveCcsrToFile(const Ccsr& ccsr, const std::string& path) {
 Status LoadCcsrFromStream(std::istream& in, Ccsr* out) {
   uint32_t magic = 0;
   uint32_t version = 0;
-  if (!ReadScalar(in, &magic) || magic != kMagic) {
-    return Status::Corruption("bad magic");
+  if (!ReadScalar(in, &magic)) {
+    return Status::Corruption("truncated magic");
   }
-  if (!ReadScalar(in, &version) || version != kVersion) {
-    return Status::Corruption("unsupported version");
+  if (magic == kV2Magic) {
+    return Status::Corruption(
+        "CCSR v2 artifact (magic \"CSR2\"); the v1 stream loader expects "
+        "magic \"CCSR\" — open it with the mmap loader (LoadCcsrFromFile "
+        "dispatches automatically)");
+  }
+  if (magic != kMagic) {
+    return Status::Corruption("bad magic (not a CCSR artifact)");
+  }
+  if (!ReadScalar(in, &version)) {
+    return Status::Corruption("truncated version");
+  }
+  if (version != kVersion) {
+    return Status::Corruption("unsupported CCSR v1 stream version " +
+                              std::to_string(version) + ", expected " +
+                              std::to_string(kVersion));
   }
   uint8_t directed = 0;
   uint32_t num_vertices = 0;
@@ -180,11 +218,8 @@ Status LoadCcsrFromStream(std::istream& in, Ccsr* out) {
   result.directed_ = directed != 0;
   result.num_edges_ = num_edges;
   result.vlabels_.resize(num_vertices);
-  if (num_vertices > 0) {
-    in.read(reinterpret_cast<char*>(result.vlabels_.data()),
-            static_cast<std::streamsize>(num_vertices * sizeof(Label)));
-    if (!in) return Status::Corruption("truncated labels");
-  }
+  CSCE_RETURN_IF_ERROR(ReadArray(in, "labels", result.vlabels_.data(),
+                                 num_vertices, sizeof(Label)));
   Label max_label = 0;
   for (Label l : result.vlabels_) max_label = std::max(max_label, l);
   // The frequency table below is indexed by label value, so a single
@@ -197,18 +232,14 @@ Status LoadCcsrFromStream(std::istream& in, Ccsr* out) {
   for (Label l : result.vlabels_) ++result.vlabel_freq_[l];
 
   result.out_degree_.resize(num_vertices);
-  if (num_vertices > 0) {
-    in.read(reinterpret_cast<char*>(result.out_degree_.data()),
-            static_cast<std::streamsize>(num_vertices * sizeof(uint32_t)));
-    if (!in) return Status::Corruption("truncated out-degrees");
-  }
+  CSCE_RETURN_IF_ERROR(ReadArray(in, "out-degrees",
+                                 result.out_degree_.data(), num_vertices,
+                                 sizeof(uint32_t)));
   if (result.directed_) {
     result.in_degree_.resize(num_vertices);
-    if (num_vertices > 0) {
-      in.read(reinterpret_cast<char*>(result.in_degree_.data()),
-              static_cast<std::streamsize>(num_vertices * sizeof(uint32_t)));
-      if (!in) return Status::Corruption("truncated in-degrees");
-    }
+    CSCE_RETURN_IF_ERROR(ReadArray(in, "in-degrees",
+                                   result.in_degree_.data(), num_vertices,
+                                   sizeof(uint32_t)));
   }
 
   uint32_t num_clusters = 0;
@@ -252,7 +283,184 @@ Status LoadCcsrFromStream(std::istream& in, Ccsr* out) {
 Status LoadCcsrFromFile(const std::string& path, Ccsr* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
-  return LoadCcsrFromStream(in, out);
+  // Sniff the magic to dispatch between the v1 stream format and the
+  // mmap-able v2 format, so every existing call site keeps working as
+  // artifacts migrate.
+  uint32_t magic = 0;
+  if (!ReadScalar(in, &magic)) {
+    return Status::Corruption(path + ": truncated magic");
+  }
+  in.seekg(0);
+  if (magic != kV2Magic) return LoadCcsrFromStream(in, out);
+  in.close();
+
+  // v2: open the mapping for its O(#clusters) structural checks, run
+  // the same deep validation the stream loader guarantees ("a corrupted
+  // artifact must never load"), then materialize into owned memory so
+  // the result keeps the value semantics callers of this API expect.
+  // Callers that want the out-of-core behavior use MmapCcsr directly.
+  std::unique_ptr<MmapCcsr> mapped;
+  CSCE_RETURN_IF_ERROR(MmapCcsr::Open(path, &mapped));
+  CSCE_RETURN_IF_ERROR(mapped->ccsr().Validate());
+  Ccsr result = mapped->Release();
+  result.EnsureOwnedStorage();
+  *out = std::move(result);
+  return Status::OK();
+}
+
+// --- CCSR v2 (mmap-able) writer --------------------------------------
+
+namespace {
+
+// Zero-pads `out` from `*pos` up to `target`.
+void PadTo(std::ostream& out, uint64_t target, uint64_t* pos) {
+  static constexpr char kZeros[4096] = {};
+  while (*pos < target) {
+    uint64_t n = std::min<uint64_t>(target - *pos, sizeof(kZeros));
+    out.write(kZeros, static_cast<std::streamsize>(n));
+    *pos += n;
+  }
+}
+
+void WriteBytes(std::ostream& out, const void* p, uint64_t n, uint64_t* pos) {
+  if (n == 0) return;
+  out.write(reinterpret_cast<const char*>(p),
+            static_cast<std::streamsize>(n));
+  *pos += n;
+}
+
+// Writes a run array as explicit 16-byte records with zeroed padding
+// (the in-memory structs may carry garbage in the 4 padding bytes,
+// which would make artifacts non-deterministic).
+void WriteRuns(std::ostream& out, std::span<const RleRun> runs,
+               uint64_t* pos) {
+  for (const RleRun& r : runs) {
+    char rec[sizeof(RleRun)] = {};
+    std::memcpy(rec, &r.value, sizeof(r.value));
+    std::memcpy(rec + offsetof(RleRun, count), &r.count, sizeof(r.count));
+    out.write(rec, sizeof(rec));
+  }
+  *pos += runs.size() * sizeof(RleRun);
+}
+
+}  // namespace
+
+Status SaveCcsrToFileV2(const Ccsr& ccsr, const std::string& path) {
+  const uint64_t nv = ccsr.NumVertices();
+  const bool directed = ccsr.directed();
+  Label max_label = 0;
+  for (Label l : ccsr.vertex_labels()) max_label = std::max(max_label, l);
+  const uint64_t freq_entries = nv == 0 ? 0 : uint64_t{max_label} + 1;
+
+  // Pass 1: lay out the sections and the per-cluster payload blocks.
+  V2Header h;
+  h.directed = directed ? 1 : 0;
+  h.num_vertices = static_cast<uint32_t>(nv);
+  h.num_edges = ccsr.NumEdges();
+  h.num_clusters = ccsr.NumClusters();
+  uint64_t cursor = kV2PageBytes;
+  auto place_section = [&cursor](uint64_t length) {
+    V2Section s{cursor, length};
+    cursor = V2AlignUp(cursor + length, kV2PageBytes);
+    return s;
+  };
+  h.vlabels = place_section(nv * sizeof(Label));
+  h.out_degree = place_section(nv * sizeof(uint32_t));
+  h.in_degree = place_section(directed ? nv * sizeof(uint32_t) : 0);
+  h.vlabel_freq = place_section(freq_entries * sizeof(uint32_t));
+  h.directory = place_section(h.num_clusters * sizeof(V2DirEntry));
+
+  const uint64_t payload_begin = cursor;
+  std::vector<V2DirEntry> dir;
+  dir.reserve(ccsr.NumClusters());
+  for (const CompressedCluster& c : ccsr.clusters()) {
+    // Each cluster's block starts on a page boundary (madvise unit);
+    // arrays inside are kV2ArrayAlign-aligned.
+    V2DirEntry e;
+    e.src_label = c.id.src_label;
+    e.dst_label = c.id.dst_label;
+    e.elabel = c.id.elabel;
+    e.directed = c.id.directed ? 1 : 0;
+    e.num_edges = c.num_edges;
+    auto place_array = [&cursor](uint64_t count, uint64_t elem) {
+      uint64_t offset = V2AlignUp(cursor, kV2ArrayAlign);
+      cursor = offset + count * elem;
+      return offset;
+    };
+    e.out_runs_count = c.out_rows.num_runs();
+    e.out_runs_offset = place_array(e.out_runs_count, sizeof(RleRun));
+    e.out_rows_len = c.out_rows.uncompressed_length();
+    e.out_cols_count = c.out_cols.size();
+    e.out_cols_offset = place_array(e.out_cols_count, sizeof(VertexId));
+    if (c.id.directed) {
+      e.in_runs_count = c.in_rows.num_runs();
+      e.in_runs_offset = place_array(e.in_runs_count, sizeof(RleRun));
+      e.in_rows_len = c.in_rows.uncompressed_length();
+      e.in_cols_count = c.in_cols.size();
+      e.in_cols_offset = place_array(e.in_cols_count, sizeof(VertexId));
+    }
+    dir.push_back(e);
+    cursor = V2AlignUp(cursor, kV2PageBytes);  // next cluster's block
+  }
+  h.payload = V2Section{payload_begin, cursor - payload_begin};
+  h.file_bytes = cursor;
+
+  std::string dir_bytes(dir.size() * sizeof(V2DirEntry), '\0');
+  if (!dir.empty()) {
+    // V2DirEntry has no padding holes (static_assert'd size), so the
+    // struct bytes are fully determined.
+    std::memcpy(dir_bytes.data(), dir.data(), dir_bytes.size());
+  }
+  h.directory_crc32 = util::Crc32(dir_bytes);
+
+  // Pass 2: write.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  uint64_t pos = 0;
+  WriteBytes(out, &h, sizeof(h), &pos);
+  PadTo(out, kV2PageBytes, &pos);
+  WriteBytes(out, ccsr.vertex_labels().data(), h.vlabels.length, &pos);
+  PadTo(out, h.out_degree.offset, &pos);
+  for (VertexId v = 0; v < nv; ++v) {
+    uint32_t d = ccsr.OutDegree(v);
+    WriteBytes(out, &d, sizeof(d), &pos);
+  }
+  if (directed) {
+    PadTo(out, h.in_degree.offset, &pos);
+    for (VertexId v = 0; v < nv; ++v) {
+      uint32_t d = ccsr.InDegree(v);
+      WriteBytes(out, &d, sizeof(d), &pos);
+    }
+  }
+  PadTo(out, h.vlabel_freq.offset, &pos);
+  for (uint64_t l = 0; l < freq_entries; ++l) {
+    uint32_t f = ccsr.LabelFrequency(static_cast<Label>(l));
+    WriteBytes(out, &f, sizeof(f), &pos);
+  }
+  PadTo(out, h.directory.offset, &pos);
+  WriteBytes(out, dir_bytes.data(), dir_bytes.size(), &pos);
+  for (size_t i = 0; i < dir.size(); ++i) {
+    const CompressedCluster& c = ccsr.clusters()[i];
+    const V2DirEntry& e = dir[i];
+    PadTo(out, e.out_runs_offset, &pos);
+    WriteRuns(out, c.out_rows.runs(), &pos);
+    PadTo(out, e.out_cols_offset, &pos);
+    WriteBytes(out, c.out_cols.data(), e.out_cols_count * sizeof(VertexId),
+               &pos);
+    if (c.id.directed) {
+      PadTo(out, e.in_runs_offset, &pos);
+      WriteRuns(out, c.in_rows.runs(), &pos);
+      PadTo(out, e.in_cols_offset, &pos);
+      WriteBytes(out, c.in_cols.data(), e.in_cols_count * sizeof(VertexId),
+                 &pos);
+    }
+  }
+  PadTo(out, h.file_bytes, &pos);
+  if (!out) return Status::IOError("write failed: " + path);
+  out.close();
+  if (!out) return Status::IOError("close failed: " + path);
+  CSCE_DCHECK(pos == h.file_bytes);
+  return Status::OK();
 }
 
 }  // namespace csce

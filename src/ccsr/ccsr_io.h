@@ -23,7 +23,19 @@ namespace csce {
 Status SaveCcsrToStream(const Ccsr& ccsr, std::ostream& out);
 Status SaveCcsrToFile(const Ccsr& ccsr, const std::string& path);
 
+/// Writes the mmap-able v2 format (fixed-offset section table, page-
+/// aligned per-cluster payload blocks, CRC-protected directory — see
+/// ccsr_v2_format.h). v2 artifacts open in O(#clusters) through
+/// MmapCcsr; LoadCcsrFromFile also accepts them (it materializes the
+/// mapping into owned memory).
+Status SaveCcsrToFileV2(const Ccsr& ccsr, const std::string& path);
+
 Status LoadCcsrFromStream(std::istream& in, Ccsr* out);
+
+/// Loads either format, dispatching on the file magic: v1 ("CCSR")
+/// streams into memory; v2 ("CSR2") opens via mmap, deep-validates, and
+/// deep-copies into owned storage. Use MmapCcsr directly for the
+/// out-of-core (demand-paged) path.
 Status LoadCcsrFromFile(const std::string& path, Ccsr* out);
 
 }  // namespace csce

@@ -1,0 +1,131 @@
+#ifndef CSCE_CCSR_CCSR_V2_FORMAT_H_
+#define CSCE_CCSR_CCSR_V2_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "ccsr/compressed_row.h"
+#include "graph/graph.h"
+
+namespace csce {
+
+/// CCSR binary format v2: a directly mmap-able artifact.
+///
+/// The v1 stream format interleaves variable-length sections, so loading
+/// is a full sequential parse into freshly allocated vectors — O(file)
+/// work and O(file) resident memory before the first query runs. v2
+/// instead lays every array out at a fixed, aligned offset recorded in a
+/// header-page section table, in exactly the in-memory representation
+/// (raw Label/uint32_t/RleRun/VertexId records, little-endian), so a
+/// loader can mmap the file, bind spans into the mapping, and be
+/// query-ready in O(#clusters) without touching the payload bytes — the
+/// OS demand-pages clusters in as enumeration first touches them.
+///
+/// Layout:
+///   [0, 4096)            V2Header (see below), zero-padded to the page
+///   vlabels section      num_vertices x Label
+///   out_degree section   num_vertices x uint32_t
+///   in_degree section    num_vertices x uint32_t (directed only; else empty)
+///   vlabel_freq section  (max_label + 1) x uint32_t
+///   directory section    num_clusters x V2DirEntry, sorted by ClusterId,
+///                        CRC-32 recorded in the header
+///   payload              per-cluster blocks, each page-aligned:
+///                        out_runs | out_cols | in_runs | in_cols,
+///                        every array 64-byte aligned
+///
+/// Alignment rules:
+/// * every section offset is page-aligned (kV2PageBytes) so sections can
+///   be madvise'd independently;
+/// * each cluster's payload block starts on a page boundary — the unit
+///   of WILLNEED/DONTNEED paging advice is a whole cluster;
+/// * each array within a block is kV2ArrayAlign-aligned, satisfying the
+///   alignment requirement of span<const RleRun>/span<const VertexId>
+///   over the mapped bytes with headroom for vectorized readers.
+///
+/// All offsets are absolute file offsets in bytes. `file_bytes` pins the
+/// total size, so any truncation — even inside the last cluster — is
+/// detected before the mapping is handed out.
+
+inline constexpr uint32_t kV1Magic = 0x43435352;  // "CCSR": v1 stream format
+inline constexpr uint32_t kV2Magic = 0x32525343;  // "CSR2" little-endian
+inline constexpr uint32_t kV2Version = 1;
+inline constexpr uint64_t kV2PageBytes = 4096;
+inline constexpr uint64_t kV2ArrayAlign = 64;
+
+/// Rounds `n` up to the next multiple of `align` (a power of two).
+inline constexpr uint64_t V2AlignUp(uint64_t n, uint64_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// One section of the file: an absolute byte offset plus length. A
+/// length of zero means the section is absent (offset then equals the
+/// position it would have had, keeping offsets monotone).
+struct V2Section {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+/// The fixed-offset file header, stored at offset 0 and padded with
+/// zeros to kV2PageBytes. Everything a loader needs for O(1) open —
+/// including the label-frequency table location, so no payload scan is
+/// ever needed to start planning queries.
+struct V2Header {
+  uint32_t magic = kV2Magic;
+  uint32_t version = kV2Version;
+  uint32_t directed = 0;  // 0 or 1
+  uint32_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_clusters = 0;
+  uint64_t file_bytes = 0;      // total file size; pins every section
+  uint32_t directory_crc32 = 0;  // CRC-32 of the directory section bytes
+  uint32_t reserved = 0;
+  V2Section vlabels;
+  V2Section out_degree;
+  V2Section in_degree;
+  V2Section vlabel_freq;
+  V2Section directory;
+  V2Section payload;
+};
+
+static_assert(std::is_trivially_copyable_v<V2Header>);
+static_assert(sizeof(V2Header) == 144, "v2 header layout is on-disk ABI");
+static_assert(sizeof(V2Header) <= kV2PageBytes);
+
+/// Fixed-size directory record for one cluster, sorted by ClusterId
+/// (src_label, dst_label, elabel, directed ascending) so lookups can
+/// binary-search the mapped directory without building a hash index.
+/// Array offsets are absolute; counts are in records (RleRun for runs,
+/// VertexId for cols), and rows_len is the uncompressed row-index
+/// length (|V| + 1) the CompressedRowIndex needs.
+struct V2DirEntry {
+  uint32_t src_label = 0;
+  uint32_t dst_label = 0;
+  uint32_t elabel = 0;
+  uint32_t directed = 0;
+  uint64_t num_edges = 0;
+  uint64_t out_runs_offset = 0;
+  uint64_t out_runs_count = 0;
+  uint64_t out_rows_len = 0;
+  uint64_t out_cols_offset = 0;
+  uint64_t out_cols_count = 0;
+  uint64_t in_runs_offset = 0;
+  uint64_t in_runs_count = 0;
+  uint64_t in_rows_len = 0;
+  uint64_t in_cols_offset = 0;
+  uint64_t in_cols_count = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<V2DirEntry>);
+static_assert(sizeof(V2DirEntry) == 104, "v2 directory entry is on-disk ABI");
+
+// The payload stores runs/columns as the in-memory record types; these
+// mirror the asserts in compressed_row.h so a format change cannot
+// silently diverge from the structs spans are bound over.
+static_assert(sizeof(RleRun) == 16);
+static_assert(sizeof(VertexId) == 4);
+static_assert(sizeof(Label) == 4);
+
+}  // namespace csce
+
+#endif  // CSCE_CCSR_CCSR_V2_FORMAT_H_

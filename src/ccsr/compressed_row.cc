@@ -11,6 +11,7 @@ CompressedRowIndex CompressedRowIndex::Compress(
     std::span<const uint64_t> row) {
   CompressedRowIndex out;
   out.uncompressed_length_ = row.size();
+  std::vector<RleRun>& runs = out.runs_.vec();
   size_t i = 0;
   while (i < row.size()) {
     size_t j = i;
@@ -21,7 +22,7 @@ CompressedRowIndex CompressedRowIndex::Compress(
       uint32_t chunk = remaining > 0xFFFFFFFFull
                            ? 0xFFFFFFFFu
                            : static_cast<uint32_t>(remaining);
-      out.runs_.push_back(RleRun{row[i], chunk});
+      runs.push_back(RleRun{row[i], chunk});
       remaining -= chunk;
     }
     i = j;
@@ -32,7 +33,7 @@ CompressedRowIndex CompressedRowIndex::Compress(
 std::vector<uint64_t> CompressedRowIndex::Decompress() const {
   std::vector<uint64_t> row;
   row.reserve(uncompressed_length_);
-  for (const RleRun& r : runs_) {
+  for (const RleRun& r : runs()) {
     row.insert(row.end(), r.count, r.value);
   }
   CSCE_DCHECK(row.size() == uncompressed_length_);
@@ -40,27 +41,28 @@ std::vector<uint64_t> CompressedRowIndex::Decompress() const {
 }
 
 Status CompressedRowIndex::Validate() const {
-  if (runs_.empty()) {
+  std::span<const RleRun> runs = this->runs();
+  if (runs.empty()) {
     if (uncompressed_length_ != 0) {
       return Status::Corruption("compressed row: no runs but length " +
                                 std::to_string(uncompressed_length_));
     }
     return Status::OK();
   }
-  if (runs_.front().value != 0) {
+  if (runs.front().value != 0) {
     return Status::Corruption("compressed row: first offset is " +
-                              std::to_string(runs_.front().value) +
+                              std::to_string(runs.front().value) +
                               ", expected 0");
   }
   uint64_t covered = 0;
-  for (size_t i = 0; i < runs_.size(); ++i) {
-    const RleRun& r = runs_[i];
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RleRun& r = runs[i];
     if (r.count == 0) {
       return Status::Corruption("compressed row: empty run at index " +
                                 std::to_string(i));
     }
     if (i > 0) {
-      const RleRun& prev = runs_[i - 1];
+      const RleRun& prev = runs[i - 1];
       // Compress() merges equal adjacent offsets into one run, so run
       // values must strictly increase — unless the previous run's
       // counter saturated and the run was split.

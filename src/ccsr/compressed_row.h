@@ -1,22 +1,33 @@
 #ifndef CSCE_CCSR_COMPRESSED_ROW_H_
 #define CSCE_CCSR_COMPRESSED_ROW_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "ccsr/array_view.h"
 #include "util/status.h"
 
 namespace csce {
 
 /// One run of a run-length-encoded row-index array: `count` consecutive
 /// entries all equal to `value`.
+///
+/// The CCSR v2 on-disk format stores run arrays as raw RleRun records
+/// (16 bytes each: value, count, 4 bytes zero padding) so an mmap'd
+/// artifact can be viewed as a span<const RleRun> with no decode pass;
+/// the static_asserts below pin the layout that format relies on.
 struct RleRun {
   uint64_t value;
   uint32_t count;
 
   friend bool operator==(const RleRun&, const RleRun&) = default;
 };
+
+static_assert(sizeof(RleRun) == 16, "CCSR v2 stores RleRun as 16 bytes");
+static_assert(offsetof(RleRun, value) == 0 && offsetof(RleRun, count) == 8,
+              "CCSR v2 relies on RleRun field offsets");
 
 /// Run-length-compressed CSR row index (paper Section IV): since most
 /// vertices have no arcs in a given cluster, the row-index array of a
@@ -41,22 +52,37 @@ class CompressedRowIndex {
     // Row entry i is offsets[i]; vertex v's range is [offsets[v],
     // offsets[v+1]). A vertex is non-empty where consecutive entries
     // differ, i.e. at every run boundary.
+    std::span<const RleRun> r = runs();
     uint64_t index = 0;  // index into the virtual decompressed array
-    for (size_t r = 0; r + 1 < runs_.size(); ++r) {
-      // The last entry of run r is at position index + count - 1; the
-      // next entry (start of run r+1) differs, so the vertex at
+    for (size_t i = 0; i + 1 < r.size(); ++i) {
+      // The last entry of run i is at position index + count - 1; the
+      // next entry (start of run i+1) differs, so the vertex at
       // position (index + count - 1) is non-empty.
-      uint64_t boundary = index + runs_[r].count - 1;
-      fn(boundary, runs_[r].value, runs_[r + 1].value);
-      index += runs_[r].count;
+      uint64_t boundary = index + r[i].count - 1;
+      fn(boundary, r[i].value, r[i + 1].value);
+      index += r[i].count;
     }
   }
 
   uint64_t uncompressed_length() const { return uncompressed_length_; }
   size_t num_runs() const { return runs_.size(); }
-  const std::vector<RleRun>& runs() const { return runs_; }
-  std::vector<RleRun>* mutable_runs() { return &runs_; }
+  std::span<const RleRun> runs() const { return runs_.span(); }
+  std::vector<RleRun>* mutable_runs() { return &runs_.vec(); }
   void set_uncompressed_length(uint64_t n) { uncompressed_length_ = n; }
+
+  /// Rebinds the run array to external read-only storage (an mmap'd v2
+  /// artifact). The span must outlive this index; see ArrayOrView.
+  void BorrowRuns(std::span<const RleRun> runs, uint64_t uncompressed_length) {
+    runs_.Borrow(runs);
+    uncompressed_length_ = uncompressed_length;
+  }
+
+  /// True when the run array aliases external (mmap) storage.
+  bool borrowed() const { return runs_.borrowed(); }
+
+  /// Copies a borrowed run array into owned heap storage (no-op when
+  /// already owned).
+  void EnsureOwned() { runs_.EnsureOwned(); }
 
   size_t SizeBytes() const { return runs_.size() * sizeof(RleRun); }
 
@@ -70,7 +96,7 @@ class CompressedRowIndex {
   Status Validate() const;
 
  private:
-  std::vector<RleRun> runs_;
+  ArrayOrView<RleRun> runs_;
   uint64_t uncompressed_length_ = 0;
 };
 

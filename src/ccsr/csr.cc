@@ -18,6 +18,23 @@ CsrIndex CsrIndex::FromCompressed(const CompressedRowIndex& rows,
                                   std::vector<VertexId> cols) {
   CsrIndex out;
   out.cols_ = std::move(cols);
+  return FromCompressedRows(rows, std::move(out));
+}
+
+CsrIndex CsrIndex::FromCompressed(const CompressedRowIndex& rows,
+                                  std::span<const VertexId> cols,
+                                  bool borrow) {
+  CsrIndex out;
+  if (borrow) {
+    out.cols_.Borrow(cols);
+  } else {
+    out.cols_ = std::vector<VertexId>(cols.begin(), cols.end());
+  }
+  return FromCompressedRows(rows, std::move(out));
+}
+
+CsrIndex CsrIndex::FromCompressedRows(const CompressedRowIndex& rows,
+                                      CsrIndex out) {
   uint64_t num_vertices = rows.uncompressed_length() - 1;
   // Non-empty vertex count == number of run boundaries.
   size_t non_empty = rows.num_runs() == 0 ? 0 : rows.num_runs() - 1;

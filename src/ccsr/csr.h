@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "ccsr/array_view.h"
 #include "ccsr/compressed_row.h"
 #include "graph/graph.h"
 
@@ -30,6 +31,13 @@ class CsrIndex {
   /// data graph vertex count (rows.uncompressed_length() - 1).
   static CsrIndex FromCompressed(const CompressedRowIndex& rows,
                                  std::vector<VertexId> cols);
+
+  /// Same, over a column array the index does not own. With
+  /// borrow=false the columns are copied; with borrow=true the index
+  /// aliases `cols` (an mmap'd v2 cluster payload), which must outlive
+  /// it — the zero-copy path for demand-paged clusters.
+  static CsrIndex FromCompressed(const CompressedRowIndex& rows,
+                                 std::span<const VertexId> cols, bool borrow);
 
   /// Builds directly from sorted arcs (used by tests and by the CCSR
   /// builder before compression).
@@ -80,7 +88,8 @@ class CsrIndex {
   /// scratch buffers from it.
   size_t MaxRowLength() const { return max_row_length_; }
 
-  /// Approximate heap footprint in bytes.
+  /// Approximate working-set footprint in bytes (borrowed columns count
+  /// too: the pages are resident while a query walks them).
   size_t SizeBytes() const {
     return dense_rows_.size() * sizeof(uint64_t) +
            sparse_vertices_.size() * sizeof(VertexId) +
@@ -90,6 +99,11 @@ class CsrIndex {
   }
 
  private:
+  // Shared tail of the FromCompressed overloads: `out` arrives with
+  // cols_ already bound (owned or borrowed).
+  static CsrIndex FromCompressedRows(const CompressedRowIndex& rows,
+                                     CsrIndex out);
+
   void ComputeRowStats();
 
   bool dense_ = true;
@@ -97,7 +111,7 @@ class CsrIndex {
   std::vector<VertexId> sparse_vertices_;  // sparse layout: sorted vertices
   std::vector<uint64_t> sparse_rows_;      // sparse layout: k+1 offsets
   std::vector<VertexId> dense_non_empty_;  // dense layout: sorted vertices
-  std::vector<VertexId> cols_;
+  ArrayOrView<VertexId> cols_;  // owned, or a view into an mmap'd cluster
   size_t max_row_length_ = 0;
 };
 

@@ -35,7 +35,8 @@ EmbeddingVerifier::EmbeddingVerifier(const Ccsr& data, const Graph& pattern,
       if (c != nullptr) {
         it = edge_views_
                  .emplace(id, CsrIndex::FromCompressed(c->out_rows,
-                                                       c->out_cols))
+                                                       c->out_cols.span(),
+                                                       /*borrow=*/false))
                  .first;
       } else {
         it = edge_views_.emplace(id, CsrIndex{}).first;
@@ -58,7 +59,8 @@ EmbeddingVerifier::EmbeddingVerifier(const Ccsr& data, const Graph& pattern,
       if (c->num_edges == 0) continue;
       views.push_back(StarView{
           c->id.src_label, c->id.dst_label, c->id.directed,
-          CsrIndex::FromCompressed(c->out_rows, c->out_cols)});
+          CsrIndex::FromCompressed(c->out_rows, c->out_cols.span(),
+                                   /*borrow=*/false)});
     }
   };
   for (VertexId u = 0; u < n; ++u) {

@@ -1,6 +1,8 @@
 #include "engine/matcher.h"
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "engine/embedding_verifier.h"
 #include "obs/metrics.h"
@@ -32,6 +34,13 @@ struct MatchMetrics {
   }
 };
 
+// Ends the query's paging-advice window on every exit path (under a
+// memory cap this drops the advised clusters behind the frontier).
+struct AdviseDoneGuard {
+  const Ccsr& data;
+  ~AdviseDoneGuard() { data.AdviseQueryDone(); }
+};
+
 Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
                  const MatchOptions& options,
                  const EmbeddingCallback* callback, MatchResult* result) {
@@ -39,8 +48,28 @@ Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
   obs::Span match_span("match.query");
   WallTimer total;
 
-  // Stage 1 (blue in Fig. 2): read the useful clusters G_C^*.
+  // Stage 2 (orange in Fig. 2) runs first: plan optimization touches
+  // only the cluster directory and statistics — never payload bytes —
+  // so for an mmap'd index the finished plan doubles as the prefetch
+  // schedule for stage 1's reads.
   WallTimer stage;
+  Planner planner(&data);
+  Plan plan;
+  {
+    obs::Span span("match.plan");
+    CSCE_RETURN_IF_ERROR(
+        planner.MakePlan(pattern, options.variant, options.plan, &plan));
+  }
+  result->plan_seconds = stage.Seconds();
+  result->sce = plan.sce;
+
+  AdviseDoneGuard advise_guard{data};
+  if (data.mapped()) {
+    data.AdviseQueryClusters(PlanClusterSchedule(data, plan));
+  }
+
+  // Stage 1 (blue): read the useful clusters G_C^*.
+  stage.Restart();
   QueryClusters qc;
   {
     obs::Span span("match.read");
@@ -54,18 +83,6 @@ Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
   result->read_seconds = stage.Seconds();
   result->clusters_read = qc.NumViews();
   result->decompressed_bytes = qc.DecompressedBytes();
-
-  // Stage 2 (orange): plan optimization.
-  stage.Restart();
-  Planner planner(&data);
-  Plan plan;
-  {
-    obs::Span span("match.plan");
-    CSCE_RETURN_IF_ERROR(
-        planner.MakePlan(pattern, options.variant, options.plan, &plan));
-  }
-  result->plan_seconds = stage.Seconds();
-  result->sce = plan.sce;
 
   // Stage 3 (green): pipelined WCOJ execution, morsel-parallel when
   // the options ask for more than one thread.
@@ -142,6 +159,27 @@ Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
 }
 
 }  // namespace
+
+std::vector<ClusterId> PlanClusterSchedule(const Ccsr& data,
+                                           const Plan& plan) {
+  std::vector<ClusterId> ids;
+  auto add = [&ids](const ClusterId& id) {
+    if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+      ids.push_back(id);
+    }
+  };
+  for (const PlanPosition& p : plan.positions) {
+    if (p.seed_valid) add(p.seed_cluster);
+    for (const EdgeConstraint& e : p.edges) add(e.cluster);
+    for (const NegConstraint& n : p.negations) {
+      for (const CompressedCluster* c :
+           data.StarClusters(p.label, n.other_label)) {
+        add(c->id);
+      }
+    }
+  }
+  return ids;
+}
 
 Status CsceMatcher::Match(const Graph& pattern, const MatchOptions& options,
                           MatchResult* result) const {

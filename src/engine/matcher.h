@@ -79,6 +79,15 @@ struct MatchResult {
   uint64_t embeddings_verified = 0;
 };
 
+/// The clusters `plan` will touch, in matching order, deduplicated on
+/// first occurrence: seed clusters, edge-constraint clusters, and the
+/// star clusters behind each negation constraint. For an mmap'd index
+/// this is the prefetch schedule handed to the pager
+/// (Ccsr::AdviseQueryClusters) before any cluster bytes are read; the
+/// matcher does this itself, shard workers call it around their own
+/// ReadClusters.
+std::vector<ClusterId> PlanClusterSchedule(const Ccsr& data, const Plan& plan);
+
 /// The public facade: matches patterns against a CCSR-indexed data
 /// graph for any of the three SM variants.
 ///

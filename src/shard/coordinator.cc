@@ -255,7 +255,9 @@ Status ShardCoordinator::PingWorkers() {
 }
 
 Status ShardCoordinator::LoadFromFiles(const std::string& base_path,
-                                       uint32_t threads_per_worker) {
+                                       uint32_t threads_per_worker,
+                                       bool use_mmap,
+                                       uint64_t memory_cap_bytes) {
   if (workers_.empty()) {
     return Status::InvalidArgument("shard coordinator: no workers attached");
   }
@@ -274,6 +276,8 @@ Status ShardCoordinator::LoadFromFiles(const std::string& base_path,
     req.inline_payload = false;
     req.ccsr_path = ShardPlan::ShardCcsrPath(base_path, s);
     req.plan_path = ShardPlan::PlanPath(base_path);
+    req.use_mmap = use_mmap;
+    req.memory_cap_bytes = memory_cap_bytes;
     targets.push_back(s);
     requests.push_back(
         wire::Frame{kTypeOf(wire::MsgType::kLoad),
@@ -576,15 +580,18 @@ Status InProcessCluster::Create(const Graph& g, const Ccsr* full,
   popts.strategy = strategy;
   cluster->shard_plan_ = ShardPlan::Build(g, popts);
 
-  std::vector<std::string> blobs(num_shards);
-  for (uint32_t s = 0; s < num_shards; ++s) {
-    Graph shard_graph;
-    CSCE_RETURN_IF_ERROR(
-        cluster->shard_plan_.ExtractShard(g, s, &shard_graph));
-    Ccsr shard_ccsr = Ccsr::Build(shard_graph);
-    std::ostringstream blob;
-    CSCE_RETURN_IF_ERROR(SaveCcsrToStream(shard_ccsr, blob));
-    blobs[s] = std::move(blob).str();
+  std::vector<std::string> blobs;
+  if (opts.load_base_path.empty()) {
+    blobs.resize(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      Graph shard_graph;
+      CSCE_RETURN_IF_ERROR(
+          cluster->shard_plan_.ExtractShard(g, s, &shard_graph));
+      Ccsr shard_ccsr = Ccsr::Build(shard_graph);
+      std::ostringstream blob;
+      CSCE_RETURN_IF_ERROR(SaveCcsrToStream(shard_ccsr, blob));
+      blobs[s] = std::move(blob).str();
+    }
   }
 
   cluster->coordinator_ = std::make_unique<ShardCoordinator>(full);
@@ -599,8 +606,14 @@ Status InProcessCluster::Create(const Graph& g, const Ccsr* full,
     CSCE_RETURN_IF_ERROR(cluster->SpawnWorker(s, &near));
     cluster->coordinator_->AttachWorker(std::move(near));
   }
-  CSCE_RETURN_IF_ERROR(cluster->coordinator_->LoadInline(
-      cluster->shard_plan_.owners(), blobs, threads_per_worker));
+  if (opts.load_base_path.empty()) {
+    CSCE_RETURN_IF_ERROR(cluster->coordinator_->LoadInline(
+        cluster->shard_plan_.owners(), blobs, threads_per_worker));
+  } else {
+    CSCE_RETURN_IF_ERROR(cluster->coordinator_->LoadFromFiles(
+        opts.load_base_path, threads_per_worker, opts.use_mmap,
+        opts.memory_cap_bytes));
+  }
   *out = std::move(cluster);
   return Status::OK();
 }

@@ -134,8 +134,12 @@ class ShardCoordinator {
   /// LOADs every worker from on-disk artifacts produced by
   /// `csce_build --shards=N` (base path + ".shardplan" / ".shard<k>").
   /// Performs the versioned kHello handshake with every worker first.
+  /// With `use_mmap`, workers map their (v2) shard artifact instead of
+  /// streaming it into memory; `memory_cap_bytes` bounds each worker's
+  /// paging-advice window (0 = prefetch without eviction).
   Status LoadFromFiles(const std::string& base_path,
-                       uint32_t threads_per_worker);
+                       uint32_t threads_per_worker, bool use_mmap = false,
+                       uint64_t memory_cap_bytes = 0);
   /// LOADs every worker with an inline serialized shard CCSR + the
   /// ownership table (in-process clusters; no filesystem round trip).
   Status LoadInline(const std::vector<uint32_t>& owner,
@@ -268,6 +272,15 @@ struct InProcessClusterOptions {
   /// a restart). Null: no faults.
   std::shared_ptr<FaultInjector> faults;
   ClusterTransport transport = ClusterTransport::kAuto;
+  /// Non-empty: workers LOAD from on-disk artifacts at this base path
+  /// (`csce_build --shards=N` layout) instead of inline blobs built
+  /// from `g`; Create still builds the ShardPlan from `g`, so the
+  /// artifacts must have been produced with the same partitioning.
+  std::string load_base_path;
+  /// With `load_base_path`: workers mmap their (v2) shard artifact.
+  bool use_mmap = false;
+  /// With `use_mmap`: per-worker paging-advice budget in bytes.
+  uint64_t memory_cap_bytes = 0;
 };
 
 /// A self-contained sharded engine inside one process: partitions the

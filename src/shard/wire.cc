@@ -211,6 +211,8 @@ std::string EncodeLoadRequest(const LoadRequest& msg) {
   } else {
     w.Str(msg.ccsr_path);
     w.Str(msg.plan_path);
+    w.U8(msg.use_mmap ? 1 : 0);
+    w.U64(msg.memory_cap_bytes);
   }
   return w.Take();
 }
@@ -241,6 +243,10 @@ Status DecodeLoadRequest(std::string_view payload, LoadRequest* out) {
   } else {
     CSCE_RETURN_IF_ERROR(r.Str(&out->ccsr_path, 1u << 16));
     CSCE_RETURN_IF_ERROR(r.Str(&out->plan_path, 1u << 16));
+    uint8_t use_mmap = 0;
+    CSCE_RETURN_IF_ERROR(r.U8(&use_mmap));
+    out->use_mmap = use_mmap != 0;
+    CSCE_RETURN_IF_ERROR(r.U64(&out->memory_cap_bytes));
   }
   return r.ExpectEnd();
 }

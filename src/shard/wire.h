@@ -40,7 +40,8 @@ inline constexpr uint64_t kMaxFramePayload = 1ull << 30;
 /// different version refuse to talk (the coordinator restarts or
 /// rejects the worker instead of mis-decoding its frames).
 /// v2: CRC-carrying 20-byte frame header + handshake/heartbeat frames.
-inline constexpr uint32_t kProtocolVersion = 2;
+/// v3: LoadRequest carries out-of-core options (use_mmap, memory cap).
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
 /// Table-driven, byte-at-a-time: frames are small (task batches cap in
@@ -154,6 +155,12 @@ struct LoadRequest {
   std::string plan_path;
   std::string ccsr_blob;
   std::vector<uint32_t> owner;
+  /// Out-of-core (file loads only): mmap the shard's CCSR v2 artifact
+  /// instead of streaming it into memory; the artifact must be v2.
+  bool use_mmap = false;
+  /// With use_mmap, the per-worker paging-advice budget in bytes
+  /// (0: prefetch without eviction). See MmapCcsr::Options.
+  uint64_t memory_cap_bytes = 0;
 };
 
 struct PlanRequest {

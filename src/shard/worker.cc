@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ccsr/ccsr_io.h"
+#include "engine/matcher.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -124,13 +125,32 @@ Status ShardWorker::HandleLoad(const wire::LoadRequest& req) {
   shard_id_ = req.shard_id;
   num_shards_ = req.num_shards;
   num_threads_ = std::max<uint32_t>(1, req.num_threads);
+  // A failed re-load must not leave the worker serving half-replaced
+  // state (worse under mmap: ccsr_ could borrow a dropped mapping).
+  loaded_ = false;
+  query_active_ = false;
 
   if (req.inline_payload) {
+    mmap_.reset();  // drop any previous out-of-core mapping
     std::istringstream in(req.ccsr_blob);
     CSCE_RETURN_IF_ERROR(LoadCcsrFromStream(in, &ccsr_));
     owner_ = req.owner;
   } else {
-    CSCE_RETURN_IF_ERROR(LoadCcsrFromFile(req.ccsr_path, &ccsr_));
+    if (req.use_mmap) {
+      // Out-of-core shard: map the v2 artifact instead of streaming it.
+      // Open() runs the structural checks (size pinning, directory CRC,
+      // per-cluster bounds) only — a deep Validate() would stream the
+      // whole payload through the page cache and defeat the O(1) open;
+      // the build/crosscheck path covers semantic validation.
+      MmapCcsr::Options mopts;
+      mopts.memory_cap_bytes = req.memory_cap_bytes;
+      mmap_.reset();
+      CSCE_RETURN_IF_ERROR(MmapCcsr::Open(req.ccsr_path, mopts, &mmap_));
+      ccsr_ = mmap_->Release();
+    } else {
+      mmap_.reset();
+      CSCE_RETURN_IF_ERROR(LoadCcsrFromFile(req.ccsr_path, &ccsr_));
+    }
     ShardPlan plan;
     CSCE_RETURN_IF_ERROR(ShardPlan::LoadFromFile(req.plan_path, &plan));
     if (plan.num_shards() != num_shards_) {
@@ -165,6 +185,11 @@ Status ShardWorker::HandlePlan(const wire::PlanRequest& req) {
   executors_.clear();
   pattern_ = req.pattern;
   plan_ = req.plan;
+  // Out-of-core shard: hand the pager the plan's cluster access order
+  // before the reads below start faulting pages in (no-op in-memory).
+  if (ccsr_.mapped()) {
+    ccsr_.AdviseQueryClusters(PlanClusterSchedule(ccsr_, plan_));
+  }
   CSCE_RETURN_IF_ERROR(ReadClusters(ccsr_, pattern_, req.variant, &qc_));
 
   // Owned root candidates: the probe computes the full root set against
@@ -306,6 +331,9 @@ Status ShardWorker::HandleFinish(wire::ResultMsg* out) {
   }
   query_active_ = false;
   executors_.clear();
+  // End of query: close the paging-advice window (drops the advised
+  // clusters when this worker runs under a memory cap; no-op otherwise).
+  ccsr_.AdviseQueryDone();
   return Status::OK();
 }
 

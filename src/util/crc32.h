@@ -1,0 +1,39 @@
+#ifndef CSCE_UTIL_CRC32_H_
+#define CSCE_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace csce {
+namespace util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). Table-driven,
+/// byte-at-a-time — used to checksum the shard wire frames and the CCSR
+/// v2 cluster directory, both small enough that simplicity beats a
+/// slicing-by-8 variant. Header-only so the ccsr layer can use it
+/// without depending on the shard library.
+inline uint32_t Crc32(std::string_view bytes) {
+  struct Table {
+    uint32_t entries[256];
+    Table() {
+      for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+          c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        entries[i] = c;
+      }
+    }
+  };
+  static const Table table;
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : bytes) {
+    crc = table.entries[(crc ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace util
+}  // namespace csce
+
+#endif  // CSCE_UTIL_CRC32_H_

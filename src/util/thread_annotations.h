@@ -64,4 +64,12 @@
 /// must go through them.
 #define CSCE_WIRE_PRIMITIVE
 
+/// mmap-bounded-reads: marks one of the bounds-checked accessor
+/// primitives over an mmap'd CCSR v2 artifact (src/ccsr/ccsr_mmap.cc).
+/// Only functions carrying this marker may form pointers/spans into the
+/// mapped bytes via reinterpret_cast or pointer arithmetic; everything
+/// else must go through them, so every raw access sits next to its
+/// bounds check.
+#define CSCE_MAP_PRIMITIVE
+
 #endif  // CSCE_UTIL_THREAD_ANNOTATIONS_H_

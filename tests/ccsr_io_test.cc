@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "tests/test_util.h"
@@ -13,16 +14,16 @@ void ExpectCcsrEqual(const Ccsr& a, const Ccsr& b) {
   EXPECT_EQ(a.directed(), b.directed());
   EXPECT_EQ(a.NumVertices(), b.NumVertices());
   EXPECT_EQ(a.NumEdges(), b.NumEdges());
-  EXPECT_EQ(a.vertex_labels(), b.vertex_labels());
+  EXPECT_TRUE(std::ranges::equal(a.vertex_labels(), b.vertex_labels()));
   ASSERT_EQ(a.NumClusters(), b.NumClusters());
   for (size_t i = 0; i < a.NumClusters(); ++i) {
     const CompressedCluster& ca = a.clusters()[i];
     const CompressedCluster& cb = b.clusters()[i];
     EXPECT_EQ(ca.id, cb.id);
     EXPECT_EQ(ca.num_edges, cb.num_edges);
-    EXPECT_EQ(ca.out_rows.runs(), cb.out_rows.runs());
+    EXPECT_TRUE(std::ranges::equal(ca.out_rows.runs(), cb.out_rows.runs()));
     EXPECT_EQ(ca.out_cols, cb.out_cols);
-    EXPECT_EQ(ca.in_rows.runs(), cb.in_rows.runs());
+    EXPECT_TRUE(std::ranges::equal(ca.in_rows.runs(), cb.in_rows.runs()));
     EXPECT_EQ(ca.in_cols, cb.in_cols);
   }
 }

@@ -7,12 +7,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "ccsr/ccsr.h"
 #include "ccsr/ccsr_io.h"
+#include "ccsr/ccsr_mmap.h"
+#include "ccsr/ccsr_v2_format.h"
 #include "graph/graph_io.h"
 #include "tests/test_util.h"
 #include "util/rng.h"
@@ -170,6 +177,77 @@ TEST(CcsrIoFuzzTest, EveryByteFlipRejectedOrStillValid) {
         }
       }
     }
+  }
+}
+
+// v2 (mmap) artifact: truncating at — and one byte either side of —
+// every section boundary, every cluster-payload array boundary, and the
+// final byte must be rejected at Open() time. `file_bytes` in the
+// header pins the exact size, so no prefix may ever bind spans.
+TEST(CcsrIoFuzzTest, EveryV2SectionBoundaryTruncationRejected) {
+  for (bool directed : {false, true}) {
+    Rng rng(directed ? 94 : 95);
+    Graph g = testing::RandomGraph(rng, 24, 0.15, 3, 2, directed);
+    Ccsr gc = Ccsr::Build(g);
+    const std::string path = ::testing::TempDir() + "/io_fuzz_v2.ccsr";
+    ASSERT_TRUE(SaveCcsrToFileV2(gc, path).ok());
+    std::string bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      ASSERT_TRUE(in.good());
+      bytes.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    V2Header header;
+    ASSERT_GE(bytes.size(), sizeof(V2Header));
+    std::memcpy(&header, bytes.data(), sizeof(V2Header));
+    ASSERT_EQ(header.file_bytes, bytes.size());
+
+    std::vector<size_t> boundaries = {0, 4, sizeof(V2Header), kV2PageBytes};
+    auto add_section = [&boundaries](const V2Section& s) {
+      boundaries.push_back(static_cast<size_t>(s.offset));
+      boundaries.push_back(static_cast<size_t>(s.offset + s.length));
+    };
+    add_section(header.vlabels);
+    add_section(header.out_degree);
+    add_section(header.in_degree);
+    add_section(header.vlabel_freq);
+    add_section(header.directory);
+    add_section(header.payload);
+    for (uint64_t i = 0; i < header.num_clusters; ++i) {
+      V2DirEntry e;
+      std::memcpy(&e, bytes.data() + header.directory.offset +
+                          i * sizeof(V2DirEntry),
+                  sizeof(V2DirEntry));
+      for (uint64_t off : {e.out_runs_offset, e.out_cols_offset,
+                           e.in_runs_offset, e.in_cols_offset}) {
+        boundaries.push_back(static_cast<size_t>(off));
+      }
+    }
+    boundaries.push_back(bytes.size() - 1);
+    std::sort(boundaries.begin(), boundaries.end());
+    boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                     boundaries.end());
+
+    const std::string chopped = ::testing::TempDir() + "/io_fuzz_v2_chop";
+    for (size_t b : boundaries) {
+      for (size_t len : {b > 0 ? b - 1 : 0, b, b + 1}) {
+        if (len >= bytes.size()) continue;  // not a truncation
+        {
+          std::ofstream out(chopped, std::ios::binary | std::ios::trunc);
+          out.write(bytes.data(), static_cast<std::streamsize>(len));
+          ASSERT_TRUE(out.good());
+        }
+        std::unique_ptr<MmapCcsr> mapped;
+        EXPECT_FALSE(MmapCcsr::Open(chopped, &mapped).ok())
+            << "v2 prefix of " << len << " bytes accepted by mmap open";
+        Ccsr out;
+        EXPECT_FALSE(LoadCcsrFromFile(chopped, &out).ok())
+            << "v2 prefix of " << len << " bytes accepted by the loader";
+      }
+    }
+    std::remove(chopped.c_str());
+    std::remove(path.c_str());
   }
 }
 

@@ -1,0 +1,20 @@
+// Negative fixture for csce_lint's mmap-bounded-reads: a function in an
+// mmap translation unit does pointer arithmetic over the mapped bytes
+// with reinterpret_cast instead of going through a bounds-checked
+// accessor, and is not marked CSCE_MAP_PRIMITIVE. Never compiled into
+// the build.
+#include <cstdint>
+
+namespace fixture {
+
+struct Mapping {
+  const char* bytes;
+  uint64_t length;
+};
+
+uint32_t ReadLabel(const Mapping& m, uint64_t offset) {
+  // unbounded: offset is never checked against m.length
+  return *reinterpret_cast<const uint32_t*>(m.bytes + offset);
+}
+
+}  // namespace fixture

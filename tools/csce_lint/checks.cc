@@ -159,6 +159,25 @@ std::vector<Finding> CheckWireBoundedReads(const SourceModel& m) {
   return out;
 }
 
+std::vector<Finding> CheckMmapBoundedReads(const SourceModel& m) {
+  std::vector<Finding> out;
+  for (const FunctionInfo& fn : m.functions) {
+    if (!fn.has_body || fn.map_primitive) continue;
+    std::string base = Basename(fn.file);
+    if (base.find("mmap") == std::string::npos ||
+        base.rfind(".cc") != base.size() - 3) {
+      continue;
+    }
+    for (const CallSite& raw : fn.raw_accesses) {
+      out.push_back({fn.file, raw.line, "mmap-bounded-reads",
+                     "raw access '" + raw.name + "' over mapped bytes in '" +
+                         fn.name + "' outside a CSCE_MAP_PRIMITIVE accessor; "
+                         "bind spans through the bounds-checked helpers"});
+    }
+  }
+  return out;
+}
+
 std::vector<Finding> CheckGuardedByComplete(const SourceModel& m) {
   std::vector<Finding> out;
   for (const ClassInfo& cls : m.classes) {
@@ -203,6 +222,10 @@ std::vector<Finding> RunChecks(const SourceModel& model,
   }
   if (want("wire-bounded-reads")) {
     std::vector<Finding> f = CheckWireBoundedReads(model);
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  if (want("mmap-bounded-reads")) {
+    std::vector<Finding> f = CheckMmapBoundedReads(model);
     out.insert(out.end(), f.begin(), f.end());
   }
   if (want("guarded-by-complete")) {

@@ -18,7 +18,7 @@ struct Finding {
 /// Runs every check (or just `only` when non-empty) over the model and
 /// returns the findings sorted by file then line.
 ///
-/// The four checks:
+/// The five checks:
 ///  - hot-path-no-alloc: no function transitively reachable from a
 ///    CSCE_HOT_PATH root may call an allocating API; CSCE_ALLOC_OK
 ///    nodes terminate the walk.
@@ -26,6 +26,10 @@ struct Finding {
 ///    access (memcpy, reinterpret_cast, pointer arithmetic on .data(),
 ///    direct data_[] indexing) is confined to CSCE_WIRE_PRIMITIVE
 ///    helpers; everything else must go through the bounded readers.
+///  - mmap-bounded-reads: in mmap view files (*mmap*.cc), the same raw
+///    access patterns over mapped bytes are confined to
+///    CSCE_MAP_PRIMITIVE accessors — a mapped file's length is attacker
+///    input, so every span must be bound through the checked helpers.
 ///  - guarded-by-complete: a class owning a Mutex must annotate every
 ///    plain member (CSCE_GUARDED_BY or an explicit CSCE_NOT_GUARDED);
 ///    atomics, statics and the synchronization objects themselves are

@@ -11,7 +11,8 @@
 // fixtures under tests/lint_fixtures are driven.
 //
 // Checks (see checks.h): hot-path-no-alloc, wire-bounded-reads,
-// guarded-by-complete, signal-discipline. Findings print as
+// mmap-bounded-reads, guarded-by-complete, signal-discipline. Findings
+// print as
 // "file:line: [check] message"; the exit status is 1 when anything was
 // found, 2 on usage or I/O errors, 0 when clean.
 //

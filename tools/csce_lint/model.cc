@@ -296,6 +296,7 @@ class Parser {
       if (s == "CSCE_HOT_PATH") fn.hot = true;
       else if (s == "CSCE_ALLOC_OK") fn.alloc_ok = true;
       else if (s == "CSCE_WIRE_PRIMITIVE") fn.wire_primitive = true;
+      else if (s == "CSCE_MAP_PRIMITIVE") fn.map_primitive = true;
     }
     if (!cls.empty()) model_->class_method_names.insert(name);
     return fn;

@@ -31,6 +31,7 @@ struct FunctionInfo {
   bool hot = false;             // CSCE_HOT_PATH
   bool alloc_ok = false;        // CSCE_ALLOC_OK
   bool wire_primitive = false;  // CSCE_WIRE_PRIMITIVE
+  bool map_primitive = false;   // CSCE_MAP_PRIMITIVE
   bool has_body = false;
   std::vector<CallSite> calls;
   /// Raw-buffer access sites (memcpy, reinterpret_cast, ".data() +",

@@ -5,6 +5,11 @@
 //   csce_match --graph=data.txt --pattern=p.txt --variant=hom
 //              --time-limit=10 --max=100000 --explain --no-sce
 //
+// Out-of-core mode: --mmap (or CSCE_CCSR_MMAP=1 in the environment)
+// maps a v2 --ccsr artifact instead of streaming it into memory —
+// clusters page in on demand as the query touches them. --memory-cap=N
+// additionally bounds the paging-advice window to N bytes.
+//
 // Prints the embedding count and the per-stage breakdown; --print=N
 // additionally streams the first N embeddings. Observability:
 // --metrics-json=FILE dumps the process metric registry as
@@ -15,8 +20,11 @@
 #include <memory>
 #include <string>
 
+#include <cstdlib>
+
 #include "ccsr/ccsr.h"
 #include "ccsr/ccsr_io.h"
+#include "ccsr/ccsr_mmap.h"
 #include "engine/matcher.h"
 #include "graph/graph_io.h"
 #include "obs/metrics.h"
@@ -56,6 +64,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: csce_match (--ccsr=x.ccsr | --graph=x.txt) "
                  "--pattern=p.txt [--variant=edge|vertex|hom] "
+                 "[--mmap] [--memory-cap=bytes] "
                  "[--time-limit=s] [--max=n] [--print=n] [--threads=n] "
                  "[--explain] [--no-sce] [--no-nec] [--no-ldsf] "
                  "[--no-tiebreak] [--cost-based] [--self-check] "
@@ -73,13 +82,33 @@ int main(int argc, char** argv) {
     obs::TraceRecorder::Install(recorder.get());
   }
 
+  const char* mmap_env = std::getenv("CSCE_CCSR_MMAP");
+  const bool use_mmap = flags.GetBool("mmap") ||
+                        (mmap_env != nullptr && std::string(mmap_env) == "1");
+  const uint64_t memory_cap =
+      static_cast<uint64_t>(flags.GetInt("memory-cap", 0));
+
   Ccsr index;
+  std::unique_ptr<MmapCcsr> mapping;  // keeps the borrowed index alive
   if (!ccsr_path.empty()) {
-    if (Status st = LoadCcsrFromFile(ccsr_path, &index); !st.ok()) {
+    if (use_mmap) {
+      MmapCcsr::Options mopts;
+      mopts.memory_cap_bytes = memory_cap;
+      if (Status st = MmapCcsr::Open(ccsr_path, mopts, &mapping); !st.ok()) {
+        std::fprintf(stderr, "mmap ccsr: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      index = mapping->Release();
+    } else if (Status st = LoadCcsrFromFile(ccsr_path, &index); !st.ok()) {
       std::fprintf(stderr, "load ccsr: %s\n", st.ToString().c_str());
       return 1;
     }
   } else {
+    if (use_mmap) {
+      std::fprintf(stderr,
+                   "warning: --mmap needs a --ccsr artifact; building "
+                   "in-memory from --graph\n");
+    }
     Graph g;
     if (Status st = LoadGraphFromFile(graph_path, &g); !st.ok()) {
       std::fprintf(stderr, "load graph: %s\n", st.ToString().c_str());

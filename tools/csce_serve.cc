@@ -18,6 +18,13 @@
 // before the next batch starts (a poor man's monitoring endpoint for
 // scripted sessions).
 //
+// Out-of-core mode: --mmap (or CSCE_CCSR_MMAP=1 in the environment)
+// maps v2 --ccsr artifacts instead of streaming them into memory; in
+// sharded modes the flag travels in the kLoad request, so every worker
+// (in-process thread, forked child, or remote --connect node) maps its
+// own shard artifact the same way. --memory-cap=N bounds each mapping's
+// paging-advice window to N bytes.
+//
 // --repeat=N serves the whole workload N times (load generation; with
 // view sharing the repeats hit the session's cluster cache).
 // --metrics-json=FILE additionally dumps the process metric registry
@@ -86,6 +93,7 @@
 
 #include "ccsr/ccsr.h"
 #include "ccsr/ccsr_io.h"
+#include "ccsr/ccsr_mmap.h"
 #include "graph/graph_io.h"
 #include "obs/metrics.h"
 #include "runtime/query_runtime.h"
@@ -615,6 +623,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: csce_serve (--ccsr=x.ccsr | --graph=x.txt) "
                  "--queries=(workload.txt | -) [--threads=n] [--inflight=n] "
+                 "[--mmap] [--memory-cap=bytes] "
                  "[--threads-per-query=n] [--deadline=s] [--repeat=n] "
                  "[--no-share-views] [--quiet] [--metrics-json=f.json] "
                  "[--shards=n [--workers=n] [--shard-strategy=hash|label] "
@@ -632,6 +641,11 @@ int main(int argc, char** argv) {
   std::string metrics_path = flags.GetString("metrics-json", "");
   int64_t repeat = flags.GetInt("repeat", 1);
   bool quiet = flags.GetBool("quiet");
+  const char* mmap_env = std::getenv("CSCE_CCSR_MMAP");
+  const bool use_mmap = flags.GetBool("mmap") ||
+                        (mmap_env != nullptr && std::string(mmap_env) == "1");
+  const uint64_t memory_cap =
+      static_cast<uint64_t>(flags.GetInt("memory-cap", 0));
   uint32_t threads_per_query =
       static_cast<uint32_t>(flags.GetInt("threads-per-query", 1));
   std::string listen_spec = flags.GetString("listen", "");
@@ -719,10 +733,19 @@ int main(int argc, char** argv) {
   StartSignalWatcher();
 
   Ccsr index;
+  std::unique_ptr<MmapCcsr> mapping;  // keeps a --mmap index alive
   Graph source_graph;  // kept alive only for --graph sharded partitioning
   bool have_graph = false;
   if (!ccsr_path.empty()) {
-    if (Status st = LoadCcsrFromFile(ccsr_path, &index); !st.ok()) {
+    if (use_mmap) {
+      MmapCcsr::Options mopts;
+      mopts.memory_cap_bytes = memory_cap;
+      if (Status st = MmapCcsr::Open(ccsr_path, mopts, &mapping); !st.ok()) {
+        std::fprintf(stderr, "mmap ccsr: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      index = mapping->Release();
+    } else if (Status st = LoadCcsrFromFile(ccsr_path, &index); !st.ok()) {
       std::fprintf(stderr, "load ccsr: %s\n", st.ToString().c_str());
       return 1;
     }
@@ -798,7 +821,8 @@ int main(int argc, char** argv) {
             *out = shard::MakeFdTransport(fds[0]);
             return Status::OK();
           });
-      if (Status st = coordinator->LoadFromFiles(ccsr_path, threads_per_query);
+      if (Status st = coordinator->LoadFromFiles(ccsr_path, threads_per_query,
+                                                 use_mmap, memory_cap);
           !st.ok()) {
         std::fprintf(stderr, "shard load: %s\n", st.ToString().c_str());
         return 1;
@@ -836,7 +860,8 @@ int main(int argc, char** argv) {
         }
         coordinator->AttachWorker(std::move(t));
       }
-      if (Status st = coordinator->LoadFromFiles(ccsr_path, threads_per_query);
+      if (Status st = coordinator->LoadFromFiles(ccsr_path, threads_per_query,
+                                                 use_mmap, memory_cap);
           !st.ok()) {
         std::fprintf(stderr, "shard load: %s\n", st.ToString().c_str());
         return 1;
@@ -863,7 +888,8 @@ int main(int argc, char** argv) {
             return local_workers.SpawnOne(s, out);
           });
       local_workers.Spawn(coordinator.get(), static_cast<uint32_t>(shards));
-      if (Status st = coordinator->LoadFromFiles(ccsr_path, threads_per_query);
+      if (Status st = coordinator->LoadFromFiles(ccsr_path, threads_per_query,
+                                                 use_mmap, memory_cap);
           !st.ok()) {
         std::fprintf(stderr, "shard load: %s\n", st.ToString().c_str());
         return 1;
