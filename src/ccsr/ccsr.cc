@@ -46,6 +46,36 @@ uint64_t LabelPairKey(Label a, Label b) {
   return (static_cast<uint64_t>(a) << 32) | b;
 }
 
+// Recomputes the label-pair index (per-vertex neighboring-label
+// bitmasks) from the clusters, O(total RLE runs). Shared by
+// Ccsr::BuildLabelMasks and the Validate cross-check so a drifting
+// persisted table cannot agree with a drifting rebuild.
+void ComputeLabelMasks(const std::vector<CompressedCluster>& clusters,
+                       std::span<const Label> vlabels, bool directed,
+                       std::vector<uint64_t>* out_masks,
+                       std::vector<uint64_t>* in_masks) {
+  out_masks->assign(vlabels.size(), 0);
+  in_masks->assign(directed ? vlabels.size() : 0, 0);
+  for (const CompressedCluster& c : clusters) {
+    if (c.id.directed) {
+      const uint64_t dst_bit = Ccsr::LabelBit(c.id.dst_label);
+      c.out_rows.ForEachNonEmptyRow(
+          [&](uint64_t v, uint64_t, uint64_t) { (*out_masks)[v] |= dst_bit; });
+      const uint64_t src_bit = Ccsr::LabelBit(c.id.src_label);
+      c.in_rows.ForEachNonEmptyRow(
+          [&](uint64_t v, uint64_t, uint64_t) { (*in_masks)[v] |= src_bit; });
+    } else {
+      // Undirected cluster {a,b}: a vertex with a non-empty row has
+      // label a or b; its cluster-neighbors carry the other label.
+      const uint64_t a_bit = Ccsr::LabelBit(c.id.src_label);
+      const uint64_t b_bit = Ccsr::LabelBit(c.id.dst_label);
+      c.out_rows.ForEachNonEmptyRow([&](uint64_t v, uint64_t, uint64_t) {
+        (*out_masks)[v] |= vlabels[v] == c.id.src_label ? b_bit : a_bit;
+      });
+    }
+  }
+}
+
 // Builds the compressed one-direction CSR of a cluster from arcs sorted
 // by (src, dst).
 void BuildCompressedDirection(uint32_t num_vertices,
@@ -186,6 +216,7 @@ Ccsr Ccsr::Build(const Graph& g) {
               return a.id < b.id;
             });
   out.RebuildIndexes();
+  out.BuildLabelMasks();
   MaybeMmapRoundTrip(&out);
   CcsrMetrics::Get().builds.Increment();
   PublishCcsrGauges(out);
@@ -197,6 +228,8 @@ void Ccsr::EnsureOwnedStorage() {
   vlabel_freq_.EnsureOwned();
   out_degree_.EnsureOwned();
   in_degree_.EnsureOwned();
+  lpi_out_.EnsureOwned();
+  lpi_in_.EnsureOwned();
   for (CompressedCluster& c : clusters_) {
     c.out_rows.EnsureOwned();
     c.out_cols.EnsureOwned();
@@ -214,6 +247,15 @@ void Ccsr::RebuildIndexes() {
     index_.emplace(id, i);
     star_index_[LabelPairKey(id.src_label, id.dst_label)].push_back(i);
   }
+}
+
+void Ccsr::BuildLabelMasks() {
+  std::vector<uint64_t> out_masks;
+  std::vector<uint64_t> in_masks;
+  ComputeLabelMasks(clusters_, vlabels_.span(), directed_, &out_masks,
+                    &in_masks);
+  lpi_out_ = std::move(out_masks);
+  lpi_in_ = std::move(in_masks);
 }
 
 const CompressedCluster* Ccsr::Find(const ClusterId& id) const {
@@ -332,6 +374,7 @@ Status Ccsr::InsertEdges(const std::vector<Edge>& edges) {
               });
   }
   RebuildIndexes();
+  BuildLabelMasks();
   PublishCcsrGauges(*this);
   return Status::OK();
 }
@@ -401,6 +444,7 @@ Status Ccsr::RemoveEdges(const std::vector<Edge>& edges) {
               });
   }
   RebuildIndexes();
+  BuildLabelMasks();
   PublishCcsrGauges(*this);
   return Status::OK();
 }
@@ -513,6 +557,22 @@ Status Ccsr::Validate() const {
   if (!std::ranges::equal(freq, vlabel_freq_.span())) {
     return Status::Corruption("label frequency table does not match the "
                               "vertex labels");
+  }
+  if (lpi_out_.size() != n ||
+      (directed_ ? lpi_in_.size() != n : !lpi_in_.empty())) {
+    return Status::Corruption("label-pair index size inconsistent with the "
+                              "vertex count");
+  }
+  {
+    std::vector<uint64_t> expect_out;
+    std::vector<uint64_t> expect_in;
+    ComputeLabelMasks(clusters_, vlabels_.span(), directed_, &expect_out,
+                      &expect_in);
+    if (!std::ranges::equal(expect_out, lpi_out_.span()) ||
+        !std::ranges::equal(expect_in, lpi_in_.span())) {
+      return Status::Corruption("label-pair index does not match the "
+                                "clusters");
+    }
   }
 
   // Lookup indexes: clusters sorted strictly by id (hence unique), both

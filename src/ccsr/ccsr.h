@@ -130,6 +130,18 @@ class Ccsr {
     return directed_ ? in_degree_.span()[v] : out_degree_.span()[v];
   }
 
+  /// Label-pair index (prune pass "lpi"): per-vertex bitmask of the
+  /// vertex labels reachable over one outgoing (resp. incoming) edge,
+  /// folded modulo 64 (`1 << (label & 63)`), so the filter is
+  /// conservative for label alphabets wider than 64. For undirected
+  /// graphs in == out. Derived from the clusters, rebuilt on every
+  /// mutation, persisted as optional CCSR v2 sections.
+  uint64_t OutLabelMask(VertexId v) const { return lpi_out_.span()[v]; }
+  uint64_t InLabelMask(VertexId v) const {
+    return directed_ ? lpi_in_.span()[v] : lpi_out_.span()[v];
+  }
+  static uint64_t LabelBit(Label l) { return uint64_t{1} << (l & 63); }
+
   /// True when this index is a view over an mmap'd v2 artifact. Mapped
   /// indexes are immutable (InsertEdges/RemoveEdges refuse) and valid
   /// only while the owning MmapCcsr lives.
@@ -200,6 +212,10 @@ class Ccsr {
   friend class MmapCcsr;
 
   void RebuildIndexes();
+  /// Recomputes lpi_out_/lpi_in_ from the clusters (O(total RLE runs)).
+  /// Called wherever cluster contents change; the mmap loader instead
+  /// borrows the artifact's persisted sections when present.
+  void BuildLabelMasks();
 
   bool directed_ = false;
   uint64_t num_edges_ = 0;
@@ -207,6 +223,8 @@ class Ccsr {
   ArrayOrView<uint32_t> vlabel_freq_;
   ArrayOrView<uint32_t> out_degree_;
   ArrayOrView<uint32_t> in_degree_;  // empty for undirected graphs
+  ArrayOrView<uint64_t> lpi_out_;    // label-pair index, see OutLabelMask
+  ArrayOrView<uint64_t> lpi_in_;     // empty for undirected graphs
   // Null for in-memory indexes; a mapped index's paging hooks, owned by
   // the MmapCcsr the arrays alias (so it outlives every borrowed span).
   const CcsrPager* pager_ = nullptr;

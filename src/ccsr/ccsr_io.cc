@@ -271,6 +271,8 @@ Status LoadCcsrFromStream(std::istream& in, Ccsr* out) {
     }
   }
   result.RebuildIndexes();
+  // The v1 stream never carried the label-pair index; derive it.
+  result.BuildLabelMasks();
   // Field-level reads above only catch local damage (truncation, counts,
   // ranges). The deep validator cross-checks everything global: label
   // homogeneity, sorted adjacency, transpose consistency, degree tables
@@ -368,6 +370,8 @@ Status SaveCcsrToFileV2(const Ccsr& ccsr, const std::string& path) {
   h.out_degree = place_section(nv * sizeof(uint32_t));
   h.in_degree = place_section(directed ? nv * sizeof(uint32_t) : 0);
   h.vlabel_freq = place_section(freq_entries * sizeof(uint32_t));
+  h.lpi_out = place_section(nv * sizeof(uint64_t));
+  h.lpi_in = place_section(directed ? nv * sizeof(uint64_t) : 0);
   h.directory = place_section(h.num_clusters * sizeof(V2DirEntry));
 
   const uint64_t payload_begin = cursor;
@@ -436,6 +440,18 @@ Status SaveCcsrToFileV2(const Ccsr& ccsr, const std::string& path) {
   for (uint64_t l = 0; l < freq_entries; ++l) {
     uint32_t f = ccsr.LabelFrequency(static_cast<Label>(l));
     WriteBytes(out, &f, sizeof(f), &pos);
+  }
+  PadTo(out, h.lpi_out.offset, &pos);
+  for (VertexId v = 0; v < nv; ++v) {
+    uint64_t m = ccsr.OutLabelMask(v);
+    WriteBytes(out, &m, sizeof(m), &pos);
+  }
+  if (directed) {
+    PadTo(out, h.lpi_in.offset, &pos);
+    for (VertexId v = 0; v < nv; ++v) {
+      uint64_t m = ccsr.InLabelMask(v);
+      WriteBytes(out, &m, sizeof(m), &pos);
+    }
   }
   PadTo(out, h.directory.offset, &pos);
   WriteBytes(out, dir_bytes.data(), dir_bytes.size(), &pos);

@@ -160,6 +160,15 @@ Status MmapCcsr::Init(const std::string& path, const Options& options) {
   CSCE_RETURN_IF_ERROR(
       check_section(header_.directory, "directory",
                     header_.num_clusters * sizeof(V2DirEntry)));
+  // Label-pair index sections are optional (length 0 in artifacts
+  // written before they existed — the zero-padded header decodes them
+  // as absent); when present they must be exactly one mask per vertex.
+  const bool has_lpi = header_.lpi_out.length != 0;
+  CSCE_RETURN_IF_ERROR(check_section(
+      header_.lpi_out, "lpi_out", has_lpi ? nv * sizeof(uint64_t) : 0));
+  CSCE_RETURN_IF_ERROR(check_section(
+      header_.lpi_in, "lpi_in",
+      has_lpi && directed ? nv * sizeof(uint64_t) : 0));
 
   // Directory checksum: the directory is the trust root for every raw
   // payload offset, so it gets an integrity check of its own before any
@@ -178,6 +187,8 @@ Status MmapCcsr::Init(const std::string& path, const Options& options) {
   std::span<const uint32_t> out_degree;
   std::span<const uint32_t> in_degree;
   std::span<const uint32_t> vlabel_freq;
+  std::span<const uint64_t> lpi_out;
+  std::span<const uint64_t> lpi_in;
   std::span<const V2DirEntry> dir;
   if (!BindSpan(map_, size_, header_.vlabels.offset, nv, kV2PageBytes,
                 &vlabels) ||
@@ -188,6 +199,12 @@ Status MmapCcsr::Init(const std::string& path, const Options& options) {
       !BindSpan(map_, size_, header_.vlabel_freq.offset,
                 header_.vlabel_freq.length / sizeof(uint32_t), kV2PageBytes,
                 &vlabel_freq) ||
+      !BindSpan(map_, size_, header_.lpi_out.offset,
+                header_.lpi_out.length / sizeof(uint64_t), kV2PageBytes,
+                &lpi_out) ||
+      !BindSpan(map_, size_, header_.lpi_in.offset,
+                header_.lpi_in.length / sizeof(uint64_t), kV2PageBytes,
+                &lpi_in) ||
       !BindSpan(map_, size_, header_.directory.offset, header_.num_clusters,
                 kV2PageBytes, &dir)) {
     return Status::Corruption(path + ": section table binds out of range");
@@ -199,6 +216,10 @@ Status MmapCcsr::Init(const std::string& path, const Options& options) {
   ccsr_.out_degree_.Borrow(out_degree);
   ccsr_.in_degree_.Borrow(in_degree);
   ccsr_.vlabel_freq_.Borrow(vlabel_freq);
+  if (has_lpi) {
+    ccsr_.lpi_out_.Borrow(lpi_out);
+    ccsr_.lpi_in_.Borrow(lpi_in);
+  }
 
   // Directory entries: strictly sorted by ClusterId; every array range
   // bounds-checked into the payload section before a span is bound.
@@ -296,6 +317,11 @@ Status MmapCcsr::Init(const std::string& path, const Options& options) {
     blocks_.push_back(b);
   }
   ccsr_.RebuildIndexes();
+  // Legacy artifact without the persisted label-pair index: derive it
+  // from the clusters. This touches every cluster's runs once, which
+  // costs demand-paging locality only for pre-LPI files — rewriting the
+  // artifact restores O(1) open.
+  if (!has_lpi) ccsr_.BuildLabelMasks();
   ccsr_.pager_ = this;
   {
     MutexLock lock(mu_);

@@ -28,6 +28,9 @@ namespace csce {
 ///   out_degree section   num_vertices x uint32_t
 ///   in_degree section    num_vertices x uint32_t (directed only; else empty)
 ///   vlabel_freq section  (max_label + 1) x uint32_t
+///   lpi_out section      num_vertices x uint64_t (optional; label-pair
+///                        index, outgoing neighbor-label bitmasks)
+///   lpi_in section       num_vertices x uint64_t (directed only; else empty)
 ///   directory section    num_clusters x V2DirEntry, sorted by ClusterId,
 ///                        CRC-32 recorded in the header
 ///   payload              per-cluster blocks, each page-aligned:
@@ -86,10 +89,17 @@ struct V2Header {
   V2Section vlabel_freq;
   V2Section directory;
   V2Section payload;
+  // Optional label-pair index sections, appended after payload in the
+  // header but placed between vlabel_freq and directory in the file.
+  // Length 0 = absent: artifacts written before these fields existed
+  // are zero-padded past the old 144-byte header, so they decode as
+  // absent and the loader rebuilds the masks from the clusters.
+  V2Section lpi_out;
+  V2Section lpi_in;
 };
 
 static_assert(std::is_trivially_copyable_v<V2Header>);
-static_assert(sizeof(V2Header) == 144, "v2 header layout is on-disk ABI");
+static_assert(sizeof(V2Header) == 176, "v2 header layout is on-disk ABI");
 static_assert(sizeof(V2Header) <= kV2PageBytes);
 
 /// Fixed-size directory record for one cluster, sorted by ClusterId

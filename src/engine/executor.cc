@@ -24,7 +24,12 @@ struct EngineMetrics {
   obs::Counter sce_recomputes;
   obs::Counter sce_reuses;
   obs::Counter morsels_claimed;
+  obs::Counter intersect_elements;
+  obs::Counter prune_candidates_removed;
+  obs::Counter prune_extensions_skipped;
+  obs::Counter prune_aux_hits;
   obs::Histogram candidate_set_size;
+  obs::Histogram prune_shrink_ratio;
   obs::Histogram run_seconds;
 
   static const EngineMetrics& Get() {
@@ -36,12 +41,27 @@ struct EngineMetrics {
                            r.counter("engine.sce_recomputes"),
                            r.counter("engine.sce_reuses"),
                            r.counter("engine.morsels_claimed"),
+                           r.counter("engine.intersect_elements"),
+                           r.counter("prune.candidates_removed"),
+                           r.counter("prune.extensions_skipped"),
+                           r.counter("prune.aux_hits"),
                            r.histogram("engine.candidate_set_size"),
+                           r.histogram("prune.shrink_ratio_pct"),
                            r.histogram("engine.run_seconds")};
     }();
     return m;
   }
 };
+
+/// splitmix64-style finalizer for the REE row-length fingerprint.
+uint64_t MixHash(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 29;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 32;
+  return x;
+}
 
 }  // namespace
 
@@ -91,6 +111,8 @@ Status Executor::Prepare(const ExecOptions& options) {
   for (CandidateCache& c : caches_) {
     c.valid = false;
     c.candidates.clear();
+    c.lpi_removed = 0;
+    c.lpi_shrink_pct = -1;
   }
   if (temp_.size() != n) {
     temp_.clear();
@@ -98,6 +120,12 @@ Status Executor::Prepare(const ExecOptions& options) {
   }
   cand_bound_.assign(n, 0);
   sharded_ = options.shard != nullptr;
+  // Shard-local CCSRs only hold edges incident to owned vertices, so
+  // label masks and rows seen here can be partial: every prune pass is
+  // forced off in shard mode (see ExecOptions::prune).
+  prune_ = sharded_ ? PruneOptions{} : options.prune;
+  last_lpi_removed_ = 0;
+  last_lpi_shrink_pct_ = -1;
   mapping_by_pos_.assign(n, kInvalidVertex);
   mapping_by_vertex_.assign(n, kInvalidVertex);
   used_.Resize(gc_.NumVertices());
@@ -167,6 +195,79 @@ Status Executor::Prepare(const ExecOptions& options) {
     // hot path is a plain element copy, never a (re)allocation.
     caches_[j].dep_snapshot.resize(plan_.positions[j].deps.size());
   }
+  // --- Proactive pruning state (engine/prune/) ----------------------
+  aux_steps_.assign(n, {});
+  aux_span_.assign(n, std::span<const VertexId>{});
+  aux_steps_done_.assign(n, 0);
+  aux_steps_total_.assign(n, 0);
+  std::vector<size_t> aux_buf_bounds;
+  if (prune_.aux) {
+    for (uint32_t t = 0; t < n; ++t) {
+      if (!plan_.positions[t].aux_enabled || edges_[t].empty()) continue;
+      // Chain the steps in dependency order — the planner emits edge
+      // constraints ordered by position, but sort defensively: the
+      // span must be refined as the prefix grows, never backwards.
+      std::vector<uint32_t> idx(edges_[t].size());
+      for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+      std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+        return edges_[t][a].pos < edges_[t][b].pos;
+      });
+      aux_steps_total_[t] = static_cast<uint32_t>(idx.size());
+      size_t bound = std::numeric_limits<size_t>::max();
+      for (uint32_t s = 0; s < idx.size(); ++s) {
+        const ResolvedEdge& e = edges_[t][idx[s]];
+        size_t rows = e.view == nullptr
+                          ? 0
+                          : (e.incoming ? e.view->MaxInRowLength()
+                                        : e.view->MaxOutRowLength());
+        bound = std::min(bound, rows);
+        int32_t buf = -1;
+        if (s > 0) {
+          // Step s's result is at most as long as the shortest row it
+          // has absorbed so far; that bound is final at Prepare time.
+          buf = static_cast<int32_t>(aux_buf_bounds.size());
+          aux_buf_bounds.push_back(bound);
+        }
+        aux_steps_[e.pos].push_back(AuxStep{t, s, e.view, e.incoming, buf});
+      }
+    }
+  }
+  if (aux_bufs_.size() != aux_buf_bounds.size()) {
+    aux_bufs_.clear();
+    aux_bufs_.resize(aux_buf_bounds.size());
+  }
+  for (size_t i = 0; i < aux_buf_bounds.size(); ++i) {
+    aux_bufs_[i].Reserve(aux_buf_bounds[i] + setops::kOutPad);
+  }
+  ree_tables_.assign(n, ReeTable{});
+  ree_active_.assign(n, 0);
+  ree_views_.clear();
+  // Restrictions compare sibling values directly, so swapping two
+  // interchangeable siblings is not result-preserving under them:
+  // REE requires an unrestricted run.
+  if (prune_.ree && options.restrictions.empty()) {
+    bool any_ree = false;
+    for (uint32_t j = 0; j < n; ++j) {
+      ree_active_[j] = plan_.positions[j].ree_enabled && j > 0 && j + 1 < n;
+      any_ree |= ree_active_[j] != 0;
+    }
+    if (any_ree) {
+      for (uint32_t j = 0; j < n; ++j) {
+        for (const ResolvedEdge& e : edges_[j]) {
+          if (e.view != nullptr) ree_views_.push_back(e.view);
+        }
+        for (const ResolvedNegation& rn : negs_[j]) {
+          for (const auto& removal : rn.removals) {
+            ree_views_.push_back(removal.first);
+          }
+        }
+      }
+      std::sort(ree_views_.begin(), ree_views_.end());
+      ree_views_.erase(std::unique(ree_views_.begin(), ree_views_.end()),
+                       ree_views_.end());
+    }
+  }
+
   lists_.clear();
   lists_.reserve(max_lists);
   neg_lists_.clear();
@@ -277,6 +378,14 @@ void Executor::ComputeCandidates(uint32_t depth,
         if (gc_.VertexLabel(v) == pos.label) out->push_back(v);
       }
     }
+  } else if (prune_.aux && aux_steps_total_[depth] != 0 &&
+             aux_steps_done_[depth] == aux_steps_total_[depth]) {
+    // Aux projection (prune pass "aux"): the span has already absorbed
+    // every backward row along the current prefix. Intersecting sorted
+    // sets is order-independent, so the span IS the base candidate set
+    // the gather-and-intersect path below would produce.
+    ++stats_.prune_aux_hits;
+    out->Assign(aux_span_[depth]);
   } else {
     // Gather the neighbor lists and intersect smallest-first.
     lists_.clear();
@@ -309,11 +418,13 @@ void Executor::ComputeCandidates(uint32_t depth,
       setops::VertexScratch* bufs[2] = {&tmp, out};
       size_t cur = rounds % 2;  // odd round count: start (and end) at out
       setops::VertexScratch* dst = bufs[cur];
+      stats_.intersect_elements += lists_[0].size() + lists_[1].size();
       dst->set_size(setops::Intersect(lists_[0], lists_[1], dst->data()));
       for (size_t i = 2; i < lists_.size() && !dst->empty(); ++i) {
         setops::VertexScratch* src = dst;
         cur ^= 1;
         dst = bufs[cur];
+        stats_.intersect_elements += src->size() + lists_[i].size();
         dst->set_size(
             setops::Intersect(src->span(), lists_[i], dst->data()));
       }
@@ -324,6 +435,35 @@ void Executor::ComputeCandidates(uint32_t depth,
         out->clear();
       }
     }
+  }
+
+  // LPI label-pair prefilter (prune pass "lpi"): a candidate must have
+  // neighbors covering every label bit the pattern demands around this
+  // vertex at later positions. The masks fold labels mod 64
+  // (Ccsr::LabelBit), so the test is conservative — it only removes
+  // vertices that provably cannot satisfy some later edge constraint.
+  last_lpi_removed_ = 0;
+  last_lpi_shrink_pct_ = -1;
+  const uint64_t lpi_out = prune_.lpi ? pos.lpi_req_out : 0;
+  const uint64_t lpi_in = prune_.lpi ? pos.lpi_req_in : 0;
+  if ((lpi_out | lpi_in) != 0) {
+    const size_t base = out->size();
+    VertexId* data = out->data();
+    size_t kept = 0;
+    for (size_t i = 0; i < base; ++i) {
+      VertexId v = data[i];
+      if ((gc_.OutLabelMask(v) & lpi_out) == lpi_out &&
+          (gc_.InLabelMask(v) & lpi_in) == lpi_in) {
+        data[kept++] = v;
+      }
+    }
+    out->set_size(kept);
+    last_lpi_removed_ = base - kept;
+    last_lpi_shrink_pct_ =
+        base == 0 ? 0 : static_cast<int32_t>(100 * (base - kept) / base);
+    stats_.prune_candidates_removed += last_lpi_removed_;
+    stats_.prune_shrink_ratio.RecordCount(
+        static_cast<uint64_t>(last_lpi_shrink_pct_));
   }
 
   // LDF degree filter (injective variants): a candidate must be able
@@ -373,18 +513,112 @@ void Executor::ComputeCandidates(uint32_t depth,
   stats_.candidate_set_size.RecordCount(out->size());
 }
 
+bool Executor::RunAuxSteps(uint32_t depth) {
+  const VertexId w = mapping_by_pos_[depth];
+  for (const AuxStep& s : aux_steps_[depth]) {
+    if (s.view == nullptr) return false;  // empty cluster: always cuts
+    std::span<const VertexId> row =
+        s.incoming ? s.view->In(w) : s.view->Out(w);
+    if (s.step == 0) {
+      // Zero copy: the first row IS the partial projection. The span
+      // stays valid for the whole subtree (cluster storage is stable).
+      aux_span_[s.target] = row;
+      aux_steps_done_[s.target] = 1;
+    } else {
+      std::span<const VertexId> prev = aux_span_[s.target];
+      setops::VertexScratch& buf = aux_bufs_[s.buf];
+      // No-op compare in the steady state: Prepare sized each step
+      // buffer to the shortest absorbed row's maximum length.
+      buf.EnsureCapacity(std::min(prev.size(), row.size()) + setops::kOutPad);
+      stats_.intersect_elements += prev.size() + row.size();
+      buf.set_size(setops::Intersect(prev, row, buf.data()));
+      aux_span_[s.target] = buf.span();
+      aux_steps_done_[s.target] = s.step + 1;
+    }
+    if (aux_span_[s.target].empty()) return false;
+  }
+  return true;
+}
+
+uint64_t Executor::ReeKey(VertexId v) const {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const ClusterView* view : ree_views_) {
+    h = MixHash(h ^ view->Out(v).size());
+    if (view->id().directed) h = MixHash(h ^ view->In(v).size());
+  }
+  return h;
+}
+
+bool Executor::ReeInterchangeable(VertexId a, VertexId b) const {
+  auto rows_equal = [&](std::span<const VertexId> ra,
+                        std::span<const VertexId> rb) {
+    if (ra.size() != rb.size()) return false;
+    for (size_t i = 0; i < ra.size(); ++i) {
+      // Element-wise equal, and neither row may touch a or b: a row
+      // containing one of them means the (a b) transposition would
+      // alter adjacency (self-loop / mutual-arc asymmetry).
+      if (ra[i] != rb[i] || ra[i] == a || ra[i] == b) return false;
+    }
+    return true;
+  };
+  for (const ClusterView* view : ree_views_) {
+    if (!rows_equal(view->Out(a), view->Out(b))) return false;
+    if (view->id().directed && !rows_equal(view->In(a), view->In(b))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Executor::ReeSkip(uint32_t depth, VertexId v) {
+  const ReeTable& table = ree_tables_[depth];
+  if (table.count == 0) return false;  // common case: no key to compute
+  const uint64_t key = ReeKey(v);
+  for (uint32_t i = 0; i < table.count; ++i) {
+    if (table.slots[i].key == key &&
+        ReeInterchangeable(table.slots[i].v, v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Executor::ReeInsert(uint32_t depth, VertexId v) {
+  ReeTable& table = ree_tables_[depth];
+  const uint64_t key = ReeKey(v);
+  if (table.count < kReeTableEntries) {
+    table.slots[table.count++] = ReeEntry{key, v};
+  } else {
+    table.slots[table.next] = ReeEntry{key, v};
+    table.next = (table.next + 1) % kReeTableEntries;
+  }
+}
+
 std::span<const VertexId> Executor::Candidates(uint32_t depth) {
   uint32_t slot = cache_slot_[depth];
   CandidateCache& cache = caches_[slot];
   const std::vector<uint32_t>& deps = plan_.positions[slot].deps;
   if (plan_.use_sce && cache.Fresh(deps, mapping_by_pos_)) {
     ++stats_.candidate_sets_reused;
+    // Re-add the entry's LPI contribution so the prune counters track
+    // consumption, not the thread-dependent compute/reuse split.
+    stats_.prune_candidates_removed += cache.lpi_removed;
+    if (cache.lpi_shrink_pct >= 0) {
+      stats_.prune_shrink_ratio.RecordCount(
+          static_cast<uint64_t>(cache.lpi_shrink_pct));
+    }
     if (options_->verify_sce) {
       // SCE oracle: the reused set must be byte-identical to a fresh
       // recomputation. An aliased position recomputes its own base set,
       // which NEC guarantees equals the slot owner's.
+      const uint64_t removed = stats_.prune_candidates_removed;
+      const uint64_t intersected = stats_.intersect_elements;
+      const uint64_t aux_hits = stats_.prune_aux_hits;
       ComputeCandidates(depth, &sce_oracle_scratch_);
       --stats_.candidate_sets_computed;  // oracle work, not engine work
+      stats_.prune_candidates_removed = removed;
+      stats_.intersect_elements = intersected;
+      stats_.prune_aux_hits = aux_hits;
       CSCE_CHECK(sce_oracle_scratch_ == cache.candidates)
           << "SCE cache mismatch at position " << depth << " (slot " << slot
           << "): cached " << cache.candidates.size()
@@ -394,6 +628,8 @@ std::span<const VertexId> Executor::Candidates(uint32_t depth) {
   }
   ComputeCandidates(depth, &cache.candidates);
   cache.Store(deps, mapping_by_pos_);
+  cache.lpi_removed = last_lpi_removed_;
+  cache.lpi_shrink_pct = last_lpi_shrink_pct_;
   if (depth == options_->poison_sce_position && !cache.candidates.empty()) {
     cache.candidates.pop_back();  // test-only fault injection, see header
   }
@@ -557,6 +793,14 @@ bool Executor::EnumerateOver(uint32_t depth,
     return CheckDeadline();
   }
 
+  const bool aux_here = !aux_steps_[depth].empty();
+  const bool ree_here = ree_active_[depth] != 0;
+  if (ree_here) {
+    // The memo only holds under the current prefix: every new sibling
+    // loop at this depth starts empty.
+    ree_tables_[depth].count = 0;
+    ree_tables_[depth].next = 0;
+  }
   for (VertexId v : candidates) {
     ++stats_.search_nodes;
     if (!CheckDeadline()) return false;
@@ -569,10 +813,26 @@ bool Executor::EnumerateOver(uint32_t depth,
     if (last) {
       if (!Emit()) return false;
     } else {
+      if (aux_here && !RunAuxSteps(depth)) {
+        // Some later position's projection is already empty under v:
+        // no extension of this prefix can complete.
+        ++stats_.prune_extensions_skipped;
+        continue;
+      }
+      if (ree_here && ReeSkip(depth, v)) {
+        ++stats_.prune_extensions_skipped;
+        continue;
+      }
+      const uint64_t embeddings_before = stats_.embeddings;
       if (injective_) used_.Set(v);
       bool keep_going = Enumerate(depth + 1);
       if (injective_) used_.Clear(v);
       if (!keep_going) return false;
+      // Only a COMPLETED empty subtree is proof: an aborted one
+      // (limit/timeout) returned above and never reaches the memo.
+      if (ree_here && stats_.embeddings == embeddings_before) {
+        ReeInsert(depth, v);
+      }
     }
   }
   mapping_by_pos_[depth] = kInvalidVertex;
@@ -612,7 +872,12 @@ Status Executor::Run(const ExecOptions& options, ExecStats* stats) {
   m.sce_recomputes.Add(stats_.candidate_sets_computed);
   m.sce_reuses.Add(stats_.candidate_sets_reused);
   m.morsels_claimed.Add(stats_.morsels_claimed);
+  m.intersect_elements.Add(stats_.intersect_elements);
+  m.prune_candidates_removed.Add(stats_.prune_candidates_removed);
+  m.prune_extensions_skipped.Add(stats_.prune_extensions_skipped);
+  m.prune_aux_hits.Add(stats_.prune_aux_hits);
   m.candidate_set_size.Merge(stats_.candidate_set_size);
+  m.prune_shrink_ratio.Merge(stats_.prune_shrink_ratio);
   m.run_seconds.Record(stats_.seconds);
   return Status::OK();
 }
@@ -741,13 +1006,19 @@ void Executor::FinishTasks(ExecStats* stats) {
   m.sce_recomputes.Add(stats_.candidate_sets_computed);
   m.sce_reuses.Add(stats_.candidate_sets_reused);
   m.morsels_claimed.Add(stats_.morsels_claimed);
+  m.intersect_elements.Add(stats_.intersect_elements);
+  m.prune_candidates_removed.Add(stats_.prune_candidates_removed);
+  m.prune_extensions_skipped.Add(stats_.prune_extensions_skipped);
+  m.prune_aux_hits.Add(stats_.prune_aux_hits);
   m.candidate_set_size.Merge(stats_.candidate_set_size);
+  m.prune_shrink_ratio.Merge(stats_.prune_shrink_ratio);
   m.run_seconds.Record(stats_.seconds);
   stats_ = ExecStats{};
 }
 
 Status Executor::ComputeRootCandidates(const ExecOptions& options,
-                                       std::vector<VertexId>* out) {
+                                       std::vector<VertexId>* out,
+                                       ExecStats* stats) {
   CSCE_RETURN_IF_ERROR(Prepare(options));
   out->clear();
   if (!plan_.positions.empty()) {
@@ -758,6 +1029,7 @@ Status Executor::ComputeRootCandidates(const ExecOptions& options,
     out->assign(root.data(), root.data() + root.size());
     root.clear();
   }
+  if (stats != nullptr) *stats = stats_;
   return Status::OK();
 }
 

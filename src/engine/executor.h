@@ -1,6 +1,7 @@
 #ifndef CSCE_ENGINE_EXECUTOR_H_
 #define CSCE_ENGINE_EXECUTOR_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "ccsr/ccsr.h"
+#include "engine/prune/prune.h"
 #include "engine/sce_cache.h"
 #include "engine/setops/vertex_scratch.h"
 #include "obs/metrics.h"
@@ -108,6 +110,13 @@ struct ExecOptions {
   /// CCSR holding every edge incident to an owned vertex (the 1-hop
   /// replication ShardPlan::ExtractShard guarantees).
   const ShardSpec* shard = nullptr;
+  /// Proactive pruning passes to act on (engine/prune/prune.h); the
+  /// matcher forwards Plan::prune, so only passes the plan compiled
+  /// directives for have any effect. All passes are force-disabled in
+  /// shard mode: a shard CCSR holds only the edges incident to owned
+  /// vertices (1-hop replication), so shard-local label masks and rows
+  /// are partial and pruning on them could drop real embeddings.
+  PruneOptions prune;
   /// Test-only fault injection: after this position first stores its
   /// SCE cache entry, the cached candidate vector is corrupted (its
   /// last candidate is dropped). Later reuses then return wrong
@@ -136,6 +145,30 @@ struct ExecStats {
   /// global "engine.candidate_set_size" histogram once at the end of
   /// Run — the hot path never touches the metric registry.
   obs::LocalHistogram candidate_set_size;
+  /// Summed input lengths of every set intersection the candidate
+  /// computation and the aux projections perform. Thread-count-VARIANT
+  /// (the compute/reuse split of SCE differs across workers); reported
+  /// by bench_prune as the pruning work-reduction measure.
+  uint64_t intersect_elements = 0;
+  /// Candidates removed by the LPI label-pair prefilter. Reusing a
+  /// cached candidate set re-adds the entry's removal count, so the
+  /// total depends only on how often each set is consumed — it is
+  /// thread-count-invariant (asserted in metrics_test.cc).
+  uint64_t prune_candidates_removed = 0;
+  /// Extensions discarded before recursing: aux empty-cuts plus REE
+  /// sibling skips. Both are deterministic per (prefix, candidate), so
+  /// the total is thread-count-invariant on uninterrupted runs.
+  uint64_t prune_extensions_skipped = 0;
+  /// Candidate sets served from a completed aux projection instead of
+  /// a fresh intersection chain. Thread-count-VARIANT (compute/reuse
+  /// split, like intersect_elements).
+  uint64_t prune_aux_hits = 0;
+  /// LPI shrink ratio in percent of the base candidate set, recorded
+  /// on compute AND reuse so the sample count equals computes+reuses —
+  /// thread-count-invariant like prune_candidates_removed. Under
+  /// verify_sce the oracle recomputation records an extra sample per
+  /// reuse (matching candidate_set_size's existing behavior).
+  obs::LocalHistogram prune_shrink_ratio;
   double seconds = 0.0;
   /// Filled by ParallelExecutor only: total worker wall time not spent
   /// inside Executor::Run, i.e. threads * wall - sum(worker seconds).
@@ -168,9 +201,15 @@ class Executor {
   /// The root position's full candidate set (seed/label scan plus the
   /// LDF degree filter), exactly what Run would enumerate at depth 0.
   /// The morsel-parallel runtime computes this once, then shards it
-  /// across workers via ExecOptions::root_claim.
+  /// across workers via ExecOptions::root_claim. When `stats` is
+  /// non-null the probe's counters are exported into it: with pruning
+  /// on, the root set is LPI-filtered exactly once (workers enumerate
+  /// pre-filtered morsels and never recompute depth 0), so the caller
+  /// must fold these counters into its merged totals to keep them
+  /// equal to a single-threaded run.
   Status ComputeRootCandidates(const ExecOptions& options,
-                               std::vector<VertexId>* out);
+                               std::vector<VertexId>* out,
+                               ExecStats* stats = nullptr);
 
   /// Task-mode lifecycle (shard workers): prepare once per query, then
   /// accumulate any number of RunRootMorsels/RunTask calls into one
@@ -238,6 +277,28 @@ class Executor {
   CSCE_HOT_PATH std::span<const VertexId> Candidates(uint32_t depth);
   CSCE_HOT_PATH void ComputeCandidates(uint32_t depth,
                                        setops::VertexScratch* out);
+  /// Runs the aux projection steps triggered by the mapping just
+  /// placed at `depth` (prune pass "aux"). Returns false when a
+  /// partial projection became empty: some not-yet-matched position's
+  /// candidate set is already known to be empty, so the subtree under
+  /// this placement cannot produce an embedding and is cut.
+  CSCE_HOT_PATH bool RunAuxSteps(uint32_t depth);
+  /// REE probe (prune pass "ree"): true if `v` is interchangeable with
+  /// a memoized zero-embedding sibling at `depth`, so its subtree is
+  /// provably empty and may be skipped.
+  CSCE_HOT_PATH bool ReeSkip(uint32_t depth, VertexId v);
+  /// Memoizes `v` after its subtree completed with zero embeddings.
+  CSCE_HOT_PATH void ReeInsert(uint32_t depth, VertexId v);
+  /// Fingerprint of v's row lengths across every plan-relevant view
+  /// (cheap necessary condition for interchangeability).
+  CSCE_HOT_PATH uint64_t ReeKey(VertexId v) const;
+  /// Exact check: a and b have element-wise identical rows in every
+  /// plan-relevant view, in both directions, and no row touches a or b
+  /// (which would make the (a b) swap alter adjacency). Then swapping
+  /// a and b is an automorphism of the plan-relevant part of the data
+  /// graph that fixes the current prefix, so their subtrees hold
+  /// equally many embeddings.
+  CSCE_HOT_PATH bool ReeInterchangeable(VertexId a, VertexId b) const;
   CSCE_HOT_PATH bool PassesRestrictions(uint32_t depth, VertexId v) const;
   CSCE_HOT_PATH bool Emit();
   CSCE_HOT_PATH bool CheckDeadline();
@@ -269,6 +330,56 @@ class Executor {
   setops::VertexScratch ship_b_;  // intersection of owned-parent rows
   std::vector<std::vector<VertexId>> ship_buckets_;  // per target shard
   setops::VertexScratch sce_oracle_scratch_;  // verify_sce recompute buffer
+
+  // Proactive pruning (engine/prune/): the effective per-run pass set
+  // (ExecOptions::prune, forced off in shard mode) plus its state.
+  PruneOptions prune_;
+  /// One aux projection step per backward edge of an aux-enabled
+  /// position, bucketed by the dependency depth whose placement
+  /// triggers it. Steps of one target form a chain in dependency
+  /// order: step 0 seeds the target's span from the dependency's row
+  /// (zero copy), step s >= 1 intersects the previous span with the
+  /// next row into its own buffer. One buffer per step — not a
+  /// ping-pong pair — because the spans of steps 0..s stay live while
+  /// the recursion between two dependency depths explores siblings.
+  struct AuxStep {
+    uint32_t target;  // plan position whose projection this refines
+    uint32_t step;    // chain index (0 seeds the span)
+    const ClusterView* view;  // nullptr: empty cluster, always cuts
+    bool incoming;
+    int32_t buf;  // aux_bufs_ index; -1 for step 0
+  };
+  std::vector<std::vector<AuxStep>> aux_steps_;      // per dep depth
+  std::vector<std::span<const VertexId>> aux_span_;  // per target position
+  std::vector<uint32_t> aux_steps_done_;             // per target position
+  std::vector<uint32_t> aux_steps_total_;  // per target (0 = not aux)
+  std::vector<setops::VertexScratch> aux_bufs_;
+  /// REE sibling memo: per depth, a small ring of fingerprints of
+  /// candidates whose completed subtree held zero embeddings under the
+  /// current prefix. Reset whenever a sibling loop starts at that
+  /// depth (the memo is only valid for one prefix).
+  static constexpr uint32_t kReeTableEntries = 8;
+  struct ReeEntry {
+    uint64_t key;
+    VertexId v;
+  };
+  struct ReeTable {
+    std::array<ReeEntry, kReeTableEntries> slots;
+    uint32_t count = 0;
+    uint32_t next = 0;  // ring eviction cursor once full
+  };
+  std::vector<ReeTable> ree_tables_;  // per depth
+  std::vector<uint8_t> ree_active_;   // per depth, resolved in Prepare
+  /// Every distinct cluster view the plan consults (edge constraints
+  /// and negation removals): REE interchangeability must hold across
+  /// all of them.
+  std::vector<const ClusterView*> ree_views_;
+  /// LPI bookkeeping of the most recent ComputeCandidates call, copied
+  /// into the SCE cache entry so reuses can re-add the contribution
+  /// (thread-count invariance; see ExecStats::prune_candidates_removed).
+  uint64_t last_lpi_removed_ = 0;
+  int32_t last_lpi_shrink_pct_ = -1;  // -1: the LPI filter did not run
+
   std::vector<VertexId> mapping_by_pos_;
   std::vector<VertexId> mapping_by_vertex_;
   DynamicBitset used_;

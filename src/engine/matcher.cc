@@ -92,6 +92,9 @@ Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
   exec.time_limit_seconds = options.time_limit_seconds;
   exec.restrictions = options.restrictions;
   exec.stop = options.stop;
+  // The executor only acts on directives the plan compiled, so the
+  // plan's pass set (== options.plan.prune) is authoritative.
+  exec.prune = plan.prune;
   if (callback != nullptr) exec.callback = *callback;
 
   // Self-check: validate the plan, arm the SCE oracle, and re-verify
@@ -147,6 +150,10 @@ Status MatchImpl(const Ccsr& data, ClusterCache* cache, const Graph& pattern,
   result->candidate_sets_reused = stats.candidate_sets_reused;
   result->morsels_claimed = stats.morsels_claimed;
   result->worker_idle_seconds = stats.worker_idle_seconds;
+  result->intersect_elements = stats.intersect_elements;
+  result->prune_candidates_removed = stats.prune_candidates_removed;
+  result->prune_extensions_skipped = stats.prune_extensions_skipped;
+  result->prune_aux_hits = stats.prune_aux_hits;
   result->total_seconds = total.Seconds();
   result->peak_rss_bytes = PeakRssBytes();
 

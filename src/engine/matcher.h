@@ -67,6 +67,12 @@ struct MatchResult {
   /// outside Executor::Run (load-imbalance indicator). Both 0 serially.
   uint64_t morsels_claimed = 0;
   double worker_idle_seconds = 0.0;
+  /// Proactive-pruning counters (see ExecStats for semantics and
+  /// thread-count-invariance notes); all 0 with pruning off.
+  uint64_t intersect_elements = 0;
+  uint64_t prune_candidates_removed = 0;
+  uint64_t prune_extensions_skipped = 0;
+  uint64_t prune_aux_hits = 0;
 
   // Plan/read diagnostics.
   SceStats sce;

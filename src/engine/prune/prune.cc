@@ -1,0 +1,60 @@
+#include "engine/prune/prune.h"
+
+namespace csce {
+
+PruneOptions AllPruneOptions() {
+  PruneOptions o;
+  o.aux = o.ree = o.lpi = true;
+  return o;
+}
+
+Status ParsePruneList(std::string_view spec, PruneOptions* out) {
+  PruneOptions parsed;
+  size_t start = 0;
+  bool saw_token = false;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view token = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) {
+      if (spec.empty()) break;  // "" == none
+      return Status::InvalidArgument("empty prune pass name in list");
+    }
+    saw_token = true;
+    if (token == "aux") {
+      parsed.aux = true;
+    } else if (token == "ree") {
+      parsed.ree = true;
+    } else if (token == "lpi") {
+      parsed.lpi = true;
+    } else if (token == "all") {
+      parsed = AllPruneOptions();
+    } else if (token == "none") {
+      parsed = PruneOptions{};
+    } else {
+      return Status::InvalidArgument(
+          "unknown prune pass \"" + std::string(token) +
+          "\" (expected aux, ree, lpi, all, or none)");
+    }
+    if (comma == spec.size()) break;
+  }
+  (void)saw_token;
+  *out = parsed;
+  return Status::OK();
+}
+
+std::string PruneOptionsToString(const PruneOptions& options) {
+  if (!options.any()) return "none";
+  std::string s;
+  auto add = [&s](const char* name) {
+    if (!s.empty()) s += ',';
+    s += name;
+  };
+  if (options.aux) add("aux");
+  if (options.ree) add("ree");
+  if (options.lpi) add("lpi");
+  return s;
+}
+
+}  // namespace csce

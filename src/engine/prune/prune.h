@@ -1,0 +1,53 @@
+#ifndef CSCE_ENGINE_PRUNE_PRUNE_H_
+#define CSCE_ENGINE_PRUNE_PRUNE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace csce {
+
+/// Selection of proactive pruning passes (ROADMAP item 3). All three
+/// passes are semantics-preserving: with any subset enabled the engine
+/// produces byte-identical sorted embeddings to pruning-off — they only
+/// shrink the work done to find them.
+///
+///  - aux: auxiliary-graph projections (GraphMini-style). The planner
+///    marks positions whose candidate intersection can be built
+///    incrementally while ancestor vertices are placed; empty partial
+///    projections cut whole subtrees early.
+///  - ree: redundant-extension elimination (CEMR-style). Siblings whose
+///    adjacency is provably interchangeable with an already-enumerated
+///    zero-embedding sibling are skipped without descending.
+///  - lpi: label-pair index (l2Match-style). A per-vertex neighboring-
+///    label bitmask built at CCSR load (persisted as an optional v2
+///    section) filters candidates that cannot serve the pattern's
+///    still-unmatched neighbor labels.
+struct PruneOptions {
+  bool aux = false;
+  bool ree = false;
+  bool lpi = false;
+
+  bool any() const { return aux || ree || lpi; }
+
+  friend bool operator==(const PruneOptions& a, const PruneOptions& b) {
+    return a.aux == b.aux && a.ree == b.ree && a.lpi == b.lpi;
+  }
+};
+
+/// All passes on — the `--prune=all` spelling.
+PruneOptions AllPruneOptions();
+
+/// Parses a comma-separated pass list ("aux,ree,lpi", "all", "none", or
+/// "" meaning none) into `out`. Unknown pass names are rejected with
+/// InvalidArgument naming the offending token; `out` is untouched on
+/// error.
+Status ParsePruneList(std::string_view spec, PruneOptions* out);
+
+/// Canonical round-trippable spelling: "none", "aux,ree,lpi", ...
+std::string PruneOptionsToString(const PruneOptions& options);
+
+}  // namespace csce
+
+#endif  // CSCE_ENGINE_PRUNE_PRUNE_H_

@@ -29,6 +29,14 @@ struct CandidateCache {
   setops::VertexScratch candidates;
   std::vector<VertexId> dep_snapshot;
   bool valid = false;
+  /// LPI prefilter bookkeeping (prune pass "lpi"): how many candidates
+  /// the label-pair filter removed when this entry was computed, and
+  /// the shrink percentage it recorded (-1: the filter did not run).
+  /// Every reuse re-adds / re-records them, keeping the prune counters
+  /// a function of consumption counts only — and therefore invariant
+  /// under the thread-dependent compute/reuse split.
+  uint64_t lpi_removed = 0;
+  int32_t lpi_shrink_pct = -1;
 
   /// True if the snapshot matches the current mappings at `deps`.
   CSCE_HOT_PATH bool Fresh(std::span<const uint32_t> deps,

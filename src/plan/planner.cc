@@ -141,6 +141,11 @@ void CompileSeed(const Graph& pattern, const Ccsr* gc, VertexId u,
 bool SameBaseCandidates(const PlanPosition& a, const PlanPosition& b) {
   if (a.label != b.label) return false;
   if (a.edges != b.edges || a.negations != b.negations) return false;
+  // The lpi prefilter is applied inside the shared candidate
+  // computation, so aliased positions must demand identical masks.
+  if (a.lpi_req_out != b.lpi_req_out || a.lpi_req_in != b.lpi_req_in) {
+    return false;
+  }
   if (a.edges.empty()) {
     // Seeded positions: same seed source required.
     if (a.seed_valid != b.seed_valid) return false;
@@ -241,6 +246,40 @@ Status Planner::MakePlan(const Graph& pattern, MatchVariant variant,
     std::sort(pos.deps.begin(), pos.deps.end());
     pos.deps.erase(std::unique(pos.deps.begin(), pos.deps.end()),
                    pos.deps.end());
+  }
+
+  // Proactive pruning directives (engine/prune/prune.h), compiled into
+  // the plan so the executor, the morsel workers, and (over the wire)
+  // the shard workers all act on one consistent directive set.
+  plan.prune = options.prune;
+  if (options.prune.lpi) {
+    // Each backward edge constraint at a later position q demands that
+    // the vertex placed at position e.pos can still reach a neighbor
+    // with q's label in the right direction. Folded into per-position
+    // bitmasks checked against the CCSR label-pair index; edges toward
+    // EARLIER positions are already enforced by intersection.
+    for (uint32_t q = 0; q < n; ++q) {
+      const uint64_t bit = Ccsr::LabelBit(plan.positions[q].label);
+      for (const EdgeConstraint& e : plan.positions[q].edges) {
+        PlanPosition& dep = plan.positions[e.pos];
+        if (e.incoming) {
+          dep.lpi_req_in |= bit;
+        } else {
+          dep.lpi_req_out |= bit;
+        }
+      }
+    }
+  }
+  if (options.prune.aux) {
+    ChooseAuxTargets(data_, &plan);
+  }
+  if (options.prune.ree) {
+    // Never the root (morsel splitting would make skip counts depend on
+    // the thread count) and never the last position (the count-only
+    // fast path has no subtree to memoize).
+    for (uint32_t j = 1; j + 1 < n; ++j) {
+      plan.positions[j].ree_enabled = true;
+    }
   }
 
   // NEC cache sharing: positions with identical base-candidate

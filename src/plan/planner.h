@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ccsr/ccsr.h"
+#include "engine/prune/prune.h"
 #include "graph/graph.h"
 #include "graph/variant.h"
 #include "plan/dag.h"
@@ -61,6 +62,24 @@ struct PlanPosition {
   /// least the pattern vertex's degrees (0 disables the check).
   uint32_t min_out_degree = 0;
   uint32_t min_in_degree = 0;
+
+  // --- Proactive pruning directives (engine/prune/prune.h) ----------
+  /// lpi: neighbor-label bitmasks every candidate at this position must
+  /// cover — one bit per pattern neighbor matched at a LATER position,
+  /// folded the same way as Ccsr::LabelBit. Zero masks disable the
+  /// filter. Emitted only when PlanOptions::prune.lpi is set.
+  uint64_t lpi_req_out = 0;
+  uint64_t lpi_req_in = 0;
+  /// aux: maintain an incremental adjacency projection for this
+  /// position while its dependency vertices are placed (empty partial
+  /// projections cut the subtree early). Chosen by the cost model;
+  /// emitted only when PlanOptions::prune.aux is set.
+  bool aux_enabled = false;
+  /// ree: the executor may skip siblings at this position whose
+  /// adjacency is interchangeable with an already-enumerated
+  /// zero-embedding sibling. Emitted only when PlanOptions::prune.ree
+  /// is set, never for the first or last position.
+  bool ree_enabled = false;
 };
 
 /// A compiled matching plan: the optimized order Phi* plus per-position
@@ -71,6 +90,10 @@ struct Plan {
   std::vector<VertexId> order;          // Phi*
   std::vector<PlanPosition> positions;  // one per order entry
   bool use_sce = true;                  // executor honors candidate reuse
+  /// Which proactive pruning passes the per-position directives were
+  /// compiled for; the matcher forwards this into ExecOptions so the
+  /// executor only acts on directives the user asked for.
+  PruneOptions prune;
 
   // Diagnostics (Fig. 12 / Fig. 13 / tests).
   SceStats sce;
@@ -98,6 +121,8 @@ struct PlanOptions {
   bool use_nec = true;
   /// LDF candidate degree filtering (injective variants only).
   bool use_degree_filter = true;
+  /// Proactive pruning passes to compile directives for (--prune=...).
+  PruneOptions prune;
 };
 
 /// Generates plans for patterns against one CCSR-indexed data graph.

@@ -22,6 +22,12 @@ struct RuntimeMetricsReg {
   // Likewise the probe's root candidate-set sample (the workers flush
   // their own samples when their Run ends).
   obs::Histogram candidate_set_size;
+  // The probe's LPI share: with pruning on, the root set is filtered
+  // exactly once, by the probe — workers enumerate pre-filtered
+  // morsels. Flushing it here keeps the process counters equal to a
+  // single-threaded run's.
+  obs::Counter prune_candidates_removed;
+  obs::Histogram prune_shrink_ratio;
   obs::Histogram worker_idle_seconds;
 
   static const RuntimeMetricsReg& Get() {
@@ -30,6 +36,8 @@ struct RuntimeMetricsReg {
       return RuntimeMetricsReg{r.counter("runtime.parallel_runs"),
                                r.counter("engine.sce_recomputes"),
                                r.histogram("engine.candidate_set_size"),
+                               r.counter("prune.candidates_removed"),
+                               r.histogram("prune.shrink_ratio_pct"),
                                r.histogram("runtime.worker_idle_seconds")};
     }();
     return m;
@@ -58,7 +66,9 @@ Status ParallelExecutor::Run(const ExecOptions& options,
   // Root candidate computation doubles as option validation (Prepare).
   Executor probe(gc_, qc_, plan_);
   std::vector<VertexId> roots;
-  CSCE_RETURN_IF_ERROR(probe.ComputeRootCandidates(options, &roots));
+  ExecStats probe_stats;
+  CSCE_RETURN_IF_ERROR(
+      probe.ComputeRootCandidates(options, &roots, &probe_stats));
 
   const size_t morsel =
       popts.morsel_size > 0 ? popts.morsel_size
@@ -126,9 +136,14 @@ Status ParallelExecutor::Run(const ExecOptions& options,
 
   ExecStats merged;
   // The probe's root candidate computation is real work the serial
-  // path would also count.
-  merged.candidate_sets_computed = 1;
-  merged.candidate_set_size.RecordCount(roots.size());
+  // path would also count — including its LPI filtering of the root
+  // set, which the workers (enumerating pre-filtered morsels) never
+  // repeat at depth 0.
+  merged.candidate_sets_computed = probe_stats.candidate_sets_computed;
+  merged.candidate_set_size.Merge(probe_stats.candidate_set_size);
+  merged.intersect_elements = probe_stats.intersect_elements;
+  merged.prune_candidates_removed = probe_stats.prune_candidates_removed;
+  merged.prune_shrink_ratio.Merge(probe_stats.prune_shrink_ratio);
   double busy_seconds = 0.0;
   for (uint32_t t = 0; t < threads; ++t) {
     CSCE_RETURN_IF_ERROR(worker_status[t]);
@@ -138,6 +153,13 @@ Status ParallelExecutor::Run(const ExecOptions& options,
     merged.candidate_sets_reused += worker_stats[t].candidate_sets_reused;
     merged.morsels_claimed += worker_stats[t].morsels_claimed;
     merged.candidate_set_size.Merge(worker_stats[t].candidate_set_size);
+    merged.intersect_elements += worker_stats[t].intersect_elements;
+    merged.prune_candidates_removed +=
+        worker_stats[t].prune_candidates_removed;
+    merged.prune_extensions_skipped +=
+        worker_stats[t].prune_extensions_skipped;
+    merged.prune_aux_hits += worker_stats[t].prune_aux_hits;
+    merged.prune_shrink_ratio.Merge(worker_stats[t].prune_shrink_ratio);
     merged.timed_out |= worker_stats[t].timed_out;
     busy_seconds += worker_stats[t].seconds;
   }
@@ -160,6 +182,8 @@ Status ParallelExecutor::Run(const ExecOptions& options,
   m.parallel_runs.Increment();
   m.sce_recomputes.Increment();  // the probe's share of merged stats
   m.candidate_set_size.Record(static_cast<double>(roots.size()));
+  m.prune_candidates_removed.Add(probe_stats.prune_candidates_removed);
+  m.prune_shrink_ratio.Merge(probe_stats.prune_shrink_ratio);
   m.worker_idle_seconds.Record(merged.worker_idle_seconds);
   return Status::OK();
 }

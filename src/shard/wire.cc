@@ -329,6 +329,9 @@ Status DecodeClusterId(PayloadReader* r, ClusterId* out) {
 void EncodePlan(const Plan& plan, PayloadWriter* w) {
   w->U8(static_cast<uint8_t>(plan.variant));
   w->U8(plan.use_sce ? 1 : 0);
+  w->U8(static_cast<uint8_t>((plan.prune.aux ? 1 : 0) |
+                             (plan.prune.ree ? 2 : 0) |
+                             (plan.prune.lpi ? 4 : 0)));
   w->VecU32(plan.order);
   w->U32(static_cast<uint32_t>(plan.positions.size()));
   for (const PlanPosition& pos : plan.positions) {
@@ -354,6 +357,10 @@ void EncodePlan(const Plan& plan, PayloadWriter* w) {
     w->U8(pos.seed_use_sources ? 1 : 0);
     w->U32(pos.min_out_degree);
     w->U32(pos.min_in_degree);
+    w->U64(pos.lpi_req_out);
+    w->U64(pos.lpi_req_in);
+    w->U8(pos.aux_enabled ? 1 : 0);
+    w->U8(pos.ree_enabled ? 1 : 0);
   }
 }
 
@@ -365,6 +372,12 @@ Status DecodePlan(PayloadReader* r, Plan* out) {
   out->variant = static_cast<MatchVariant>(variant);
   CSCE_RETURN_IF_ERROR(r->U8(&use_sce));
   out->use_sce = use_sce != 0;
+  uint8_t prune_bits = 0;
+  CSCE_RETURN_IF_ERROR(r->U8(&prune_bits));
+  if (prune_bits > 7) return Status::Corruption("unknown prune pass bits");
+  out->prune.aux = (prune_bits & 1) != 0;
+  out->prune.ree = (prune_bits & 2) != 0;
+  out->prune.lpi = (prune_bits & 4) != 0;
   CSCE_RETURN_IF_ERROR(r->VecU32(&out->order));
   uint32_t npos = 0;
   CSCE_RETURN_IF_ERROR(r->U32(&npos));
@@ -424,6 +437,12 @@ Status DecodePlan(PayloadReader* r, Plan* out) {
     pos.seed_use_sources = flag != 0;
     CSCE_RETURN_IF_ERROR(r->U32(&pos.min_out_degree));
     CSCE_RETURN_IF_ERROR(r->U32(&pos.min_in_degree));
+    CSCE_RETURN_IF_ERROR(r->U64(&pos.lpi_req_out));
+    CSCE_RETURN_IF_ERROR(r->U64(&pos.lpi_req_in));
+    CSCE_RETURN_IF_ERROR(r->U8(&flag));
+    pos.aux_enabled = flag != 0;
+    CSCE_RETURN_IF_ERROR(r->U8(&flag));
+    pos.ree_enabled = flag != 0;
   }
   return Status::OK();
 }

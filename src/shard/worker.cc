@@ -198,6 +198,10 @@ Status ShardWorker::HandlePlan(const wire::PlanRequest& req) {
   // slice is what this worker's morsel loop drains.
   {
     Executor probe(ccsr_, qc_, plan_);
+    // Deliberately default options: in particular no prune passes. The
+    // probe runs against the shard-local CCSR, whose label masks and
+    // rows are partial (1-hop replication), so any proactive pruning
+    // here could drop owned roots that complete on other shards.
     ExecOptions probe_options;
     std::vector<VertexId> roots;
     CSCE_RETURN_IF_ERROR(probe.ComputeRootCandidates(probe_options, &roots));
@@ -228,6 +232,12 @@ Status ShardWorker::HandlePlan(const wire::PlanRequest& req) {
     opt.verify_sce = req.verify_sce;
     opt.time_limit_seconds = req.time_limit_seconds;
     opt.shard = &spec;
+    // The plan may carry prune directives (the coordinator forwards
+    // the user's pass set over the wire), but the executor force-
+    // disables every pass in shard mode — see ExecOptions::prune.
+    // Forwarding them anyway keeps the wire round-trip visible in
+    // task-mode stats if that guard ever changes.
+    opt.prune = plan_.prune;
     opt.root_claim = [this]() -> std::span<const VertexId> {
       size_t begin = root_next_.fetch_add(root_morsel_);
       if (begin >= owned_roots_.size()) return {};

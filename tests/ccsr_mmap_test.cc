@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -88,7 +90,11 @@ class CcsrMmapTest : public ::testing::Test {
   static void SetUpTestSuite() {
     data_ = new Graph(datasets::Patent(18));
     index_ = new Ccsr(Ccsr::Build(*data_));
-    path_ = new std::string(::testing::TempDir() + "/ccsr_mmap_test.ccsr");
+    // Per-process artifact name: under `ctest -j` every TEST of this
+    // fixture runs as its own process, and a shared path would race
+    // SetUpTestSuite's write against another process's teardown.
+    path_ = new std::string(::testing::TempDir() + "/ccsr_mmap_test." +
+                            std::to_string(::getpid()) + ".ccsr");
     CSCE_CHECK(SaveCcsrToFileV2(*index_, *path_).ok());
   }
   static void TearDownTestSuite() {

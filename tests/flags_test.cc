@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/prune/prune.h"
+
 namespace csce {
 namespace {
 
@@ -80,6 +82,66 @@ TEST(FlagsTest, EmptyFlagNameRejected) {
   FlagParser parser;
   EXPECT_EQ(parser.Parse(2, argv.data()).code(),
             StatusCode::kInvalidArgument);
+}
+
+// --- --prune / CSCE_PRUNE pass-list parsing (csce_match, csce_serve) -
+
+TEST(PruneListTest, IndividualPassesAndCombinations) {
+  PruneOptions p;
+  ASSERT_TRUE(ParsePruneList("aux", &p).ok());
+  EXPECT_TRUE(p.aux);
+  EXPECT_FALSE(p.ree);
+  EXPECT_FALSE(p.lpi);
+
+  p = PruneOptions{};
+  ASSERT_TRUE(ParsePruneList("ree,lpi", &p).ok());
+  EXPECT_FALSE(p.aux);
+  EXPECT_TRUE(p.ree);
+  EXPECT_TRUE(p.lpi);
+
+  p = PruneOptions{};
+  ASSERT_TRUE(ParsePruneList("aux,ree,lpi", &p).ok());
+  EXPECT_EQ(p, AllPruneOptions());
+}
+
+TEST(PruneListTest, AllNoneAndEmptySpellings) {
+  PruneOptions p;
+  ASSERT_TRUE(ParsePruneList("all", &p).ok());
+  EXPECT_EQ(p, AllPruneOptions());
+
+  ASSERT_TRUE(ParsePruneList("none", &p).ok());
+  EXPECT_FALSE(p.any());
+
+  p = AllPruneOptions();
+  ASSERT_TRUE(ParsePruneList("", &p).ok());
+  EXPECT_FALSE(p.any());
+}
+
+TEST(PruneListTest, UnknownPassRejectedAndOutUntouched) {
+  PruneOptions p;
+  p.aux = true;
+  Status st = ParsePruneList("aux,cemr", &p);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("cemr"), std::string::npos) << st.ToString();
+  // Out-parameter untouched on error.
+  EXPECT_TRUE(p.aux);
+  EXPECT_FALSE(p.ree);
+  EXPECT_FALSE(p.lpi);
+
+  EXPECT_EQ(ParsePruneList("aux,,lpi", &p).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PruneListTest, RoundTripsThroughToString) {
+  for (const char* spec : {"none", "aux", "ree", "lpi", "aux,ree", "aux,lpi",
+                           "ree,lpi", "aux,ree,lpi"}) {
+    PruneOptions p;
+    ASSERT_TRUE(ParsePruneList(spec, &p).ok()) << spec;
+    EXPECT_EQ(PruneOptionsToString(p), spec);
+    PruneOptions q;
+    ASSERT_TRUE(ParsePruneList(PruneOptionsToString(p), &q).ok()) << spec;
+    EXPECT_EQ(p, q);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,30 @@
+// Negative fixture for csce_lint's hot-path-no-alloc over the prune
+// layer: an aux-projection step that grows its output buffer with
+// std::vector::resize from inside the enumeration hot path, instead of
+// writing into a scratch buffer sized during Prepare. Never compiled
+// into the build — the lint self-test asserts the checker flags it.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#define CSCE_HOT_PATH
+
+namespace fixture {
+
+struct AuxStepState {
+  std::vector<uint32_t> buf;
+};
+
+AuxStepState* StepState(uint32_t step);
+
+CSCE_HOT_PATH bool RunAuxProjection(const uint32_t* row, size_t n,
+                                    uint32_t step) {
+  AuxStepState* s = StepState(step);
+  // No project class defines resize in this fixture's model, so the
+  // member call is judged as the allocating std container method.
+  s->buf.resize(n);
+  for (size_t i = 0; i < n; ++i) s->buf[i] = row[i];
+  return n != 0;
+}
+
+}  // namespace fixture

@@ -209,6 +209,115 @@ TEST(EngineMetricsTest, ParallelCountersMatchSerial) {
   EXPECT_EQ(GlobalCounter(parallel_snap, "runtime.parallel_runs"), 1u);
 }
 
+// --- Prune counter invariance ---------------------------------------
+//
+// prune.candidates_removed, prune.extensions_skipped and the
+// prune.shrink_ratio_pct sample count are work-defining: they depend
+// only on the (graph, pattern, plan), never on how the search tree is
+// split over workers. (prune.aux_hits and engine.intersect_elements
+// are deliberately NOT asserted — morsel splitting legitimately moves
+// work between the aux-projection and per-morsel recomputation paths.)
+
+constexpr Label kLA = 0, kLB = 1, kLC = 2, kLD = 3;
+
+// N disjoint copies of the star-decoy gadget (see prune_test.cc): six
+// B-decoys per copy that the lpi mask removes, with enough root
+// candidates that an 8-thread run genuinely splits into morsels.
+Graph PruneStarCopies(uint32_t copies) {
+  std::vector<Label> vlabels;
+  std::vector<Edge> edges;
+  for (uint32_t k = 0; k < copies; ++k) {
+    const VertexId base = static_cast<VertexId>(vlabels.size());
+    // a, c, c', d, b_good
+    vlabels.insert(vlabels.end(), {kLA, kLC, kLC, kLD, kLB});
+    edges.push_back({base + 4, base + 0});
+    edges.push_back({base + 4, base + 1});
+    edges.push_back({base + 4, base + 3});
+    for (uint32_t i = 0; i < 6; ++i) {
+      const VertexId b = static_cast<VertexId>(vlabels.size());
+      vlabels.push_back(kLB);
+      edges.push_back({b, base + 0});
+      edges.push_back({b, base + 1});
+      edges.push_back({b, base + 2});
+    }
+    for (uint32_t i = 0; i < 10; ++i) {
+      const VertexId b = static_cast<VertexId>(vlabels.size());
+      vlabels.push_back(kLB);
+      vlabels.push_back(kLD);
+      edges.push_back({b, b + 1});
+    }
+  }
+  return testing::MakeGraph(false, vlabels, edges);
+}
+
+// N disjoint copies of the triangle-plus-pendant gadget whose decoy
+// subtrees are skipped by ree/aux (see prune_test.cc).
+Graph PruneTriCopies(uint32_t copies) {
+  std::vector<Label> vlabels;
+  std::vector<Edge> edges;
+  for (uint32_t k = 0; k < copies; ++k) {
+    const VertexId base = static_cast<VertexId>(vlabels.size());
+    // a, b_good, c_good, pendant d, cj, dj
+    vlabels.insert(vlabels.end(), {kLA, kLB, kLC, kLD, kLC, kLD});
+    edges.push_back({base + 0, base + 1});
+    edges.push_back({base + 0, base + 2});
+    edges.push_back({base + 1, base + 2});
+    edges.push_back({base + 0, base + 3});
+    for (uint32_t i = 0; i < 6; ++i) {
+      const VertexId b = static_cast<VertexId>(vlabels.size());
+      vlabels.push_back(kLB);
+      edges.push_back({base + 0, b});
+      edges.push_back({b, base + 4});
+    }
+    for (uint32_t i = 0; i < 6; ++i) {
+      const VertexId c = static_cast<VertexId>(vlabels.size());
+      vlabels.push_back(kLC);
+      edges.push_back({base + 0, c});
+      edges.push_back({c, base + 5});
+    }
+  }
+  return testing::MakeGraph(false, vlabels, edges);
+}
+
+MetricsSnapshot RunPruneWorkload(uint32_t threads) {
+  MetricRegistry::Global().ResetForTesting();
+  MatchOptions options;
+  options.variant = MatchVariant::kEdgeInduced;
+  options.num_threads = threads;
+  options.morsel_size = 1;
+  options.plan.prune = AllPruneOptions();
+
+  Ccsr star = Ccsr::Build(PruneStarCopies(8));
+  Graph star_pattern = testing::MakeGraph(false, {kLA, kLB, kLC, kLD},
+                                          {{0, 1}, {1, 2}, {1, 3}});
+  MatchResult result;
+  CSCE_CHECK(CsceMatcher(&star).Match(star_pattern, options, &result).ok());
+
+  Ccsr tri = Ccsr::Build(PruneTriCopies(8));
+  Graph tri_pattern = testing::MakeGraph(
+      false, {kLA, kLB, kLC, kLD}, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  CSCE_CHECK(CsceMatcher(&tri).Match(tri_pattern, options, &result).ok());
+
+  return MetricRegistry::Global().Snapshot();
+}
+
+TEST(EngineMetricsTest, PruneCountersThreadCountInvariant) {
+  MetricsSnapshot serial = RunPruneWorkload(1);
+  // The workload actually prunes: 6 lpi removals and >=5 skipped
+  // extensions per gadget copy.
+  EXPECT_GE(GlobalCounter(serial, "prune.candidates_removed"), 8u * 6u);
+  EXPECT_GE(GlobalCounter(serial, "prune.extensions_skipped"), 8u * 5u);
+  EXPECT_GT(serial.histograms["prune.shrink_ratio_pct"].count, 0u);
+
+  MetricsSnapshot parallel = RunPruneWorkload(8);
+  EXPECT_EQ(GlobalCounter(parallel, "prune.candidates_removed"),
+            GlobalCounter(serial, "prune.candidates_removed"));
+  EXPECT_EQ(GlobalCounter(parallel, "prune.extensions_skipped"),
+            GlobalCounter(serial, "prune.extensions_skipped"));
+  EXPECT_EQ(parallel.histograms["prune.shrink_ratio_pct"].count,
+            serial.histograms["prune.shrink_ratio_pct"].count);
+}
+
 TEST(EngineMetricsTest, RepeatedRunsAccumulate) {
   MetricRegistry::Global().ResetForTesting();
   Ccsr gc = Ccsr::Build(testing::Clique(4));

@@ -1,0 +1,419 @@
+// Proactive-pruning differential crosschecks: every subset of the
+// {aux, ree, lpi} pass family must yield byte-identical sorted
+// embedding sets — and equal counts — to pruning-off, across thread
+// counts, shard counts, and mmap'd v2 artifacts (whose label-pair
+// index sections feed the lpi pass from disk). The passes only shrink
+// the work; a crafted workload additionally pins down that each pass
+// actually fires (counters move) and actually helps (search shrinks).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ccsr/ccsr.h"
+#include "ccsr/ccsr_io.h"
+#include "ccsr/ccsr_mmap.h"
+#include "engine/matcher.h"
+#include "engine/prune/prune.h"
+#include "gen/datasets.h"
+#include "gen/pattern_gen.h"
+#include "shard/coordinator.h"
+#include "shard/shard_plan.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace csce {
+namespace {
+
+struct MatchSnapshot {
+  MatchResult result;
+  std::vector<std::vector<VertexId>> rows;  // sorted embeddings
+};
+
+std::vector<std::vector<VertexId>> SortedRows(
+    const std::vector<VertexId>& flat, uint32_t width) {
+  std::vector<std::vector<VertexId>> rows;
+  if (width == 0) return rows;
+  for (size_t off = 0; off + width <= flat.size(); off += width) {
+    rows.emplace_back(flat.begin() + off, flat.begin() + off + width);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// The eight pass subsets, pruning-off first.
+std::vector<PruneOptions> AllSubsets() {
+  std::vector<PruneOptions> subsets;
+  for (int bits = 0; bits < 8; ++bits) {
+    PruneOptions p;
+    p.aux = (bits & 1) != 0;
+    p.ree = (bits & 2) != 0;
+    p.lpi = (bits & 4) != 0;
+    subsets.push_back(p);
+  }
+  return subsets;
+}
+
+MatchSnapshot RunMatch(const Ccsr& index, const Graph& pattern,
+                       MatchVariant variant, PruneOptions prune,
+                       uint32_t threads) {
+  CsceMatcher matcher(&index);
+  MatchOptions options;
+  options.variant = variant;
+  options.num_threads = threads;
+  options.plan.prune = prune;
+  std::vector<VertexId> flat;
+  std::mutex mu;  // the callback fires concurrently from worker threads
+  MatchSnapshot snap;
+  Status st = matcher.MatchWithCallback(
+      pattern, options,
+      [&](std::span<const VertexId> mapping) {
+        std::lock_guard<std::mutex> lock(mu);
+        flat.insert(flat.end(), mapping.begin(), mapping.end());
+        return true;
+      },
+      &snap.result);
+  CSCE_CHECK(st.ok());
+  snap.rows = SortedRows(flat, pattern.NumVertices());
+  return snap;
+}
+
+class PruneCrosscheckTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new Graph(datasets::Patent(18));
+    index_ = new Ccsr(Ccsr::Build(*data_));
+    // Per-process artifact name — see ccsr_mmap_test.cc: a shared path
+    // would race concurrent test processes under `ctest -j`.
+    path_ = new std::string(::testing::TempDir() + "/prune_test." +
+                            std::to_string(::getpid()) + ".ccsr");
+    CSCE_CHECK(SaveCcsrToFileV2(*index_, *path_).ok());
+  }
+  static void TearDownTestSuite() {
+    std::remove(path_->c_str());
+    delete path_;
+    path_ = nullptr;
+    delete index_;
+    index_ = nullptr;
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static Graph* data_;
+  static Ccsr* index_;
+  static std::string* path_;
+};
+
+Graph* PruneCrosscheckTest::data_ = nullptr;
+Ccsr* PruneCrosscheckTest::index_ = nullptr;
+std::string* PruneCrosscheckTest::path_ = nullptr;
+
+TEST_F(PruneCrosscheckTest, EverySubsetByteIdenticalAcrossThreadCounts) {
+  Rng rng(31);
+  Graph dense;
+  ASSERT_TRUE(
+      SamplePattern(*data_, 5, PatternDensity::kDense, rng, &dense).ok());
+  Graph sparse;
+  ASSERT_TRUE(
+      SamplePattern(*data_, 5, PatternDensity::kSparse, rng, &sparse).ok());
+  for (const Graph* pattern : {&dense, &sparse}) {
+    for (MatchVariant variant :
+         {MatchVariant::kEdgeInduced, MatchVariant::kHomomorphic}) {
+      MatchSnapshot want =
+          RunMatch(*index_, *pattern, variant, PruneOptions{}, /*threads=*/1);
+      for (const PruneOptions& prune : AllSubsets()) {
+        for (uint32_t threads : {1u, 8u}) {
+          MatchSnapshot got =
+              RunMatch(*index_, *pattern, variant, prune, threads);
+          EXPECT_EQ(got.result.embeddings, want.result.embeddings)
+              << "prune=" << PruneOptionsToString(prune)
+              << " threads=" << threads;
+          EXPECT_EQ(got.rows, want.rows)
+              << "prune=" << PruneOptionsToString(prune)
+              << " threads=" << threads;
+          // Pruning may only ever shrink the search.
+          EXPECT_LE(got.result.search_nodes, want.result.search_nodes)
+              << "prune=" << PruneOptionsToString(prune)
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(PruneCrosscheckTest, MmapV2ArtifactAgreesWithInMemory) {
+  // The v2 artifact persists the label-pair index; the mapped run's
+  // lpi pass consults masks straight from the file.
+  std::unique_ptr<MmapCcsr> mapped;
+  ASSERT_TRUE(MmapCcsr::Open(*path_, &mapped).ok());
+  Ccsr borrowed = mapped->Release();
+
+  Rng rng(47);
+  Graph pattern;
+  ASSERT_TRUE(
+      SamplePattern(*data_, 5, PatternDensity::kDense, rng, &pattern).ok());
+  MatchSnapshot want = RunMatch(*index_, pattern, MatchVariant::kEdgeInduced,
+                                PruneOptions{}, /*threads=*/1);
+  for (const PruneOptions& prune : AllSubsets()) {
+    for (uint32_t threads : {1u, 8u}) {
+      MatchSnapshot got = RunMatch(borrowed, pattern,
+                                   MatchVariant::kEdgeInduced, prune, threads);
+      EXPECT_EQ(got.result.embeddings, want.result.embeddings)
+          << "prune=" << PruneOptionsToString(prune) << " threads=" << threads;
+      EXPECT_EQ(got.rows, want.rows)
+          << "prune=" << PruneOptionsToString(prune) << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(PruneCrosscheckTest, ShardedRunsStayIdenticalWithPruneRequested) {
+  // Shard-local indexes are partial under 1-hop replication, so the
+  // executor force-disables every pass in shard mode; requesting the
+  // full stack must still produce the single-node answer bit-for-bit.
+  Rng rng(59);
+  Graph pattern;
+  ASSERT_TRUE(
+      SamplePattern(*data_, 5, PatternDensity::kDense, rng, &pattern).ok());
+  MatchSnapshot want = RunMatch(*index_, pattern, MatchVariant::kEdgeInduced,
+                                PruneOptions{}, /*threads=*/1);
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    for (uint32_t threads : {1u, 8u}) {
+      std::unique_ptr<shard::InProcessCluster> cluster;
+      ASSERT_TRUE(shard::InProcessCluster::Create(
+                      *data_, index_, shards,
+                      shard::PartitionStrategy::kHash, threads, &cluster)
+                      .ok());
+      shard::CoordinatorOptions options;
+      options.collect_embeddings = true;
+      options.self_check = true;
+      options.plan.prune = AllPruneOptions();
+      shard::ShardResult result;
+      Status st = cluster->coordinator().Execute(pattern, options, &result);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      EXPECT_EQ(result.embeddings, want.result.embeddings)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(result.search_nodes, want.result.search_nodes)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(SortedRows(result.embedding_data, result.embedding_width),
+                want.rows)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(PruneCrosscheckTest, SelfCheckCleanWithAllPassesOn) {
+  Rng rng(83);
+  Graph pattern;
+  ASSERT_TRUE(
+      SamplePattern(*data_, 5, PatternDensity::kDense, rng, &pattern).ok());
+  for (uint32_t threads : {1u, 8u}) {
+    CsceMatcher matcher(index_);
+    MatchOptions options;
+    options.num_threads = threads;
+    options.self_check = true;
+    options.plan.prune = AllPruneOptions();
+    MatchResult result;
+    ASSERT_TRUE(matcher.Match(pattern, options, &result).ok());
+    EXPECT_EQ(result.embeddings_verified, result.embeddings)
+        << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Crafted workload where each pass provably fires. One A-hub `a0`
+// carries a real triangle (b_good, c_good) plus `kDecoys` B-decoys that
+// are adjacent only to {a0, x}: degree 2 (so the LDF keeps them), no C
+// neighbor (so their subtrees are empty), and element-wise identical
+// adjacency rows (so they are REE-interchangeable). C-filler vertices
+// hanging off `x` inflate the C label frequency so the planner roots
+// the A-B-C path pattern at its unique-A end — making B (with its
+// decoys) the enumerated middle position rather than a set already
+// shrunk by a C-side intersection.
+constexpr Label kA = 0, kB = 1, kC = 2, kD = 3;
+constexpr uint32_t kDecoys = 6;
+
+Graph DecoyTriangleGraph() {
+  std::vector<Label> vlabels = {kA, kB, kC, kD};  // a0, b_good, c_good, x
+  std::vector<Edge> edges = {{0, 1}, {0, 2}, {1, 2}};
+  for (uint32_t i = 0; i < kDecoys; ++i) {
+    const VertexId b = static_cast<VertexId>(vlabels.size());
+    vlabels.push_back(kB);
+    edges.push_back({0, b});  // a0 - decoy
+    edges.push_back({b, 3});  // decoy - x
+  }
+  for (uint32_t i = 0; i < kDecoys; ++i) {
+    const VertexId c = static_cast<VertexId>(vlabels.size());
+    vlabels.push_back(kC);  // filler: keeps C common, matches nothing
+    edges.push_back({c, 3});
+  }
+  Graph g = csce::testing::MakeGraph(false, vlabels, edges);
+  return g;
+}
+
+Graph TrianglePattern() {
+  return csce::testing::MakeGraph(false, {kA, kB, kC},
+                                  {{0, 1}, {1, 2}, {0, 2}});
+}
+
+// Star-pattern workload for the lpi/ree firing tests. The pattern is
+// a star around B (A-B, B-C, B-D); the unique A vertex roots the plan,
+// so B's candidates arrive via the backward A-edge — the full b-row of
+// `a0`, decoys included — while the C- and D-edges point forward. The
+// decoys carry A and C neighbors but no D neighbor, so only a forward-
+// looking check (lpi's label mask) or descending into the subtree can
+// eliminate them; GCF cluster seeding cannot. Junk B-D pairs keep the
+// (B,D) cluster from being the smallest seed for a B root.
+constexpr uint32_t kJunkPairs = 10;
+
+Graph StarDecoyGraph() {
+  // a0=0 (A), c0=1, c1=2 (C), d0=3 (D), b_good=4 (B).
+  std::vector<Label> vlabels = {kA, kC, kC, kD, kB};
+  std::vector<Edge> edges = {{4, 0}, {4, 1}, {4, 3}};
+  for (uint32_t i = 0; i < kDecoys; ++i) {
+    const VertexId b = static_cast<VertexId>(vlabels.size());
+    vlabels.push_back(kB);
+    // Degree 3 (the LDF keeps them), element-wise identical rows
+    // (REE-interchangeable), no D neighbor (their subtrees are empty).
+    edges.push_back({b, 0});
+    edges.push_back({b, 1});
+    edges.push_back({b, 2});
+  }
+  for (uint32_t i = 0; i < kJunkPairs; ++i) {
+    const VertexId b = static_cast<VertexId>(vlabels.size());
+    vlabels.push_back(kB);
+    vlabels.push_back(kD);
+    edges.push_back({b, b + 1});
+  }
+  return csce::testing::MakeGraph(false, vlabels, edges);
+}
+
+Graph StarPattern() {
+  return csce::testing::MakeGraph(false, {kA, kB, kC, kD},
+                                  {{0, 1}, {1, 2}, {1, 3}});
+}
+
+// REE workload: triangle A-B-C plus a pendant D on A. The pendant
+// makes the triangle-closing position a middle one (REE never runs at
+// the root or the last position). Decoy Bs (adjacent {a0, cj}) and
+// junk Cs (adjacent {a0, dj}) balance the (A,B)/(A,C) cluster sizes so
+// that whichever of B/C the planner orders second has interchangeable
+// siblings whose subtrees die in the closing intersection — cj/dj are
+// not adjacent to a0, so those prefixes complete with zero embeddings.
+Graph TriPendantGraph() {
+  // a0=0 (A), b_good=1 (B), c_good=2 (C), x0=3 (D), cj=4 (C), dj=5 (D).
+  std::vector<Label> vlabels = {kA, kB, kC, kD, kC, kD};
+  std::vector<Edge> edges = {{0, 1}, {0, 2}, {1, 2}, {0, 3}};
+  for (uint32_t i = 0; i < kDecoys; ++i) {
+    const VertexId b = static_cast<VertexId>(vlabels.size());
+    vlabels.push_back(kB);
+    edges.push_back({0, b});
+    edges.push_back({b, 4});
+  }
+  for (uint32_t i = 0; i < kDecoys; ++i) {
+    const VertexId c = static_cast<VertexId>(vlabels.size());
+    vlabels.push_back(kC);
+    edges.push_back({0, c});
+    edges.push_back({c, 5});
+  }
+  return csce::testing::MakeGraph(false, vlabels, edges);
+}
+
+Graph TriPendantPattern() {
+  return csce::testing::MakeGraph(false, {kA, kB, kC, kD},
+                                  {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+}
+
+class PruneFiringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = DecoyTriangleGraph();
+    index_ = Ccsr::Build(data_);
+    pattern_ = TrianglePattern();
+  }
+  Graph data_;
+  Ccsr index_;
+  Graph pattern_;
+};
+
+TEST_F(PruneFiringTest, LpiRemovesLabelDeficientCandidates) {
+  Graph data = StarDecoyGraph();
+  Ccsr index = Ccsr::Build(data);
+  Graph star = StarPattern();
+  MatchSnapshot off =
+      RunMatch(index, star, MatchVariant::kEdgeInduced, PruneOptions{}, 1);
+  PruneOptions lpi;
+  lpi.lpi = true;
+  MatchSnapshot got =
+      RunMatch(index, star, MatchVariant::kEdgeInduced, lpi, 1);
+  EXPECT_EQ(got.result.embeddings, 1u);
+  EXPECT_EQ(got.rows, off.rows);
+  // Every decoy lacks a D neighbor, so the label-pair prefilter drops
+  // all of them from the B candidate set before enumeration.
+  EXPECT_GE(got.result.prune_candidates_removed, kDecoys);
+  EXPECT_LT(got.result.search_nodes, off.result.search_nodes);
+}
+
+TEST_F(PruneFiringTest, ReeSkipsInterchangeableZeroEmbeddingSiblings) {
+  Graph data = TriPendantGraph();
+  Ccsr index = Ccsr::Build(data);
+  Graph star = TriPendantPattern();
+  MatchSnapshot off =
+      RunMatch(index, star, MatchVariant::kEdgeInduced, PruneOptions{}, 1);
+  PruneOptions ree;
+  ree.ree = true;
+  MatchSnapshot got =
+      RunMatch(index, star, MatchVariant::kEdgeInduced, ree, 1);
+  EXPECT_EQ(got.result.embeddings, 1u);
+  EXPECT_EQ(got.rows, off.rows);
+  // The first decoy's subtree completes empty; the remaining decoys
+  // have identical rows and are skipped without descending.
+  EXPECT_GE(got.result.prune_extensions_skipped, kDecoys - 1);
+}
+
+TEST_F(PruneFiringTest, AuxEmptyCutsDecoySubtrees) {
+  MatchSnapshot off = RunMatch(index_, pattern_, MatchVariant::kEdgeInduced,
+                               PruneOptions{}, 1);
+  PruneOptions aux;
+  aux.aux = true;
+  MatchSnapshot got =
+      RunMatch(index_, pattern_, MatchVariant::kEdgeInduced, aux, 1);
+  EXPECT_EQ(got.result.embeddings, 1u);
+  EXPECT_EQ(got.rows, off.rows);
+  // The triangle's closing position has two backward edges, so the
+  // cost model always materializes its projection; each decoy's empty
+  // partial projection cuts the subtree (or the final projection is
+  // served without re-intersecting — either way the counters move).
+  EXPECT_GE(got.result.prune_extensions_skipped +
+                got.result.prune_aux_hits,
+            1u);
+  EXPECT_LE(got.result.intersect_elements, off.result.intersect_elements);
+}
+
+TEST_F(PruneFiringTest, FullStackPrunesAtLeastAsMuchAsBestSinglePass) {
+  MatchSnapshot off = RunMatch(index_, pattern_, MatchVariant::kEdgeInduced,
+                               PruneOptions{}, 1);
+  uint64_t best_single = off.result.search_nodes;
+  for (const PruneOptions& prune : AllSubsets()) {
+    if (!prune.any()) continue;
+    MatchSnapshot got =
+        RunMatch(index_, pattern_, MatchVariant::kEdgeInduced, prune, 1);
+    EXPECT_EQ(got.rows, off.rows)
+        << "prune=" << PruneOptionsToString(prune);
+    best_single = std::min(best_single, got.result.search_nodes);
+  }
+  MatchSnapshot all = RunMatch(index_, pattern_, MatchVariant::kEdgeInduced,
+                               AllPruneOptions(), 1);
+  EXPECT_EQ(all.rows, off.rows);
+  EXPECT_LE(all.result.search_nodes, best_single);
+}
+
+}  // namespace
+}  // namespace csce

@@ -30,6 +30,7 @@ expect_finding() {
 }
 
 expect_finding hot_alloc.cc hot-path-no-alloc
+expect_finding prune_hot_alloc.cc hot-path-no-alloc
 expect_finding wire_raw_read.cc wire-bounded-reads
 expect_finding mmap_raw_read.cc mmap-bounded-reads
 expect_finding unguarded_member.cc guarded-by-complete
@@ -37,7 +38,7 @@ expect_finding signal_handler.cc signal-discipline
 
 # All fixtures together: one finding each, all five checks firing.
 count="$("$LINT" "$FIXTURES"/*.cc 2>/dev/null | wc -l)" || true
-[ "$count" -eq 5 ] || fail "expected 5 findings across fixtures, got $count"
+[ "$count" -eq 6 ] || fail "expected 6 findings across fixtures, got $count"
 
 # The real tree must be clean, using the compilation database exported
 # by the build that is running this test.

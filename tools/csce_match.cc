@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
                  "[--time-limit=s] [--max=n] [--print=n] [--threads=n] "
                  "[--explain] [--no-sce] [--no-nec] [--no-ldsf] "
                  "[--no-tiebreak] [--cost-based] [--self-check] "
+                 "[--prune=aux,ree,lpi|all|none] "
                  "[--metrics-json=f.json] [--trace=f.json]\n");
     return 2;
   }
@@ -137,6 +138,18 @@ int main(int argc, char** argv) {
   options.plan.use_cluster_tiebreak = !flags.GetBool("no-tiebreak");
   options.plan.use_cost_based = flags.GetBool("cost-based");
   options.self_check = flags.GetBool("self-check");
+  // Proactive pruning passes: --prune wins over the CSCE_PRUNE
+  // environment default (mirroring the --mmap / CSCE_CCSR_MMAP pair).
+  {
+    const char* prune_env = std::getenv("CSCE_PRUNE");
+    std::string prune_spec =
+        flags.GetString("prune", prune_env != nullptr ? prune_env : "");
+    if (Status st = ParsePruneList(prune_spec, &options.plan.prune);
+        !st.ok()) {
+      std::fprintf(stderr, "--prune: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
 
   if (options.self_check) {
     // Paranoid mode starts at the index itself: deep-validate the CCSR
@@ -196,6 +209,16 @@ int main(int argc, char** argv) {
               result.clusters_read,
               static_cast<unsigned long long>(result.candidate_sets_computed),
               static_cast<unsigned long long>(result.candidate_sets_reused));
+  if (options.plan.prune.any()) {
+    std::printf(
+        "prune=%s candidates_removed=%llu extensions_skipped=%llu "
+        "aux_hits=%llu intersect_elements=%llu\n",
+        PruneOptionsToString(options.plan.prune).c_str(),
+        static_cast<unsigned long long>(result.prune_candidates_removed),
+        static_cast<unsigned long long>(result.prune_extensions_skipped),
+        static_cast<unsigned long long>(result.prune_aux_hits),
+        static_cast<unsigned long long>(result.intersect_elements));
+  }
   if (options.self_check) {
     std::printf(
         "self-check: verified=%llu mismatches=0\n",

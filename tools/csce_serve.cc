@@ -25,6 +25,13 @@
 // own shard artifact the same way. --memory-cap=N bounds each mapping's
 // paging-advice window to N bytes.
 //
+// Proactive pruning: --prune=aux,ree,lpi (or CSCE_PRUNE= in the
+// environment; the flag wins) enables the selected pruning passes for
+// every query of the session, including sharded sessions — where the
+// coordinator forwards the pass set with the plan, and the shard
+// workers' executors force-disable it (shard-local indexes are
+// partial), keeping sharded results identical either way.
+//
 // --repeat=N serves the whole workload N times (load generation; with
 // view sharing the repeats hit the session's cluster cache).
 // --metrics-json=FILE additionally dumps the process metric registry
@@ -110,6 +117,10 @@
 
 namespace {
 
+/// Session-wide prune pass set (--prune / CSCE_PRUNE), stamped onto
+/// every parsed QueryJob. Set in main before the workload is read.
+csce::PruneOptions g_prune;
+
 bool ParseVariant(const std::string& name, csce::MatchVariant* out) {
   if (name == "edge" || name == "edge-induced") {
     *out = csce::MatchVariant::kEdgeInduced;
@@ -147,6 +158,7 @@ bool ParseWorkloadLine(std::string line, size_t lineno,
   }
   csce::QueryJob job;
   job.tag = path;
+  job.options.plan.prune = g_prune;
   if (fields >> variant && !ParseVariant(variant, &job.options.variant)) {
     std::fprintf(stderr, "queries line %zu: unknown variant '%s'\n", lineno,
                  variant.c_str());
@@ -625,6 +637,7 @@ int main(int argc, char** argv) {
                  "--queries=(workload.txt | -) [--threads=n] [--inflight=n] "
                  "[--mmap] [--memory-cap=bytes] "
                  "[--threads-per-query=n] [--deadline=s] [--repeat=n] "
+                 "[--prune=aux,ree,lpi|all|none] "
                  "[--no-share-views] [--quiet] [--metrics-json=f.json] "
                  "[--shards=n [--workers=n] [--shard-strategy=hash|label] "
                  "[--self-check] [--listen=h:p] [--fault-plan=spec] "
@@ -633,6 +646,15 @@ int main(int argc, char** argv) {
                  "       csce_serve --connect=h:p   (multi-node shard "
                  "worker)\n");
     return 2;
+  }
+  {
+    const char* prune_env = std::getenv("CSCE_PRUNE");
+    std::string prune_spec =
+        flags.GetString("prune", prune_env != nullptr ? prune_env : "");
+    if (Status st = ParsePruneList(prune_spec, &g_prune); !st.ok()) {
+      std::fprintf(stderr, "--prune: %s\n", st.ToString().c_str());
+      return 2;
+    }
   }
   int64_t shards = flags.GetInt("shards", 0);
   int64_t forked_workers = flags.GetInt("workers", 0);

@@ -2,7 +2,8 @@
 # Regenerate BENCH_baseline.json — the committed quick-mode perf snapshot.
 #
 # Runs bench_fig6_total_time, bench_parallel_scaling,
-# bench_shard_scaling and bench_intersect with CSCE_BENCH_QUICK=1 and merges their
+# bench_shard_scaling, bench_prune and bench_intersect with
+# CSCE_BENCH_QUICK=1 and merges their
 # BENCH_*.json artifacts into a single csce.bench_baseline.v1 document
 # at the repository root.
 #
@@ -16,7 +17,7 @@ case "$build_dir" in
   *) build_dir="$repo_root/$build_dir" ;;
 esac
 
-for bin in bench_fig6_total_time bench_parallel_scaling bench_shard_scaling bench_intersect; do
+for bin in bench_fig6_total_time bench_parallel_scaling bench_shard_scaling bench_prune bench_intersect; do
   if [ ! -x "$build_dir/bench/$bin" ]; then
     echo "error: $build_dir/bench/$bin not built (cmake --build $build_dir --target $bin)" >&2
     exit 1
@@ -32,6 +33,8 @@ echo "== quick-mode parallel_scaling =="
 (cd "$work_dir" && CSCE_BENCH_QUICK=1 "$build_dir/bench/bench_parallel_scaling")
 echo "== quick-mode shard_scaling =="
 (cd "$work_dir" && CSCE_BENCH_QUICK=1 "$build_dir/bench/bench_shard_scaling")
+echo "== quick-mode prune =="
+(cd "$work_dir" && CSCE_BENCH_QUICK=1 "$build_dir/bench/bench_prune")
 echo "== quick-mode intersect =="
 (cd "$work_dir" && CSCE_BENCH_QUICK=1 "$build_dir/bench/bench_intersect")
 
